@@ -1,0 +1,152 @@
+// Package adarnet is the public façade of this repository: a from-scratch Go
+// reproduction of "ADARNet: Deep Learning Predicts Adaptive Mesh Refinement"
+// (Obiols-Sales, Vishnu, Malaya, Chandramowlishwaran — ICPP 2023).
+//
+// ADARNet performs non-uniform super-resolution of RANS flow fields: a
+// scorer network rates each patch of a low-resolution field, a ranker bins
+// patches into target resolutions, and a shared decoder reconstructs every
+// patch at its own resolution. Coupled with the physics solver, the one-shot
+// inference replaces the iterative refine–solve loop of a traditional AMR
+// solver while keeping the same convergence guarantees.
+//
+// The façade re-exports the user-facing pieces of the internal packages:
+//
+//   - model construction, training, inference: Model, New, Trainer
+//   - the physics substrate: Case constructors, Solve
+//   - the baselines: AMRRun (feature-based AMR), SURFNet (uniform SR)
+//   - the evaluation harness: experiment runners for every paper figure/table
+//
+// See examples/ for runnable end-to-end programs and DESIGN.md for the
+// system inventory.
+package adarnet
+
+import (
+	"io"
+
+	"adarnet/internal/amr"
+	"adarnet/internal/bench"
+	"adarnet/internal/core"
+	"adarnet/internal/dataset"
+	"adarnet/internal/geometry"
+	"adarnet/internal/grid"
+	"adarnet/internal/solver"
+	"adarnet/internal/surfnet"
+)
+
+// Model is a trainable/trained ADARNet instance (scorer + ranker + decoder).
+type Model = core.Model
+
+// Config collects ADARNet's architecture and training hyperparameters.
+type Config = core.Config
+
+// Sample is one LR training example (field tensor + grid metadata).
+type Sample = core.Sample
+
+// Trainer optimizes a Model with Adam on the hybrid data+PDE loss.
+type Trainer = core.Trainer
+
+// Inference is a one-shot non-uniform super-resolution result.
+type Inference = core.Inference
+
+// E2EResult is a full LR-solve → inference → correction pipeline run.
+type E2EResult = core.E2EResult
+
+// Case is a fully specified flow problem (family, Re, domain, body).
+type Case = geometry.Case
+
+// Flow is the four-variable (U, V, p, ν̃) flow state on a uniform grid.
+type Flow = grid.Flow
+
+// SolverOptions configures the steady RANS-SA solver.
+type SolverOptions = solver.Options
+
+// SolverResult summarizes a steady solve.
+type SolverResult = solver.Result
+
+// AMRResult is a completed feature-based AMR baseline run.
+type AMRResult = amr.Result
+
+// AMRConfig tunes the feature-based AMR baseline.
+type AMRConfig = amr.Config
+
+// SURFNet is the uniform-super-resolution baseline model.
+type SURFNet = surfnet.Model
+
+// DefaultConfig returns the paper's model configuration for a patch size.
+func DefaultConfig(patchH, patchW int) Config { return core.DefaultConfig(patchH, patchW) }
+
+// New builds an untrained ADARNet with Glorot-initialized weights.
+func New(cfg Config) *Model { return core.New(cfg) }
+
+// NewTrainer builds a trainer for the model.
+func NewTrainer(m *Model) *Trainer { return core.NewTrainer(m) }
+
+// RunE2E executes LR solve → one-shot inference → physics-solver correction.
+func RunE2E(m *Model, c *Case, opt SolverOptions) (*E2EResult, error) {
+	return core.RunE2E(m, c, opt)
+}
+
+// Solve drives a flow to steady state with the RANS-SA solver.
+func Solve(f *Flow, opt SolverOptions) (SolverResult, error) { return solver.Solve(f, opt) }
+
+// DefaultSolverOptions returns robust solver settings.
+func DefaultSolverOptions() SolverOptions { return solver.DefaultOptions() }
+
+// RunAMR executes the iterative feature-based AMR baseline for a case.
+func RunAMR(c *Case, cfg AMRConfig) (*AMRResult, error) { return amr.Run(c, cfg) }
+
+// DefaultAMRConfig mirrors the paper's AMR baseline setup.
+func DefaultAMRConfig(patchH, patchW int) AMRConfig { return amr.DefaultConfig(patchH, patchW) }
+
+// NewSURFNet builds the uniform-SR baseline at a per-side factor.
+func NewSURFNet(factor int, seed int64) *SURFNet { return surfnet.New(factor, seed) }
+
+// Case constructors for the paper's canonical flows (§4.1).
+var (
+	ChannelCase    = geometry.ChannelCase
+	FlatPlateCase  = geometry.FlatPlateCase
+	CylinderCase   = geometry.CylinderCase
+	AirfoilCase    = geometry.AirfoilCase
+	EllipseCase    = geometry.EllipseCase
+	PaperTestCases = geometry.PaperTestCases
+)
+
+// GenerateDataset runs the solver over the paper's training sweeps.
+func GenerateDataset(perFamily, h, w int) ([]Sample, error) {
+	return dataset.Generate(dataset.DefaultOptions(perFamily, h, w))
+}
+
+// SplitDataset partitions samples into train/validation sets.
+func SplitDataset(samples []Sample, valFrac float64) (train, val []Sample) {
+	return dataset.Split(samples, valFrac)
+}
+
+// SaveDataset / LoadDataset persist corpora.
+var (
+	SaveDataset = dataset.SaveFile
+	LoadDataset = dataset.LoadFile
+)
+
+// Experiment harness: regenerate the paper's figures and tables. scale is
+// "tiny", "quick", or "full" (see internal/bench for their meanings).
+type ExperimentEnv = bench.Env
+
+// SetupExperiments prepares (and memoizes) the experiment environment.
+func SetupExperiments(scale string) *ExperimentEnv {
+	switch scale {
+	case "tiny":
+		return bench.Setup(bench.TinyScale())
+	case "full":
+		return bench.Setup(bench.FullScale())
+	default:
+		return bench.Setup(bench.QuickScale())
+	}
+}
+
+// Experiment runners; each prints the figure/table rows to w.
+func RunFig1(w io.Writer)                           { bench.Fig1(w) }
+func RunFig9(e *ExperimentEnv, w io.Writer) error   { _, err := bench.Fig9(e, w); return err }
+func RunFig10(e *ExperimentEnv, w io.Writer) error  { _, err := bench.Fig10(e, w); return err }
+func RunFig11(e *ExperimentEnv, w io.Writer) error  { _, err := bench.Fig11(e, w); return err }
+func RunTable1(e *ExperimentEnv, w io.Writer) error { _, err := bench.Table1(e, w); return err }
+func RunTable2(e *ExperimentEnv, w io.Writer) error { _, err := bench.Table2(e, w); return err }

@@ -1,0 +1,141 @@
+package adarnet
+
+// Integration tests across the public API: the full train → infer →
+// correct pipeline against the AMR baseline on a miniature problem.
+
+import (
+	"bytes"
+	"testing"
+
+	"adarnet/internal/grid"
+	"adarnet/internal/tensor"
+)
+
+func trainTinyModel(t *testing.T) (*Model, []Sample) {
+	t.Helper()
+	samples, err := GenerateDataset(2, 8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(DefaultConfig(2, 2))
+	tr := NewTrainer(m)
+	tr.Opt.LR = 1e-3
+	tr.FitNormalization(samples)
+	for i := 0; i < 3; i++ {
+		if _, _, _, err := tr.Step(samples); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, samples
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	m, _ := trainTinyModel(t)
+	c := ChannelCase(2.5e3, 8, 32)
+	e2e, err := RunE2E(m, c, DefaultSolverOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2e.Flow == nil || !e2e.Flow.IsFinite() {
+		t.Fatal("pipeline produced invalid flow")
+	}
+	if !e2e.PSResult.Converged {
+		t.Fatalf("correction pass did not converge: %v", e2e.PSResult)
+	}
+	if e2e.Inference.CompositeCells > e2e.Inference.Levels.UniformCells() {
+		t.Fatal("composite mesh larger than uniform")
+	}
+}
+
+func TestADARNetBeatsAMRSolverOnWork(t *testing.T) {
+	// The paper's Table 1 headline on a miniature case: the one-shot
+	// pipeline costs less DOF-weighted work than the iterative AMR loop.
+	m, _ := trainTinyModel(t)
+	c := ChannelCase(2.5e3, 8, 32)
+	maxLevel := m.Cfg.Bins - 1
+
+	e2e, err := RunE2E(m, c, DefaultSolverOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultAMRConfig(2, 2)
+	cfg.MaxLevel = maxLevel
+	amrRes, err := RunAMR(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if amrRes.TotalWork <= e2e.TotalWork {
+		t.Fatalf("AMR work %d not greater than ADARNet work %d", amrRes.TotalWork, e2e.TotalWork)
+	}
+	if amrRes.TotalIterations <= e2e.PSIterations {
+		t.Fatalf("AMR ITC %d not greater than ADARNet ps ITC %d", amrRes.TotalIterations, e2e.PSIterations)
+	}
+}
+
+func TestNonUniformBeatsUniformOnMemory(t *testing.T) {
+	// The paper's Table 2 headline: non-uniform inference allocates less
+	// than uniform SR at the same max factor whenever any patch stays coarse.
+	m, samples := trainTinyModel(t)
+	lr := samples[0].Meta
+	aInf := m.Infer(lr)
+	if aInf.Levels.MaxLevelUsed() == 0 {
+		t.Skip("model refined nothing on this sample")
+	}
+	s := NewSURFNet(1<<uint(m.Cfg.Bins-1), 1)
+	s.Norm = m.Norm
+	sInf := s.Infer(lr)
+	if sInf.MemoryBytes <= aInf.MemoryBytes {
+		t.Fatalf("uniform %d bytes vs non-uniform %d bytes", sInf.MemoryBytes, aInf.MemoryBytes)
+	}
+}
+
+func TestDatasetFacadeRoundTrip(t *testing.T) {
+	samples, err := GenerateDataset(1, 8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, val := SplitDataset(samples, 0.3)
+	if len(train)+len(val) != len(samples) {
+		t.Fatal("split lost samples")
+	}
+	path := t.TempDir() + "/c.gob"
+	if err := SaveDataset(path, samples); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(samples) {
+		t.Fatal("dataset file round trip failed")
+	}
+}
+
+func TestRunFig1Facade(t *testing.T) {
+	var buf bytes.Buffer
+	RunFig1(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("no Fig 1 output")
+	}
+}
+
+func TestModelCheckpointFacade(t *testing.T) {
+	m, _ := trainTinyModel(t)
+	path := t.TempDir() + "/m.gob"
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(DefaultConfig(2, 2))
+	if err := m2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	// Same weights → same inference on the same input.
+	f := ChannelCase(2.5e3, 8, 32).Build()
+	m2.Norm = m.Norm
+	a := m.Infer(f)
+	b := m2.Infer(f)
+	if tensor.MSE(a.Field, b.Field) != 0 {
+		t.Fatal("restored model predicts differently")
+	}
+	_ = grid.NumChannels
+}

@@ -1,0 +1,328 @@
+package adarnet
+
+// Benchmark harness: one testing.B benchmark per paper table and figure
+// (run the cmd/adarnet-bench tool for the full-scale experiment reports),
+// plus ablation benches for the design choices DESIGN.md §5 calls out.
+//
+// The benches run at the tiny experiment scale so that the default
+// `go test -bench=. -benchmem` completes on a single core; they measure the
+// same code paths the full-scale runners use.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"adarnet/internal/autodiff"
+	"adarnet/internal/bench"
+	"adarnet/internal/core"
+	"adarnet/internal/geometry"
+	"adarnet/internal/grid"
+	"adarnet/internal/interp"
+	"adarnet/internal/solver"
+	"adarnet/internal/tensor"
+)
+
+// BenchmarkFig1MaxBatchSize regenerates Figure 1: the uniform-SR max batch
+// size vs target resolution curve under the 16 GB budget.
+func BenchmarkFig1MaxBatchSize(b *testing.B) {
+	var batch1024 int
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig1(io.Discard)
+		batch1024 = rows[len(rows)-1].MaxBatch
+	}
+	b.ReportMetric(float64(batch1024), "maxbatch@1024")
+}
+
+// BenchmarkFig9RefinementMaps regenerates Figure 9: per-patch refinement
+// level maps from ADARNet inference vs the AMR baseline.
+func BenchmarkFig9RefinementMaps(b *testing.B) {
+	e := bench.Setup(bench.TinyScale())
+	b.ResetTimer()
+	var agree float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig9(e, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		agree = 0
+		for _, r := range rows {
+			agree += r.Agreement
+		}
+		agree /= float64(len(rows))
+	}
+	b.ReportMetric(agree, "agreement±1")
+}
+
+// BenchmarkFig10FieldAgreement regenerates Figure 10: converged-field L2
+// agreement between ADARNet and the AMR solver.
+func BenchmarkFig10FieldAgreement(b *testing.B) {
+	e := bench.Setup(bench.TinyScale())
+	b.ResetTimer()
+	var l2 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig10(e, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		l2 = rows[0].FieldL2
+	}
+	b.ReportMetric(l2, "cyl-fieldL2")
+}
+
+// BenchmarkFig11GridConvergence regenerates Figure 11: the QoI vs
+// refinement-level grid convergence study for all seven test cases.
+func BenchmarkFig11GridConvergence(b *testing.B) {
+	e := bench.Setup(bench.TinyScale())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig11(e, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1SolverComparison regenerates Table 1: ADARNet vs the
+// iterative AMR solver (TTC, ITC, speedups).
+func BenchmarkTable1SolverComparison(b *testing.B) {
+	e := bench.Setup(bench.TinyScale())
+	b.ResetTimer()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table1(e, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = 0
+		for _, r := range rows {
+			speedup += r.SpeedupWork
+		}
+		speedup /= float64(len(rows))
+	}
+	b.ReportMetric(speedup, "mean-workx")
+}
+
+// BenchmarkTable2SurfnetComparison regenerates Table 2: ADARNet vs SURFNet
+// memory and inf+ps time.
+func BenchmarkTable2SurfnetComparison(b *testing.B) {
+	e := bench.Setup(bench.TinyScale())
+	b.ResetTimer()
+	var rf float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table2(e, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rf = 0
+		for _, r := range rows {
+			rf += r.MemReduction
+		}
+		rf /= float64(len(rows))
+	}
+	b.ReportMetric(rf, "mean-mem-rf")
+}
+
+// --- Component benches: the kernels the experiments are built from ---
+
+// BenchmarkSolverStep measures raw solver throughput (one channel case).
+func BenchmarkSolverStep(b *testing.B) {
+	c := geometry.ChannelCase(2.5e3, 16, 64)
+	f := c.Build()
+	opt := solver.DefaultOptions()
+	opt.MaxIter = 100
+	opt.StallChecks = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fl := f.Clone()
+		if _, err := solver.Solve(fl, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(16 * 64 * 4 * 8 * 100))
+}
+
+// BenchmarkInference measures ADARNet's one-shot non-uniform SR forward.
+func BenchmarkInference(b *testing.B) {
+	e := bench.Setup(bench.TinyScale())
+	lr := geometry.ChannelCase(2.5e3, e.Scale.LRH, e.Scale.LRW).Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inf := e.Model.Infer(lr)
+		if inf.Field == nil {
+			b.Fatal("no field")
+		}
+	}
+}
+
+// BenchmarkSurfnetInference measures the uniform-SR baseline forward at the
+// same factor — the direct cost comparison behind Table 2.
+func BenchmarkSurfnetInference(b *testing.B) {
+	e := bench.Setup(bench.TinyScale())
+	lr := geometry.ChannelCase(2.5e3, e.Scale.LRH, e.Scale.LRW).Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inf := e.Surf.Infer(lr)
+		if inf.Field == nil {
+			b.Fatal("no field")
+		}
+	}
+}
+
+// BenchmarkTrainingStep measures one hybrid-loss training step.
+func BenchmarkTrainingStep(b *testing.B) {
+	m := core.New(core.DefaultConfig(2, 2))
+	f := geometry.ChannelCase(2.5e3, 8, 32).Build()
+	s := core.Sample{Input: grid.ToTensor(f), Meta: f}
+	tr := core.NewTrainer(m)
+	tr.FitNormalization([]core.Sample{s})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := tr.Step([]core.Sample{s}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBicubicResize measures the patch-refinement interpolation kernel.
+func BenchmarkBicubicResize(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.RandNormal(rng, 0, 1, 1, 16, 16, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		interp.Resize(interp.Bicubic, x, 128, 128)
+	}
+	b.SetBytes(int64(128 * 128 * 4 * 8))
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkAblationPooling compares max-pool (paper) vs average-pool scorer
+// aggregation: the refined-cell budget each chooses on the same input.
+func BenchmarkAblationPooling(b *testing.B) {
+	for _, avg := range []bool{false, true} {
+		name := "maxpool"
+		if avg {
+			name = "avgpool"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig(2, 2)
+			cfg.ScorerAvgPool = avg
+			m := core.New(cfg)
+			f := geometry.CylinderCase(1e5, 8, 32).Build()
+			m.Norm = core.FitNorm([]*tensor.Tensor{grid.ToTensor(f)})
+			var cells int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inf := m.Infer(f)
+				cells = inf.CompositeCells
+			}
+			b.ReportMetric(float64(cells), "composite-cells")
+		})
+	}
+}
+
+// BenchmarkAblationLambda sweeps the data/PDE balance λ and reports the
+// post-step PDE residual component (the calibration of §5.1).
+func BenchmarkAblationLambda(b *testing.B) {
+	for _, lambda := range []float64{0.003, 0.03, 0.3} {
+		b.Run(formatLambda(lambda), func(b *testing.B) {
+			cfg := core.DefaultConfig(2, 2)
+			cfg.Lambda = lambda
+			m := core.New(cfg)
+			f := geometry.ChannelCase(2.5e3, 8, 32).Build()
+			s := core.Sample{Input: grid.ToTensor(f), Meta: f}
+			tr := core.NewTrainer(m)
+			tr.Opt.LR = 1e-3
+			tr.FitNormalization([]core.Sample{s})
+			var pde float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, _, p, err := tr.Step([]core.Sample{s})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pde = p
+			}
+			b.ReportMetric(pde, "pde-loss")
+		})
+	}
+}
+
+// BenchmarkAblationBins compares b=2 vs b=4 bins: fewer target resolutions
+// force coarser refinement granularity (paper picks 4 per AMR practice).
+func BenchmarkAblationBins(b *testing.B) {
+	for _, bins := range []int{2, 4} {
+		b.Run(formatBins(bins), func(b *testing.B) {
+			cfg := core.DefaultConfig(2, 2)
+			cfg.Bins = bins
+			m := core.New(cfg)
+			f := geometry.CylinderCase(1e5, 8, 32).Build()
+			m.Norm = core.FitNorm([]*tensor.Tensor{grid.ToTensor(f)})
+			var cells int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inf := m.Infer(f)
+				cells = inf.CompositeCells
+			}
+			b.ReportMetric(float64(cells), "composite-cells")
+		})
+	}
+}
+
+// BenchmarkAblationPatchSize compares patch granularities (paper argues
+// 16×16 at 64×256; scaled here): smaller patches give finer refinement
+// control at higher scorer/ranker overhead.
+func BenchmarkAblationPatchSize(b *testing.B) {
+	for _, ps := range []int{2, 4} {
+		b.Run(formatBins(ps), func(b *testing.B) {
+			cfg := core.DefaultConfig(ps, ps)
+			m := core.New(cfg)
+			f := geometry.ChannelCase(2.5e3, 8, 32).Build()
+			m.Norm = core.FitNorm([]*tensor.Tensor{grid.ToTensor(f)})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Infer(f)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSharedDecoder quantifies the shared-decoder choice: the
+// parameter count of one shared decoder vs per-resolution decoders (the
+// alternative the paper rejects, §3.1).
+func BenchmarkAblationSharedDecoder(b *testing.B) {
+	m := core.New(core.DefaultConfig(4, 4))
+	shared := 0
+	for _, p := range m.Decoder.Params() {
+		shared += p.NumElems()
+	}
+	perRes := shared * m.Cfg.Bins // one decoder per target resolution
+	var v *autodiff.Value
+	f := geometry.ChannelCase(2.5e3, 8, 32).Build()
+	m.Norm = core.FitNorm([]*tensor.Tensor{grid.ToTensor(f)})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := autodiff.NewTape()
+		x := t.Const(m.Norm.Apply(grid.ToTensor(f)))
+		res := m.Forward(t, x)
+		v = res.Patches[0].Value
+	}
+	_ = v
+	b.ReportMetric(float64(shared), "shared-params")
+	b.ReportMetric(float64(perRes), "per-res-params")
+}
+
+func formatLambda(l float64) string {
+	switch {
+	case l < 0.01:
+		return "lambda=0.003"
+	case l < 0.1:
+		return "lambda=0.03"
+	default:
+		return "lambda=0.3"
+	}
+}
+
+func formatBins(n int) string {
+	return "n=" + string(rune('0'+n))
+}

@@ -1,0 +1,80 @@
+// Command adarnet-bench regenerates the paper's evaluation tables and
+// figures. Each experiment prints the same rows/series the paper reports;
+// absolute times reflect this machine, shapes should match the paper.
+//
+// Usage:
+//
+//	adarnet-bench -exp all  -scale quick
+//	adarnet-bench -exp fig9 -scale full
+//	adarnet-bench -exp table1,table2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"adarnet/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiments to run: all | fig1,fig9,fig10,fig11,table1,table2")
+	scale := flag.String("scale", "quick", "experiment scale: tiny | quick | full")
+	flag.Parse()
+
+	var sc bench.Scale
+	switch *scale {
+	case "tiny":
+		sc = bench.TinyScale()
+	case "full":
+		sc = bench.FullScale()
+	case "quick":
+		sc = bench.QuickScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+
+	start := time.Now()
+	fmt.Printf("# adarnet-bench scale=%s (LR %dx%d, patches %dx%d, max level %d)\n",
+		sc.Name, sc.LRH, sc.LRW, sc.PatchH, sc.PatchW, sc.MaxLevel)
+
+	if all || want["fig1"] {
+		bench.Fig1(os.Stdout)
+		fmt.Println()
+	}
+
+	needEnv := all || want["fig9"] || want["fig10"] || want["fig11"] || want["table1"] || want["table2"]
+	if !needEnv {
+		return
+	}
+	fmt.Println("# preparing environment (corpus generation + training)...")
+	env := bench.Setup(sc)
+	fmt.Printf("# environment ready in %v (ADARNet %d params)\n\n", time.Since(start).Round(time.Second), env.Model.ParamCount())
+
+	run := func(name string, f func() error) {
+		if !all && !want[name] {
+			return
+		}
+		t0 := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# %s done in %v\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+	run("fig9", func() error { _, err := bench.Fig9(env, os.Stdout); return err })
+	run("fig10", func() error { _, err := bench.Fig10(env, os.Stdout); return err })
+	run("fig11", func() error { _, err := bench.Fig11(env, os.Stdout); return err })
+	run("table1", func() error { _, err := bench.Table1(env, os.Stdout); return err })
+	run("table2", func() error { _, err := bench.Table2(env, os.Stdout); return err })
+	fmt.Printf("# total %v\n", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,3 @@
+module adarnet
+
+go 1.22

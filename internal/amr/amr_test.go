@@ -1,0 +1,186 @@
+package amr
+
+import (
+	"testing"
+
+	"adarnet/internal/geometry"
+	"adarnet/internal/grid"
+	"adarnet/internal/patch"
+	"adarnet/internal/solver"
+)
+
+func quickConfig() Config {
+	cfg := DefaultConfig(2, 2)
+	cfg.MaxLevel = 1
+	cfg.CycleMaxIter = 2000
+	cfg.Solver = solver.DefaultOptions()
+	cfg.Solver.MaxIter = 6000
+	return cfg
+}
+
+func TestRunChannelRefinesWalls(t *testing.T) {
+	c := geometry.ChannelCase(2.5e3, 8, 32)
+	r, err := Run(c, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cycles) < 2 {
+		t.Fatalf("only %d cycles ran", len(r.Cycles))
+	}
+	if r.Levels.MaxLevelUsed() != 1 {
+		t.Fatalf("max level used %d, want 1", r.Levels.MaxLevelUsed())
+	}
+	// The ν̃-gradient feature concentrates at walls: the wall-adjacent patch
+	// rows must be at least as refined on average as the center rows.
+	wallMean, centerMean := 0.0, 0.0
+	for px := 0; px < r.Levels.NPx; px++ {
+		wallMean += float64(r.Levels.At(0, px) + r.Levels.At(r.Levels.NPy-1, px))
+		centerMean += float64(r.Levels.At(r.Levels.NPy/2, px)) * 2
+	}
+	if wallMean < centerMean {
+		t.Fatalf("walls (%v) less refined than center (%v)\n%s", wallMean, centerMean, r.Levels.Render())
+	}
+	if r.Flow == nil || !r.Flow.IsFinite() {
+		t.Fatal("final flow invalid")
+	}
+	if r.TotalWork <= 0 || r.TotalIterations <= 0 {
+		t.Fatal("no work accounted")
+	}
+}
+
+func TestRunStopsWhenMeshStable(t *testing.T) {
+	// With an impossible threshold nothing refines, so the run must stop
+	// after the first cycle.
+	c := geometry.ChannelCase(2.5e3, 8, 32)
+	cfg := quickConfig()
+	cfg.Threshold = 2.0 // above the max feature by construction
+	r, err := Run(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cycles) != 1 {
+		t.Fatalf("%d cycles, want 1 (no refinement possible)", len(r.Cycles))
+	}
+	if r.Levels.MaxLevelUsed() != 0 {
+		t.Fatal("levels changed despite impossible threshold")
+	}
+}
+
+func TestMarkPatchesGradual(t *testing.T) {
+	// Marking can raise a patch at most one level per cycle.
+	c := geometry.ChannelCase(2.5e3, 8, 32)
+	f := c.Build()
+	opt := solver.DefaultOptions()
+	opt.MaxIter = 4000
+	if _, err := solver.Solve(f, opt); err != nil {
+		t.Fatal(err)
+	}
+	cur := patch.NewMap(8, 32, 2, 2)
+	cfg := quickConfig()
+	cfg.MaxLevel = 3
+	next := MarkPatches(f, cur, cfg)
+	for i, l := range next.Level {
+		if l > cur.Level[i]+1 {
+			t.Fatalf("patch %d jumped from %d to %d", i, cur.Level[i], l)
+		}
+	}
+}
+
+func TestMarkPatchesRespectsMaxLevel(t *testing.T) {
+	c := geometry.ChannelCase(2.5e3, 8, 32)
+	f := c.Build()
+	cur := patch.NewMap(8, 32, 2, 2)
+	for i := range cur.Level {
+		cur.Level[i] = 2
+	}
+	cfg := quickConfig()
+	cfg.MaxLevel = 2
+	cfg.Threshold = 1e-12 // everything marks
+	f.Nut.Fill(0)
+	f.Nut.Set(1, 4, 16) // single feature spike
+	next := MarkPatches(f, cur, cfg)
+	if next.MaxLevelUsed() > 2 {
+		t.Fatalf("level exceeded cap: %d", next.MaxLevelUsed())
+	}
+}
+
+func TestRegridPreservesPhysicalDomain(t *testing.T) {
+	c := geometry.ChannelCase(2.5e3, 8, 32)
+	f := c.Build()
+	fine := Regrid(f, c, 1)
+	if fine.H != 16 || fine.W != 64 {
+		t.Fatalf("regrid resolution %dx%d", fine.H, fine.W)
+	}
+	if d := fine.Dy * float64(fine.H); d < 0.099 || d > 0.101 {
+		t.Fatalf("physical height %v, want 0.1", d)
+	}
+	// Warm start carries the coarse solution structure.
+	if fine.U.At(8, 32) == 0 {
+		t.Fatal("regrid lost the velocity field")
+	}
+	// ν̃ stays non-negative in the interior after interpolation.
+	for y := 1; y < fine.H-1; y++ {
+		for x := 1; x < fine.W-1; x++ {
+			if fine.Nut.At(y, x) < 0 {
+				t.Fatal("negative interior ν̃ after regrid")
+			}
+		}
+	}
+}
+
+func TestRegridSameLevelIsIdentity(t *testing.T) {
+	c := geometry.ChannelCase(2.5e3, 8, 32)
+	f := c.Build()
+	if got := Regrid(f, c, 0); got != f {
+		t.Fatal("level-0 regrid must return the input")
+	}
+}
+
+func TestCycleStatsAccounting(t *testing.T) {
+	c := geometry.ChannelCase(2.5e3, 8, 32)
+	r, err := Run(c, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalIters, totalWork := 0, 0
+	for _, cs := range r.Cycles {
+		if cs.Work != cs.Iterations*cs.CompositeCells {
+			t.Fatal("cycle work != iters × cells")
+		}
+		totalIters += cs.Iterations
+		totalWork += cs.Work
+	}
+	if totalIters != r.TotalIterations || totalWork != r.TotalWork {
+		t.Fatal("totals do not match cycle sums")
+	}
+}
+
+func TestSummaryRenders(t *testing.T) {
+	c := geometry.ChannelCase(2.5e3, 8, 32)
+	cfg := quickConfig()
+	cfg.Threshold = 2.0
+	r, err := Run(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestRunWithImmersedBody(t *testing.T) {
+	c := geometry.CylinderCase(1e5, 16, 32)
+	r, err := Run(c, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wake/body region must be more refined than the far field corner.
+	if r.Levels.MaxLevelUsed() == 0 {
+		t.Skip("no refinement triggered at this tiny scale")
+	}
+	corner := r.Levels.At(0, 0)
+	if corner != 0 {
+		t.Fatalf("far-field corner refined to %d\n%s", corner, r.Levels.Render())
+	}
+	_ = grid.ApplyBC
+}

@@ -1,0 +1,116 @@
+// Package autodiff implements tape-based reverse-mode automatic
+// differentiation over the tensor package. It is the training substrate for
+// ADARNet's networks: every layer builds Values on a Tape during the forward
+// pass; Backward replays the tape in reverse, accumulating gradients.
+//
+// The design mirrors define-by-run frameworks: a Value wraps a tensor plus a
+// closure that knows how to push its output gradient into its inputs. Ops
+// whose Jacobians are linear (interpolation, stencils, concat) implement the
+// exact adjoint, so the PDE-residual loss in the paper's Eq. 1 backpropagates
+// exactly through the finite-difference operators.
+package autodiff
+
+import (
+	"fmt"
+
+	"adarnet/internal/tensor"
+)
+
+// Value is a node in the computation graph: a tensor, its (lazily allocated)
+// gradient, and the backward closure linking it to its inputs.
+type Value struct {
+	Data *tensor.Tensor
+	grad *tensor.Tensor
+
+	requiresGrad bool
+	inputs       []*Value
+	backward     func(grad *tensor.Tensor)
+	tape         *Tape
+}
+
+// Tape records Values in forward order so Backward can traverse in reverse.
+type Tape struct {
+	nodes []*Value
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Len returns the number of recorded nodes.
+func (t *Tape) Len() int { return len(t.nodes) }
+
+// Reset discards all recorded nodes so the tape can be reused.
+func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+
+// Var records a trainable leaf holding data. Its gradient is accumulated
+// during Backward and read back by the optimizer.
+func (t *Tape) Var(data *tensor.Tensor) *Value {
+	v := &Value{Data: data, requiresGrad: true, tape: t}
+	t.nodes = append(t.nodes, v)
+	return v
+}
+
+// Const records a non-trainable leaf (inputs, targets, coordinates).
+func (t *Tape) Const(data *tensor.Tensor) *Value {
+	v := &Value{Data: data, requiresGrad: false, tape: t}
+	t.nodes = append(t.nodes, v)
+	return v
+}
+
+// NewOp records an op node with the given output data, inputs, and backward
+// closure. The closure receives the output gradient and must call
+// AccumGrad on any input it differentiates into. The node requires grad iff
+// any input does; backward is skipped entirely otherwise.
+func (t *Tape) NewOp(data *tensor.Tensor, inputs []*Value, backward func(grad *tensor.Tensor)) *Value {
+	req := false
+	for _, in := range inputs {
+		if in.requiresGrad {
+			req = true
+			break
+		}
+	}
+	v := &Value{Data: data, requiresGrad: req, inputs: inputs, backward: backward, tape: t}
+	t.nodes = append(t.nodes, v)
+	return v
+}
+
+// RequiresGrad reports whether gradients flow into v.
+func (v *Value) RequiresGrad() bool { return v.requiresGrad }
+
+// Grad returns the accumulated gradient, or nil if none was propagated.
+func (v *Value) Grad() *tensor.Tensor { return v.grad }
+
+// ZeroGrad clears the accumulated gradient.
+func (v *Value) ZeroGrad() { v.grad = nil }
+
+// AccumGrad adds g into v's gradient buffer (allocating on first use).
+// Ops' backward closures call this on their inputs.
+func (v *Value) AccumGrad(g *tensor.Tensor) {
+	if !v.requiresGrad {
+		return
+	}
+	if v.grad == nil {
+		v.grad = g.Clone()
+		return
+	}
+	v.grad.AddInPlace(g)
+}
+
+// Backward seeds root's gradient with ones (for scalar losses) and replays
+// the tape in reverse, invoking each node's backward closure once.
+func (t *Tape) Backward(root *Value) {
+	if root.tape != t {
+		panic("autodiff: Backward root recorded on a different tape")
+	}
+	if root.Data.Len() != 1 {
+		panic(fmt.Sprintf("autodiff: Backward root must be scalar, got shape %v", root.Data.Shape()))
+	}
+	root.AccumGrad(tensor.Full(1, root.Data.Shape()...))
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := t.nodes[i]
+		if n.backward == nil || !n.requiresGrad || n.grad == nil {
+			continue
+		}
+		n.backward(n.grad)
+	}
+}

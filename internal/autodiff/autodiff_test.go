@@ -1,0 +1,242 @@
+package autodiff
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adarnet/internal/tensor"
+)
+
+// numericGrad estimates d(loss)/d(x[i]) with central differences, where
+// buildLoss reconstructs the graph from scratch each call.
+func numericGrad(x *tensor.Tensor, i int, buildLoss func() float64) float64 {
+	const h = 1e-6
+	orig := x.Data()[i]
+	x.Data()[i] = orig + h
+	fp := buildLoss()
+	x.Data()[i] = orig - h
+	fm := buildLoss()
+	x.Data()[i] = orig
+	return (fp - fm) / (2 * h)
+}
+
+// checkGrad verifies analytic grads of a scalar loss against finite
+// differences for every element of x.
+func checkGrad(t *testing.T, name string, x *tensor.Tensor, forward func(tp *Tape, xv *Value) *Value) {
+	t.Helper()
+	tp := NewTape()
+	xv := tp.Var(x)
+	loss := forward(tp, xv)
+	tp.Backward(loss)
+	if xv.Grad() == nil {
+		t.Fatalf("%s: no gradient propagated", name)
+	}
+	for i := range x.Data() {
+		ng := numericGrad(x, i, func() float64 {
+			tp2 := NewTape()
+			xv2 := tp2.Var(x)
+			return forward(tp2, xv2).Data.Data()[0]
+		})
+		ag := xv.Grad().Data()[i]
+		tol := 1e-4 * math.Max(1, math.Abs(ng))
+		if math.Abs(ag-ng) > tol {
+			t.Fatalf("%s: grad[%d] analytic %v vs numeric %v", name, i, ag, ng)
+		}
+	}
+}
+
+func TestMeanGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.RandNormal(rng, 0, 1, 2, 3)
+	checkGrad(t, "mean", x, func(tp *Tape, xv *Value) *Value { return Mean(xv) })
+}
+
+func TestSumGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.RandNormal(rng, 0, 1, 4)
+	checkGrad(t, "sum", x, func(tp *Tape, xv *Value) *Value { return Sum(xv) })
+}
+
+func TestAddSubMulGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.RandNormal(rng, 0, 1, 5)
+	c := tensor.RandNormal(rng, 0, 1, 5)
+	checkGrad(t, "add", x, func(tp *Tape, xv *Value) *Value {
+		return Mean(Add(xv, tp.Const(c)))
+	})
+	checkGrad(t, "sub", x, func(tp *Tape, xv *Value) *Value {
+		return Mean(Sub(tp.Const(c), xv))
+	})
+	checkGrad(t, "mul", x, func(tp *Tape, xv *Value) *Value {
+		return Mean(Mul(xv, Mul(xv, tp.Const(c)))) // x²c exercises both branches
+	})
+}
+
+func TestScaleGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.RandNormal(rng, 0, 1, 3)
+	checkGrad(t, "scale", x, func(tp *Tape, xv *Value) *Value {
+		return Mean(Scale(-2.5, xv))
+	})
+}
+
+func TestScaleScalarGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Gradient w.r.t. the scalar s of mean(s*a).
+	s := tensor.FromSlice([]float64{0.7}, 1)
+	a := tensor.RandNormal(rng, 0, 1, 6)
+	checkGrad(t, "scalescalar-s", s, func(tp *Tape, sv *Value) *Value {
+		return Mean(ScaleScalar(sv, tp.Const(a)))
+	})
+	// Gradient w.r.t. a of mean(s*a).
+	checkGrad(t, "scalescalar-a", a, func(tp *Tape, av *Value) *Value {
+		return Mean(ScaleScalar(tp.Const(s), av))
+	})
+}
+
+func TestActivationGrads(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	// Keep values away from the ReLU kink where the numeric check is invalid.
+	x := tensor.RandNormal(rng, 0, 1, 8)
+	for i, v := range x.Data() {
+		if math.Abs(v) < 0.05 {
+			x.Data()[i] = 0.1
+		}
+	}
+	checkGrad(t, "relu", x, func(tp *Tape, xv *Value) *Value { return Mean(ReLU(xv)) })
+	checkGrad(t, "leakyrelu", x, func(tp *Tape, xv *Value) *Value { return Mean(LeakyReLU(0.1, xv)) })
+	checkGrad(t, "tanh", x, func(tp *Tape, xv *Value) *Value { return Mean(Tanh(xv)) })
+}
+
+func TestMSEGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.RandNormal(rng, 0, 1, 2, 3)
+	y := tensor.RandNormal(rng, 0, 1, 2, 3)
+	checkGrad(t, "mse", x, func(tp *Tape, xv *Value) *Value { return MSE(xv, y) })
+}
+
+func TestSquaredL2MeanGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x := tensor.RandNormal(rng, 0, 1, 7)
+	checkGrad(t, "sql2", x, func(tp *Tape, xv *Value) *Value { return SquaredL2Mean(xv) })
+}
+
+func TestAddScalarsGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := tensor.RandNormal(rng, 0, 1, 4)
+	checkGrad(t, "addscalars", x, func(tp *Tape, xv *Value) *Value {
+		return AddScalars(Mean(xv), SquaredL2Mean(xv), Scale(0.5, Sum(xv)))
+	})
+}
+
+func TestConcatChannelsGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x := tensor.RandNormal(rng, 0, 1, 1, 2, 2, 2)
+	c := tensor.RandNormal(rng, 0, 1, 1, 2, 2, 3)
+	checkGrad(t, "concat", x, func(tp *Tape, xv *Value) *Value {
+		return SquaredL2Mean(ConcatChannels(xv, tp.Const(c)))
+	})
+}
+
+func TestStackSliceBatchGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := tensor.RandNormal(rng, 0, 1, 1, 2, 2, 1)
+	y := tensor.RandNormal(rng, 0, 1, 1, 2, 2, 1)
+	checkGrad(t, "stack", x, func(tp *Tape, xv *Value) *Value {
+		st := StackBatch([]*Value{xv, tp.Const(y)})
+		return SquaredL2Mean(st)
+	})
+	z := tensor.RandNormal(rng, 0, 1, 3, 2, 2, 1)
+	checkGrad(t, "slice", z, func(tp *Tape, zv *Value) *Value {
+		return SquaredL2Mean(SliceBatch(zv, 1))
+	})
+}
+
+func TestBackwardRequiresScalarRoot(t *testing.T) {
+	tp := NewTape()
+	v := tp.Var(tensor.New(2, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-scalar root")
+		}
+	}()
+	tp.Backward(v)
+}
+
+func TestBackwardWrongTapePanics(t *testing.T) {
+	tp1, tp2 := NewTape(), NewTape()
+	v := Mean(tp1.Var(tensor.FromSlice([]float64{1}, 1)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for cross-tape backward")
+		}
+	}()
+	tp2.Backward(v)
+}
+
+func TestConstReceivesNoGrad(t *testing.T) {
+	tp := NewTape()
+	c := tp.Const(tensor.FromSlice([]float64{1, 2}, 2))
+	v := tp.Var(tensor.FromSlice([]float64{3, 4}, 2))
+	loss := Mean(Mul(c, v))
+	tp.Backward(loss)
+	if c.Grad() != nil {
+		t.Fatal("const must not accumulate gradient")
+	}
+	if v.Grad() == nil {
+		t.Fatal("var must accumulate gradient")
+	}
+}
+
+func TestGradAccumulationAcrossUses(t *testing.T) {
+	// loss = mean(x) + mean(x) should give grad 2/n.
+	tp := NewTape()
+	x := tensor.FromSlice([]float64{1, 2, 3, 4}, 4)
+	xv := tp.Var(x)
+	loss := AddScalars(Mean(xv), Mean(xv))
+	tp.Backward(loss)
+	for _, g := range xv.Grad().Data() {
+		if math.Abs(g-0.5) > 1e-12 {
+			t.Fatalf("grad = %v, want 0.5", g)
+		}
+	}
+}
+
+func TestTapeReset(t *testing.T) {
+	tp := NewTape()
+	tp.Var(tensor.New(2))
+	if tp.Len() != 1 {
+		t.Fatalf("Len = %d", tp.Len())
+	}
+	tp.Reset()
+	if tp.Len() != 0 {
+		t.Fatal("Reset did not clear tape")
+	}
+}
+
+// Property: for random linear chains, backward of Scale(k, x) has grad k/n.
+func TestQuickScaleGradExact(t *testing.T) {
+	f := func(k float64, seed int64) bool {
+		if math.IsNaN(k) || math.IsInf(k, 0) || math.Abs(k) > 1e6 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		x := tensor.RandNormal(rng, 0, 1, n)
+		tp := NewTape()
+		xv := tp.Var(x)
+		tp.Backward(Mean(Scale(k, xv)))
+		want := k / float64(n)
+		for _, g := range xv.Grad().Data() {
+			if math.Abs(g-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,250 @@
+package autodiff
+
+import (
+	"math"
+
+	"adarnet/internal/tensor"
+)
+
+// Generic differentiable ops. Layer-specific ops (conv, pool) live in
+// internal/nn; the ops here are the algebra the loss functions are built of.
+
+// Add returns a + b elementwise.
+func Add(a, b *Value) *Value {
+	t := a.tape
+	out := tensor.Add(a.Data, b.Data)
+	return t.NewOp(out, []*Value{a, b}, func(g *tensor.Tensor) {
+		a.AccumGrad(g)
+		b.AccumGrad(g)
+	})
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Value) *Value {
+	t := a.tape
+	out := tensor.Sub(a.Data, b.Data)
+	return t.NewOp(out, []*Value{a, b}, func(g *tensor.Tensor) {
+		a.AccumGrad(g)
+		b.AccumGrad(tensor.Scale(-1, g))
+	})
+}
+
+// Mul returns the elementwise product a * b.
+func Mul(a, b *Value) *Value {
+	t := a.tape
+	out := tensor.Mul(a.Data, b.Data)
+	return t.NewOp(out, []*Value{a, b}, func(g *tensor.Tensor) {
+		a.AccumGrad(tensor.Mul(g, b.Data))
+		b.AccumGrad(tensor.Mul(g, a.Data))
+	})
+}
+
+// Scale returns k * a for a constant k.
+func Scale(k float64, a *Value) *Value {
+	t := a.tape
+	out := tensor.Scale(k, a.Data)
+	return t.NewOp(out, []*Value{a}, func(g *tensor.Tensor) {
+		a.AccumGrad(tensor.Scale(k, g))
+	})
+}
+
+// ScaleScalar returns s * a where s is a scalar (1-element) Value, broadcast
+// over a. Used for score modulation of patches so gradients reach the scorer.
+func ScaleScalar(s, a *Value) *Value {
+	t := a.tape
+	sv := s.Data.Data()[0]
+	out := tensor.Scale(sv, a.Data)
+	return t.NewOp(out, []*Value{s, a}, func(g *tensor.Tensor) {
+		a.AccumGrad(tensor.Scale(sv, g))
+		// ds = <g, a>
+		ds := tensor.FromSlice([]float64{tensor.Dot(g, a.Data)}, 1)
+		s.AccumGrad(ds)
+	})
+}
+
+// ReLU returns max(0, a) elementwise.
+func ReLU(a *Value) *Value {
+	t := a.tape
+	out := tensor.Apply(a.Data, func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+	return t.NewOp(out, []*Value{a}, func(g *tensor.Tensor) {
+		ga := g.Clone()
+		ad, gd := a.Data.Data(), ga.Data()
+		for i := range gd {
+			if ad[i] <= 0 {
+				gd[i] = 0
+			}
+		}
+		a.AccumGrad(ga)
+	})
+}
+
+// LeakyReLU returns x for x>0 and alpha*x otherwise.
+func LeakyReLU(alpha float64, a *Value) *Value {
+	t := a.tape
+	out := tensor.Apply(a.Data, func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return alpha * x
+	})
+	return t.NewOp(out, []*Value{a}, func(g *tensor.Tensor) {
+		ga := g.Clone()
+		ad, gd := a.Data.Data(), ga.Data()
+		for i := range gd {
+			if ad[i] <= 0 {
+				gd[i] *= alpha
+			}
+		}
+		a.AccumGrad(ga)
+	})
+}
+
+// Tanh returns tanh(a) elementwise.
+func Tanh(a *Value) *Value {
+	t := a.tape
+	out := tensor.Apply(a.Data, math.Tanh)
+	return t.NewOp(out, []*Value{a}, func(g *tensor.Tensor) {
+		ga := g.Clone()
+		od, gd := out.Data(), ga.Data()
+		for i := range gd {
+			gd[i] *= 1 - od[i]*od[i]
+		}
+		a.AccumGrad(ga)
+	})
+}
+
+// Mean returns the scalar mean of a.
+func Mean(a *Value) *Value {
+	t := a.tape
+	n := a.Data.Len()
+	out := tensor.FromSlice([]float64{a.Data.Mean()}, 1)
+	return t.NewOp(out, []*Value{a}, func(g *tensor.Tensor) {
+		gv := g.Data()[0] / float64(n)
+		a.AccumGrad(tensor.Full(gv, a.Data.Shape()...))
+	})
+}
+
+// Sum returns the scalar sum of a.
+func Sum(a *Value) *Value {
+	t := a.tape
+	out := tensor.FromSlice([]float64{a.Data.Sum()}, 1)
+	return t.NewOp(out, []*Value{a}, func(g *tensor.Tensor) {
+		a.AccumGrad(tensor.Full(g.Data()[0], a.Data.Shape()...))
+	})
+}
+
+// MSE returns the scalar mean squared error between prediction a and
+// constant target y.
+func MSE(a *Value, y *tensor.Tensor) *Value {
+	t := a.tape
+	out := tensor.FromSlice([]float64{tensor.MSE(a.Data, y)}, 1)
+	n := float64(a.Data.Len())
+	return t.NewOp(out, []*Value{a}, func(g *tensor.Tensor) {
+		scale := 2 * g.Data()[0] / n
+		ga := tensor.Sub(a.Data, y)
+		ga.ScaleInPlace(scale)
+		a.AccumGrad(ga)
+	})
+}
+
+// SquaredL2Mean returns mean(a²): the mean squared residual used for the
+// PDE term of the hybrid loss.
+func SquaredL2Mean(a *Value) *Value {
+	t := a.tape
+	s := 0.0
+	for _, v := range a.Data.Data() {
+		s += v * v
+	}
+	n := float64(a.Data.Len())
+	if n == 0 {
+		n = 1
+	}
+	out := tensor.FromSlice([]float64{s / n}, 1)
+	return t.NewOp(out, []*Value{a}, func(g *tensor.Tensor) {
+		scale := 2 * g.Data()[0] / n
+		ga := tensor.Scale(scale, a.Data)
+		a.AccumGrad(ga)
+	})
+}
+
+// AddScalars sums scalar Values into one scalar Value.
+func AddScalars(vs ...*Value) *Value {
+	if len(vs) == 0 {
+		panic("autodiff: AddScalars of nothing")
+	}
+	t := vs[0].tape
+	s := 0.0
+	for _, v := range vs {
+		s += v.Data.Data()[0]
+	}
+	out := tensor.FromSlice([]float64{s}, 1)
+	return t.NewOp(out, vs, func(g *tensor.Tensor) {
+		for _, v := range vs {
+			v.AccumGrad(g)
+		}
+	})
+}
+
+// ConcatChannels concatenates NHWC Values along the channel axis.
+func ConcatChannels(vs ...*Value) *Value {
+	t := vs[0].tape
+	datas := make([]*tensor.Tensor, len(vs))
+	counts := make([]int, len(vs))
+	for i, v := range vs {
+		datas[i] = v.Data
+		counts[i] = v.Data.Dim(3)
+	}
+	out := tensor.ConcatChannels(datas...)
+	return t.NewOp(out, vs, func(g *tensor.Tensor) {
+		parts := tensor.SplitChannels(g, counts...)
+		for i, v := range vs {
+			v.AccumGrad(parts[i])
+		}
+	})
+}
+
+// StackBatch stacks (1,H,W,C) Values into a (K,H,W,C) Value.
+func StackBatch(vs []*Value) *Value {
+	t := vs[0].tape
+	datas := make([]*tensor.Tensor, len(vs))
+	for i, v := range vs {
+		datas[i] = v.Data
+	}
+	out := tensor.StackBatch(datas)
+	per := out.Len() / len(vs)
+	return t.NewOp(out, vs, func(g *tensor.Tensor) {
+		gd := g.Data()
+		for i, v := range vs {
+			gi := tensor.FromSlice(append([]float64(nil), gd[i*per:(i+1)*per]...), v.Data.Shape()...)
+			v.AccumGrad(gi)
+		}
+	})
+}
+
+// SliceBatch extracts image i of a (K,H,W,C) Value as (1,H,W,C).
+func SliceBatch(a *Value, i int) *Value {
+	t := a.tape
+	sh := a.Data.Shape()
+	per := sh[1] * sh[2] * sh[3]
+	d := append([]float64(nil), a.Data.Data()[i*per:(i+1)*per]...)
+	out := tensor.FromSlice(d, 1, sh[1], sh[2], sh[3])
+	return t.NewOp(out, []*Value{a}, func(g *tensor.Tensor) {
+		ga := tensor.New(sh...)
+		copy(ga.Data()[i*per:(i+1)*per], g.Data())
+		a.AccumGrad(ga)
+	})
+}
+
+// LinearOp records an op with a linear Jacobian given the forward result and
+// its adjoint. Interpolation and finite-difference stencils use this.
+func LinearOp(a *Value, out *tensor.Tensor, adjoint func(g *tensor.Tensor) *tensor.Tensor) *Value {
+	t := a.tape
+	return t.NewOp(out, []*Value{a}, func(g *tensor.Tensor) {
+		a.AccumGrad(adjoint(g))
+	})
+}

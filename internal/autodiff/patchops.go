@@ -1,0 +1,209 @@
+package autodiff
+
+import (
+	"fmt"
+
+	"adarnet/internal/tensor"
+)
+
+// Patch- and channel-level differentiable ops used by ADARNet's ranker and
+// loss pipeline. All are linear maps with exact adjoints.
+
+// ExtractPatch differentiably extracts the (ph×pw) window at (y0, x0) from
+// image 0 of a (1,H,W,C) Value.
+func ExtractPatch(a *Value, y0, x0, ph, pw int) *Value {
+	out := tensor.ExtractPatch(a.Data, 0, y0, x0, ph, pw)
+	shape := a.Data.Shape()
+	c := shape[3]
+	w := shape[2]
+	return LinearOp(a, out, func(g *tensor.Tensor) *tensor.Tensor {
+		ga := tensor.New(shape...)
+		gd, sd := ga.Data(), g.Data()
+		for yy := 0; yy < ph; yy++ {
+			dstOff := ((y0+yy)*w + x0) * c
+			srcOff := yy * pw * c
+			copy(gd[dstOff:dstOff+pw*c], sd[srcOff:srcOff+pw*c])
+		}
+		return ga
+	})
+}
+
+// Channel differentiably extracts channel idx of an NHWC Value as a
+// single-channel Value.
+func Channel(a *Value, idx int) *Value {
+	sh := a.Data.Shape()
+	n, h, w, c := sh[0], sh[1], sh[2], sh[3]
+	if idx < 0 || idx >= c {
+		panic(fmt.Sprintf("autodiff: Channel %d out of range for %v", idx, sh))
+	}
+	out := tensor.New(n, h, w, 1)
+	od, ad := out.Data(), a.Data.Data()
+	for p := 0; p < n*h*w; p++ {
+		od[p] = ad[p*c+idx]
+	}
+	return LinearOp(a, out, func(g *tensor.Tensor) *tensor.Tensor {
+		ga := tensor.New(sh...)
+		gd, sd := ga.Data(), g.Data()
+		for p := 0; p < n*h*w; p++ {
+			gd[p*c+idx] = sd[p]
+		}
+		return ga
+	})
+}
+
+// ChannelAffine applies y[...,c] = scale[c]·x[...,c] + shift[c] with constant
+// coefficients — the de-normalization before the PDE residual (the paper
+// scales variables to [0,1] for training but evaluates residuals on
+// physical values, §5.1).
+func ChannelAffine(a *Value, scale, shift []float64) *Value {
+	sh := a.Data.Shape()
+	c := sh[3]
+	if len(scale) != c || len(shift) != c {
+		panic(fmt.Sprintf("autodiff: ChannelAffine wants %d coefficients, got %d/%d", c, len(scale), len(shift)))
+	}
+	out := tensor.New(sh...)
+	od, ad := out.Data(), a.Data.Data()
+	for p := 0; p < len(ad); p += c {
+		for cc := 0; cc < c; cc++ {
+			od[p+cc] = scale[cc]*ad[p+cc] + shift[cc]
+		}
+	}
+	return LinearOp(a, out, func(g *tensor.Tensor) *tensor.Tensor {
+		ga := tensor.New(sh...)
+		gd, sd := ga.Data(), g.Data()
+		for p := 0; p < len(gd); p += c {
+			for cc := 0; cc < c; cc++ {
+				gd[p+cc] = scale[cc] * sd[p+cc]
+			}
+		}
+		return ga
+	})
+}
+
+// DiffX is the central x-derivative (∂/∂x, spacing dx) of an NHWC Value,
+// zero on the left/right border columns. The adjoint is the exact negative
+// divergence stencil, so PDE-residual gradients backpropagate exactly.
+func DiffX(a *Value, dx float64) *Value {
+	sh := a.Data.Shape()
+	n, h, w, c := sh[0], sh[1], sh[2], sh[3]
+	inv := 1 / (2 * dx)
+	out := tensor.New(sh...)
+	od, ad := out.Data(), a.Data.Data()
+	for ni := 0; ni < n; ni++ {
+		for y := 0; y < h; y++ {
+			base := (ni*h + y) * w
+			for x := 1; x < w-1; x++ {
+				for cc := 0; cc < c; cc++ {
+					od[(base+x)*c+cc] = (ad[(base+x+1)*c+cc] - ad[(base+x-1)*c+cc]) * inv
+				}
+			}
+		}
+	}
+	return LinearOp(a, out, func(g *tensor.Tensor) *tensor.Tensor {
+		ga := tensor.New(sh...)
+		gd, sd := ga.Data(), g.Data()
+		for ni := 0; ni < n; ni++ {
+			for y := 0; y < h; y++ {
+				base := (ni*h + y) * w
+				for x := 1; x < w-1; x++ {
+					for cc := 0; cc < c; cc++ {
+						gv := sd[(base+x)*c+cc] * inv
+						gd[(base+x+1)*c+cc] += gv
+						gd[(base+x-1)*c+cc] -= gv
+					}
+				}
+			}
+		}
+		return ga
+	})
+}
+
+// DiffY is the central y-derivative (∂/∂y, spacing dy), zero on the
+// top/bottom border rows.
+func DiffY(a *Value, dy float64) *Value {
+	sh := a.Data.Shape()
+	n, h, w, c := sh[0], sh[1], sh[2], sh[3]
+	inv := 1 / (2 * dy)
+	out := tensor.New(sh...)
+	od, ad := out.Data(), a.Data.Data()
+	rowStride := w * c
+	for ni := 0; ni < n; ni++ {
+		for y := 1; y < h-1; y++ {
+			base := ((ni*h + y) * w) * c
+			for x := 0; x < w; x++ {
+				for cc := 0; cc < c; cc++ {
+					k := base + x*c + cc
+					od[k] = (ad[k+rowStride] - ad[k-rowStride]) * inv
+				}
+			}
+		}
+	}
+	return LinearOp(a, out, func(g *tensor.Tensor) *tensor.Tensor {
+		ga := tensor.New(sh...)
+		gd, sd := ga.Data(), g.Data()
+		for ni := 0; ni < n; ni++ {
+			for y := 1; y < h-1; y++ {
+				base := ((ni*h + y) * w) * c
+				for x := 0; x < w; x++ {
+					for cc := 0; cc < c; cc++ {
+						k := base + x*c + cc
+						gv := sd[k] * inv
+						gd[k+rowStride] += gv
+						gd[k-rowStride] -= gv
+					}
+				}
+			}
+		}
+		return ga
+	})
+}
+
+// Laplacian is the 5-point ∇² with spacings dx, dy, zero on all borders.
+func Laplacian(a *Value, dx, dy float64) *Value {
+	sh := a.Data.Shape()
+	n, h, w, c := sh[0], sh[1], sh[2], sh[3]
+	ix2, iy2 := 1/(dx*dx), 1/(dy*dy)
+	out := tensor.New(sh...)
+	od, ad := out.Data(), a.Data.Data()
+	rowStride := w * c
+	for ni := 0; ni < n; ni++ {
+		for y := 1; y < h-1; y++ {
+			base := ((ni*h + y) * w) * c
+			for x := 1; x < w-1; x++ {
+				for cc := 0; cc < c; cc++ {
+					k := base + x*c + cc
+					od[k] = (ad[k+c]-2*ad[k]+ad[k-c])*ix2 + (ad[k+rowStride]-2*ad[k]+ad[k-rowStride])*iy2
+				}
+			}
+		}
+	}
+	return LinearOp(a, out, func(g *tensor.Tensor) *tensor.Tensor {
+		ga := tensor.New(sh...)
+		gd, sd := ga.Data(), g.Data()
+		for ni := 0; ni < n; ni++ {
+			for y := 1; y < h-1; y++ {
+				base := ((ni*h + y) * w) * c
+				for x := 1; x < w-1; x++ {
+					for cc := 0; cc < c; cc++ {
+						k := base + x*c + cc
+						gv := sd[k]
+						gd[k+c] += gv * ix2
+						gd[k-c] += gv * ix2
+						gd[k] -= 2 * gv * (ix2 + iy2)
+						gd[k+rowStride] += gv * iy2
+						gd[k-rowStride] += gv * iy2
+					}
+				}
+			}
+		}
+		return ga
+	})
+}
+
+// AddConst returns a + k elementwise for a constant k.
+func AddConst(k float64, a *Value) *Value {
+	out := tensor.Apply(a.Data, func(x float64) float64 { return x + k })
+	return LinearOp(a, out, func(g *tensor.Tensor) *tensor.Tensor {
+		return g.Clone()
+	})
+}

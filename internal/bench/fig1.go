@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"adarnet/internal/surfnet"
+)
+
+// Fig1Row is one point of the Fig. 1 curve: the largest inference batch a
+// fixed memory budget admits at a target spatial resolution for uniform SR.
+type Fig1Row struct {
+	Target        int // target resolution (square, per side)
+	BytesPerImage int64
+	MaxBatch      int
+}
+
+// GPUBudgetBytes is the paper's 16 GB NVIDIA V100 memory budget.
+const GPUBudgetBytes = int64(16) << 30
+
+// Fig1 reproduces Figure 1: SURFNet's maximum inference batch size at
+// target resolutions 128²–1024² under the 16 GB budget. Per-image
+// activation bytes are the allocator-consistent analytic count of the
+// uniform-SR forward pass (see surfnet.ActivationBytes).
+func Fig1(w io.Writer) []Fig1Row {
+	line(w, "=== Figure 1: max batch size vs target resolution (uniform SR, 16 GB budget) ===")
+	line(w, "%-12s %-18s %s", "target", "bytes/sample", "max batch")
+	var rows []Fig1Row
+	for _, target := range []int{128, 256, 512, 1024} {
+		// SURFNet performs 8× per-side SR (64× cells), so the LR input that
+		// yields this target is target/8 per side.
+		m := surfnet.New(8, 1)
+		lr := target / 8
+		bytes := m.ActivationBytes(lr, lr)
+		batch := m.MaxBatch(lr, lr, GPUBudgetBytes)
+		rows = append(rows, Fig1Row{Target: target, BytesPerImage: bytes, MaxBatch: batch})
+		line(w, "%-12s %-18d %d", sq(target), bytes, batch)
+	}
+	line(w, "shape check: batch size must fall ~16x per resolution doubling (activation memory ∝ pixels).")
+	return rows
+}
+
+func sq(n int) string { return fmt.Sprintf("%dx%d", n, n) }

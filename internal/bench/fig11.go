@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"io"
+
+	"adarnet/internal/geometry"
+	"adarnet/internal/grid"
+	"adarnet/internal/metrics"
+)
+
+// HoernerCd is the experimental cylinder drag coefficient the paper quotes
+// from Hoerner (1965) as the red reference dot in Fig. 11.
+const HoernerCd = 1.108
+
+// Fig11Point is one QoI measurement at refinement level n.
+type Fig11Point struct {
+	N       int
+	ADARNet float64
+	AMR     float64
+}
+
+// Fig11Row is one test case's grid-convergence series.
+type Fig11Row struct {
+	Case   string
+	QoI    string // "Cf" or "Cd"
+	Points []Fig11Point
+}
+
+// qoiFor evaluates the case's quantity of interest on a converged flow:
+// C_f at x = 0.95L for wall-bounded cases, C_D (wake survey) for bodies.
+func qoiFor(c *geometry.Case, f *grid.Flow) (string, float64) {
+	if c.Kind == geometry.ExternalBody {
+		return "Cd", metrics.Drag(f, 0.85)
+	}
+	return "Cf", metrics.SkinFriction(f, 0.95)
+}
+
+// Fig11 reproduces Figure 11: the grid convergence study. Both ADARNet and
+// the AMR solver solve each of the seven test cases with the refinement
+// level capped at n = 0..MaxLevel; the QoI at steady state is reported per
+// level. The paper's claims to verify: (a) the two series start identical
+// at n = 0 (same coarse mesh), (b) both converge with n, and (c) for the
+// cylinder both approach the Hoerner experimental C_D.
+func Fig11(e *Env, w io.Writer) ([]Fig11Row, error) {
+	line(w, "=== Figure 11: grid convergence study — QoI vs refinement level n ===")
+	var rows []Fig11Row
+	for _, c := range e.TestCases() {
+		row := Fig11Row{Case: c.Name}
+		for n := 0; n <= e.Scale.MaxLevel; n++ {
+			e2e, err := e.E2ERun(c, n)
+			if err != nil {
+				return rows, err
+			}
+			amrRes, err := e.AMRRun(c, n)
+			if err != nil {
+				return rows, err
+			}
+			qoiName, qa := qoiFor(c, e2e.Flow)
+			_, qb := qoiFor(c, amrRes.Flow)
+			row.QoI = qoiName
+			row.Points = append(row.Points, Fig11Point{N: n, ADARNet: qa, AMR: qb})
+		}
+		rows = append(rows, row)
+		line(w, "\n--- %s (%s) ---", c.Name, row.QoI)
+		line(w, "%-4s %-14s %-14s", "n", "ADARNet", "AMR solver")
+		for _, p := range row.Points {
+			line(w, "%-4d %-14.6f %-14.6f", p.N, p.ADARNet, p.AMR)
+		}
+		if c.Kind == geometry.ExternalBody && c.Body != nil && c.Body.Name() == "cylinder" {
+			line(w, "Hoerner experimental Cd: %.3f", HoernerCd)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"io"
+
+	"adarnet/internal/geometry"
+	"adarnet/internal/metrics"
+)
+
+// Fig9Row summarizes one test case's refinement-map comparison.
+type Fig9Row struct {
+	Case      string
+	ADARNet   string // rendered level map
+	AMR       string
+	Agreement float64 // fraction of patches within ±1 level
+	MeanADAR  float64
+	MeanAMR   float64
+}
+
+// Fig9 reproduces Figure 9: the per-patch refinement maps chosen by
+// ADARNet's one-shot inference versus the iterative feature-based AMR
+// solver, for the paper's five visualized cases. Agreement (±1 level)
+// quantifies the paper's qualitative "excellent agreement" claim.
+func Fig9(e *Env, w io.Writer) ([]Fig9Row, error) {
+	line(w, "=== Figure 9: per-patch refinement level maps (ADARNet vs AMR solver) ===")
+	cases := []*geometry.Case{
+		geometry.ChannelCase(2.5e3, e.Scale.LRH, e.Scale.LRW),
+		geometry.FlatPlateCase(1.35e6, e.Scale.LRH, e.Scale.LRW),
+		geometry.CylinderCase(1e5, e.Scale.LRH, e.Scale.LRW),
+		geometry.AirfoilCase("1412", 2.5e4, e.Scale.LRH, e.Scale.LRW),
+		geometry.AirfoilCase("0012", 2.5e4, e.Scale.LRH, e.Scale.LRW),
+	}
+	var rows []Fig9Row
+	for _, c := range cases {
+		e2e, err := e.E2ERun(c, e.Scale.MaxLevel)
+		if err != nil {
+			return rows, err
+		}
+		amrRes, err := e.AMRRun(c, e.Scale.MaxLevel)
+		if err != nil {
+			return rows, err
+		}
+		r := Fig9Row{
+			Case:      c.Name,
+			ADARNet:   e2e.Inference.Levels.Render(),
+			AMR:       amrRes.Levels.Render(),
+			Agreement: e2e.Inference.Levels.Agreement(amrRes.Levels, 1),
+			MeanADAR:  e2e.Inference.Levels.MeanLevel(),
+			MeanAMR:   amrRes.Levels.MeanLevel(),
+		}
+		rows = append(rows, r)
+		line(w, "\n--- %s ---", c.Name)
+		line(w, "ADARNet (mean level %.2f):\n%s", r.MeanADAR, r.ADARNet)
+		line(w, "AMR solver (mean level %.2f):\n%s", r.MeanAMR, r.AMR)
+		line(w, "agreement within ±1 level: %.0f%%", 100*r.Agreement)
+	}
+	return rows, nil
+}
+
+// Fig10Row is one case's steady-field agreement between the two methods.
+type Fig10Row struct {
+	Case    string
+	FieldL2 float64 // normalized L2 discrepancy over (U,V,p,ν̃)
+}
+
+// Fig10 reproduces Figure 10: the steady-state flow fields of ADARNet and
+// the AMR solver for the cylinder and the non-symmetric airfoil. In lieu of
+// color plots, the runner reports the normalized L2 discrepancy between
+// both converged fields — the quantity the side-by-side plots let the
+// reader eyeball.
+func Fig10(e *Env, w io.Writer) ([]Fig10Row, error) {
+	line(w, "=== Figure 10: steady-field agreement, ADARNet vs AMR (b=%d levels) ===", e.Scale.MaxLevel+1)
+	cases := []*geometry.Case{
+		geometry.CylinderCase(1e5, e.Scale.LRH, e.Scale.LRW),
+		geometry.AirfoilCase("1412", 2.5e4, e.Scale.LRH, e.Scale.LRW),
+	}
+	var rows []Fig10Row
+	for _, c := range cases {
+		e2e, err := e.E2ERun(c, e.Scale.MaxLevel)
+		if err != nil {
+			return rows, err
+		}
+		amrRes, err := e.AMRRun(c, e.Scale.MaxLevel)
+		if err != nil {
+			return rows, err
+		}
+		l2 := metrics.FieldL2(e2e.Flow, amrRes.Flow)
+		rows = append(rows, Fig10Row{Case: c.Name, FieldL2: l2})
+		line(w, "%-24s normalized field L2 discrepancy: %.4f", c.Name, l2)
+	}
+	line(w, "shape check: both methods converge the same problem, so discrepancies should be small (≲ 0.1).")
+	return rows, nil
+}

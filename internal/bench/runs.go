@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"fmt"
+
+	"adarnet/internal/amr"
+	"adarnet/internal/core"
+	"adarnet/internal/geometry"
+)
+
+// Memoized per-case runs shared by Fig. 9/10/11 and Tables 1/2.
+
+// AMRRun returns the (memoized) feature-based AMR result for a case at the
+// given maximum refinement level.
+func (e *Env) AMRRun(c *geometry.Case, maxLevel int) (*amr.Result, error) {
+	cr := e.caseEntry(c.Name)
+	e.mu.Lock()
+	if r, ok := cr.AMRByLevel[maxLevel]; ok {
+		e.mu.Unlock()
+		return r.(*amr.Result), nil
+	}
+	e.mu.Unlock()
+
+	cfg := amr.DefaultConfig(e.Scale.PatchH, e.Scale.PatchW)
+	cfg.MaxLevel = maxLevel
+	cfg.MaxCycles = maxLevel + 2
+	cfg.Solver = e.SolverOpt
+	r, err := amr.Run(c, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: AMR %s n=%d: %w", c.Name, maxLevel, err)
+	}
+	e.mu.Lock()
+	cr.AMRByLevel[maxLevel] = r
+	e.mu.Unlock()
+	return r, nil
+}
+
+// E2ERun returns the (memoized) ADARNet end-to-end result for a case with
+// the inference levels capped at maxLevel.
+func (e *Env) E2ERun(c *geometry.Case, maxLevel int) (*core.E2EResult, error) {
+	cr := e.caseEntry(c.Name)
+	e.mu.Lock()
+	if r, ok := cr.E2EByLevel[maxLevel]; ok {
+		e.mu.Unlock()
+		return r, nil
+	}
+	e.mu.Unlock()
+
+	r, err := core.RunE2ECap(e.Model, c, e.SolverOpt, maxLevel)
+	if err != nil {
+		return nil, fmt.Errorf("bench: E2E %s n=%d: %w", c.Name, maxLevel, err)
+	}
+	e.mu.Lock()
+	cr.E2EByLevel[maxLevel] = r
+	e.mu.Unlock()
+	return r, nil
+}

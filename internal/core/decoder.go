@@ -1,0 +1,47 @@
+package core
+
+import (
+	"math/rand"
+
+	"adarnet/internal/autodiff"
+	"adarnet/internal/nn"
+)
+
+// DecoderInC is the decoder's input channel count: the four flow variables,
+// the scorer's latent channel, and the two concatenated spatial coordinates
+// (PC + 2 in paper Fig. 5 with PC = 5).
+const DecoderInC = 7
+
+// Decoder is ADARNet's shared reconstruction network (paper Fig. 5): a
+// 6-layer convolution–deconvolution stack (8, 16, 64, 64, 16, 4 filters,
+// all 3×3 stride 1) that maps the bicubically refined patch representation
+// to the flow values at the patch's target resolution.
+//
+// A single decoder is shared across all target resolutions (the paper's
+// deliberate weight-sharing choice, §3.1): each bin's patch batch passes
+// through these same weights regardless of its spatial size, which is
+// possible because every layer is fully convolutional with stride 1.
+type Decoder struct {
+	Net *nn.Sequential
+}
+
+// NewDecoder builds the decoder with Glorot initialization.
+func NewDecoder(rng *rand.Rand) *Decoder {
+	return &Decoder{Net: nn.NewSequential(
+		nn.NewConv2D("decoder.conv1", rng, 3, 3, DecoderInC, 8, nn.ReLU),
+		nn.NewConv2D("decoder.conv2", rng, 3, 3, 8, 16, nn.ReLU),
+		nn.NewConv2D("decoder.conv3", rng, 3, 3, 16, 64, nn.ReLU),
+		nn.NewDeconv2D("decoder.deconv1", rng, 3, 3, 64, 64, nn.ReLU),
+		nn.NewDeconv2D("decoder.deconv2", rng, 3, 3, 64, 16, nn.ReLU),
+		nn.NewDeconv2D("decoder.deconv3", rng, 3, 3, 16, 4, nn.Linear),
+	)}
+}
+
+// Params returns the decoder's trainable parameters.
+func (d *Decoder) Params() []*nn.Param { return d.Net.Params() }
+
+// Forward maps a (K, h, w, 7) batch of refined patch representations to
+// (K, h, w, 4) flow predictions.
+func (d *Decoder) Forward(t *autodiff.Tape, x *autodiff.Value) *autodiff.Value {
+	return d.Net.Forward(t, x)
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"time"
+
+	"adarnet/internal/geometry"
+	"adarnet/internal/grid"
+	"adarnet/internal/patch"
+	"adarnet/internal/solver"
+)
+
+// patchMaxLevel aliases the refinement cap for readability at call sites.
+const patchMaxLevel = patch.MaxLevel
+
+// End-to-end framework (paper §3.3, Fig. 6): the LR flow field is produced
+// by the physics solver, the DNN performs one-shot non-uniform SR, and the
+// physics solver drives the inferred field to convergence on the DNN's
+// final discretization — no further refinement or coarsening. Because the
+// inference lands close to the solution, the correction pass converges in
+// far fewer iterations than the iterative AMR loop (Table 1).
+
+// E2EResult records the three cost components the paper reports separately
+// in Table 1: LR collection (lr), inference (inf), and the physics-solver
+// correction (ps).
+type E2EResult struct {
+	Case *geometry.Case
+
+	LRIterations int
+	LRWall       time.Duration
+
+	Inference *Inference
+
+	PSIterations int
+	PSWall       time.Duration
+	PSResult     solver.Result
+
+	// Flow is the converged non-uniform solution on the finest grid.
+	Flow *grid.Flow
+
+	TotalWall time.Duration
+	// TotalWork is ITC-weighted DOF: lr work + correction work, with the
+	// correction attributed to the composite mesh the DNN produced.
+	TotalWork int
+}
+
+// RunE2E executes the full ADARNet pipeline for a case: LR solve → one-shot
+// inference → physics-solver correction to the same convergence criteria
+// the AMR baseline uses.
+func RunE2E(m *Model, c *geometry.Case, opt solver.Options) (*E2EResult, error) {
+	return RunE2ECap(m, c, opt, patchMaxLevel)
+}
+
+// RunE2ECap is RunE2E with the inferred refinement levels clamped to cap,
+// for the grid-convergence study (Fig. 11).
+func RunE2ECap(m *Model, c *geometry.Case, opt solver.Options, cap int) (*E2EResult, error) {
+	start := time.Now()
+	res := &E2EResult{Case: c}
+
+	// (lr) obtain the low-resolution input field.
+	lrFlow := c.Build()
+	lrStart := time.Now()
+	lrRes, err := solver.Solve(lrFlow, opt)
+	if err != nil {
+		return res, err
+	}
+	res.LRIterations = lrRes.Iterations
+	res.LRWall = time.Since(lrStart)
+
+	// (inf) one-shot non-uniform super-resolution.
+	inf := m.InferCap(lrFlow, cap)
+	res.Inference = inf
+
+	// (ps) drive the inference to convergence on the DNN's discretization.
+	fine := inf.ToFlow(lrFlow, c.BuildAt)
+	psStart := time.Now()
+	psRes, err := solver.Solve(fine, opt)
+	if err != nil {
+		return res, err
+	}
+	res.PSIterations = psRes.Iterations
+	res.PSWall = time.Since(psStart)
+	res.PSResult = psRes
+	res.Flow = fine
+
+	res.TotalWall = time.Since(start)
+	lrCells := c.H * c.W
+	res.TotalWork = lrRes.Iterations*lrCells + psRes.Iterations*inf.CompositeCells
+	return res, nil
+}

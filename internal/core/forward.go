@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"adarnet/internal/autodiff"
+	"adarnet/internal/interp"
+	"adarnet/internal/nn"
+	"adarnet/internal/patch"
+	"adarnet/internal/tensor"
+)
+
+// PatchPrediction is one decoded patch: its location in the patch tiling,
+// its refinement level, and the predicted (1, ph·2^level, pw·2^level, 4)
+// normalized flow values.
+type PatchPrediction struct {
+	PY, PX int
+	Level  int
+	Value  *autodiff.Value
+}
+
+// ForwardResult is a full scorer→ranker→decoder pass over one sample.
+type ForwardResult struct {
+	Scores  *autodiff.Value // (1, NPy, NPx, 1)
+	Latent  *autodiff.Value // (1, H, W, 1)
+	Levels  *patch.Map
+	Patches []PatchPrediction
+}
+
+// Forward runs the network on a normalized (1,H,W,4) LR input recorded on
+// tape t. Binning is dynamic: each bin's patches are batched together for
+// one shared-decoder pass (the paper's variable batch size, §3.1).
+func (m *Model) Forward(t *autodiff.Tape, x *autodiff.Value) *ForwardResult {
+	cfg := m.Cfg
+	h, w := x.Data.Dim(1), x.Data.Dim(2)
+	if h%cfg.PatchH != 0 || w%cfg.PatchW != 0 {
+		panic(fmt.Sprintf("core: input %dx%d not tiled by %dx%d patches", h, w, cfg.PatchH, cfg.PatchW))
+	}
+
+	scores, latent := m.Scorer.Forward(t, x)
+	levels := Rank(scores.Data, cfg.Bins, cfg.PatchH, cfg.PatchW)
+	groups := BinPatches(levels, cfg.Bins)
+
+	// Enrich the field with the latent channel, then cut into patches.
+	enriched := autodiff.ConcatChannels(x, latent) // (1,H,W,5)
+
+	res := &ForwardResult{Scores: scores, Latent: latent, Levels: levels}
+	for bin, ids := range groups {
+		if len(ids) == 0 {
+			continue
+		}
+		factor := 1 << uint(bin)
+		th, tw := cfg.PatchH*factor, cfg.PatchW*factor
+		inputs := make([]*autodiff.Value, 0, len(ids))
+		for _, id := range ids {
+			py, px := id/levels.NPx, id%levels.NPx
+			p := autodiff.ExtractPatch(enriched, py*cfg.PatchH, px*cfg.PatchW, cfg.PatchH, cfg.PatchW)
+			// Bicubic refinement to the bin's target resolution (paper §3.1).
+			if factor > 1 {
+				p = nn.Resize(interp.Bicubic, p, th, tw)
+			}
+			// Concatenate the patch's global 2D coordinates at target
+			// resolution so the shared decoder knows where it operates.
+			coords := t.Const(coordChannels(py, px, cfg.PatchH, cfg.PatchW, th, tw, h, w))
+			inputs = append(inputs, autodiff.ConcatChannels(p, coords))
+		}
+		batch := inputs[0]
+		if len(inputs) > 1 {
+			batch = autodiff.StackBatch(inputs)
+		}
+		out := m.Decoder.Forward(t, batch) // (K, th, tw, 4)
+		for k, id := range ids {
+			py, px := id/levels.NPx, id%levels.NPx
+			v := out
+			if len(ids) > 1 {
+				v = autodiff.SliceBatch(out, k)
+			}
+			res.Patches = append(res.Patches, PatchPrediction{PY: py, PX: px, Level: bin, Value: v})
+		}
+	}
+	return res
+}
+
+// coordChannels builds the (1, th, tw, 2) tensor of global normalized
+// coordinates for the patch at tile (py, px) rendered at target resolution
+// (th, tw) within an LR field of size (h, w).
+func coordChannels(py, px, ph, pw, th, tw, h, w int) *tensor.Tensor {
+	out := tensor.New(1, th, tw, 2)
+	d := out.Data()
+	for yy := 0; yy < th; yy++ {
+		// Global y in LR cell units, normalized by the field height.
+		gy := (float64(py*ph) + (float64(yy)+0.5)*float64(ph)/float64(th)) / float64(h)
+		for xx := 0; xx < tw; xx++ {
+			gx := (float64(px*pw) + (float64(xx)+0.5)*float64(pw)/float64(tw)) / float64(w)
+			k := (yy*tw + xx) * 2
+			d[k] = gx
+			d[k+1] = gy
+		}
+	}
+	return out
+}
+
+// AssembleUniform renders the per-patch predictions onto a single uniform
+// grid at the map's finest level: finer patches keep their decoded values,
+// coarser patches are bicubically prolonged. The result is the non-uniform
+// solution represented on the target grid, ready for the physics solver.
+func AssembleUniform(res *ForwardResult, cfg Config) *tensor.Tensor {
+	maxL := res.Levels.MaxLevelUsed()
+	factor := 1 << uint(maxL)
+	h := res.Levels.NPy * cfg.PatchH * factor
+	w := res.Levels.NPx * cfg.PatchW * factor
+	out := tensor.New(1, h, w, 4)
+	for _, p := range res.Patches {
+		v := p.Value.Data
+		scale := 1 << uint(maxL-p.Level)
+		if scale > 1 {
+			v = interp.Resize(interp.Bicubic, v, v.Dim(1)*scale, v.Dim(2)*scale)
+		}
+		tensor.InsertPatch(out, v, 0, p.PY*cfg.PatchH*factor, p.PX*cfg.PatchW*factor)
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"time"
+
+	"adarnet/internal/autodiff"
+	"adarnet/internal/grid"
+	"adarnet/internal/interp"
+	"adarnet/internal/patch"
+	"adarnet/internal/tensor"
+)
+
+// interpDown bicubically downsamples a patch tensor by an integer factor.
+func interpDown(t *tensor.Tensor, factor int) *tensor.Tensor {
+	return interp.Downsample(interp.Bicubic, t, factor)
+}
+
+// Inference is a one-shot non-uniform super-resolution result: the
+// refinement map the network chose, the assembled field at the finest
+// present level, and the resource footprint of the forward pass.
+type Inference struct {
+	Levels *patch.Map
+	// Field is the non-uniform prediction rendered on the uniform grid at
+	// the finest level, in physical units.
+	Field *tensor.Tensor
+	// CompositeCells is the non-uniform DOF count Σ patchCells·4^level.
+	CompositeCells int
+	// MemoryBytes is the tensor storage allocated during the forward pass —
+	// the activation-memory figure Table 2 compares.
+	MemoryBytes int64
+	// Elapsed is the wall-clock inference time.
+	Elapsed time.Duration
+}
+
+// Infer runs the trained model on a physical-units LR flow field and
+// assembles the non-uniform HR prediction. No gradients are recorded.
+func (m *Model) Infer(lr *grid.Flow) *Inference {
+	return m.InferCap(lr, patch.MaxLevel)
+}
+
+// InferCap is Infer with the refinement levels clamped to cap — the grid
+// convergence study (Fig. 11) evaluates the same inference truncated at
+// n = 0..3.
+func (m *Model) InferCap(lr *grid.Flow, cap int) *Inference {
+	start := time.Now()
+	tensor.ResetAlloc()
+
+	t := autodiff.NewTape()
+	x := t.Const(m.Norm.Apply(grid.ToTensor(lr)))
+	res := m.Forward(t, x)
+	if cap < res.Levels.MaxLevelUsed() {
+		for i, l := range res.Levels.Level {
+			if l > cap {
+				res.Levels.Level[i] = cap
+			}
+		}
+		for i := range res.Patches {
+			p := &res.Patches[i]
+			if p.Level > cap {
+				// Re-render the decoded patch at the capped resolution.
+				factor := 1 << uint(p.Level-cap)
+				down := interpDown(p.Value.Data, factor)
+				p.Level = cap
+				p.Value = t.Const(down)
+			}
+		}
+	}
+	assembled := AssembleUniform(res, m.Cfg)
+	field := m.Norm.Invert(assembled)
+
+	return &Inference{
+		Levels:         res.Levels,
+		Field:          field,
+		CompositeCells: res.Levels.CompositeCells(),
+		MemoryBytes:    tensor.AllocatedBytes(),
+		Elapsed:        time.Since(start),
+	}
+}
+
+// ToFlow converts the inference field into a solver-ready flow that carries
+// meta's BCs, viscosity, and (re-rasterized) mask at the fine resolution.
+// build should rasterize the case at the requested resolution (typically
+// geometry.Case.BuildAt).
+func (inf *Inference) ToFlow(meta *grid.Flow, build func(h, w int) *grid.Flow) *grid.Flow {
+	h, w := inf.Field.Dim(1), inf.Field.Dim(2)
+	fine := build(h, w)
+	pred := grid.FromTensor(inf.Field, meta)
+	fine.U.CopyFrom(pred.U)
+	fine.V.CopyFrom(pred.V)
+	fine.P.CopyFrom(pred.P)
+	fine.Nut.CopyFrom(pred.Nut)
+	for i, v := range fine.Nut.Data {
+		if v < 0 {
+			fine.Nut.Data[i] = 0
+		}
+	}
+	grid.ApplyBC(fine)
+	return fine
+}

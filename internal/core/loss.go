@@ -1,0 +1,101 @@
+package core
+
+import (
+	"adarnet/internal/autodiff"
+	"adarnet/internal/grid"
+	"adarnet/internal/interp"
+	"adarnet/internal/nn"
+	"adarnet/internal/tensor"
+)
+
+// Hybrid semi-supervised loss (paper Eq. 1):
+//
+//	L = (1/(np·fv·nc)) Σ |y − ŷ|²  +  λ · (1/(NC·ne)) Σ ‖R_e‖²
+//
+// The data term is the MSE between prediction and LR ground truth in the
+// downsampled (LR) space — HR patches are bicubically downsampled to LR
+// before matching (§3.2) so no HR labels are ever needed. The PDE term is
+// the mean squared residual of continuity and the two momentum equations,
+// evaluated on the de-normalized prediction at each patch's native
+// resolution. Gradients of the variables come from central-difference
+// stencils recorded on the tape (exact adjoints; DESIGN.md §2).
+
+// LossParts breaks the hybrid loss into its components for monitoring the
+// data/PDE balance the paper calibrates via λ (§5.1).
+type LossParts struct {
+	Total *autodiff.Value
+	Data  *autodiff.Value
+	PDE   *autodiff.Value
+}
+
+// Loss evaluates Eq. 1 for one forward result against the normalized LR
+// ground truth. meta supplies the physical grid spacing and viscosity for
+// the residual; the LR spacing is divided by 2^level inside refined patches.
+func (m *Model) Loss(t *autodiff.Tape, res *ForwardResult, lrTruth *tensor.Tensor, meta *grid.Flow) LossParts {
+	cfg := m.Cfg
+	scale, shift := m.Norm.AffineCoeffs()
+
+	dataTerms := make([]*autodiff.Value, 0, len(res.Patches))
+	pdeTerms := make([]*autodiff.Value, 0, len(res.Patches))
+	for _, p := range res.Patches {
+		// Data term in LR space.
+		lr := p.Value
+		if p.Level > 0 {
+			lr = nn.Downsample(interp.Bicubic, lr, 1<<uint(p.Level))
+		}
+		truth := tensor.ExtractPatch(lrTruth, 0, p.PY*cfg.PatchH, p.PX*cfg.PatchW, cfg.PatchH, cfg.PatchW)
+		dataTerms = append(dataTerms, autodiff.MSE(lr, truth))
+
+		// PDE term at the patch's native resolution on physical values.
+		phys := autodiff.ChannelAffine(p.Value, scale, shift)
+		factor := float64(int(1) << uint(p.Level))
+		dx := meta.Dx / factor
+		dy := meta.Dy / factor
+		pdeTerms = append(pdeTerms, pdeResidualLoss(phys, dx, dy, meta.Nu))
+	}
+
+	nInv := 1.0 / float64(len(res.Patches))
+	dataLoss := autodiff.Scale(nInv, autodiff.AddScalars(dataTerms...))
+	pdeLoss := autodiff.Scale(nInv, autodiff.AddScalars(pdeTerms...))
+	total := autodiff.AddScalars(dataLoss, autodiff.Scale(cfg.Lambda, pdeLoss))
+	return LossParts{Total: total, Data: dataLoss, PDE: pdeLoss}
+}
+
+// pdeResidualLoss returns the mean squared RANS residual (continuity plus
+// the two momentum components) of a physical-units (1,h,w,4) patch Value.
+// The eddy viscosity is approximated by ν̃ itself (fv1 ≈ 1 at the turbulent
+// levels the data occupies), keeping the term differentiable and cheap.
+func pdeResidualLoss(phys *autodiff.Value, dx, dy, nu float64) *autodiff.Value {
+	u := autodiff.Channel(phys, 0)
+	v := autodiff.Channel(phys, 1)
+	p := autodiff.Channel(phys, 2)
+	nut := autodiff.Channel(phys, 3)
+
+	dudx := autodiff.DiffX(u, dx)
+	dudy := autodiff.DiffY(u, dy)
+	dvdx := autodiff.DiffX(v, dx)
+	dvdy := autodiff.DiffY(v, dy)
+	dpdx := autodiff.DiffX(p, dx)
+	dpdy := autodiff.DiffY(p, dy)
+
+	// Continuity: ∂U/∂x + ∂V/∂y.
+	rc := autodiff.Add(dudx, dvdy)
+
+	// Momentum: (U·∇)U + ∇p − ν_eff ∇²U, with ν_eff = ν + ν̃.
+	nuEff := autodiff.AddConst(nu, nut)
+	rmx := autodiff.Add(
+		autodiff.Add(autodiff.Mul(u, dudx), autodiff.Mul(v, dudy)),
+		autodiff.Sub(dpdx, autodiff.Mul(nuEff, autodiff.Laplacian(u, dx, dy))),
+	)
+	rmy := autodiff.Add(
+		autodiff.Add(autodiff.Mul(u, dvdx), autodiff.Mul(v, dvdy)),
+		autodiff.Sub(dpdy, autodiff.Mul(nuEff, autodiff.Laplacian(v, dx, dy))),
+	)
+
+	// ne = 3 equations, each mean-squared then averaged.
+	return autodiff.Scale(1.0/3.0, autodiff.AddScalars(
+		autodiff.SquaredL2Mean(rc),
+		autodiff.SquaredL2Mean(rmx),
+		autodiff.SquaredL2Mean(rmy),
+	))
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"adarnet/internal/patch"
+	"adarnet/internal/tensor"
+)
+
+// The ranker (paper §3.1) is the non-trainable module between scorer and
+// decoder: it tracks each patch's score and ID, and places the patch into
+// one of b bins by splitting the score range uniformly. Bin k's patches are
+// refined 2^k× per side before decoding.
+//
+// The softmax scores sum to 1 over all N patches, so their absolute scale
+// shrinks with N; binning therefore operates on min–max normalized scores,
+// which preserves the paper's "split the 0–1 range into b bins uniformly"
+// semantics independent of patch count.
+
+// Rank assigns each patch of a (1, NPy, NPx, 1) score tensor to a bin and
+// returns the resulting refinement-level map for a ph×pw patch tiling.
+func Rank(scores *tensor.Tensor, bins, ph, pw int) *patch.Map {
+	npy, npx := scores.Dim(1), scores.Dim(2)
+	m := patch.NewMap(npy*ph, npx*pw, ph, pw)
+	d := scores.Data()
+	lo, hi := d[0], d[0]
+	for _, v := range d {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	for py := 0; py < npy; py++ {
+		for px := 0; px < npx; px++ {
+			s := d[py*npx+px]
+			var bin int
+			if span <= 1e-15 {
+				bin = 0 // degenerate: all scores equal → everything stays LR
+			} else {
+				bin = int(float64(bins) * (s - lo) / span)
+				if bin >= bins {
+					bin = bins - 1
+				}
+			}
+			m.Set(bin, py, px)
+		}
+	}
+	return m
+}
+
+// BinPatches groups patch indices (py*NPx+px) by level for batch dispatch
+// to the shared decoder — the dynamic per-bin batch size of §3.1.
+func BinPatches(m *patch.Map, bins int) [][]int {
+	groups := make([][]int, bins)
+	for py := 0; py < m.NPy; py++ {
+		for px := 0; px < m.NPx; px++ {
+			b := m.At(py, px)
+			if b >= bins {
+				b = bins - 1
+			}
+			groups[b] = append(groups[b], py*m.NPx+px)
+		}
+	}
+	return groups
+}

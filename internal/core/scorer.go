@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math/rand"
+
+	"adarnet/internal/autodiff"
+	"adarnet/internal/grid"
+	"adarnet/internal/nn"
+)
+
+// Scorer is ADARNet's patch-scoring network (paper Fig. 4): a shallow CNN
+// that extracts a single-channel 2D latent spatial representation from the
+// LR flow field, followed by a pooling layer (one score per patch) and a
+// spatial softmax that normalizes the scores to a 0–1 distribution.
+//
+// The latent image is the scorer's second output: it is concatenated to the
+// flow channels before patch binning (Fig. 3, "concatenate 2D latent
+// representation"), which is the gradient path that trains the scorer
+// despite the ranker's discrete bin assignment.
+type Scorer struct {
+	Conv1, Conv2, Conv3, Conv4 *nn.Conv2D
+	Pool                       nn.Layer
+	Softmax                    *nn.SpatialSoftmax
+}
+
+// NewScorer builds the scorer: three 3×3 feature convs (8, 16, 16 filters),
+// one single-filter conv producing the latent image, max-pool (pool size =
+// stride = patch size), and softmax.
+func NewScorer(rng *rand.Rand, cfg Config) *Scorer {
+	var pool nn.Layer = nn.NewMaxPool2D(cfg.PatchH, cfg.PatchW)
+	if cfg.ScorerAvgPool {
+		pool = nn.NewAvgPool2D(cfg.PatchH, cfg.PatchW)
+	}
+	return &Scorer{
+		Conv1:   nn.NewConv2D("scorer.conv1", rng, 3, 3, grid.NumChannels, 8, nn.ReLU),
+		Conv2:   nn.NewConv2D("scorer.conv2", rng, 3, 3, 8, 16, nn.ReLU),
+		Conv3:   nn.NewConv2D("scorer.conv3", rng, 3, 3, 16, 16, nn.ReLU),
+		Conv4:   nn.NewConv2D("scorer.conv4", rng, 3, 3, 16, 1, nn.Linear),
+		Pool:    pool,
+		Softmax: nn.NewSpatialSoftmax(),
+	}
+}
+
+// Params returns the scorer's trainable parameters.
+func (s *Scorer) Params() []*nn.Param {
+	ps := append(s.Conv1.Params(), s.Conv2.Params()...)
+	ps = append(ps, s.Conv3.Params()...)
+	return append(ps, s.Conv4.Params()...)
+}
+
+// Forward maps a normalized (N,H,W,4) LR field to (scores, latent):
+// scores is (N, NPy, NPx, 1) on the 0–1 softmax simplex, latent is the
+// (N,H,W,1) spatial representation.
+func (s *Scorer) Forward(t *autodiff.Tape, x *autodiff.Value) (scores, latent *autodiff.Value) {
+	h := s.Conv1.Forward(t, x)
+	h = s.Conv2.Forward(t, h)
+	h = s.Conv3.Forward(t, h)
+	latent = s.Conv4.Forward(t, h)
+	pooled := s.Pool.Forward(t, latent)
+	scores = s.Softmax.Forward(t, pooled)
+	return scores, latent
+}

@@ -1,0 +1,177 @@
+// Package dataset generates and serializes the LR training corpora (paper
+// §4.1): channel flow, flat plate, and ellipse families, each sample a
+// converged LR RANS-SA solution from the physics solver. The paper's sweep
+// ranges are implemented exactly in geometry.TrainingSweep; this package
+// runs the solver over a (subsampled) sweep and packages the results.
+package dataset
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"adarnet/internal/core"
+	"adarnet/internal/geometry"
+	"adarnet/internal/grid"
+	"adarnet/internal/solver"
+	"adarnet/internal/tensor"
+)
+
+// Options configures corpus generation.
+type Options struct {
+	// PerFamily is the number of samples per canonical flow family.
+	PerFamily int
+	// H, W is the LR resolution.
+	H, W int
+	// Solver configures the per-sample steady solves.
+	Solver solver.Options
+	// Families selects which canonical flows to include (default: all).
+	Families []geometry.Kind
+	// Progress, when non-nil, receives (done, total, caseName).
+	Progress func(done, total int, name string)
+}
+
+// DefaultOptions returns a laptop-scale corpus configuration.
+func DefaultOptions(perFamily, h, w int) Options {
+	sopt := solver.DefaultOptions()
+	sopt.MaxIter = 8000
+	return Options{
+		PerFamily: perFamily, H: h, W: w,
+		Solver:   sopt,
+		Families: []geometry.Kind{geometry.Channel, geometry.FlatPlate, geometry.ExternalBody},
+	}
+}
+
+// Generate runs the solver over the training sweeps and returns samples.
+// Samples whose solve diverges are skipped with a diagnostic.
+func Generate(opt Options) ([]core.Sample, error) {
+	if opt.PerFamily <= 0 {
+		opt.PerFamily = 4
+	}
+	if len(opt.Families) == 0 {
+		opt.Families = []geometry.Kind{geometry.Channel, geometry.FlatPlate, geometry.ExternalBody}
+	}
+	var cases []*geometry.Case
+	for _, fam := range opt.Families {
+		cases = append(cases, geometry.TrainingSweep(fam, opt.PerFamily, opt.H, opt.W)...)
+	}
+	samples := make([]core.Sample, 0, len(cases))
+	for i, c := range cases {
+		f := c.Build()
+		if _, err := solver.Solve(f, opt.Solver); err != nil {
+			fmt.Fprintf(os.Stderr, "dataset: skipping %s: %v\n", c.Name, err)
+			continue
+		}
+		samples = append(samples, core.Sample{Input: grid.ToTensor(f), Meta: f})
+		if opt.Progress != nil {
+			opt.Progress(i+1, len(cases), c.Name)
+		}
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("dataset: every sample diverged")
+	}
+	return samples, nil
+}
+
+// Split partitions samples into train/validation sets (paper: 27000/3000,
+// i.e. a 10%% validation share).
+func Split(samples []core.Sample, valFrac float64) (train, val []core.Sample) {
+	if valFrac <= 0 || valFrac >= 1 {
+		valFrac = 0.1
+	}
+	nVal := int(float64(len(samples)) * valFrac)
+	if nVal == 0 && len(samples) > 1 {
+		nVal = 1
+	}
+	// Deterministic stride split so every family lands in both sets.
+	stride := 1
+	if nVal > 0 {
+		stride = len(samples) / nVal
+	}
+	taken := make(map[int]bool, nVal)
+	for i := stride - 1; i < len(samples) && len(taken) < nVal; i += stride {
+		taken[i] = true
+	}
+	for i, s := range samples {
+		if taken[i] {
+			val = append(val, s)
+		} else {
+			train = append(train, s)
+		}
+	}
+	return train, val
+}
+
+// record is the on-disk form of one sample.
+type record struct {
+	Shape []int
+	Data  []float64
+	// Grid metadata needed to rebuild the Flow.
+	H, W                  int
+	Dx, Dy                float64
+	UIn, Nu, NutIn        float64
+	Left, Right, Bot, Top int
+}
+
+// Save writes samples in gob format.
+func Save(w io.Writer, samples []core.Sample) error {
+	recs := make([]record, len(samples))
+	for i, s := range samples {
+		recs[i] = record{
+			Shape: s.Input.Shape(),
+			Data:  append([]float64(nil), s.Input.Data()...),
+			H:     s.Meta.H, W: s.Meta.W, Dx: s.Meta.Dx, Dy: s.Meta.Dy,
+			UIn: s.Meta.UIn, Nu: s.Meta.Nu, NutIn: s.Meta.NutIn,
+			Left: int(s.Meta.BC.Left), Right: int(s.Meta.BC.Right),
+			Bot: int(s.Meta.BC.Bottom), Top: int(s.Meta.BC.Top),
+		}
+	}
+	return gob.NewEncoder(w).Encode(recs)
+}
+
+// Load reads samples written by Save.
+func Load(r io.Reader) ([]core.Sample, error) {
+	var recs []record
+	if err := gob.NewDecoder(r).Decode(&recs); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	samples := make([]core.Sample, len(recs))
+	for i, rec := range recs {
+		meta := grid.NewFlow(rec.H, rec.W, rec.Dx, rec.Dy)
+		meta.UIn, meta.Nu, meta.NutIn = rec.UIn, rec.Nu, rec.NutIn
+		meta.BC = grid.Boundaries{
+			Left: grid.BCType(rec.Left), Right: grid.BCType(rec.Right),
+			Bottom: grid.BCType(rec.Bot), Top: grid.BCType(rec.Top),
+		}
+		input := tensor.FromSlice(rec.Data, rec.Shape...)
+		// Rehydrate the field values into the meta flow as well.
+		flow := grid.FromTensor(input, meta)
+		flow.BC = meta.BC
+		samples[i] = core.Sample{Input: input, Meta: flow}
+	}
+	return samples, nil
+}
+
+// SaveFile and LoadFile are path-based conveniences.
+func SaveFile(path string, samples []core.Sample) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Save(f, samples); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a corpus from path.
+func LoadFile(path string) ([]core.Sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

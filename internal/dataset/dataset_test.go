@@ -1,0 +1,120 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+
+	"adarnet/internal/core"
+	"adarnet/internal/geometry"
+	"adarnet/internal/grid"
+	"adarnet/internal/tensor"
+)
+
+func TestGenerateSmallCorpus(t *testing.T) {
+	opt := DefaultOptions(2, 8, 32)
+	opt.Solver.MaxIter = 2000
+	opt.Families = []geometry.Kind{geometry.Channel}
+	var progressed int
+	opt.Progress = func(done, total int, name string) { progressed++ }
+	samples, err := Generate(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	if progressed != len(samples) {
+		t.Fatalf("progress callbacks %d, samples %d", progressed, len(samples))
+	}
+	for _, s := range samples {
+		if s.Input.Dim(1) != 8 || s.Input.Dim(2) != 32 || s.Input.Dim(3) != 4 {
+			t.Fatalf("sample shape %v", s.Input.Shape())
+		}
+		if !s.Input.IsFinite() {
+			t.Fatal("non-finite sample")
+		}
+		if s.Meta.Nu <= 0 {
+			t.Fatal("metadata missing viscosity")
+		}
+	}
+}
+
+func TestSplitFractions(t *testing.T) {
+	samples := make([]core.Sample, 20)
+	for i := range samples {
+		samples[i] = core.Sample{Input: tensor.New(1, 2, 2, 4), Meta: grid.NewFlow(2, 2, 1, 1)}
+	}
+	train, val := Split(samples, 0.25)
+	if len(val) != 5 || len(train) != 15 {
+		t.Fatalf("split %d/%d, want 15/5", len(train), len(val))
+	}
+	// Degenerate fractions fall back to 10%.
+	train2, val2 := Split(samples, 0)
+	if len(val2) != 2 || len(train2) != 18 {
+		t.Fatalf("fallback split %d/%d", len(train2), len(val2))
+	}
+}
+
+func TestSplitTiny(t *testing.T) {
+	samples := make([]core.Sample, 2)
+	for i := range samples {
+		samples[i] = core.Sample{Input: tensor.New(1, 2, 2, 4), Meta: grid.NewFlow(2, 2, 1, 1)}
+	}
+	train, val := Split(samples, 0.1)
+	if len(train)+len(val) != 2 || len(val) != 1 {
+		t.Fatalf("tiny split %d/%d", len(train), len(val))
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	f := geometry.ChannelCase(2.5e3, 8, 16).Build()
+	f.U.Set(3.14, 4, 8)
+	s := core.Sample{Input: grid.ToTensor(f), Meta: f}
+
+	var buf bytes.Buffer
+	if err := Save(&buf, []core.Sample{s}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 1 {
+		t.Fatalf("loaded %d samples", len(loaded))
+	}
+	l := loaded[0]
+	if tensor.MSE(l.Input, s.Input) != 0 {
+		t.Fatal("tensor data not preserved")
+	}
+	if l.Meta.Nu != f.Nu || l.Meta.UIn != f.UIn || l.Meta.BC != f.BC {
+		t.Fatal("metadata not preserved")
+	}
+	if l.Meta.U.At(4, 8) != 3.14 {
+		t.Fatal("flow values not rehydrated")
+	}
+}
+
+func TestLoadGarbageErrors(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	f := geometry.ChannelCase(2.5e3, 8, 16).Build()
+	s := []core.Sample{{Input: grid.ToTensor(f), Meta: f}}
+	path := t.TempDir() + "/corpus.gob"
+	if err := SaveFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 1 {
+		t.Fatal("file round trip failed")
+	}
+	if _, err := LoadFile(path + ".missing"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

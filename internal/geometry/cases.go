@@ -1,0 +1,270 @@
+package geometry
+
+import (
+	"fmt"
+	"math"
+
+	"adarnet/internal/grid"
+)
+
+// Case is a fully specified flow problem: family, Reynolds number, physical
+// domain, grid resolution, and (for external flows) the immersed body.
+type Case struct {
+	Name string
+	Kind Kind
+	Re   float64
+
+	// Physical domain (meters).
+	Height, Length float64
+
+	// Grid resolution (cells, including the boundary ring).
+	H, W int
+
+	// Body and its placement for external flows. BodyX/BodyY locate the
+	// body-local origin (leading edge) as fractions of the domain.
+	Body         Body
+	BodyX, BodyY float64
+}
+
+// RefLength returns the Reynolds reference length for the case: channel
+// height for channel flow, plate length for the flat plate, chord for
+// external bodies (paper §4.1 footnote 1).
+func (c *Case) RefLength() float64 {
+	switch c.Kind {
+	case Channel:
+		return c.Height
+	case FlatPlate:
+		return c.Length
+	default:
+		if c.Body != nil {
+			return c.Body.Chord()
+		}
+		return 1
+	}
+}
+
+// Build constructs a grid.Flow for the case at its configured resolution,
+// with BCs, viscosity (ν = U·L/Re with U=1), the immersed mask, and wall
+// distance ready for the solver.
+func (c *Case) Build() *grid.Flow {
+	return c.BuildAt(c.H, c.W)
+}
+
+// BuildAt constructs the flow at an explicit resolution (used by the grid
+// convergence study, which solves the same case at n = 0..3 refinement).
+func (c *Case) BuildAt(h, w int) *grid.Flow {
+	if h < 4 || w < 4 {
+		panic(fmt.Sprintf("geometry: resolution %dx%d too small", h, w))
+	}
+	f := grid.NewFlow(h, w, c.Length/float64(w), c.Height/float64(h))
+	f.UIn = 1.0
+	f.Nu = f.UIn * c.RefLength() / c.Re
+	f.NutIn = 3 * f.Nu // standard SA freestream level
+
+	switch c.Kind {
+	case Channel:
+		f.BC = grid.Boundaries{Left: grid.Inlet, Right: grid.Outlet, Bottom: grid.Wall, Top: grid.Wall}
+	case FlatPlate:
+		f.BC = grid.Boundaries{Left: grid.Inlet, Right: grid.Outlet, Bottom: grid.Wall, Top: grid.Symmetry}
+	case ExternalBody:
+		f.BC = grid.Boundaries{Left: grid.Inlet, Right: grid.Outlet, Bottom: grid.FarField, Top: grid.FarField}
+		if c.Body != nil {
+			f.Mask = rasterize(c, h, w)
+		}
+	}
+	grid.ComputeWallDistance(f)
+	grid.InitUniform(f)
+	return f
+}
+
+// rasterize marks cells whose centers fall inside the body.
+func rasterize(c *Case, h, w int) []bool {
+	mask := make([]bool, h*w)
+	dx := c.Length / float64(w)
+	dy := c.Height / float64(h)
+	ox := c.BodyX * c.Length
+	oy := c.BodyY * c.Height
+	any := false
+	for y := 0; y < h; y++ {
+		cy := (float64(y)+0.5)*dy - oy
+		for x := 0; x < w; x++ {
+			cx := (float64(x)+0.5)*dx - ox
+			if c.Body.Inside(cx, cy) {
+				mask[y*w+x] = true
+				any = true
+			}
+		}
+	}
+	if !any {
+		// Guarantee at least one solid cell so the body is never silently
+		// lost at coarse resolutions.
+		yc := int(oy/dy + 0.5)
+		xc := int((ox+c.Body.Chord()/2)/dx + 0.5)
+		if yc >= 0 && yc < h && xc >= 0 && xc < w {
+			mask[yc*w+xc] = true
+		}
+	}
+	return mask
+}
+
+// Paper resolutions: the LR dataset is 64×256 (§4.1); tests and benches use
+// ScaledCase to shrink uniformly while preserving the aspect ratio.
+const (
+	PaperLRH = 64
+	PaperLRW = 256
+)
+
+// ChannelCase builds the paper's channel-flow configuration: 0.1 m diameter,
+// 6 m length, walls top and bottom (§4.1).
+func ChannelCase(re float64, h, w int) *Case {
+	return &Case{
+		Name: fmt.Sprintf("channel-Re%.3g", re), Kind: Channel, Re: re,
+		Height: 0.1, Length: 6, H: h, W: w,
+	}
+}
+
+// FlatPlateCase builds the paper's flat-plate configuration: 0.2 m height,
+// 10 m length, wall bottom, symmetry top (§4.1).
+func FlatPlateCase(re float64, h, w int) *Case {
+	return &Case{
+		Name: fmt.Sprintf("flatplate-Re%.3g", re), Kind: FlatPlate, Re: re,
+		Height: 0.2, Length: 10, H: h, W: w,
+	}
+}
+
+// ExternalCase builds flow around a body with chord c in a domain of
+// 8c × 4c, body leading edge at 30% of the length, mid-height.
+func ExternalCase(name string, body Body, re float64, h, w int) *Case {
+	chord := body.Chord()
+	return &Case{
+		Name: name, Kind: ExternalBody, Re: re,
+		Height: 4 * chord, Length: 8 * chord, H: h, W: w,
+		Body: body, BodyX: 0.3, BodyY: 0.5,
+	}
+}
+
+// CylinderCase builds the cylinder test case (Re 1e5 in the paper).
+func CylinderCase(re float64, h, w int) *Case {
+	return ExternalCase(fmt.Sprintf("cylinder-Re%.3g", re), Cylinder(1), re, h, w)
+}
+
+// AirfoilCase builds a NACA test case ("0012" symmetric, "1412"
+// non-symmetric in the paper, both at Re 2.5e4).
+func AirfoilCase(code string, re float64, h, w int) *Case {
+	b, err := NewNACA(code, 1)
+	if err != nil {
+		panic(err)
+	}
+	return ExternalCase(fmt.Sprintf("naca%s-Re%.3g", code, re), b, re, h, w)
+}
+
+// EllipseCase builds a training-family ellipse at the given aspect ratio and
+// angle of attack (degrees).
+func EllipseCase(ar, aoaDeg, re float64, h, w int) *Case {
+	body := Rotate(Ellipse{ChordLen: 1, AspectRatio: ar}, aoaDeg)
+	name := fmt.Sprintf("ellipse-ar%.2f-aoa%.1f-Re%.3g", ar, aoaDeg, re)
+	return ExternalCase(name, body, re, h, w)
+}
+
+// PaperTestCases returns the seven evaluation cases of §5 at the given grid
+// resolution: channel (interpolated + extrapolated Re), flat plate (both),
+// cylinder, and the two airfoils.
+func PaperTestCases(h, w int) []*Case {
+	return []*Case{
+		ChannelCase(2.5e3, h, w),
+		ChannelCase(1.5e4, h, w),
+		FlatPlateCase(2.5e5, h, w),
+		FlatPlateCase(1.35e6, h, w),
+		CylinderCase(1e5, h, w),
+		AirfoilCase("0012", 2.5e4, h, w),
+		AirfoilCase("1412", 2.5e4, h, w),
+	}
+}
+
+// TrainingSweep enumerates the paper's training configurations (§4.1) but
+// subsampled to n samples per family so laptop-scale corpora stay tractable.
+// The Re ranges and geometry sweeps match the paper exactly.
+func TrainingSweep(family Kind, n, h, w int) []*Case {
+	if n < 1 {
+		n = 1
+	}
+	var out []*Case
+	switch family {
+	case Channel:
+		// 300 samples Re 2e3–2.3e3, 9700 samples Re 2.7e3–1.35e4.
+		lo := int(math.Round(float64(n) * 0.03))
+		if lo < 1 {
+			lo = 1
+		}
+		hi := n - lo
+		for _, re := range linspace(2e3, 2.3e3, lo) {
+			out = append(out, ChannelCase(re, h, w))
+		}
+		for _, re := range linspace(2.7e3, 1.35e4, hi) {
+			out = append(out, ChannelCase(re, h, w))
+		}
+	case FlatPlate:
+		// 2000 samples Re 1.35e5–2e5, 8000 samples Re 3e5–1.1e6.
+		lo := n / 5
+		if lo < 1 {
+			lo = 1
+		}
+		hi := n - lo
+		for _, re := range linspace(1.35e5, 2e5, lo) {
+			out = append(out, FlatPlateCase(re, h, w))
+		}
+		for _, re := range linspace(3e5, 1.1e6, hi) {
+			out = append(out, FlatPlateCase(re, h, w))
+		}
+	case ExternalBody:
+		// Aspect ratios × angles × Re 5e4–9e4 (paper: 10 ARs × 5 angles ×
+		// 200 Re). Subsample every axis proportionally.
+		ars := []float64{0.05, 0.07, 0.09, 0.1, 0.15, 0.2, 0.25, 0.35, 0.55, 0.75}
+		aoas := []float64{-2, 0, 2, 4, 6}
+		per := n / (len(ars) * len(aoas))
+		if per < 1 {
+			// Fewer samples than the geometry lattice: stride the lattice.
+			stride := (len(ars)*len(aoas) + n - 1) / n
+			k := 0
+			for i, ar := range ars {
+				for j, aoa := range aoas {
+					if (i*len(aoas)+j)%stride != 0 || k >= n {
+						continue
+					}
+					re := 5e4 + 4e4*float64(k)/float64(maxI(n-1, 1))
+					out = append(out, EllipseCase(ar, aoa, re, h, w))
+					k++
+				}
+			}
+			return out
+		}
+		for _, ar := range ars {
+			for _, aoa := range aoas {
+				for _, re := range linspace(5e4, 9e4, per) {
+					out = append(out, EllipseCase(ar, aoa, re, h, w))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// linspace returns n points evenly spaced over [lo, hi].
+func linspace(lo, hi float64, n int) []float64 {
+	if n <= 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,181 @@
+// Package geometry defines the three canonical flow families the paper
+// trains and evaluates on (§4.1): turbulent channel flow, turbulent flow
+// over a flat plate, and external flow around ellipses / cylinders / NACA
+// airfoils. Each Case knows its physical domain, boundary conditions, and
+// (for external flows) the immersed body shape, and can build a ready-to-
+// solve grid.Flow at any resolution.
+//
+// The paper meshes external flows on body-fitted O-grids; this substrate
+// uses a Cartesian grid with immersed-boundary masking (DESIGN.md §2). The
+// far-field distance is configurable and defaults to a few chords rather
+// than the paper's 30c so laptop-scale grids still resolve the body.
+package geometry
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind identifies a canonical flow family.
+type Kind int
+
+const (
+	// Channel is wall-bounded flow between two plates.
+	Channel Kind = iota
+	// FlatPlate is boundary-layer flow over a wall with a symmetry top.
+	FlatPlate
+	// ExternalBody is flow around an immersed body (ellipse, cylinder, airfoil).
+	ExternalBody
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Channel:
+		return "channel"
+	case FlatPlate:
+		return "flatplate"
+	case ExternalBody:
+		return "external"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Body is an immersed solid: an inside test in body-local coordinates where
+// the chord runs along +x from the origin.
+type Body interface {
+	// Inside reports whether local point (x, y) lies within the body.
+	Inside(x, y float64) bool
+	// Chord is the body's reference length.
+	Chord() float64
+	// Name labels the body for reports.
+	Name() string
+}
+
+// Ellipse is an ellipse of the given chord and aspect ratio (thickness /
+// chord). AspectRatio 1 is a cylinder. The paper's training geometries are
+// ellipses with aspect ratios 0.05–0.75 (§4.1).
+type Ellipse struct {
+	ChordLen    float64
+	AspectRatio float64
+}
+
+// Inside implements Body.
+func (e Ellipse) Inside(x, y float64) bool {
+	a := e.ChordLen / 2
+	b := a * e.AspectRatio
+	cx := x - a // center at mid-chord
+	return (cx*cx)/(a*a)+(y*y)/(b*b) <= 1
+}
+
+// Chord implements Body.
+func (e Ellipse) Chord() float64 { return e.ChordLen }
+
+// Name implements Body.
+func (e Ellipse) Name() string {
+	if e.AspectRatio == 1 {
+		return "cylinder"
+	}
+	return fmt.Sprintf("ellipse-ar%.2f", e.AspectRatio)
+}
+
+// Cylinder returns a circular cylinder of the given diameter.
+func Cylinder(diameter float64) Body {
+	return Ellipse{ChordLen: diameter, AspectRatio: 1}
+}
+
+// NACA4 is a 4-digit NACA airfoil: camber m (fraction of chord), camber
+// position p (fraction of chord), thickness t (fraction of chord).
+// NACA0012 → m=0, p=0, t=0.12; NACA1412 → m=0.01, p=0.4, t=0.12.
+type NACA4 struct {
+	ChordLen float64
+	M, P, T  float64
+	Label    string
+}
+
+// NewNACA parses a 4-digit code such as "0012" or "1412".
+func NewNACA(code string, chord float64) (NACA4, error) {
+	if len(code) != 4 {
+		return NACA4{}, fmt.Errorf("geometry: NACA code %q must have 4 digits", code)
+	}
+	var m, p, t int
+	if _, err := fmt.Sscanf(code, "%1d%1d%2d", &m, &p, &t); err != nil {
+		return NACA4{}, fmt.Errorf("geometry: parse NACA code %q: %w", code, err)
+	}
+	return NACA4{
+		ChordLen: chord,
+		M:        float64(m) / 100,
+		P:        float64(p) / 10,
+		T:        float64(t) / 100,
+		Label:    "NACA" + code,
+	}, nil
+}
+
+// thickness returns the half-thickness at chordwise station xc ∈ [0,1].
+func (n NACA4) thickness(xc float64) float64 {
+	if xc < 0 || xc > 1 {
+		return 0
+	}
+	return 5 * n.T * (0.2969*math.Sqrt(xc) - 0.1260*xc - 0.3516*xc*xc +
+		0.2843*xc*xc*xc - 0.1036*xc*xc*xc*xc)
+}
+
+// camber returns the camber line height at xc ∈ [0,1].
+func (n NACA4) camber(xc float64) float64 {
+	if n.M == 0 || n.P == 0 {
+		return 0
+	}
+	if xc < n.P {
+		return n.M / (n.P * n.P) * (2*n.P*xc - xc*xc)
+	}
+	return n.M / ((1 - n.P) * (1 - n.P)) * ((1 - 2*n.P) + 2*n.P*xc - xc*xc)
+}
+
+// Inside implements Body: |y − y_camber| ≤ y_thickness at the station.
+func (n NACA4) Inside(x, y float64) bool {
+	xc := x / n.ChordLen
+	if xc < 0 || xc > 1 {
+		return false
+	}
+	yc := n.camber(xc) * n.ChordLen
+	yt := n.thickness(xc) * n.ChordLen
+	return math.Abs(y-yc) <= yt
+}
+
+// Chord implements Body.
+func (n NACA4) Chord() float64 { return n.ChordLen }
+
+// Name implements Body.
+func (n NACA4) Name() string { return n.Label }
+
+// rotated wraps a Body with an angle-of-attack rotation about the quarter
+// chord (positive α pitches the nose up, i.e. the flow sees the body
+// rotated by −α).
+type rotated struct {
+	Body
+	alpha float64 // radians
+}
+
+// Rotate returns body pitched by alphaDeg degrees.
+func Rotate(b Body, alphaDeg float64) Body {
+	if alphaDeg == 0 {
+		return b
+	}
+	return rotated{Body: b, alpha: alphaDeg * math.Pi / 180}
+}
+
+// Inside implements Body with the inverse rotation applied about c/4.
+func (r rotated) Inside(x, y float64) bool {
+	qc := r.Chord() / 4
+	dx, dy := x-qc, y
+	ca, sa := math.Cos(r.alpha), math.Sin(r.alpha)
+	// Rotate the query point by +α (inverse of pitching the body by −α).
+	rx := qc + ca*dx - sa*dy
+	ry := sa*dx + ca*dy
+	return r.Body.Inside(rx, ry)
+}
+
+// Name implements Body.
+func (r rotated) Name() string {
+	return fmt.Sprintf("%s-aoa%.1f", r.Body.Name(), r.alpha*180/math.Pi)
+}

@@ -1,0 +1,290 @@
+package geometry
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adarnet/internal/grid"
+)
+
+func TestEllipseInside(t *testing.T) {
+	e := Ellipse{ChordLen: 2, AspectRatio: 0.5}
+	// Center at mid-chord (1, 0); semi-axes a=1, b=0.5.
+	if !e.Inside(1, 0) {
+		t.Fatal("center not inside")
+	}
+	if !e.Inside(0.05, 0) || !e.Inside(1.95, 0) {
+		t.Fatal("near-tips not inside")
+	}
+	if e.Inside(-0.05, 0) || e.Inside(2.05, 0) {
+		t.Fatal("beyond tips inside")
+	}
+	if !e.Inside(1, 0.45) || e.Inside(1, 0.55) {
+		t.Fatal("vertical extent wrong")
+	}
+}
+
+func TestCylinderIsRound(t *testing.T) {
+	c := Cylinder(1)
+	if c.Name() != "cylinder" {
+		t.Fatalf("name %q", c.Name())
+	}
+	// Points at radius 0.49 inside, 0.51 outside, any angle.
+	for deg := 0; deg < 360; deg += 30 {
+		a := float64(deg) * math.Pi / 180
+		xi, yi := 0.5+0.49*math.Cos(a), 0.49*math.Sin(a)
+		xo, yo := 0.5+0.51*math.Cos(a), 0.51*math.Sin(a)
+		if !c.Inside(xi, yi) {
+			t.Fatalf("inside point at %d° excluded", deg)
+		}
+		if c.Inside(xo, yo) {
+			t.Fatalf("outside point at %d° included", deg)
+		}
+	}
+}
+
+func TestNACAParsing(t *testing.T) {
+	n, err := NewNACA("0012", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.M != 0 || n.P != 0 || math.Abs(n.T-0.12) > 1e-12 {
+		t.Fatalf("0012 parsed as m=%v p=%v t=%v", n.M, n.P, n.T)
+	}
+	n2, err := NewNACA("1412", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n2.M-0.01) > 1e-12 || math.Abs(n2.P-0.4) > 1e-12 {
+		t.Fatalf("1412 parsed as m=%v p=%v", n2.M, n2.P)
+	}
+	if _, err := NewNACA("12", 1); err == nil {
+		t.Fatal("expected error for short code")
+	}
+	if _, err := NewNACA("abcd", 1); err == nil {
+		t.Fatal("expected error for non-numeric code")
+	}
+}
+
+func TestNACA0012Symmetric(t *testing.T) {
+	n, _ := NewNACA("0012", 1)
+	for _, xc := range []float64{0.1, 0.3, 0.5, 0.8} {
+		yt := n.thickness(xc)
+		if yt <= 0 {
+			t.Fatalf("thickness at %v = %v", xc, yt)
+		}
+		if !n.Inside(xc, yt*0.99) || !n.Inside(xc, -yt*0.99) {
+			t.Fatal("symmetric interior excluded")
+		}
+		if n.Inside(xc, yt*1.01) || n.Inside(xc, -yt*1.01) {
+			t.Fatal("symmetric exterior included")
+		}
+	}
+	// Max thickness of a 12% foil is ~0.06 half-thickness at 30% chord.
+	if got := n.thickness(0.3); math.Abs(got-0.06) > 0.003 {
+		t.Fatalf("max half-thickness %v, want ≈0.06", got)
+	}
+}
+
+func TestNACA1412Cambered(t *testing.T) {
+	n, _ := NewNACA("1412", 1)
+	// Camber line is positive everywhere inside (0,1) for positive camber.
+	for _, xc := range []float64{0.2, 0.4, 0.6, 0.8} {
+		if n.camber(xc) <= 0 {
+			t.Fatalf("camber at %v = %v, want > 0", xc, n.camber(xc))
+		}
+	}
+	// Asymmetry: a point above the chord line can be inside while its mirror
+	// is outside near the trailing half.
+	xc := 0.6
+	yt := n.thickness(xc)
+	yc := n.camber(xc)
+	up, down := yc+0.95*yt, yc-1.05*yt
+	if !n.Inside(xc, up) {
+		t.Fatal("upper surface point excluded")
+	}
+	if n.Inside(xc, -up) && !n.Inside(xc, down) {
+		t.Fatal("camber asymmetry not realized")
+	}
+}
+
+func TestRotate(t *testing.T) {
+	b := Ellipse{ChordLen: 1, AspectRatio: 0.1}
+	r := Rotate(b, 10)
+	if r.Chord() != 1 {
+		t.Fatal("rotation changed chord")
+	}
+	// The thin ellipse pitched 10° should contain a point that the unpitched
+	// one does not (above the tail).
+	if Rotate(b, 0) != b {
+		t.Fatal("zero rotation must be identity")
+	}
+	found := false
+	for y := -0.3; y <= 0.3; y += 0.01 {
+		if r.Inside(0.9, y) != b.Inside(0.9, y) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("rotation had no geometric effect")
+	}
+}
+
+func TestCaseRefLength(t *testing.T) {
+	if got := ChannelCase(1e3, 16, 64).RefLength(); got != 0.1 {
+		t.Fatalf("channel ref length %v", got)
+	}
+	if got := FlatPlateCase(1e5, 16, 64).RefLength(); got != 10 {
+		t.Fatalf("plate ref length %v", got)
+	}
+	if got := CylinderCase(1e5, 16, 64).RefLength(); got != 1 {
+		t.Fatalf("cylinder ref length %v", got)
+	}
+}
+
+func TestBuildChannel(t *testing.T) {
+	c := ChannelCase(2.5e3, 16, 64)
+	f := c.Build()
+	if f.H != 16 || f.W != 64 {
+		t.Fatalf("resolution %dx%d", f.H, f.W)
+	}
+	if f.BC.Bottom != grid.Wall || f.BC.Top != grid.Wall {
+		t.Fatal("channel walls not set")
+	}
+	if math.Abs(f.Nu-0.1/2.5e3) > 1e-12 {
+		t.Fatalf("nu = %v", f.Nu)
+	}
+	if f.Dist == nil {
+		t.Fatal("wall distance not computed")
+	}
+	if f.U.At(8, 32) != 1 {
+		t.Fatal("not initialized to freestream")
+	}
+}
+
+func TestBuildFlatPlateBCs(t *testing.T) {
+	f := FlatPlateCase(2.5e5, 16, 64).Build()
+	if f.BC.Bottom != grid.Wall || f.BC.Top != grid.Symmetry {
+		t.Fatalf("plate BCs %+v", f.BC)
+	}
+}
+
+func TestBuildCylinderMask(t *testing.T) {
+	c := CylinderCase(1e5, 32, 64)
+	f := c.Build()
+	if f.Mask == nil {
+		t.Fatal("no mask")
+	}
+	solid := 0
+	for _, s := range f.Mask {
+		if s {
+			solid++
+		}
+	}
+	if solid == 0 {
+		t.Fatal("cylinder not rasterized")
+	}
+	// Cylinder of diameter 1 in 4×8 domain on 32×64 grid: area π/4 ≈ 0.785 m²,
+	// cell area = (8/64)·(4/32) = 0.0156 m² → ≈ 50 cells.
+	if solid < 30 || solid > 75 {
+		t.Fatalf("cylinder covers %d cells, expected ≈50", solid)
+	}
+	// Mask centered near (0.3·L + 0.5c, 0.5·H).
+	cx := int(math.Round((0.3*8 + 0.5) / (8.0 / 64)))
+	cy := 16
+	if !f.Mask[cy*64+cx] {
+		t.Fatal("cylinder center not solid")
+	}
+}
+
+func TestBuildAtScalesResolution(t *testing.T) {
+	c := ChannelCase(2.5e3, 16, 64)
+	f2 := c.BuildAt(32, 128)
+	if f2.H != 32 || f2.W != 128 {
+		t.Fatalf("BuildAt resolution %dx%d", f2.H, f2.W)
+	}
+	if math.Abs(f2.Dy*32-0.1) > 1e-12 {
+		t.Fatal("physical height not preserved")
+	}
+}
+
+func TestBuildTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ChannelCase(1e3, 2, 2).Build()
+}
+
+func TestPaperTestCases(t *testing.T) {
+	cases := PaperTestCases(16, 64)
+	if len(cases) != 7 {
+		t.Fatalf("%d test cases, want 7", len(cases))
+	}
+	wantRe := []float64{2.5e3, 1.5e4, 2.5e5, 1.35e6, 1e5, 2.5e4, 2.5e4}
+	for i, c := range cases {
+		if c.Re != wantRe[i] {
+			t.Fatalf("case %d Re = %v, want %v", i, c.Re, wantRe[i])
+		}
+	}
+}
+
+func TestTrainingSweepCounts(t *testing.T) {
+	for _, k := range []Kind{Channel, FlatPlate, ExternalBody} {
+		cases := TrainingSweep(k, 20, 8, 32)
+		if len(cases) == 0 {
+			t.Fatalf("%v sweep empty", k)
+		}
+		if len(cases) > 25 {
+			t.Fatalf("%v sweep produced %d cases for n=20", k, len(cases))
+		}
+		for _, c := range cases {
+			if c.Re <= 0 {
+				t.Fatal("non-positive Re in sweep")
+			}
+		}
+	}
+}
+
+func TestTrainingSweepRanges(t *testing.T) {
+	for _, c := range TrainingSweep(Channel, 50, 8, 32) {
+		if c.Re < 2e3 || c.Re > 1.35e4 {
+			t.Fatalf("channel sweep Re %v out of paper range", c.Re)
+		}
+	}
+	for _, c := range TrainingSweep(FlatPlate, 50, 8, 32) {
+		if c.Re < 1.35e5 || c.Re > 1.1e6 {
+			t.Fatalf("plate sweep Re %v out of paper range", c.Re)
+		}
+	}
+	for _, c := range TrainingSweep(ExternalBody, 50, 8, 32) {
+		if c.Re < 5e4 || c.Re > 9e4 {
+			t.Fatalf("ellipse sweep Re %v out of paper range", c.Re)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{Channel, FlatPlate, ExternalBody, Kind(9)} {
+		if k.String() == "" {
+			t.Fatal("empty kind string")
+		}
+	}
+}
+
+// Property: a body's Inside is invariant under rotation by 0 and consistent
+// under double rotation (rot(a) then query equals rot applied once).
+func TestQuickEllipseContainsCenter(t *testing.T) {
+	f := func(arRaw, chordRaw float64) bool {
+		ar := 0.05 + math.Mod(math.Abs(arRaw), 0.95)
+		chord := 0.5 + math.Mod(math.Abs(chordRaw), 3)
+		e := Ellipse{ChordLen: chord, AspectRatio: ar}
+		return e.Inside(chord/2, 0) && !e.Inside(-chord, 0) && !e.Inside(2*chord, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

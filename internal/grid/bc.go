@@ -1,0 +1,110 @@
+package grid
+
+// Boundary-condition application. ApplyBC writes the boundary ring of every
+// field from the adjacent interior cells according to each side's BCType,
+// then enforces the immersed-solid mask. The solver calls this after every
+// pseudo-time step, and the end-to-end framework calls it once on network
+// output before handing the field to the solver (the paper imposes the same
+// strong-form BCs on both ADARNet's and the AMR solver's meshes, §5.1).
+
+// ApplyBC enforces all boundary conditions and the solid mask on f in place.
+func ApplyBC(f *Flow) {
+	h, w := f.H, f.W
+	// Left and right columns.
+	for y := 0; y < h; y++ {
+		applySide(f, f.BC.Left, y, 0, y, 1, -1, 0)
+		applySide(f, f.BC.Right, y, w-1, y, w-2, 1, 0)
+	}
+	// Bottom and top rows (corners end up owned by the vertical sides'
+	// neighbors; applying rows second keeps corners consistent with walls).
+	for x := 0; x < w; x++ {
+		applySide(f, f.BC.Bottom, 0, x, 1, x, 0, -1)
+		applySide(f, f.BC.Top, h-1, x, h-2, x, 0, 1)
+	}
+	ApplyMask(f)
+}
+
+// applySide sets boundary cell (by,bx) from interior neighbor (iy,ix).
+// (nx,ny) is the outward normal direction of the side.
+func applySide(f *Flow, bc BCType, by, bx, iy, ix, nx, ny int) {
+	b := by*f.W + bx
+	i := iy*f.W + ix
+	switch bc {
+	case Inlet:
+		f.U.Data[b] = f.UIn
+		f.V.Data[b] = 0
+		f.P.Data[b] = f.P.Data[i]
+		f.Nut.Data[b] = f.NutIn
+	case Outlet:
+		f.U.Data[b] = f.U.Data[i]
+		f.V.Data[b] = f.V.Data[i]
+		f.P.Data[b] = 0
+		f.Nut.Data[b] = f.Nut.Data[i]
+	case Wall:
+		// No-slip: ghost value mirrors the interior so the wall-face value
+		// (their average) is zero.
+		f.U.Data[b] = -f.U.Data[i]
+		f.V.Data[b] = -f.V.Data[i]
+		f.P.Data[b] = f.P.Data[i]
+		f.Nut.Data[b] = -f.Nut.Data[i]
+	case Symmetry:
+		// Zero normal velocity, zero gradient for everything else.
+		if ny != 0 {
+			f.V.Data[b] = -f.V.Data[i]
+			f.U.Data[b] = f.U.Data[i]
+		} else {
+			f.U.Data[b] = -f.U.Data[i]
+			f.V.Data[b] = f.V.Data[i]
+		}
+		f.P.Data[b] = f.P.Data[i]
+		f.Nut.Data[b] = f.Nut.Data[i]
+	case FarField:
+		f.U.Data[b] = f.UIn
+		f.V.Data[b] = 0
+		f.P.Data[b] = 0
+		f.Nut.Data[b] = f.NutIn
+	}
+}
+
+// ApplyMask zeroes velocity and ν̃ inside the immersed body and equalizes
+// pressure with the nearest fluid neighbor to avoid spurious gradients at
+// the body surface.
+func ApplyMask(f *Flow) {
+	if f.Mask == nil {
+		return
+	}
+	h, w := f.H, f.W
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			if !f.Mask[i] {
+				continue
+			}
+			f.U.Data[i] = 0
+			f.V.Data[i] = 0
+			f.Nut.Data[i] = 0
+			// Pressure: copy from a fluid neighbor if one exists so ∂p/∂n≈0
+			// at the immersed surface.
+			if x+1 < w && !f.Mask[i+1] {
+				f.P.Data[i] = f.P.Data[i+1]
+			} else if x > 0 && !f.Mask[i-1] {
+				f.P.Data[i] = f.P.Data[i-1]
+			} else if y+1 < h && !f.Mask[i+w] {
+				f.P.Data[i] = f.P.Data[i+w]
+			} else if y > 0 && !f.Mask[i-w] {
+				f.P.Data[i] = f.P.Data[i-w]
+			}
+		}
+	}
+}
+
+// InitUniform initializes the interior to the freestream state (U=UIn,
+// V=0, p=0, ν̃=NutIn) and applies BCs. The standard cold-start for both the
+// LR data-collection runs and the AMR baseline.
+func InitUniform(f *Flow) {
+	f.U.Fill(f.UIn)
+	f.V.Fill(0)
+	f.P.Fill(0)
+	f.Nut.Fill(f.NutIn)
+	ApplyBC(f)
+}

@@ -1,0 +1,58 @@
+package grid
+
+import (
+	"fmt"
+
+	"adarnet/internal/tensor"
+)
+
+// Conversion between the solver's Flow representation and the 4-channel
+// NHWC tensors the networks consume. Channel order is (U, V, p, ν̃) — the
+// four variables the RANS-SA system predicts (paper §3.1).
+
+// NumChannels is the flow-variable channel count.
+const NumChannels = 4
+
+// ToTensor packs f into a (1, H, W, 4) tensor.
+func ToTensor(f *Flow) *tensor.Tensor {
+	t := tensor.New(1, f.H, f.W, NumChannels)
+	d := t.Data()
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			i := y*f.W + x
+			o := i * NumChannels
+			d[o+0] = f.U.Data[i]
+			d[o+1] = f.V.Data[i]
+			d[o+2] = f.P.Data[i]
+			d[o+3] = f.Nut.Data[i]
+		}
+	}
+	return t
+}
+
+// FromTensor unpacks a (1, H, W, 4) tensor into a new Flow carrying meta's
+// grid metadata (BCs, viscosity, mask when shapes match) scaled to the
+// tensor's resolution.
+func FromTensor(t *tensor.Tensor, meta *Flow) *Flow {
+	if t.Dims() != 4 || t.Dim(0) != 1 || t.Dim(3) != NumChannels {
+		panic(fmt.Sprintf("grid: FromTensor requires (1,H,W,4), got %v", t.Shape()))
+	}
+	h, w := t.Dim(1), t.Dim(2)
+	// Physical domain size is preserved; cell size shrinks with resolution.
+	sx := float64(meta.W) / float64(w)
+	sy := float64(meta.H) / float64(h)
+	f := NewFlow(h, w, meta.Dx*sx, meta.Dy*sy)
+	f.BC = meta.BC
+	f.UIn = meta.UIn
+	f.Nu = meta.Nu
+	f.NutIn = meta.NutIn
+	d := t.Data()
+	for i := 0; i < h*w; i++ {
+		o := i * NumChannels
+		f.U.Data[i] = d[o+0]
+		f.V.Data[i] = d[o+1]
+		f.P.Data[i] = d[o+2]
+		f.Nut.Data[i] = d[o+3]
+	}
+	return f
+}

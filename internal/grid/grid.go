@@ -1,0 +1,174 @@
+// Package grid provides the structured-mesh data model for the CFD substrate:
+// scalar fields on uniform 2D grids, the four-variable RANS flow state
+// (U, V, p, ν̃), boundary conditions, immersed-solid masks, and wall-distance
+// computation for the Spalart–Allmaras model.
+//
+// Grids are cell-centered and row-major with index [y*W+x]; y increases
+// upward (row 0 is the bottom boundary). The outermost ring of cells is the
+// boundary ring that BC application writes into.
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Field is a scalar quantity on an H×W cell grid.
+type Field struct {
+	H, W int
+	Data []float64
+}
+
+// NewField returns a zero-filled H×W field.
+func NewField(h, w int) *Field {
+	return &Field{H: h, W: w, Data: make([]float64, h*w)}
+}
+
+// At returns the value at row y, column x.
+func (f *Field) At(y, x int) float64 { return f.Data[y*f.W+x] }
+
+// Set assigns the value at row y, column x.
+func (f *Field) Set(v float64, y, x int) { f.Data[y*f.W+x] = v }
+
+// Fill sets every cell to v.
+func (f *Field) Fill(v float64) {
+	for i := range f.Data {
+		f.Data[i] = v
+	}
+}
+
+// Clone returns a deep copy.
+func (f *Field) Clone() *Field {
+	g := NewField(f.H, f.W)
+	copy(g.Data, f.Data)
+	return g
+}
+
+// CopyFrom copies src into f; dimensions must match.
+func (f *Field) CopyFrom(src *Field) {
+	if f.H != src.H || f.W != src.W {
+		panic(fmt.Sprintf("grid: CopyFrom %dx%d from %dx%d", f.H, f.W, src.H, src.W))
+	}
+	copy(f.Data, src.Data)
+}
+
+// MaxAbs returns the maximum absolute value.
+func (f *Field) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range f.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// RMS returns the root-mean-square of the field.
+func (f *Field) RMS() float64 {
+	if len(f.Data) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range f.Data {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(f.Data)))
+}
+
+// IsFinite reports whether all cells are finite.
+func (f *Field) IsFinite() bool {
+	for _, v := range f.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// BCType identifies a boundary-condition kind on one domain side.
+type BCType int
+
+const (
+	// Inlet fixes velocity (Dirichlet U=Uin, V=0) and extrapolates pressure.
+	Inlet BCType = iota
+	// Outlet extrapolates velocity and fixes pressure to zero.
+	Outlet
+	// Wall is no-slip: U=V=0, ν̃=0, zero-gradient pressure.
+	Wall
+	// Symmetry zeroes the normal velocity and extrapolates everything else.
+	Symmetry
+	// FarField fixes the freestream state on the boundary.
+	FarField
+)
+
+func (b BCType) String() string {
+	switch b {
+	case Inlet:
+		return "inlet"
+	case Outlet:
+		return "outlet"
+	case Wall:
+		return "wall"
+	case Symmetry:
+		return "symmetry"
+	case FarField:
+		return "farfield"
+	default:
+		return fmt.Sprintf("BCType(%d)", int(b))
+	}
+}
+
+// Boundaries assigns a BCType to each domain side.
+type Boundaries struct {
+	Left, Right, Bottom, Top BCType
+}
+
+// Flow is the four-variable RANS state on a uniform grid plus its geometry
+// metadata. Nut stores the SA working variable ν̃ (the paper's fourth
+// channel); the eddy viscosity ν_t = ν̃·fv1 is derived where needed.
+type Flow struct {
+	H, W   int     // grid cells including the boundary ring
+	Dx, Dy float64 // cell sizes (meters)
+
+	U, V, P, Nut *Field
+
+	Mask  []bool // true = solid (immersed body); len H*W, nil if no body
+	Dist  *Field // distance to nearest wall (for SA); nil until computed
+	BC    Boundaries
+	UIn   float64 // inlet / freestream x-velocity
+	Nu    float64 // laminar kinematic viscosity
+	NutIn float64 // inlet value of ν̃ (typically 3ν)
+}
+
+// NewFlow allocates a zeroed flow state on an h×w grid with cell sizes dx, dy.
+func NewFlow(h, w int, dx, dy float64) *Flow {
+	return &Flow{
+		H: h, W: w, Dx: dx, Dy: dy,
+		U: NewField(h, w), V: NewField(h, w), P: NewField(h, w), Nut: NewField(h, w),
+	}
+}
+
+// Clone deep-copies the flow state (mask and distance are shared: they are
+// immutable once built).
+func (f *Flow) Clone() *Flow {
+	g := &Flow{
+		H: f.H, W: f.W, Dx: f.Dx, Dy: f.Dy,
+		U: f.U.Clone(), V: f.V.Clone(), P: f.P.Clone(), Nut: f.Nut.Clone(),
+		Mask: f.Mask, Dist: f.Dist, BC: f.BC, UIn: f.UIn, Nu: f.Nu, NutIn: f.NutIn,
+	}
+	return g
+}
+
+// Solid reports whether cell (y,x) is inside the immersed body.
+func (f *Flow) Solid(y, x int) bool {
+	return f.Mask != nil && f.Mask[y*f.W+x]
+}
+
+// Fields returns the four flow variables in channel order (U, V, p, ν̃),
+// matching the four-channel tensor layout the networks consume.
+func (f *Flow) Fields() [4]*Field { return [4]*Field{f.U, f.V, f.P, f.Nut} }
+
+// IsFinite reports whether all four variables are finite everywhere.
+func (f *Flow) IsFinite() bool {
+	return f.U.IsFinite() && f.V.IsFinite() && f.P.IsFinite() && f.Nut.IsFinite()
+}

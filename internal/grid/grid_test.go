@@ -1,0 +1,297 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adarnet/internal/tensor"
+)
+
+func TestFieldBasics(t *testing.T) {
+	f := NewField(3, 4)
+	f.Set(2.5, 1, 2)
+	if f.At(1, 2) != 2.5 {
+		t.Fatal("At/Set round trip failed")
+	}
+	if f.Data[1*4+2] != 2.5 {
+		t.Fatal("row-major layout violated")
+	}
+	g := f.Clone()
+	g.Set(9, 1, 2)
+	if f.At(1, 2) != 2.5 {
+		t.Fatal("Clone shares storage")
+	}
+	f.Fill(1)
+	if f.RMS() != 1 {
+		t.Fatalf("RMS = %v", f.RMS())
+	}
+	if f.MaxAbs() != 1 {
+		t.Fatalf("MaxAbs = %v", f.MaxAbs())
+	}
+}
+
+func TestFieldIsFinite(t *testing.T) {
+	f := NewField(2, 2)
+	if !f.IsFinite() {
+		t.Fatal("zero field reported non-finite")
+	}
+	f.Data[3] = math.NaN()
+	if f.IsFinite() {
+		t.Fatal("NaN undetected")
+	}
+}
+
+func TestCopyFromMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewField(2, 2).CopyFrom(NewField(2, 3))
+}
+
+func TestBCTypeStrings(t *testing.T) {
+	for _, bc := range []BCType{Inlet, Outlet, Wall, Symmetry, FarField, BCType(99)} {
+		if bc.String() == "" {
+			t.Fatal("empty BCType string")
+		}
+	}
+}
+
+func newChannelFlow(h, w int) *Flow {
+	f := NewFlow(h, w, 0.1, 0.01)
+	f.BC = Boundaries{Left: Inlet, Right: Outlet, Bottom: Wall, Top: Wall}
+	f.UIn = 1
+	f.Nu = 1e-4
+	f.NutIn = 3e-4
+	return f
+}
+
+func TestApplyBCInletOutlet(t *testing.T) {
+	f := newChannelFlow(8, 16)
+	f.U.Fill(0.5)
+	f.P.Fill(2)
+	ApplyBC(f)
+	// Inlet column: U = UIn.
+	for y := 1; y < 7; y++ {
+		if f.U.At(y, 0) != 1 {
+			t.Fatalf("inlet U = %v", f.U.At(y, 0))
+		}
+		if f.Nut.At(y, 0) != f.NutIn {
+			t.Fatal("inlet Nut not set")
+		}
+	}
+	// Outlet column: P = 0, U extrapolated.
+	for y := 1; y < 7; y++ {
+		if f.P.At(y, 15) != 0 {
+			t.Fatalf("outlet P = %v", f.P.At(y, 15))
+		}
+		if f.U.At(y, 15) != f.U.At(y, 14) {
+			t.Fatal("outlet U not zero-gradient")
+		}
+	}
+}
+
+func TestApplyBCWallNoSlip(t *testing.T) {
+	f := newChannelFlow(8, 16)
+	f.U.Fill(0.8)
+	f.V.Fill(0.1)
+	ApplyBC(f)
+	// Wall ghost mirrors so the wall-face average is zero.
+	for x := 1; x < 15; x++ {
+		if got := f.U.At(0, x) + f.U.At(1, x); math.Abs(got) > 1e-14 {
+			t.Fatalf("bottom wall face U = %v", got/2)
+		}
+		if got := f.U.At(7, x) + f.U.At(6, x); math.Abs(got) > 1e-14 {
+			t.Fatalf("top wall face U = %v", got/2)
+		}
+	}
+}
+
+func TestApplyBCSymmetry(t *testing.T) {
+	f := NewFlow(8, 16, 0.1, 0.01)
+	f.BC = Boundaries{Left: Inlet, Right: Outlet, Bottom: Wall, Top: Symmetry}
+	f.UIn = 1
+	f.U.Fill(0.8)
+	f.V.Fill(0.1)
+	ApplyBC(f)
+	for x := 1; x < 15; x++ {
+		// Symmetry: normal velocity mirrors to zero at the face, tangential
+		// zero-gradient.
+		if got := f.V.At(7, x) + f.V.At(6, x); math.Abs(got) > 1e-14 {
+			t.Fatalf("symmetry face V = %v", got/2)
+		}
+		if f.U.At(7, x) != f.U.At(6, x) {
+			t.Fatal("symmetry U not zero-gradient")
+		}
+	}
+}
+
+func TestApplyBCIdempotent(t *testing.T) {
+	f := newChannelFlow(8, 16)
+	rng := rand.New(rand.NewSource(1))
+	for i := range f.U.Data {
+		f.U.Data[i] = rng.Float64()
+		f.V.Data[i] = rng.Float64()
+		f.P.Data[i] = rng.Float64()
+		f.Nut.Data[i] = rng.Float64()
+	}
+	ApplyBC(f)
+	snapshot := ToTensor(f)
+	ApplyBC(f)
+	if tensor.MSE(snapshot, ToTensor(f)) != 0 {
+		t.Fatal("ApplyBC is not idempotent")
+	}
+}
+
+func TestApplyMask(t *testing.T) {
+	f := newChannelFlow(8, 16)
+	f.Mask = make([]bool, 8*16)
+	f.Mask[3*16+5] = true
+	f.U.Fill(1)
+	f.V.Fill(0.5)
+	f.Nut.Fill(1e-3)
+	f.P.Fill(7)
+	ApplyMask(f)
+	if f.U.At(3, 5) != 0 || f.V.At(3, 5) != 0 || f.Nut.At(3, 5) != 0 {
+		t.Fatal("mask did not zero velocity")
+	}
+	if !f.Solid(3, 5) || f.Solid(3, 6) {
+		t.Fatal("Solid() wrong")
+	}
+}
+
+func TestInitUniform(t *testing.T) {
+	f := newChannelFlow(8, 16)
+	InitUniform(f)
+	if f.U.At(4, 8) != 1 || f.Nut.At(4, 8) != f.NutIn {
+		t.Fatal("interior not initialized to freestream")
+	}
+}
+
+func TestWallDistanceChannel(t *testing.T) {
+	f := newChannelFlow(10, 20)
+	ComputeWallDistance(f)
+	// Mid-channel cell should be farther from the walls than a near-wall cell.
+	mid := f.Dist.At(5, 10)
+	near := f.Dist.At(1, 10)
+	if mid <= near {
+		t.Fatalf("distance not increasing away from wall: mid %v near %v", mid, near)
+	}
+	// Near-wall interior cell is one dy from the seeded ring.
+	if math.Abs(near-f.Dy) > 1e-12 {
+		t.Fatalf("near-wall distance %v, want %v", near, f.Dy)
+	}
+	// All distances strictly positive.
+	for _, v := range f.Dist.Data {
+		if v <= 0 {
+			t.Fatal("non-positive wall distance")
+		}
+	}
+}
+
+func TestWallDistanceImmersedBody(t *testing.T) {
+	f := NewFlow(16, 16, 0.1, 0.1)
+	f.BC = Boundaries{Left: Inlet, Right: Outlet, Bottom: FarField, Top: FarField}
+	f.Mask = make([]bool, 16*16)
+	f.Mask[8*16+8] = true
+	ComputeWallDistance(f)
+	// Neighbor of the solid cell is ~one cell away.
+	if d := f.Dist.At(8, 9); math.Abs(d-0.1) > 1e-12 {
+		t.Fatalf("adjacent distance %v", d)
+	}
+	// Distance grows with Chebyshev-ish distance.
+	if f.Dist.At(8, 12) <= f.Dist.At(8, 9) {
+		t.Fatal("distance not monotone")
+	}
+}
+
+func TestWallDistanceNoWalls(t *testing.T) {
+	f := NewFlow(8, 8, 1, 1)
+	f.BC = Boundaries{Left: Inlet, Right: Outlet, Bottom: FarField, Top: FarField}
+	ComputeWallDistance(f)
+	for _, v := range f.Dist.Data {
+		if v <= 0 || math.IsInf(v, 0) {
+			t.Fatalf("wall-free distance invalid: %v", v)
+		}
+	}
+}
+
+func TestToFromTensorRoundTrip(t *testing.T) {
+	f := newChannelFlow(6, 10)
+	rng := rand.New(rand.NewSource(2))
+	for i := range f.U.Data {
+		f.U.Data[i] = rng.NormFloat64()
+		f.V.Data[i] = rng.NormFloat64()
+		f.P.Data[i] = rng.NormFloat64()
+		f.Nut.Data[i] = rng.Float64()
+	}
+	tt := ToTensor(f)
+	if tt.Dim(1) != 6 || tt.Dim(2) != 10 || tt.Dim(3) != 4 {
+		t.Fatalf("tensor shape %v", tt.Shape())
+	}
+	g := FromTensor(tt, f)
+	for i := range f.U.Data {
+		if g.U.Data[i] != f.U.Data[i] || g.V.Data[i] != f.V.Data[i] ||
+			g.P.Data[i] != f.P.Data[i] || g.Nut.Data[i] != f.Nut.Data[i] {
+			t.Fatal("round trip mismatch")
+		}
+	}
+	if g.Nu != f.Nu || g.BC != f.BC {
+		t.Fatal("metadata not carried")
+	}
+}
+
+func TestFromTensorScalesCellSize(t *testing.T) {
+	f := newChannelFlow(8, 16)
+	tt := tensor.New(1, 16, 32, 4) // 2x resolution
+	g := FromTensor(tt, f)
+	if math.Abs(g.Dx-f.Dx/2) > 1e-15 || math.Abs(g.Dy-f.Dy/2) > 1e-15 {
+		t.Fatalf("cell size not rescaled: %v %v", g.Dx, g.Dy)
+	}
+}
+
+func TestFromTensorBadShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromTensor(tensor.New(1, 4, 4, 3), newChannelFlow(4, 4))
+}
+
+func TestFlowCloneIndependence(t *testing.T) {
+	f := newChannelFlow(4, 4)
+	f.U.Fill(1)
+	g := f.Clone()
+	g.U.Fill(2)
+	if f.U.At(1, 1) != 1 {
+		t.Fatal("Clone shares field storage")
+	}
+}
+
+// Property: ApplyBC never modifies strict-interior cells.
+func TestQuickApplyBCInteriorUntouched(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fl := newChannelFlow(6, 8)
+		for i := range fl.U.Data {
+			fl.U.Data[i] = rng.NormFloat64()
+		}
+		before := fl.U.Clone()
+		ApplyBC(fl)
+		for y := 1; y < 5; y++ {
+			for x := 1; x < 7; x++ {
+				if fl.U.At(y, x) != before.At(y, x) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package interp implements bicubic (Catmull–Rom) and bilinear resampling of
+// NHWC tensors. ADARNet uses bicubic interpolation in two places (paper
+// §3.1–3.2): refining each binned patch to its target resolution before the
+// decoder, and downsampling high-resolution predictions back to the LR grid
+// for the data term of the hybrid loss.
+//
+// Both directions are linear operators; Adjoint applies the exact transpose,
+// which the autodiff tape uses to backpropagate through resampling.
+package interp
+
+import (
+	"fmt"
+
+	"adarnet/internal/tensor"
+)
+
+// Method selects the resampling kernel.
+type Method int
+
+const (
+	// Bicubic is the Catmull–Rom cubic kernel (a = -0.5), the paper's choice.
+	Bicubic Method = iota
+	// Bilinear is a cheaper 2-tap kernel, used in ablations.
+	Bilinear
+)
+
+func (m Method) String() string {
+	switch m {
+	case Bicubic:
+		return "bicubic"
+	case Bilinear:
+		return "bilinear"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// tap is one source sample contribution to an output coordinate.
+type tap struct {
+	idx int
+	w   float64
+}
+
+// kernel1D builds, for each of n output coordinates, the source taps along a
+// single axis mapping srcN samples to n samples with half-pixel alignment.
+func kernel1D(m Method, srcN, n int) [][]tap {
+	taps := make([][]tap, n)
+	scale := float64(srcN) / float64(n)
+	for o := 0; o < n; o++ {
+		// Half-pixel centers: output pixel o samples source coordinate s.
+		s := (float64(o)+0.5)*scale - 0.5
+		switch m {
+		case Bilinear:
+			i0 := floorInt(s)
+			f := s - float64(i0)
+			taps[o] = mergeTaps([]tap{
+				{clampIdx(i0, srcN), 1 - f},
+				{clampIdx(i0+1, srcN), f},
+			})
+		default: // Bicubic
+			i0 := floorInt(s)
+			f := s - float64(i0)
+			w := cubicWeights(f)
+			tt := make([]tap, 0, 4)
+			for k := -1; k <= 2; k++ {
+				tt = append(tt, tap{clampIdx(i0+k, srcN), w[k+1]})
+			}
+			taps[o] = mergeTaps(tt)
+		}
+	}
+	return taps
+}
+
+// cubicWeights returns the 4 Catmull–Rom weights for fractional offset f.
+func cubicWeights(f float64) [4]float64 {
+	const a = -0.5
+	abs := func(x float64) float64 {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	k := func(x float64) float64 {
+		x = abs(x)
+		switch {
+		case x <= 1:
+			return (a+2)*x*x*x - (a+3)*x*x + 1
+		case x < 2:
+			return a*x*x*x - 5*a*x*x + 8*a*x - 4*a
+		default:
+			return 0
+		}
+	}
+	return [4]float64{k(f + 1), k(f), k(f - 1), k(f - 2)}
+}
+
+func floorInt(x float64) int {
+	i := int(x)
+	if float64(i) > x {
+		i--
+	}
+	return i
+}
+
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// mergeTaps combines taps that collapsed onto the same clamped index so the
+// operator and its adjoint stay exactly transposed.
+func mergeTaps(tt []tap) []tap {
+	out := tt[:0]
+	for _, t := range tt {
+		merged := false
+		for i := range out {
+			if out[i].idx == t.idx {
+				out[i].w += t.w
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Resize resamples x (N,H,W,C) to (N,outH,outW,C) with the given method.
+func Resize(m Method, x *tensor.Tensor, outH, outW int) *tensor.Tensor {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("interp: Resize requires NHWC tensor, got %v", x.Shape()))
+	}
+	n, h, w, c := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if h == outH && w == outW {
+		return x.Clone()
+	}
+	rows := kernel1D(m, h, outH)
+	cols := kernel1D(m, w, outW)
+	out := tensor.New(n, outH, outW, c)
+	xd, od := x.Data(), out.Data()
+	tensor.ParallelFor(n*outH, func(rs, re int) {
+		for r := rs; r < re; r++ {
+			ni := r / outH
+			oy := r % outH
+			for ox := 0; ox < outW; ox++ {
+				dst := od[((ni*outH+oy)*outW+ox)*c : ((ni*outH+oy)*outW+ox+1)*c]
+				for cc := range dst {
+					dst[cc] = 0
+				}
+				for _, ty := range rows[oy] {
+					base := (ni*h + ty.idx) * w
+					for _, tx := range cols[ox] {
+						wgt := ty.w * tx.w
+						src := xd[(base+tx.idx)*c : (base+tx.idx+1)*c]
+						for cc, sv := range src {
+							dst[cc] += wgt * sv
+						}
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// ResizeAdjoint applies the exact transpose of Resize: it maps a gradient on
+// the (N,outH,outW,C) output back to the (N,inH,inW,C) input space.
+func ResizeAdjoint(m Method, gy *tensor.Tensor, inH, inW int) *tensor.Tensor {
+	n, oh, ow, c := gy.Dim(0), gy.Dim(1), gy.Dim(2), gy.Dim(3)
+	if oh == inH && ow == inW {
+		return gy.Clone()
+	}
+	rows := kernel1D(m, inH, oh)
+	cols := kernel1D(m, inW, ow)
+	out := tensor.New(n, inH, inW, c)
+	gd, od := gy.Data(), out.Data()
+	// Scatter: parallelize over images so writes never collide.
+	tensor.ParallelFor(n, func(ns, ne int) {
+		for ni := ns; ni < ne; ni++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					src := gd[((ni*oh+oy)*ow+ox)*c : ((ni*oh+oy)*ow+ox+1)*c]
+					for _, ty := range rows[oy] {
+						base := (ni*inH + ty.idx) * inW
+						for _, tx := range cols[ox] {
+							wgt := ty.w * tx.w
+							dst := od[(base+tx.idx)*c : (base+tx.idx+1)*c]
+							for cc, gv := range src {
+								dst[cc] += wgt * gv
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Upsample2x resizes by an integer factor 2^level per side.
+func Upsample(m Method, x *tensor.Tensor, factor int) *tensor.Tensor {
+	return Resize(m, x, x.Dim(1)*factor, x.Dim(2)*factor)
+}
+
+// Downsample resizes down by an integer factor per side. It panics if the
+// spatial dims are not divisible by factor.
+func Downsample(m Method, x *tensor.Tensor, factor int) *tensor.Tensor {
+	h, w := x.Dim(1), x.Dim(2)
+	if h%factor != 0 || w%factor != 0 {
+		panic(fmt.Sprintf("interp: Downsample %v by %d not divisible", x.Shape(), factor))
+	}
+	return Resize(m, x, h/factor, w/factor)
+}

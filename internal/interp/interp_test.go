@@ -1,0 +1,180 @@
+package interp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adarnet/internal/tensor"
+)
+
+func TestResizeIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.RandNormal(rng, 0, 1, 2, 4, 6, 3)
+	y := Resize(Bicubic, x, 4, 6)
+	for i, v := range x.Data() {
+		if y.Data()[i] != v {
+			t.Fatal("identity resize changed values")
+		}
+	}
+}
+
+func TestResizeConstantField(t *testing.T) {
+	// A constant field must remain constant under any resize: interpolation
+	// weights sum to 1 (partition of unity).
+	for _, m := range []Method{Bicubic, Bilinear} {
+		x := tensor.Full(3.7, 1, 8, 8, 2)
+		for _, dims := range [][2]int{{16, 16}, {4, 4}, {32, 8}, {5, 13}} {
+			y := Resize(m, x, dims[0], dims[1])
+			for _, v := range y.Data() {
+				if math.Abs(v-3.7) > 1e-12 {
+					t.Fatalf("%v resize to %v broke constancy: %v", m, dims, v)
+				}
+			}
+		}
+	}
+}
+
+func TestResizeLinearRampExactForBilinear(t *testing.T) {
+	// Bilinear reproduces linear functions exactly in the interior.
+	h, w := 8, 8
+	x := tensor.New(1, h, w, 1)
+	for yy := 0; yy < h; yy++ {
+		for xx := 0; xx < w; xx++ {
+			x.Set4(float64(2*yy+3*xx), 0, yy, xx, 0)
+		}
+	}
+	y := Resize(Bilinear, x, 16, 16)
+	// Interior output pixel (oy,ox) samples source s = (o+0.5)/2 - 0.5.
+	for oy := 2; oy < 14; oy++ {
+		for ox := 2; ox < 14; ox++ {
+			sy := (float64(oy)+0.5)/2 - 0.5
+			sx := (float64(ox)+0.5)/2 - 0.5
+			want := 2*sy + 3*sx
+			got := y.At4(0, oy, ox, 0)
+			if math.Abs(got-want) > 1e-10 {
+				t.Fatalf("bilinear at (%d,%d): got %v want %v", oy, ox, got, want)
+			}
+		}
+	}
+}
+
+func TestBicubicReproducesQuadraticsBetterThanBilinear(t *testing.T) {
+	// Catmull-Rom reproduces quadratics exactly in the interior.
+	h, w := 12, 12
+	x := tensor.New(1, h, w, 1)
+	f := func(yy, xx float64) float64 { return yy*yy + 0.5*xx*xx - yy*xx }
+	for yy := 0; yy < h; yy++ {
+		for xx := 0; xx < w; xx++ {
+			x.Set4(f(float64(yy), float64(xx)), 0, yy, xx, 0)
+		}
+	}
+	y := Resize(Bicubic, x, 24, 24)
+	for oy := 6; oy < 18; oy++ {
+		for ox := 6; ox < 18; ox++ {
+			sy := (float64(oy)+0.5)/2 - 0.5
+			sx := (float64(ox)+0.5)/2 - 0.5
+			want := f(sy, sx)
+			got := y.At4(0, oy, ox, 0)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("bicubic at (%d,%d): got %v want %v", oy, ox, got, want)
+			}
+		}
+	}
+}
+
+func TestCubicWeightsPartitionOfUnity(t *testing.T) {
+	for f := 0.0; f <= 1.0; f += 0.05 {
+		w := cubicWeights(f)
+		s := w[0] + w[1] + w[2] + w[3]
+		if math.Abs(s-1) > 1e-12 {
+			t.Fatalf("weights at f=%v sum to %v", f, s)
+		}
+	}
+	// At f=0 the kernel must be exactly interpolating.
+	w := cubicWeights(0)
+	if math.Abs(w[1]-1) > 1e-12 || math.Abs(w[0]) > 1e-12 || math.Abs(w[2]) > 1e-12 || math.Abs(w[3]) > 1e-12 {
+		t.Fatalf("f=0 weights not interpolating: %v", w)
+	}
+}
+
+// TestAdjointProperty is the critical contract: <Resize(x), y> == <x, ResizeAdjoint(y)>.
+func TestAdjointProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, m := range []Method{Bicubic, Bilinear} {
+		for _, dims := range [][4]int{{4, 4, 8, 8}, {8, 8, 4, 4}, {6, 10, 13, 7}, {5, 5, 5, 9}} {
+			ih, iw, oh, ow := dims[0], dims[1], dims[2], dims[3]
+			x := tensor.RandNormal(rng, 0, 1, 2, ih, iw, 3)
+			y := tensor.RandNormal(rng, 0, 1, 2, oh, ow, 3)
+			lhs := tensor.Dot(Resize(m, x, oh, ow), y)
+			rhs := tensor.Dot(x, ResizeAdjoint(m, y, ih, iw))
+			if math.Abs(lhs-rhs) > 1e-9*math.Max(1, math.Abs(lhs)) {
+				t.Fatalf("%v %v: adjoint violated %v vs %v", m, dims, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestUpsampleDownsampleShapes(t *testing.T) {
+	x := tensor.New(1, 4, 8, 2)
+	up := Upsample(Bicubic, x, 4)
+	if up.Dim(1) != 16 || up.Dim(2) != 32 {
+		t.Fatalf("Upsample shape %v", up.Shape())
+	}
+	down := Downsample(Bicubic, up, 4)
+	if down.Dim(1) != 4 || down.Dim(2) != 8 {
+		t.Fatalf("Downsample shape %v", down.Shape())
+	}
+}
+
+func TestDownsampleNonDivisiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Downsample(Bicubic, tensor.New(1, 5, 8, 1), 2)
+}
+
+func TestDownUpRoundTripLowError(t *testing.T) {
+	// Upsample then downsample a smooth field: should come back close.
+	h, w := 8, 8
+	x := tensor.New(1, h, w, 1)
+	for yy := 0; yy < h; yy++ {
+		for xx := 0; xx < w; xx++ {
+			x.Set4(math.Sin(float64(yy)/3)+math.Cos(float64(xx)/3), 0, yy, xx, 0)
+		}
+	}
+	rt := Downsample(Bicubic, Upsample(Bicubic, x, 4), 4)
+	if err := tensor.MSE(rt, x); err > 1e-4 {
+		t.Fatalf("round-trip MSE too high: %v", err)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if Bicubic.String() != "bicubic" || Bilinear.String() != "bilinear" {
+		t.Fatal("Method.String mismatch")
+	}
+	if Method(99).String() == "" {
+		t.Fatal("unknown method must still render")
+	}
+}
+
+// Property: resizing preserves the mean of a field approximately for
+// factor-of-2 down/up of smooth random fields, and exactly preserves
+// constants (checked strictly above).
+func TestQuickResizeBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := 4 + rng.Intn(8)
+		w := 4 + rng.Intn(8)
+		x := tensor.RandUniform(rng, -1, 1, 1, h, w, 1)
+		y := Resize(Bicubic, x, 2*h, 2*w)
+		// Catmull-Rom can overshoot slightly, but stays within ~1.5x range.
+		return y.Max() <= 1.5 && y.Min() >= -1.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

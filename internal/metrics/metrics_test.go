@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"adarnet/internal/geometry"
+	"adarnet/internal/grid"
+	"adarnet/internal/solver"
+)
+
+func TestSkinFrictionLinearProfile(t *testing.T) {
+	// U(y) = y/h near the wall: τ_w = ν·∂U/∂y = ν·(U(dy/2)/(dy/2)).
+	f := grid.NewFlow(8, 16, 0.1, 0.01)
+	f.UIn = 1
+	f.Nu = 2e-3
+	for y := 0; y < 8; y++ {
+		yy := (float64(y) + 0.5) * f.Dy
+		for x := 0; x < 16; x++ {
+			f.U.Set(yy*10, y, x) // slope 10 s⁻¹
+		}
+	}
+	got := SkinFriction(f, 0.95)
+	want := f.Nu * 10 / (0.5 * 1 * 1)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Cf = %v, want %v", got, want)
+	}
+}
+
+func TestSkinFrictionClampsStation(t *testing.T) {
+	f := grid.NewFlow(4, 8, 1, 1)
+	f.UIn = 1
+	f.Nu = 1
+	f.U.Fill(1)
+	if SkinFriction(f, 2.0) == 0 {
+		// Station beyond the domain clamps to the last column; U=1 at the
+		// first cell gives nonzero Cf.
+		t.Fatal("clamped station returned zero")
+	}
+	_ = SkinFriction(f, -1) // must not panic
+}
+
+func TestDragZeroWithoutBody(t *testing.T) {
+	f := grid.NewFlow(8, 16, 1, 1)
+	if Drag(f, 0.8) != 0 {
+		t.Fatal("drag without mask must be zero")
+	}
+}
+
+func TestDragOfPressureDipole(t *testing.T) {
+	// A 4-cell-tall body with stagnation pressure p=1 on its west faces and
+	// base pressure p=-0.5 on its east faces (zero velocity → no friction):
+	// force = Σ(p_W − p_E)·Δy = 4·1.5·Δy, Cd = 2·force/(U²·D) = 3.
+	h, w := 16, 32
+	f := grid.NewFlow(h, w, 8.0/float64(w), 4.0/float64(h))
+	f.UIn = 1
+	f.Nu = 1e-5
+	f.Mask = make([]bool, h*w)
+	for y := 6; y < 10; y++ {
+		f.Mask[y*w+10] = true
+	}
+	for y := 6; y < 10; y++ {
+		f.P.Set(1.0, y, 9)   // west fluid neighbors
+		f.P.Set(-0.5, y, 11) // east fluid neighbors
+	}
+	d := 4 * f.Dy
+	want := 2 * (4 * 1.5 * f.Dy) / (1 * 1 * d)
+	got := Drag(f, 0.85)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Cd = %v, want %v", got, want)
+	}
+}
+
+func TestDragFrictionTerm(t *testing.T) {
+	// Zero pressure; fluid streaming over the top of the body at u=1 drags
+	// it forward: force = ν·u/(Δy/2)·Δx per tangential face.
+	h, w := 16, 32
+	f := grid.NewFlow(h, w, 8.0/float64(w), 4.0/float64(h))
+	f.UIn = 1
+	f.Nu = 1e-3
+	f.Mask = make([]bool, h*w)
+	f.Mask[8*w+10] = true
+	f.U.Set(1, 9, 10) // fluid above
+	f.U.Set(1, 7, 10) // fluid below
+	d := f.Dy
+	want := 2 * (2 * f.Nu * 1 / (0.5 * f.Dy) * f.Dx) / (1 * 1 * d)
+	got := Drag(f, 0.85)
+	// The body's single cell also has east/west fluid neighbors with p=0,
+	// contributing nothing.
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Cd = %v, want %v", got, want)
+	}
+}
+
+func TestDragOfSolvedCylinderPositive(t *testing.T) {
+	c := geometry.CylinderCase(1e5, 16, 32)
+	f := c.Build()
+	opt := solver.DefaultOptions()
+	opt.MaxIter = 8000
+	if _, err := solver.Solve(f, opt); err != nil {
+		t.Fatal(err)
+	}
+	cd := Drag(f, 0.85)
+	if cd <= 0 {
+		t.Fatalf("cylinder drag %v, want > 0", cd)
+	}
+	if cd > 5 {
+		t.Fatalf("cylinder drag %v unphysically large", cd)
+	}
+}
+
+func TestFieldL2(t *testing.T) {
+	a := grid.NewFlow(8, 8, 1, 1)
+	b := grid.NewFlow(8, 8, 1, 1)
+	a.U.Fill(1)
+	b.U.Fill(1)
+	if FieldL2(a, b) != 0 {
+		t.Fatal("identical fields must have zero discrepancy")
+	}
+	b.U.Fill(2)
+	if FieldL2(a, b) <= 0 {
+		t.Fatal("different fields must have positive discrepancy")
+	}
+}
+
+func TestFieldL2CrossResolution(t *testing.T) {
+	a := grid.NewFlow(8, 8, 1, 1)
+	b := grid.NewFlow(16, 16, 0.5, 0.5)
+	a.U.Fill(1)
+	b.U.Fill(1)
+	if got := FieldL2(a, b); got > 1e-10 {
+		t.Fatalf("constant fields across resolutions: L2 = %v", got)
+	}
+}
+
+func TestRichardsonOrder(t *testing.T) {
+	// Second-order sequence: q_n = q∞ + C·h², h halving each level.
+	qInf, C := 1.0, 0.3
+	q0 := qInf + C*1.0
+	q1 := qInf + C*0.25
+	q2 := qInf + C*0.0625
+	p := RichardsonOrder(q0, q1, q2, 2)
+	if math.Abs(p-2) > 1e-10 {
+		t.Fatalf("observed order %v, want 2", p)
+	}
+	est := ConvergedEstimate(q1, q2, 2, p)
+	if math.Abs(est-qInf) > 1e-10 {
+		t.Fatalf("extrapolated %v, want %v", est, qInf)
+	}
+}
+
+func TestRichardsonOrderDegenerate(t *testing.T) {
+	if !math.IsNaN(RichardsonOrder(1, 1, 1, 2)) {
+		t.Fatal("flat sequence must return NaN")
+	}
+	if !math.IsNaN(RichardsonOrder(1, 2, 3, 1)) {
+		t.Fatal("ratio 1 must return NaN")
+	}
+}

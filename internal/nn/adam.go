@@ -1,0 +1,93 @@
+package nn
+
+import (
+	"math"
+
+	"adarnet/internal/tensor"
+)
+
+// Adam implements the Adam optimizer (Kingma & Ba, 2014), the optimizer the
+// paper trains ADARNet with (lr 1e-4, default betas; §4.2). First and second
+// moment buffers are keyed per parameter and created lazily.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	step int
+	m    map[*Param]*tensor.Tensor
+	v    map[*Param]*tensor.Tensor
+}
+
+// NewAdam builds an Adam optimizer with the paper's defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8,
+		m: make(map[*Param]*tensor.Tensor),
+		v: make(map[*Param]*tensor.Tensor),
+	}
+}
+
+// Step applies one Adam update to every parameter that received a gradient
+// on the last backward pass. Parameters without gradients are skipped.
+func (a *Adam) Step(params []*Param) {
+	a.step++
+	b1c := 1 - math.Pow(a.Beta1, float64(a.step))
+	b2c := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range params {
+		g := p.Grad()
+		if g == nil {
+			continue
+		}
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.New(p.Data.Shape()...)
+			a.m[p] = m
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = tensor.New(p.Data.Shape()...)
+			a.v[p] = v
+		}
+		md, vd, gd, wd := m.Data(), v.Data(), g.Data(), p.Data.Data()
+		lr, b1, b2, eps := a.LR, a.Beta1, a.Beta2, a.Epsilon
+		tensor.ParallelFor(len(wd), func(s, e int) {
+			for i := s; i < e; i++ {
+				gi := gd[i]
+				md[i] = b1*md[i] + (1-b1)*gi
+				vd[i] = b2*vd[i] + (1-b2)*gi*gi
+				mh := md[i] / b1c
+				vh := vd[i] / b2c
+				wd[i] -= lr * mh / (math.Sqrt(vh) + eps)
+			}
+		})
+	}
+}
+
+// StepCount returns the number of updates applied so far.
+func (a *Adam) StepCount() int { return a.step }
+
+// ClipGradNorm rescales all parameter gradients in place so their global L2
+// norm does not exceed maxNorm. Returns the pre-clip norm. Training
+// stability guard for the PDE-residual term, whose gradients can spike in
+// high-variability flow regions (paper §5.1 discussion).
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		if g := p.Grad(); g != nil {
+			n := g.Norm2()
+			total += n * n
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			if g := p.Grad(); g != nil {
+				g.ScaleInPlace(scale)
+			}
+		}
+	}
+	return norm
+}

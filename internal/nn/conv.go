@@ -1,0 +1,160 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adarnet/internal/autodiff"
+	"adarnet/internal/tensor"
+)
+
+// Conv2D is a SAME-padded, stride-1 2D convolution in NHWC layout — the only
+// convolution geometry ADARNet's scorer and decoder use (3×3 kernels,
+// stride 1, spatial dims preserved; paper §3.1). The weight is stored as a
+// (kh·kw·inC)×outC matrix so the forward pass is one im2col + GEMM.
+type Conv2D struct {
+	KH, KW, InC, OutC int
+	Act               Activation
+
+	W *Param // (kh*kw*inC, outC)
+	B *Param // (outC)
+}
+
+// NewConv2D builds a Glorot-initialized convolution layer.
+func NewConv2D(name string, rng *rand.Rand, kh, kw, inC, outC int, act Activation) *Conv2D {
+	return &Conv2D{
+		KH: kh, KW: kw, InC: inC, OutC: outC, Act: act,
+		W: NewParam(name+".W", glorotConv(rng, kh, kw, inC, outC)),
+		B: NewParam(name+".B", tensor.New(outC)),
+	}
+}
+
+// Params returns the layer's trainable parameters.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// Forward applies the convolution, bias, and activation.
+func (c *Conv2D) Forward(t *autodiff.Tape, x *autodiff.Value) *autodiff.Value {
+	n, h, w, ic := x.Data.Dim(0), x.Data.Dim(1), x.Data.Dim(2), x.Data.Dim(3)
+	if ic != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D %s expects %d input channels, got %v", c.W.Name, c.InC, x.Data.Shape()))
+	}
+	wv := c.W.Bind(t)
+	bv := c.B.Bind(t)
+
+	cols := tensor.Im2Col(x.Data, c.KH, c.KW) // (R, K)
+	flat := tensor.MatMul(cols, wv.Data)      // (R, F)
+	addBiasRows(flat, bv.Data)
+	out := flat.Reshape(n, h, w, c.OutC)
+
+	kh, kw, inC, outC := c.KH, c.KW, c.InC, c.OutC
+	conv := t.NewOp(out, []*autodiff.Value{x, wv, bv}, func(g *tensor.Tensor) {
+		gFlat := g.Reshape(n*h*w, outC)
+		// dW = colsᵀ · g
+		wv.AccumGrad(tensor.MatMulT1(cols, gFlat))
+		// db = column sums of g
+		bv.AccumGrad(colSums(gFlat))
+		if x.RequiresGrad() {
+			// dx = col2im(g · Wᵀ)
+			dcols := tensor.MatMulT2(gFlat, wv.Data)
+			x.AccumGrad(tensor.Col2Im(dcols, n, h, w, inC, kh, kw))
+		}
+	})
+	return applyActivation(c.Act, conv)
+}
+
+// Deconv2D is a SAME-padded, stride-1 transposed convolution: the exact
+// adjoint of Conv2D's linear map. ADARNet's decoder uses three of these to
+// reconstruct HR patches from the convolutional representation (paper Fig 5).
+// The weight is a (kh·kw·outC)×inC matrix (note the transposed channel roles).
+type Deconv2D struct {
+	KH, KW, InC, OutC int
+	Act               Activation
+
+	W *Param // (kh*kw*outC, inC)
+	B *Param // (outC)
+}
+
+// NewDeconv2D builds a Glorot-initialized transposed-convolution layer.
+func NewDeconv2D(name string, rng *rand.Rand, kh, kw, inC, outC int, act Activation) *Deconv2D {
+	return &Deconv2D{
+		KH: kh, KW: kw, InC: inC, OutC: outC, Act: act,
+		W: NewParam(name+".W", glorotConv(rng, kh, kw, outC, inC)),
+		B: NewParam(name+".B", tensor.New(outC)),
+	}
+}
+
+// Params returns the layer's trainable parameters.
+func (d *Deconv2D) Params() []*Param { return []*Param{d.W, d.B} }
+
+// Forward applies the transposed convolution, bias, and activation.
+func (d *Deconv2D) Forward(t *autodiff.Tape, x *autodiff.Value) *autodiff.Value {
+	n, h, w, ic := x.Data.Dim(0), x.Data.Dim(1), x.Data.Dim(2), x.Data.Dim(3)
+	if ic != d.InC {
+		panic(fmt.Sprintf("nn: Deconv2D %s expects %d input channels, got %v", d.W.Name, d.InC, x.Data.Shape()))
+	}
+	wv := d.W.Bind(t)
+	bv := d.B.Bind(t)
+
+	// Forward: y = col2im(x_flat · Wᵀ) + b, where col2im scatters over the
+	// output's (kh,kw,outC) patch geometry — exactly conv's input-gradient.
+	xFlat := x.Data.Reshape(n*h*w, d.InC)
+	spread := tensor.MatMulT2(xFlat, wv.Data) // (R, kh*kw*outC)
+	out := tensor.Col2Im(spread, n, h, w, d.OutC, d.KH, d.KW)
+	addBiasNHWC(out, bv.Data)
+
+	kh, kw, inC := d.KH, d.KW, d.InC
+	dec := t.NewOp(out, []*autodiff.Value{x, wv, bv}, func(g *tensor.Tensor) {
+		// Adjoint of col2im is im2col.
+		gCols := tensor.Im2Col(g, kh, kw) // (R, kh*kw*outC)
+		// dW = gColsᵀ·x_flat → (kh*kw*outC, inC)
+		wv.AccumGrad(tensor.MatMulT1(gCols, xFlat))
+		bv.AccumGrad(channelSumsNHWC(g))
+		if x.RequiresGrad() {
+			// dx = gCols · W → (R, inC)
+			dx := tensor.MatMul(gCols, wv.Data)
+			x.AccumGrad(dx.Reshape(n, h, w, inC))
+		}
+	})
+	return applyActivation(d.Act, dec)
+}
+
+// addBiasRows adds bias b (F) to every row of flat (R×F).
+func addBiasRows(flat, b *tensor.Tensor) {
+	f := b.Len()
+	d := flat.Data()
+	bd := b.Data()
+	tensor.ParallelFor(flat.Dim(0), func(rs, re int) {
+		for r := rs; r < re; r++ {
+			row := d[r*f : (r+1)*f]
+			for j := range row {
+				row[j] += bd[j]
+			}
+		}
+	})
+}
+
+// addBiasNHWC adds a per-channel bias to an NHWC tensor.
+func addBiasNHWC(x, b *tensor.Tensor) {
+	c := b.Len()
+	addBiasRows(x.Reshape(x.Len()/c, c), b)
+}
+
+// colSums returns the per-column sums of a 2D tensor as a vector.
+func colSums(m *tensor.Tensor) *tensor.Tensor {
+	r, c := m.Dim(0), m.Dim(1)
+	out := tensor.New(c)
+	od, md := out.Data(), m.Data()
+	for i := 0; i < r; i++ {
+		row := md[i*c : (i+1)*c]
+		for j, v := range row {
+			od[j] += v
+		}
+	}
+	return out
+}
+
+// channelSumsNHWC sums an NHWC tensor over N, H, W per channel.
+func channelSumsNHWC(x *tensor.Tensor) *tensor.Tensor {
+	c := x.Dim(3)
+	return colSums(x.Reshape(x.Len()/c, c))
+}

@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Checkpointing: parameters are serialized by name with encoding/gob. Only
+// names present in both the file and the model are restored, so checkpoints
+// stay usable across additive architecture changes.
+
+// checkpointEntry is the on-disk record for one parameter.
+type checkpointEntry struct {
+	Name  string
+	Shape []int
+	Data  []float64
+}
+
+// SaveParams writes params to w in gob format.
+func SaveParams(w io.Writer, params []*Param) error {
+	entries := make([]checkpointEntry, 0, len(params))
+	for _, p := range params {
+		entries = append(entries, checkpointEntry{
+			Name:  p.Name,
+			Shape: p.Data.Shape(),
+			Data:  append([]float64(nil), p.Data.Data()...),
+		})
+	}
+	return gob.NewEncoder(w).Encode(entries)
+}
+
+// LoadParams reads a checkpoint from r and copies matching entries (by name
+// and shape) into params. It returns the number restored and an error if a
+// named match has an incompatible shape.
+func LoadParams(r io.Reader, params []*Param) (int, error) {
+	var entries []checkpointEntry
+	if err := gob.NewDecoder(r).Decode(&entries); err != nil {
+		return 0, fmt.Errorf("nn: decode checkpoint: %w", err)
+	}
+	byName := make(map[string]checkpointEntry, len(entries))
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	restored := 0
+	for _, p := range params {
+		e, ok := byName[p.Name]
+		if !ok {
+			continue
+		}
+		if len(e.Data) != p.Data.Len() {
+			return restored, fmt.Errorf("nn: checkpoint %q has %d elems, model expects %d", p.Name, len(e.Data), p.Data.Len())
+		}
+		copy(p.Data.Data(), e.Data)
+		restored++
+	}
+	return restored, nil
+}
+
+// SaveFile checkpoints params to path.
+func SaveFile(path string, params []*Param) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nn: create checkpoint: %w", err)
+	}
+	defer f.Close()
+	if err := SaveParams(f, params); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile restores params from path.
+func LoadFile(path string, params []*Param) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("nn: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	return LoadParams(f, params)
+}

@@ -1,0 +1,474 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adarnet/internal/autodiff"
+	"adarnet/internal/interp"
+	"adarnet/internal/tensor"
+)
+
+// checkLayerGrads verifies input and parameter gradients of a layer against
+// central finite differences on a scalar loss.
+func checkLayerGrads(t *testing.T, name string, layer Layer, x *tensor.Tensor) {
+	t.Helper()
+	forward := func() (*autodiff.Tape, *autodiff.Value, *autodiff.Value) {
+		tp := autodiff.NewTape()
+		xv := tp.Var(x)
+		out := layer.Forward(tp, xv)
+		return tp, xv, autodiff.SquaredL2Mean(out)
+	}
+	tp, xv, loss := forward()
+	tp.Backward(loss)
+	// Snapshot gradients now: the numeric probes below re-run forward, which
+	// re-binds params to fresh tapes and would clobber their grad nodes.
+	inputGrad := xv.Grad()
+	if inputGrad != nil {
+		inputGrad = inputGrad.Clone()
+	}
+	paramGrads := make(map[*Param]*tensor.Tensor)
+	for _, p := range layer.Params() {
+		if g := p.Grad(); g != nil {
+			paramGrads[p] = g.Clone()
+		}
+	}
+
+	lossAt := func() float64 {
+		_, _, l := forward()
+		return l.Data.Data()[0]
+	}
+	numeric := func(buf []float64, i int) float64 {
+		const h = 1e-6
+		orig := buf[i]
+		buf[i] = orig + h
+		fp := lossAt()
+		buf[i] = orig - h
+		fm := lossAt()
+		buf[i] = orig
+		return (fp - fm) / (2 * h)
+	}
+	compare := func(kind string, buf []float64, grad *tensor.Tensor, stride int) {
+		if grad == nil {
+			t.Fatalf("%s: %s grad is nil", name, kind)
+		}
+		for i := 0; i < len(buf); i += stride {
+			ng := numeric(buf, i)
+			ag := grad.Data()[i]
+			tol := 2e-4 * math.Max(1, math.Abs(ng))
+			if math.Abs(ag-ng) > tol {
+				t.Fatalf("%s: %s grad[%d] analytic %v vs numeric %v", name, kind, i, ag, ng)
+			}
+		}
+	}
+	// Check a subsample of input grads and all param grads.
+	compare("input", x.Data(), inputGrad, 3)
+	for _, p := range layer.Params() {
+		stride := 1
+		if p.NumElems() > 64 {
+			stride = p.NumElems() / 32
+		}
+		compare("param "+p.Name, p.Data.Data(), paramGrads[p], stride)
+	}
+}
+
+func TestConv2DShapeAndBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv2D("c", rng, 3, 3, 2, 5, Linear)
+	tp := autodiff.NewTape()
+	x := tp.Const(tensor.RandNormal(rng, 0, 1, 2, 6, 7, 2))
+	out := c.Forward(tp, x)
+	sh := out.Data.Shape()
+	if sh[0] != 2 || sh[1] != 6 || sh[2] != 7 || sh[3] != 5 {
+		t.Fatalf("conv output shape %v", sh)
+	}
+	// With zero weights the output equals the bias everywhere.
+	c.W.Data.Zero()
+	c.B.Data.Fill(1.25)
+	tp2 := autodiff.NewTape()
+	out2 := c.Forward(tp2, tp2.Const(tensor.RandNormal(rng, 0, 1, 1, 4, 4, 2)))
+	for _, v := range out2.Data.Data() {
+		if v != 1.25 {
+			t.Fatalf("bias-only conv output %v", v)
+		}
+	}
+}
+
+func TestConv2DIdentityKernel(t *testing.T) {
+	// A 3x3 kernel with 1 at the center copies the input channel.
+	rng := rand.New(rand.NewSource(2))
+	c := NewConv2D("c", rng, 3, 3, 1, 1, Linear)
+	c.W.Data.Zero()
+	c.B.Data.Zero()
+	// Weight layout: (kh*kw*inC, outC); center tap of 3x3 is index 4.
+	c.W.Data.Set(1, 4, 0)
+	x := tensor.RandNormal(rng, 0, 1, 1, 5, 5, 1)
+	tp := autodiff.NewTape()
+	out := c.Forward(tp, tp.Const(x))
+	for i, v := range x.Data() {
+		if math.Abs(out.Data.Data()[i]-v) > 1e-12 {
+			t.Fatal("identity kernel did not copy input")
+		}
+	}
+}
+
+func TestConv2DGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	layer := NewConv2D("c", rng, 3, 3, 2, 3, Linear)
+	x := tensor.RandNormal(rng, 0, 1, 1, 4, 5, 2)
+	checkLayerGrads(t, "conv2d", layer, x)
+}
+
+func TestConv2DGradWithActivation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	layer := NewConv2D("c", rng, 3, 3, 1, 2, Tanh)
+	x := tensor.RandNormal(rng, 0, 1, 1, 3, 3, 1)
+	checkLayerGrads(t, "conv2d+tanh", layer, x)
+}
+
+func TestDeconv2DShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := NewDeconv2D("d", rng, 3, 3, 4, 2, Linear)
+	tp := autodiff.NewTape()
+	x := tp.Const(tensor.RandNormal(rng, 0, 1, 3, 5, 6, 4))
+	out := d.Forward(tp, x)
+	sh := out.Data.Shape()
+	if sh[0] != 3 || sh[1] != 5 || sh[2] != 6 || sh[3] != 2 {
+		t.Fatalf("deconv output shape %v", sh)
+	}
+}
+
+func TestDeconv2DGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	layer := NewDeconv2D("d", rng, 3, 3, 3, 2, Linear)
+	x := tensor.RandNormal(rng, 0, 1, 1, 4, 4, 3)
+	checkLayerGrads(t, "deconv2d", layer, x)
+}
+
+func TestDeconvIsAdjointOfConv(t *testing.T) {
+	// With shared weights, <Conv(x), y> == <x, Deconv(y)> when deconv uses
+	// the same (K×F) matrix. Our Deconv2D stores W as (kh*kw*outC, inC) and
+	// computes col2im(y·Wᵀ); feeding it conv's W directly realizes convᵀ.
+	rng := rand.New(rand.NewSource(7))
+	kh, kw, inC, outC := 3, 3, 2, 4
+	conv := NewConv2D("c", rng, kh, kw, inC, outC, Linear)
+	conv.B.Data.Zero()
+	dec := NewDeconv2D("d", rng, kh, kw, outC, inC, Linear)
+	dec.B.Data.Zero()
+	dec.W.Data.CopyFrom(conv.W.Data) // both are (kh*kw*inC_conv, outC_conv)
+
+	x := tensor.RandNormal(rng, 0, 1, 1, 5, 5, inC)
+	y := tensor.RandNormal(rng, 0, 1, 1, 5, 5, outC)
+	tp := autodiff.NewTape()
+	cx := conv.Forward(tp, tp.Const(x))
+	dy := dec.Forward(tp, tp.Const(y))
+	lhs := tensor.Dot(cx.Data, y)
+	rhs := tensor.Dot(x, dy.Data)
+	if math.Abs(lhs-rhs) > 1e-9*math.Max(1, math.Abs(lhs)) {
+		t.Fatalf("deconv is not conv adjoint: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestMaxPoolForwardAndGrad(t *testing.T) {
+	x := tensor.FromSlice([]float64{
+		1, 5, 2, 0,
+		3, 4, 1, 7,
+		0, 0, 9, 8,
+		2, 1, 6, 3,
+	}, 1, 4, 4, 1)
+	p := NewMaxPool2D(2, 2)
+	tp := autodiff.NewTape()
+	xv := tp.Var(x)
+	out := p.Forward(tp, xv)
+	want := []float64{5, 7, 2, 9}
+	for i, v := range out.Data.Data() {
+		if v != want[i] {
+			t.Fatalf("maxpool out %v, want %v", out.Data.Data(), want)
+		}
+	}
+	loss := autodiff.Sum(out)
+	tp.Backward(loss)
+	g := xv.Grad()
+	// Gradient lands only on the argmax cells.
+	wantG := []float64{
+		0, 1, 0, 0,
+		0, 0, 0, 1,
+		0, 0, 1, 0,
+		1, 0, 0, 0,
+	}
+	for i, v := range g.Data() {
+		if v != wantG[i] {
+			t.Fatalf("maxpool grad %v, want %v", g.Data(), wantG)
+		}
+	}
+}
+
+func TestMaxPoolNonTilingPanics(t *testing.T) {
+	p := NewMaxPool2D(3, 3)
+	tp := autodiff.NewTape()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Forward(tp, tp.Const(tensor.New(1, 4, 4, 1)))
+}
+
+func TestAvgPoolForwardAndGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x := tensor.RandNormal(rng, 0, 1, 1, 4, 6, 2)
+	p := NewAvgPool2D(2, 3)
+	tp := autodiff.NewTape()
+	xv := tp.Var(x)
+	out := p.Forward(tp, xv)
+	if out.Data.Dim(1) != 2 || out.Data.Dim(2) != 2 {
+		t.Fatalf("avgpool shape %v", out.Data.Shape())
+	}
+	// Mean of window (0,0) checked explicitly.
+	s := 0.0
+	for yy := 0; yy < 2; yy++ {
+		for xx := 0; xx < 3; xx++ {
+			s += x.At4(0, yy, xx, 0)
+		}
+	}
+	if math.Abs(out.Data.At4(0, 0, 0, 0)-s/6) > 1e-12 {
+		t.Fatal("avgpool window mean wrong")
+	}
+	tp.Backward(autodiff.Sum(out))
+	for _, g := range xv.Grad().Data() {
+		if math.Abs(g-1.0/6.0) > 1e-12 {
+			t.Fatalf("avgpool grad %v, want 1/6", g)
+		}
+	}
+}
+
+func TestSpatialSoftmaxSimplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := tensor.RandNormal(rng, 0, 3, 4, 2, 3, 1)
+	sm := NewSpatialSoftmax()
+	tp := autodiff.NewTape()
+	out := sm.Forward(tp, tp.Const(x))
+	per := 6
+	for i := 0; i < 4; i++ {
+		s := 0.0
+		for j := 0; j < per; j++ {
+			v := out.Data.Data()[i*per+j]
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax value out of [0,1]: %v", v)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-10 {
+			t.Fatalf("softmax image %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestSpatialSoftmaxGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	layer := NewSpatialSoftmax()
+	x := tensor.RandNormal(rng, 0, 1, 2, 2, 2, 1)
+	checkLayerGrads(t, "softmax", layer, x)
+}
+
+func TestSpatialSoftmaxStability(t *testing.T) {
+	// Large logits must not overflow.
+	x := tensor.FromSlice([]float64{1000, 1000, 999, 998}, 1, 2, 2, 1)
+	tp := autodiff.NewTape()
+	out := NewSpatialSoftmax().Forward(tp, tp.Const(x))
+	if !out.Data.IsFinite() {
+		t.Fatal("softmax overflowed")
+	}
+}
+
+func TestSequentialChainsAndParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	seq := NewSequential(
+		NewConv2D("a", rng, 3, 3, 1, 4, ReLU),
+		NewConv2D("b", rng, 3, 3, 4, 2, Linear),
+	)
+	if len(seq.Params()) != 4 {
+		t.Fatalf("params = %d, want 4", len(seq.Params()))
+	}
+	tp := autodiff.NewTape()
+	out := seq.Forward(tp, tp.Const(tensor.RandNormal(rng, 0, 1, 1, 5, 5, 1)))
+	if out.Data.Dim(3) != 2 {
+		t.Fatalf("sequential output %v", out.Data.Shape())
+	}
+}
+
+func TestAdamReducesQuadratic(t *testing.T) {
+	// Minimize ||w - target||² with Adam; loss must drop by >100x.
+	rng := rand.New(rand.NewSource(12))
+	target := tensor.RandNormal(rng, 0, 1, 10)
+	p := NewParam("w", tensor.New(10))
+	opt := NewAdam(0.05)
+	first, last := 0.0, 0.0
+	for step := 0; step < 400; step++ {
+		tp := autodiff.NewTape()
+		wv := p.Bind(tp)
+		loss := autodiff.MSE(wv, target)
+		tp.Backward(loss)
+		opt.Step([]*Param{p})
+		if step == 0 {
+			first = loss.Data.Data()[0]
+		}
+		last = loss.Data.Data()[0]
+	}
+	if last > first/100 {
+		t.Fatalf("Adam failed to converge: first %v last %v", first, last)
+	}
+	if opt.StepCount() != 400 {
+		t.Fatalf("StepCount = %d", opt.StepCount())
+	}
+}
+
+func TestAdamSkipsNilGrads(t *testing.T) {
+	p := NewParam("w", tensor.FromSlice([]float64{1, 2}, 2))
+	opt := NewAdam(0.1)
+	opt.Step([]*Param{p}) // no Bind/Backward happened
+	if p.Data.Data()[0] != 1 || p.Data.Data()[1] != 2 {
+		t.Fatal("Adam must not touch params without grads")
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := NewParam("w", tensor.FromSlice([]float64{0, 0}, 2))
+	tp := autodiff.NewTape()
+	wv := p.Bind(tp)
+	loss := autodiff.Scale(10, autodiff.Sum(wv)) // grad = 10 per elem
+	tp.Backward(loss)
+	pre := ClipGradNorm([]*Param{p}, 1.0)
+	if math.Abs(pre-10*math.Sqrt2) > 1e-9 {
+		t.Fatalf("pre-clip norm %v", pre)
+	}
+	if n := p.Grad().Norm2(); math.Abs(n-1) > 1e-9 {
+		t.Fatalf("post-clip norm %v", n)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	c1 := NewConv2D("layer", rng, 3, 3, 2, 3, Linear)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, c1.Params()); err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewConv2D("layer", rand.New(rand.NewSource(99)), 3, 3, 2, 3, Linear)
+	n, err := LoadParams(&buf, c2.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("restored %d params, want 2", n)
+	}
+	for i, v := range c1.W.Data.Data() {
+		if c2.W.Data.Data()[i] != v {
+			t.Fatal("weights not restored")
+		}
+	}
+}
+
+func TestLoadShapeMismatchErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	c1 := NewConv2D("layer", rng, 3, 3, 2, 3, Linear)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, c1.Params()); err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewConv2D("layer", rng, 3, 3, 2, 4, Linear) // different outC
+	if _, err := LoadParams(&buf, c2.Params()); err == nil {
+		t.Fatal("expected shape-mismatch error")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	c := NewConv2D("f", rng, 3, 3, 1, 1, Linear)
+	path := t.TempDir() + "/ckpt.gob"
+	if err := SaveFile(path, c.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path, c.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path+".missing", c.Params()); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestResizeLayerGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	x := tensor.RandNormal(rng, 0, 1, 1, 4, 4, 2)
+	tp := autodiff.NewTape()
+	xv := tp.Var(x)
+	up := Upsample(interp.Bicubic, xv, 2)
+	if up.Data.Dim(1) != 8 {
+		t.Fatalf("upsample shape %v", up.Data.Shape())
+	}
+	loss := autodiff.SquaredL2Mean(up)
+	tp.Backward(loss)
+	// Finite-difference check on a few inputs.
+	for _, i := range []int{0, 7, 15, 31} {
+		const h = 1e-6
+		orig := x.Data()[i]
+		eval := func() float64 {
+			tp2 := autodiff.NewTape()
+			return autodiff.SquaredL2Mean(Upsample(interp.Bicubic, tp2.Var(x), 2)).Data.Data()[0]
+		}
+		x.Data()[i] = orig + h
+		fp := eval()
+		x.Data()[i] = orig - h
+		fm := eval()
+		x.Data()[i] = orig
+		ng := (fp - fm) / (2 * h)
+		ag := xv.Grad().Data()[i]
+		if math.Abs(ag-ng) > 1e-4*math.Max(1, math.Abs(ng)) {
+			t.Fatalf("resize grad[%d]: analytic %v numeric %v", i, ag, ng)
+		}
+	}
+}
+
+func TestCountParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	c := NewConv2D("c", rng, 3, 3, 4, 8, Linear)
+	if got := CountParams(c.Params()); got != 3*3*4*8+8 {
+		t.Fatalf("CountParams = %d", got)
+	}
+}
+
+func TestActivationString(t *testing.T) {
+	for _, a := range []Activation{Linear, ReLU, LeakyReLU, Tanh, Activation(42)} {
+		if a.String() == "" {
+			t.Fatal("empty activation string")
+		}
+	}
+}
+
+// Property: softmax output is invariant to adding a constant to all logits.
+func TestQuickSoftmaxShiftInvariance(t *testing.T) {
+	f := func(shift float64, seed int64) bool {
+		if math.IsNaN(shift) || math.Abs(shift) > 100 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		x := tensor.RandNormal(rng, 0, 1, 1, 2, 3, 1)
+		xs := tensor.Apply(x, func(v float64) float64 { return v + shift })
+		tp := autodiff.NewTape()
+		sm := NewSpatialSoftmax()
+		a := sm.Forward(tp, tp.Const(x))
+		b := sm.Forward(tp, tp.Const(xs))
+		for i := range a.Data.Data() {
+			if math.Abs(a.Data.Data()[i]-b.Data.Data()[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

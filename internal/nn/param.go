@@ -1,0 +1,137 @@
+// Package nn implements the neural-network layers ADARNet is built from:
+// SAME-padded stride-1 Conv2D and Deconv2D (transposed convolution), MaxPool,
+// spatial Softmax, the Adam optimizer, Glorot initialization, and gob-based
+// checkpointing. Layers are define-by-run: each Forward call records onto an
+// autodiff.Tape.
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adarnet/internal/autodiff"
+	"adarnet/internal/tensor"
+)
+
+// Param is a trainable tensor. It persists across steps; every forward pass
+// binds it to the step's tape, and Grad() reads the gradient accumulated by
+// the last Backward.
+type Param struct {
+	Name string
+	Data *tensor.Tensor
+
+	node *autodiff.Value // var on the current step's tape
+}
+
+// NewParam wraps data as a named trainable parameter.
+func NewParam(name string, data *tensor.Tensor) *Param {
+	return &Param{Name: name, Data: data}
+}
+
+// Bind registers the parameter on the tape for this step and returns its
+// Value. Layers call this at the start of Forward.
+func (p *Param) Bind(t *autodiff.Tape) *autodiff.Value {
+	p.node = t.Var(p.Data)
+	return p.node
+}
+
+// Grad returns the gradient accumulated on the last bound tape, or nil.
+func (p *Param) Grad() *tensor.Tensor {
+	if p.node == nil {
+		return nil
+	}
+	return p.node.Grad()
+}
+
+// NumElems returns the parameter's element count.
+func (p *Param) NumElems() int { return p.Data.Len() }
+
+// Layer is a trainable module: it transforms a Value on a tape and exposes
+// its parameters for the optimizer and the checkpointer.
+type Layer interface {
+	Forward(t *autodiff.Tape, x *autodiff.Value) *autodiff.Value
+	Params() []*Param
+}
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a Sequential from layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward applies each layer in order.
+func (s *Sequential) Forward(t *autodiff.Tape, x *autodiff.Value) *autodiff.Value {
+	for _, l := range s.Layers {
+		x = l.Forward(t, x)
+	}
+	return x
+}
+
+// Params returns the concatenated parameters of all layers.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// CountParams sums the element counts of params.
+func CountParams(ps []*Param) int {
+	n := 0
+	for _, p := range ps {
+		n += p.NumElems()
+	}
+	return n
+}
+
+// Activation selects a layer's nonlinearity.
+type Activation int
+
+const (
+	// Linear applies no nonlinearity.
+	Linear Activation = iota
+	// ReLU applies max(0, x).
+	ReLU
+	// LeakyReLU applies x for x>0 else 0.1x.
+	LeakyReLU
+	// Tanh applies tanh(x).
+	Tanh
+)
+
+func (a Activation) String() string {
+	switch a {
+	case Linear:
+		return "linear"
+	case ReLU:
+		return "relu"
+	case LeakyReLU:
+		return "leaky_relu"
+	case Tanh:
+		return "tanh"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+func applyActivation(a Activation, v *autodiff.Value) *autodiff.Value {
+	switch a {
+	case ReLU:
+		return autodiff.ReLU(v)
+	case LeakyReLU:
+		return autodiff.LeakyReLU(0.1, v)
+	case Tanh:
+		return autodiff.Tanh(v)
+	default:
+		return v
+	}
+}
+
+// glorotConv initializes a (K×F) conv weight matrix for kh×kw kernels.
+func glorotConv(rng *rand.Rand, kh, kw, inC, outC int) *tensor.Tensor {
+	fanIn := kh * kw * inC
+	fanOut := kh * kw * outC
+	return tensor.GlorotUniform(rng, fanIn, fanOut, kh*kw*inC, outC)
+}

@@ -1,0 +1,141 @@
+package nn
+
+import (
+	"fmt"
+
+	"adarnet/internal/autodiff"
+	"adarnet/internal/tensor"
+)
+
+// MaxPool2D pools with pool size == stride == (PH, PW), the configuration
+// ADARNet's scorer uses to collapse the single-channel latent image into one
+// non-normalized score per patch (paper Fig. 4). Max pooling (rather than
+// average) is the paper's deliberate conservative choice: a patch is refined
+// if ANY cell inside it demands it (§5.1).
+type MaxPool2D struct {
+	PH, PW int
+}
+
+// NewMaxPool2D builds a max-pool layer with pool size and stride (ph, pw).
+func NewMaxPool2D(ph, pw int) *MaxPool2D { return &MaxPool2D{PH: ph, PW: pw} }
+
+// Params returns nil: pooling is not trainable.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// Forward pools x (N,H,W,C) to (N,H/PH,W/PW,C), recording argmax positions
+// for the backward scatter.
+func (p *MaxPool2D) Forward(t *autodiff.Tape, x *autodiff.Value) *autodiff.Value {
+	n, h, w, c := x.Data.Dim(0), x.Data.Dim(1), x.Data.Dim(2), x.Data.Dim(3)
+	if h%p.PH != 0 || w%p.PW != 0 {
+		panic(fmt.Sprintf("nn: MaxPool2D (%d,%d) does not tile input %v", p.PH, p.PW, x.Data.Shape()))
+	}
+	oh, ow := h/p.PH, w/p.PW
+	out := tensor.New(n, oh, ow, c)
+	argmax := make([]int, n*oh*ow*c) // flat input index of each max
+	xd, od := x.Data.Data(), out.Data()
+	ph, pw := p.PH, p.PW
+	tensor.ParallelFor(n*oh, func(rs, re int) {
+		for r := rs; r < re; r++ {
+			ni := r / oh
+			oy := r % oh
+			for ox := 0; ox < ow; ox++ {
+				for cc := 0; cc < c; cc++ {
+					best := -1
+					bestV := 0.0
+					for dy := 0; dy < ph; dy++ {
+						yy := oy*ph + dy
+						for dx := 0; dx < pw; dx++ {
+							xx := ox*pw + dx
+							idx := ((ni*h+yy)*w+xx)*c + cc
+							if best == -1 || xd[idx] > bestV {
+								best, bestV = idx, xd[idx]
+							}
+						}
+					}
+					oi := ((ni*oh+oy)*ow+ox)*c + cc
+					od[oi] = bestV
+					argmax[oi] = best
+				}
+			}
+		}
+	})
+	return t.NewOp(out, []*autodiff.Value{x}, func(g *tensor.Tensor) {
+		if !x.RequiresGrad() {
+			return
+		}
+		gx := tensor.New(n, h, w, c)
+		gxd, gd := gx.Data(), g.Data()
+		for oi, ii := range argmax {
+			gxd[ii] += gd[oi]
+		}
+		x.AccumGrad(gx)
+	})
+}
+
+// AvgPool2D is the average-pooling variant used only by the ablation study
+// comparing the paper's max-pool scorer aggregation against averaging.
+type AvgPool2D struct {
+	PH, PW int
+}
+
+// NewAvgPool2D builds an average-pool layer with pool size and stride (ph, pw).
+func NewAvgPool2D(ph, pw int) *AvgPool2D { return &AvgPool2D{PH: ph, PW: pw} }
+
+// Params returns nil: pooling is not trainable.
+func (p *AvgPool2D) Params() []*Param { return nil }
+
+// Forward pools x (N,H,W,C) to (N,H/PH,W/PW,C) by window means.
+func (p *AvgPool2D) Forward(t *autodiff.Tape, x *autodiff.Value) *autodiff.Value {
+	n, h, w, c := x.Data.Dim(0), x.Data.Dim(1), x.Data.Dim(2), x.Data.Dim(3)
+	if h%p.PH != 0 || w%p.PW != 0 {
+		panic(fmt.Sprintf("nn: AvgPool2D (%d,%d) does not tile input %v", p.PH, p.PW, x.Data.Shape()))
+	}
+	oh, ow := h/p.PH, w/p.PW
+	out := tensor.New(n, oh, ow, c)
+	xd, od := x.Data.Data(), out.Data()
+	ph, pw := p.PH, p.PW
+	inv := 1.0 / float64(ph*pw)
+	tensor.ParallelFor(n*oh, func(rs, re int) {
+		for r := rs; r < re; r++ {
+			ni := r / oh
+			oy := r % oh
+			for ox := 0; ox < ow; ox++ {
+				for cc := 0; cc < c; cc++ {
+					s := 0.0
+					for dy := 0; dy < ph; dy++ {
+						yy := oy*ph + dy
+						for dx := 0; dx < pw; dx++ {
+							xx := ox*pw + dx
+							s += xd[((ni*h+yy)*w+xx)*c+cc]
+						}
+					}
+					od[((ni*oh+oy)*ow+ox)*c+cc] = s * inv
+				}
+			}
+		}
+	})
+	return t.NewOp(out, []*autodiff.Value{x}, func(g *tensor.Tensor) {
+		if !x.RequiresGrad() {
+			return
+		}
+		gx := tensor.New(n, h, w, c)
+		gxd, gd := gx.Data(), g.Data()
+		for r := 0; r < n*oh; r++ {
+			ni := r / oh
+			oy := r % oh
+			for ox := 0; ox < ow; ox++ {
+				for cc := 0; cc < c; cc++ {
+					gv := gd[((ni*oh+oy)*ow+ox)*c+cc] * inv
+					for dy := 0; dy < ph; dy++ {
+						yy := oy*ph + dy
+						for dx := 0; dx < pw; dx++ {
+							xx := ox*pw + dx
+							gxd[((ni*h+yy)*w+xx)*c+cc] += gv
+						}
+					}
+				}
+			}
+		}
+		x.AccumGrad(gx)
+	})
+}

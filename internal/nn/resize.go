@@ -1,0 +1,31 @@
+package nn
+
+import (
+	"adarnet/internal/autodiff"
+	"adarnet/internal/interp"
+	"adarnet/internal/tensor"
+)
+
+// Differentiable resampling: Resize records a bicubic/bilinear resize on the
+// tape with the exact adjoint as its backward pass. ADARNet uses this for
+// the ranker's patch refinement (upsample to target resolution) and for
+// downsampling HR predictions to the LR grid inside the hybrid loss.
+
+// Resize resamples v to (outH, outW) differentiably.
+func Resize(m interp.Method, v *autodiff.Value, outH, outW int) *autodiff.Value {
+	inH, inW := v.Data.Dim(1), v.Data.Dim(2)
+	out := interp.Resize(m, v.Data, outH, outW)
+	return autodiff.LinearOp(v, out, func(g *tensor.Tensor) *tensor.Tensor {
+		return interp.ResizeAdjoint(m, g, inH, inW)
+	})
+}
+
+// Upsample resizes v by an integer factor per side.
+func Upsample(m interp.Method, v *autodiff.Value, factor int) *autodiff.Value {
+	return Resize(m, v, v.Data.Dim(1)*factor, v.Data.Dim(2)*factor)
+}
+
+// Downsample resizes v down by an integer factor per side.
+func Downsample(m interp.Method, v *autodiff.Value, factor int) *autodiff.Value {
+	return Resize(m, v, v.Data.Dim(1)/factor, v.Data.Dim(2)/factor)
+}

@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"math"
+
+	"adarnet/internal/autodiff"
+	"adarnet/internal/tensor"
+)
+
+// SpatialSoftmax normalizes the scorer's per-patch scores into a 0–1
+// probability distribution over all patches of each image (paper Fig. 4).
+// Input is (N, NPy, NPx, 1); the softmax runs over the NPy·NPx positions of
+// each image independently.
+type SpatialSoftmax struct{}
+
+// NewSpatialSoftmax builds the layer.
+func NewSpatialSoftmax() *SpatialSoftmax { return &SpatialSoftmax{} }
+
+// Params returns nil: softmax is not trainable.
+func (s *SpatialSoftmax) Params() []*Param { return nil }
+
+// Forward applies a per-image softmax over all spatial positions.
+func (s *SpatialSoftmax) Forward(t *autodiff.Tape, x *autodiff.Value) *autodiff.Value {
+	n := x.Data.Dim(0)
+	per := x.Data.Len() / maxInt(n, 1)
+	out := tensor.New(x.Data.Shape()...)
+	xd, od := x.Data.Data(), out.Data()
+	for i := 0; i < n; i++ {
+		softmaxInto(od[i*per:(i+1)*per], xd[i*per:(i+1)*per])
+	}
+	return t.NewOp(out, []*autodiff.Value{x}, func(g *tensor.Tensor) {
+		if !x.RequiresGrad() {
+			return
+		}
+		gx := tensor.New(x.Data.Shape()...)
+		gxd, gd := gx.Data(), g.Data()
+		for i := 0; i < n; i++ {
+			si := od[i*per : (i+1)*per]
+			gi := gd[i*per : (i+1)*per]
+			dot := 0.0
+			for j, sv := range si {
+				dot += sv * gi[j]
+			}
+			dst := gxd[i*per : (i+1)*per]
+			for j, sv := range si {
+				dst[j] = sv * (gi[j] - dot)
+			}
+		}
+		x.AccumGrad(gx)
+	})
+}
+
+// softmaxInto writes softmax(src) into dst with max-subtraction for
+// numerical stability.
+func softmaxInto(dst, src []float64) {
+	m := src[0]
+	for _, v := range src[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	sum := 0.0
+	for i, v := range src {
+		e := math.Exp(v - m)
+		dst[i] = e
+		sum += e
+	}
+	inv := 1.0 / sum
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

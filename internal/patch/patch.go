@@ -1,0 +1,152 @@
+// Package patch provides the per-patch refinement-level map shared by the
+// traditional AMR baseline and ADARNet: the domain is tiled into fixed-size
+// patches (16×16 LR cells in the paper, §4.2) and each patch carries a
+// refinement level n ∈ [0, MaxLevel]; level n means the patch is resolved at
+// 2ⁿ× per side (4ⁿ× cells) relative to the LR grid.
+package patch
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// MaxLevel is the paper's refinement cap: 4 resolutions (n = 0..3), standard
+// AMR practice to avoid tiny cells (§4.2).
+const MaxLevel = 3
+
+// Map assigns a refinement level to each patch of an H×W LR grid tiled by
+// PH×PW patches.
+type Map struct {
+	NPy, NPx int // patch counts in y and x
+	PH, PW   int // patch size in LR cells
+	Level    []int
+}
+
+// NewMap builds a zero-level map for an h×w LR grid with ph×pw patches.
+// The grid must tile exactly.
+func NewMap(h, w, ph, pw int) *Map {
+	if h%ph != 0 || w%pw != 0 {
+		panic(fmt.Sprintf("patch: %dx%d grid not tiled by %dx%d patches", h, w, ph, pw))
+	}
+	npy, npx := h/ph, w/pw
+	return &Map{NPy: npy, NPx: npx, PH: ph, PW: pw, Level: make([]int, npy*npx)}
+}
+
+// N returns the total patch count.
+func (m *Map) N() int { return m.NPy * m.NPx }
+
+// At returns the level of patch (py, px).
+func (m *Map) At(py, px int) int { return m.Level[py*m.NPx+px] }
+
+// Set assigns the level of patch (py, px), clamped to [0, MaxLevel].
+func (m *Map) Set(level, py, px int) {
+	if level < 0 {
+		level = 0
+	}
+	if level > MaxLevel {
+		level = MaxLevel
+	}
+	m.Level[py*m.NPx+px] = level
+}
+
+// Clone deep-copies the map.
+func (m *Map) Clone() *Map {
+	c := *m
+	c.Level = append([]int(nil), m.Level...)
+	return &c
+}
+
+// Equal reports whether two maps have identical geometry and levels.
+func (m *Map) Equal(o *Map) bool {
+	if m.NPy != o.NPy || m.NPx != o.NPx || m.PH != o.PH || m.PW != o.PW {
+		return false
+	}
+	for i, l := range m.Level {
+		if o.Level[i] != l {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxLevelUsed returns the largest level present.
+func (m *Map) MaxLevelUsed() int {
+	max := 0
+	for _, l := range m.Level {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// CompositeCells returns the total cell count of the non-uniform mesh the
+// map describes: Σ patchCells · 4^level. This is the degree-of-freedom
+// count that drives memory and per-iteration cost.
+func (m *Map) CompositeCells() int {
+	per := m.PH * m.PW
+	total := 0
+	for _, l := range m.Level {
+		total += per << (2 * uint(l))
+	}
+	return total
+}
+
+// UniformCells returns the cell count of the uniform mesh at the map's
+// maximum used level — what a uniform-SR method must pay for everywhere.
+func (m *Map) UniformCells() int {
+	per := m.PH * m.PW
+	return m.N() * (per << (2 * uint(m.MaxLevelUsed())))
+}
+
+// Histogram returns how many patches sit at each level 0..MaxLevel.
+func (m *Map) Histogram() [MaxLevel + 1]int {
+	var h [MaxLevel + 1]int
+	for _, l := range m.Level {
+		h[l]++
+	}
+	return h
+}
+
+// Agreement returns the fraction of patches whose level in m and o differ by
+// at most tol levels. Used to quantify ADARNet-vs-AMR refinement agreement
+// (Fig. 9's qualitative comparison, made quantitative).
+func (m *Map) Agreement(o *Map, tol int) float64 {
+	if m.NPy != o.NPy || m.NPx != o.NPx {
+		panic("patch: Agreement on incompatible maps")
+	}
+	match := 0
+	for i, l := range m.Level {
+		d := l - o.Level[i]
+		if d < 0 {
+			d = -d
+		}
+		if d <= tol {
+			match++
+		}
+	}
+	return float64(match) / float64(len(m.Level))
+}
+
+// Render draws the level map as ASCII art (row 0 at the bottom, like the
+// physical domain), one digit per patch.
+func (m *Map) Render() string {
+	var b strings.Builder
+	for py := m.NPy - 1; py >= 0; py-- {
+		for px := 0; px < m.NPx; px++ {
+			fmt.Fprintf(&b, "%d", m.At(py, px))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MeanLevel returns the average refinement level.
+func (m *Map) MeanLevel() float64 {
+	s := 0
+	for _, l := range m.Level {
+		s += l
+	}
+	return float64(s) / math.Max(float64(len(m.Level)), 1)
+}

@@ -1,0 +1,149 @@
+package patch
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMapGeometry(t *testing.T) {
+	m := NewMap(16, 64, 4, 4)
+	if m.NPy != 4 || m.NPx != 16 {
+		t.Fatalf("patch grid %dx%d", m.NPy, m.NPx)
+	}
+	if m.N() != 64 {
+		t.Fatalf("N = %d", m.N())
+	}
+}
+
+func TestNewMapNonTilingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMap(10, 16, 4, 4)
+}
+
+func TestSetClamps(t *testing.T) {
+	m := NewMap(8, 8, 4, 4)
+	m.Set(99, 0, 0)
+	if m.At(0, 0) != MaxLevel {
+		t.Fatalf("level not clamped: %d", m.At(0, 0))
+	}
+	m.Set(-5, 0, 1)
+	if m.At(0, 1) != 0 {
+		t.Fatal("negative level not clamped")
+	}
+}
+
+func TestCompositeCells(t *testing.T) {
+	m := NewMap(8, 8, 4, 4) // 4 patches of 16 cells
+	if m.CompositeCells() != 64 {
+		t.Fatalf("all-LR composite = %d", m.CompositeCells())
+	}
+	m.Set(1, 0, 0) // 16·4 = 64 for that patch
+	if m.CompositeCells() != 64-16+64 {
+		t.Fatalf("composite after refine = %d", m.CompositeCells())
+	}
+	m.Set(3, 1, 1) // 16·64 = 1024
+	want := 16 + 64 + 16 + 1024
+	if m.CompositeCells() != want {
+		t.Fatalf("composite = %d, want %d", m.CompositeCells(), want)
+	}
+}
+
+func TestUniformCells(t *testing.T) {
+	m := NewMap(8, 8, 4, 4)
+	m.Set(2, 0, 0)
+	// Max level 2 → every patch at 16·16 = 256 cells.
+	if m.UniformCells() != 4*256 {
+		t.Fatalf("uniform = %d", m.UniformCells())
+	}
+}
+
+func TestCompositeNeverExceedsUniform(t *testing.T) {
+	f := func(levels []byte) bool {
+		m := NewMap(8, 16, 4, 4)
+		for i := range m.Level {
+			if i < len(levels) {
+				m.Set(int(levels[i])%4, i/m.NPx, i%m.NPx)
+			}
+		}
+		return m.CompositeCells() <= m.UniformCells()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramAndMean(t *testing.T) {
+	m := NewMap(8, 8, 4, 4)
+	m.Set(3, 0, 0)
+	m.Set(3, 0, 1)
+	m.Set(1, 1, 0)
+	h := m.Histogram()
+	if h[0] != 1 || h[1] != 1 || h[3] != 2 {
+		t.Fatalf("histogram %v", h)
+	}
+	if got := m.MeanLevel(); got != (3+3+1+0)/4.0 {
+		t.Fatalf("mean level %v", got)
+	}
+}
+
+func TestAgreement(t *testing.T) {
+	a := NewMap(8, 8, 4, 4)
+	b := NewMap(8, 8, 4, 4)
+	if a.Agreement(b, 0) != 1 {
+		t.Fatal("identical maps must agree fully")
+	}
+	b.Set(2, 0, 0)
+	if got := a.Agreement(b, 0); got != 0.75 {
+		t.Fatalf("agreement %v, want 0.75", got)
+	}
+	if got := a.Agreement(b, 2); got != 1 {
+		t.Fatalf("agreement tol=2 %v, want 1", got)
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	a := NewMap(8, 8, 4, 4)
+	a.Set(2, 1, 1)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b.Set(3, 0, 0)
+	if a.Equal(b) {
+		t.Fatal("mutation leaked into original")
+	}
+	c := NewMap(8, 12, 4, 4)
+	if a.Equal(c) {
+		t.Fatal("different geometry reported equal")
+	}
+}
+
+func TestRender(t *testing.T) {
+	m := NewMap(8, 12, 4, 4)
+	m.Set(3, 1, 2) // top-right in physical orientation
+	r := m.Render()
+	lines := strings.Split(strings.TrimSpace(r), "\n")
+	if len(lines) != 2 || len(lines[0]) != 3 {
+		t.Fatalf("render shape wrong:\n%s", r)
+	}
+	// Row 1 (upper) renders first.
+	if lines[0] != "003" {
+		t.Fatalf("render content %q", lines[0])
+	}
+}
+
+func TestMaxLevelUsed(t *testing.T) {
+	m := NewMap(8, 8, 4, 4)
+	if m.MaxLevelUsed() != 0 {
+		t.Fatal("fresh map max level")
+	}
+	m.Set(2, 1, 1)
+	if m.MaxLevelUsed() != 2 {
+		t.Fatal("max level not tracked")
+	}
+}

@@ -1,0 +1,173 @@
+// Package physics implements the governing equations of the substrate: the
+// 2D incompressible RANS equations closed with the Spalart–Allmaras (SA)
+// one-equation turbulence model (paper §4.1, Eqs. 2–4). It provides both the
+// pointwise right-hand sides the pseudo-time solver integrates and the PDE
+// residual fields the hybrid loss (Eq. 1) and convergence monitors evaluate.
+//
+// Discretization: cell-centered finite differences on a uniform grid —
+// first-order upwind for convection (robust for the high-Re cases), second-
+// order central for pressure gradients and diffusion.
+package physics
+
+import (
+	"math"
+
+	"adarnet/internal/grid"
+)
+
+// Spalart–Allmaras closure constants (original 1992 reference values).
+const (
+	SACb1   = 0.1355
+	SACb2   = 0.622
+	SASigma = 2.0 / 3.0
+	SAKappa = 0.41
+	SACw2   = 0.3
+	SACw3   = 2.0
+	SACv1   = 7.1
+)
+
+// SACw1 is derived: cb1/κ² + (1+cb2)/σ.
+var SACw1 = SACb1/(SAKappa*SAKappa) + (1+SACb2)/SASigma
+
+// Fv1 is the SA viscous damping function: χ³/(χ³+cv1³).
+func Fv1(chi float64) float64 {
+	c3 := chi * chi * chi
+	return c3 / (c3 + SACv1*SACv1*SACv1)
+}
+
+// Fv2 is the SA auxiliary function 1 - χ/(1+χ·fv1).
+func Fv2(chi float64) float64 {
+	return 1 - chi/(1+chi*Fv1(chi))
+}
+
+// EddyViscosity returns ν_t = ν̃·fv1(ν̃/ν).
+func EddyViscosity(nut, nu float64) float64 {
+	if nut <= 0 {
+		return 0
+	}
+	return nut * Fv1(nut/nu)
+}
+
+// Residual holds the PDE residual fields: continuity plus the two momentum
+// components (ne = 3 in the paper's loss).
+type Residual struct {
+	Continuity *grid.Field
+	MomentumX  *grid.Field
+	MomentumY  *grid.Field
+}
+
+// RMS returns the combined root-mean-square of all three residuals.
+func (r *Residual) RMS() float64 {
+	c, mx, my := r.Continuity.RMS(), r.MomentumX.RMS(), r.MomentumY.RMS()
+	return math.Sqrt((c*c + mx*mx + my*my) / 3)
+}
+
+// ComputeResiduals evaluates the steady RANS residuals on the interior of f:
+//
+//	continuity: ∂U/∂x + ∂V/∂y
+//	momentum:   (U·∇)U + ∇p − ∇·((ν+ν_t)∇U)   (per component)
+//
+// Solid-masked cells and the boundary ring have zero residual.
+func ComputeResiduals(f *grid.Flow) *Residual {
+	h, w := f.H, f.W
+	r := &Residual{
+		Continuity: grid.NewField(h, w),
+		MomentumX:  grid.NewField(h, w),
+		MomentumY:  grid.NewField(h, w),
+	}
+	inv2dx, inv2dy := 1/(2*f.Dx), 1/(2*f.Dy)
+	invdx2, invdy2 := 1/(f.Dx*f.Dx), 1/(f.Dy*f.Dy)
+	u, v, p, nt := f.U.Data, f.V.Data, f.P.Data, f.Nut.Data
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			i := y*w + x
+			if f.Solid(y, x) {
+				continue
+			}
+			iE, iW, iN, iS := i+1, i-1, i+w, i-w
+
+			dudx := (u[iE] - u[iW]) * inv2dx
+			dudy := (u[iN] - u[iS]) * inv2dy
+			dvdx := (v[iE] - v[iW]) * inv2dx
+			dvdy := (v[iN] - v[iS]) * inv2dy
+			r.Continuity.Data[i] = dudx + dvdy
+
+			nuEff := f.Nu + EddyViscosity(nt[i], f.Nu)
+			lapU := (u[iE]-2*u[i]+u[iW])*invdx2 + (u[iN]-2*u[i]+u[iS])*invdy2
+			lapV := (v[iE]-2*v[i]+v[iW])*invdx2 + (v[iN]-2*v[i]+v[iS])*invdy2
+			dpdx := (p[iE] - p[iW]) * inv2dx
+			dpdy := (p[iN] - p[iS]) * inv2dy
+
+			r.MomentumX.Data[i] = u[i]*dudx + v[i]*dudy + dpdx - nuEff*lapU
+			r.MomentumY.Data[i] = u[i]*dvdx + v[i]*dvdy + dpdy - nuEff*lapV
+		}
+	}
+	return r
+}
+
+// VorticityMag returns |ω| = |∂V/∂x − ∂U/∂y| on the interior.
+func VorticityMag(f *grid.Flow) *grid.Field {
+	h, w := f.H, f.W
+	out := grid.NewField(h, w)
+	inv2dx, inv2dy := 1/(2*f.Dx), 1/(2*f.Dy)
+	u, v := f.U.Data, f.V.Data
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			i := y*w + x
+			dvdx := (v[i+1] - v[i-1]) * inv2dx
+			dudy := (u[i+w] - u[i-w]) * inv2dy
+			out.Data[i] = math.Abs(dvdx - dudy)
+		}
+	}
+	return out
+}
+
+// GradMag returns the magnitude of the gradient of a scalar field on f's
+// grid — the feature the baseline AMR solver refines on (‖∇ν̃‖, §4.3).
+func GradMag(s *grid.Field, dx, dy float64) *grid.Field {
+	h, w := s.H, s.W
+	out := grid.NewField(h, w)
+	inv2dx, inv2dy := 1/(2*dx), 1/(2*dy)
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			i := y*w + x
+			gx := (s.Data[i+1] - s.Data[i-1]) * inv2dx
+			gy := (s.Data[i+w] - s.Data[i-w]) * inv2dy
+			out.Data[i] = math.Hypot(gx, gy)
+		}
+	}
+	return out
+}
+
+// SASource returns the SA production − destruction + cb2 gradient-squared
+// source at interior cell i, given precomputed vorticity and wall distance.
+func SASource(f *grid.Flow, i int, vort float64) float64 {
+	nut := f.Nut.Data[i]
+	if nut < 0 {
+		nut = 0
+	}
+	d := f.Dist.Data[i]
+	chi := nut / f.Nu
+	fv2 := Fv2(chi)
+	kd2 := SAKappa * SAKappa * d * d
+	sTilde := vort + nut/kd2*fv2
+	if sTilde < 0.3*vort {
+		sTilde = 0.3 * vort // standard clipping to keep S̃ positive
+	}
+	prod := SACb1 * sTilde * nut
+
+	rr := 10.0
+	if sTilde > 1e-12 {
+		rr = nut / (sTilde * kd2)
+		if rr > 10 {
+			rr = 10
+		}
+	}
+	g := rr + SACw2*(math.Pow(rr, 6)-rr)
+	g6 := math.Pow(g, 6)
+	cw36 := math.Pow(SACw3, 6)
+	fw := g * math.Pow((1+cw36)/(g6+cw36), 1.0/6.0)
+	destr := SACw1 * fw * (nut / d) * (nut / d)
+
+	return prod - destr
+}

@@ -1,0 +1,236 @@
+package physics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adarnet/internal/grid"
+)
+
+func uniformFlow(h, w int) *grid.Flow {
+	f := grid.NewFlow(h, w, 0.1, 0.1)
+	f.BC = grid.Boundaries{Left: grid.Inlet, Right: grid.Outlet, Bottom: grid.Wall, Top: grid.Wall}
+	f.UIn = 1
+	f.Nu = 1e-3
+	f.NutIn = 3e-3
+	return f
+}
+
+func TestSAConstants(t *testing.T) {
+	// cw1 = cb1/κ² + (1+cb2)/σ per the original model.
+	want := SACb1/(SAKappa*SAKappa) + (1+SACb2)/SASigma
+	if math.Abs(SACw1-want) > 1e-14 {
+		t.Fatalf("SACw1 = %v, want %v", SACw1, want)
+	}
+}
+
+func TestFv1Limits(t *testing.T) {
+	if Fv1(0) != 0 {
+		t.Fatal("fv1(0) must be 0")
+	}
+	if got := Fv1(1e6); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("fv1(∞) → %v, want 1", got)
+	}
+	// Monotone increasing.
+	prev := 0.0
+	for chi := 0.5; chi < 100; chi *= 2 {
+		v := Fv1(chi)
+		if v < prev {
+			t.Fatal("fv1 not monotone")
+		}
+		prev = v
+	}
+}
+
+func TestEddyViscosity(t *testing.T) {
+	nu := 1e-5
+	if EddyViscosity(0, nu) != 0 {
+		t.Fatal("zero nut must give zero eddy viscosity")
+	}
+	if EddyViscosity(-1, nu) != 0 {
+		t.Fatal("negative nut must clamp to zero")
+	}
+	// At large χ, ν_t ≈ ν̃.
+	nut := 1e-2
+	if got := EddyViscosity(nut, nu); math.Abs(got-nut)/nut > 0.01 {
+		t.Fatalf("eddy viscosity at high chi = %v, want ≈ %v", got, nut)
+	}
+}
+
+func TestResidualsZeroForUniformFlow(t *testing.T) {
+	f := uniformFlow(8, 12)
+	f.U.Fill(1)
+	f.V.Fill(0)
+	f.P.Fill(0)
+	r := ComputeResiduals(f)
+	if r.RMS() != 0 {
+		t.Fatalf("uniform flow residual = %v, want 0", r.RMS())
+	}
+}
+
+func TestContinuityResidualOfLinearField(t *testing.T) {
+	// U = x, V = -y is exactly divergence-free; U = x, V = 0 has div = 1.
+	f := uniformFlow(8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			f.U.Set(float64(x)*f.Dx, y, x)
+			f.V.Set(-float64(y)*f.Dy, y, x)
+		}
+	}
+	r := ComputeResiduals(f)
+	for y := 1; y < 7; y++ {
+		for x := 1; x < 7; x++ {
+			if math.Abs(r.Continuity.At(y, x)) > 1e-12 {
+				t.Fatalf("divergence-free field has continuity residual %v", r.Continuity.At(y, x))
+			}
+		}
+	}
+	f2 := uniformFlow(8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			f2.U.Set(float64(x)*f2.Dx, y, x)
+		}
+	}
+	r2 := ComputeResiduals(f2)
+	if math.Abs(r2.Continuity.At(4, 4)-1) > 1e-12 {
+		t.Fatalf("div(U=x) = %v, want 1", r2.Continuity.At(4, 4))
+	}
+}
+
+func TestMomentumResidualPressureGradient(t *testing.T) {
+	// Still fluid with p = x: residual_x must equal dp/dx = 1.
+	f := uniformFlow(8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			f.P.Set(float64(x)*f.Dx, y, x)
+		}
+	}
+	r := ComputeResiduals(f)
+	if math.Abs(r.MomentumX.At(4, 4)-1) > 1e-12 {
+		t.Fatalf("momentum-x residual %v, want 1", r.MomentumX.At(4, 4))
+	}
+	if math.Abs(r.MomentumY.At(4, 4)) > 1e-12 {
+		t.Fatalf("momentum-y residual %v, want 0", r.MomentumY.At(4, 4))
+	}
+}
+
+func TestMomentumResidualViscousTerm(t *testing.T) {
+	// U = y² has ∇²U = 2, so residual_x = -ν·2 in still flow.
+	f := uniformFlow(10, 10)
+	for y := 0; y < 10; y++ {
+		for x := 0; x < 10; x++ {
+			yy := float64(y) * f.Dy
+			f.U.Set(yy*yy, y, x)
+		}
+	}
+	r := ComputeResiduals(f)
+	// Convection term: U·∂U/∂x = 0 (U depends only on y), V = 0.
+	at := r.MomentumX.At(5, 5)
+	want := -f.Nu * 2
+	if math.Abs(at-want) > 1e-9 {
+		t.Fatalf("viscous residual %v, want %v", at, want)
+	}
+}
+
+func TestResidualSkipsSolidCells(t *testing.T) {
+	f := uniformFlow(8, 8)
+	f.Mask = make([]bool, 64)
+	f.Mask[3*8+3] = true
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			f.P.Set(float64(x*x), y, x)
+		}
+	}
+	r := ComputeResiduals(f)
+	if r.MomentumX.At(3, 3) != 0 {
+		t.Fatal("solid cell must have zero residual")
+	}
+}
+
+func TestVorticityOfShearFlow(t *testing.T) {
+	// U = y → ω = -∂U/∂y = -1, |ω| = 1.
+	f := uniformFlow(8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			f.U.Set(float64(y)*f.Dy, y, x)
+		}
+	}
+	v := VorticityMag(f)
+	if math.Abs(v.At(4, 4)-1) > 1e-12 {
+		t.Fatalf("vorticity %v, want 1", v.At(4, 4))
+	}
+}
+
+func TestGradMag(t *testing.T) {
+	// s = 3x + 4y → |∇s| = 5.
+	s := grid.NewField(8, 8)
+	dx, dy := 0.5, 0.25
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			s.Set(3*float64(x)*dx+4*float64(y)*dy, y, x)
+		}
+	}
+	g := GradMag(s, dx, dy)
+	if math.Abs(g.At(4, 4)-5) > 1e-12 {
+		t.Fatalf("gradmag %v, want 5", g.At(4, 4))
+	}
+}
+
+func TestSASourceSigns(t *testing.T) {
+	f := uniformFlow(8, 8)
+	grid.ComputeWallDistance(f)
+	f.Nut.Fill(3e-3)
+	// Strong vorticity far from wall → production dominates.
+	i := 4*8 + 4
+	if src := SASource(f, i, 100); src <= 0 {
+		t.Fatalf("high-vorticity source %v, want > 0", src)
+	}
+	// Zero vorticity near wall → destruction dominates.
+	iNear := 1*8 + 4
+	if src := SASource(f, iNear, 0); src >= 0 {
+		t.Fatalf("no-vorticity near-wall source %v, want < 0", src)
+	}
+}
+
+func TestResidualRMSCombines(t *testing.T) {
+	r := &Residual{
+		Continuity: grid.NewField(2, 2),
+		MomentumX:  grid.NewField(2, 2),
+		MomentumY:  grid.NewField(2, 2),
+	}
+	r.Continuity.Fill(3)
+	r.MomentumX.Fill(0)
+	r.MomentumY.Fill(0)
+	want := math.Sqrt(9.0 / 3.0)
+	if math.Abs(r.RMS()-want) > 1e-12 {
+		t.Fatalf("RMS %v, want %v", r.RMS(), want)
+	}
+}
+
+// Property: residuals are linear in pressure — doubling p doubles the
+// pressure-gradient contribution exactly when velocity is zero.
+func TestQuickResidualLinearInPressure(t *testing.T) {
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f1 := uniformFlow(6, 6)
+		f2 := uniformFlow(6, 6)
+		for i := range f1.P.Data {
+			p := rng.NormFloat64()
+			f1.P.Data[i] = p
+			f2.P.Data[i] = 2 * p
+		}
+		r1 := ComputeResiduals(f1)
+		r2 := ComputeResiduals(f2)
+		for i := range r1.MomentumX.Data {
+			if math.Abs(r2.MomentumX.Data[i]-2*r1.MomentumX.Data[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,217 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"adarnet/internal/geometry"
+	"adarnet/internal/physics"
+)
+
+func TestPoiseuilleProfile(t *testing.T) {
+	// Laminar channel flow must converge to a near-parabolic profile with a
+	// centerline velocity approaching 1.5× the mean.
+	c := &geometry.Case{Name: "lam", Kind: geometry.Channel, Re: 500, Height: 0.1, Length: 1, H: 32, W: 64}
+	f := c.Build()
+	opt := DefaultOptions()
+	opt.MaxIter = 15000
+	res, err := Solve(f, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %v", res)
+	}
+	x := f.W - 4
+	center := f.U.At(f.H/2, x)
+	if center < 1.25 || center > 1.6 {
+		t.Fatalf("centerline velocity %v, want ≈1.4–1.5", center)
+	}
+	// Profile is monotone from wall to center on the lower half.
+	for y := 1; y < f.H/2; y++ {
+		if f.U.At(y, x) > f.U.At(y+1, x)+1e-6 {
+			t.Fatalf("profile not monotone at y=%d: %v > %v", y, f.U.At(y, x), f.U.At(y+1, x))
+		}
+	}
+	// Approximate symmetry between the lower and upper halves.
+	for y := 1; y < f.H/2; y++ {
+		lo, hi := f.U.At(y, x), f.U.At(f.H-1-y, x)
+		if math.Abs(lo-hi) > 0.1*math.Max(lo, 0.1) {
+			t.Fatalf("profile asymmetric at y=%d: %v vs %v", y, lo, hi)
+		}
+	}
+}
+
+func TestMassConservation(t *testing.T) {
+	// At steady state the flux through every column must match the inlet flux.
+	c := geometry.ChannelCase(2.5e3, 16, 48)
+	f := c.Build()
+	opt := DefaultOptions()
+	opt.MaxIter = 15000
+	res, err := Solve(f, opt)
+	if err != nil || !res.Converged {
+		t.Fatalf("solve failed: %v %v", res, err)
+	}
+	influx := 0.0
+	for y := 0; y < f.H; y++ {
+		influx += f.U.At(y, 0)
+	}
+	for _, x := range []int{f.W / 4, f.W / 2, 3 * f.W / 4} {
+		flux := 0.0
+		for y := 0; y < f.H; y++ {
+			flux += f.U.At(y, x)
+		}
+		if math.Abs(flux-influx)/influx > 0.05 {
+			t.Fatalf("mass not conserved at x=%d: %v vs inlet %v", x, flux, influx)
+		}
+	}
+}
+
+func TestDivergenceFreeAtConvergence(t *testing.T) {
+	c := geometry.ChannelCase(2.5e3, 16, 48)
+	f := c.Build()
+	opt := DefaultOptions()
+	opt.MaxIter = 15000
+	if _, err := Solve(f, opt); err != nil {
+		t.Fatal(err)
+	}
+	r := physics.ComputeResiduals(f)
+	// Continuity residual (per second) should be small relative to U/dx.
+	scale := f.UIn / f.Dx
+	if r.Continuity.RMS() > 0.05*scale {
+		t.Fatalf("divergence too large: %v (scale %v)", r.Continuity.RMS(), scale)
+	}
+}
+
+func TestFlatPlateBoundaryLayerGrows(t *testing.T) {
+	c := geometry.FlatPlateCase(2.5e5, 24, 64)
+	f := c.Build()
+	opt := DefaultOptions()
+	opt.MaxIter = 20000
+	res, err := Solve(f, opt)
+	if err != nil || !res.Converged {
+		t.Fatalf("solve failed: %v %v", res, err)
+	}
+	// Boundary-layer thickness (y where U reaches 0.9·Ue) grows downstream.
+	delta := func(x int) int {
+		for y := 0; y < f.H; y++ {
+			if f.U.At(y, x) > 0.9 {
+				return y
+			}
+		}
+		return f.H
+	}
+	up, down := delta(f.W/4), delta(7*f.W/8)
+	if down < up {
+		t.Fatalf("boundary layer shrank downstream: δ(%d)=%d δ(%d)=%d", f.W/4, up, 7*f.W/8, down)
+	}
+	// Near-wall velocity must be retarded relative to the freestream.
+	if f.U.At(1, 3*f.W/4) > 0.95 {
+		t.Fatalf("no boundary layer formed: near-wall U = %v", f.U.At(1, 3*f.W/4))
+	}
+}
+
+func TestCylinderWakeDeficitAndEddy(t *testing.T) {
+	c := geometry.CylinderCase(1e5, 32, 64)
+	f := c.Build()
+	opt := DefaultOptions()
+	opt.MaxIter = 20000
+	res, err := Solve(f, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("cylinder did not converge/limit-cycle: %v", res)
+	}
+	// Wake: U behind the body is below the freestream.
+	cy, cxBody := f.H/2, int(0.3*float64(f.W))+f.W/16
+	wake := f.U.At(cy, cxBody+f.W/8)
+	if wake > 0.95 {
+		t.Fatalf("no wake deficit behind cylinder: U = %v", wake)
+	}
+	// Eddy viscosity grows in the wake relative to the freestream level.
+	if f.Nut.At(cy, cxBody+f.W/8) <= f.NutIn {
+		t.Fatal("no turbulence generated in the wake")
+	}
+	// Body cells stay masked at zero velocity.
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			if f.Solid(y, x) && (f.U.At(y, x) != 0 || f.V.At(y, x) != 0) {
+				t.Fatal("solid cell has non-zero velocity")
+			}
+		}
+	}
+}
+
+func TestWarmStartConvergesFaster(t *testing.T) {
+	// The end-to-end framework's core claim: initializing the solver near
+	// the solution (here: from a previous converged state) takes fewer
+	// iterations than a cold start.
+	c := geometry.ChannelCase(2.5e3, 16, 48)
+	cold := c.Build()
+	opt := DefaultOptions()
+	opt.MaxIter = 15000
+	resCold, err := Solve(cold, opt)
+	if err != nil || !resCold.Converged {
+		t.Fatalf("cold solve failed: %v %v", resCold, err)
+	}
+	warm := cold.Clone()
+	resWarm, err := Solve(warm, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resWarm.Iterations >= resCold.Iterations {
+		t.Fatalf("warm start not faster: warm %d vs cold %d", resWarm.Iterations, resCold.Iterations)
+	}
+}
+
+func TestSolverReportsWork(t *testing.T) {
+	c := geometry.ChannelCase(2.5e3, 12, 32)
+	f := c.Build()
+	opt := DefaultOptions()
+	opt.MaxIter = 8000
+	res, err := Solve(f, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cells != 12*32 {
+		t.Fatalf("cells = %d, want %d", res.Cells, 12*32)
+	}
+	if res.Work != res.Iterations*res.Cells {
+		t.Fatal("work != iterations × cells")
+	}
+}
+
+func TestSolverOptionsDefaults(t *testing.T) {
+	// Zero-valued options must be replaced by usable defaults.
+	c := geometry.ChannelCase(2.5e3, 8, 16)
+	f := c.Build()
+	res, err := Solve(f, Options{MaxIter: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("solver did not run with default options")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Iterations: 10, Residual: 1e-5, Residual0: 1, Converged: true, Cells: 100, Work: 1000}
+	if r.String() == "" {
+		t.Fatal("empty result string")
+	}
+}
+
+func TestDivergenceDetection(t *testing.T) {
+	// A pathological flow (NaN seeded) must be reported as diverged, not
+	// silently returned.
+	c := geometry.ChannelCase(2.5e3, 8, 16)
+	f := c.Build()
+	f.U.Data[5*16+5] = math.NaN()
+	opt := DefaultOptions()
+	opt.MaxIter = 200
+	_, err := Solve(f, opt)
+	if err == nil {
+		t.Fatal("expected ErrDiverged")
+	}
+}

@@ -1,0 +1,159 @@
+// Package surfnet implements the uniform-super-resolution baseline the
+// paper compares against (SURFNet, Obiols-Sales et al., PACT 2021): a fully
+// convolutional network that upsamples the whole LR field to the target
+// resolution and refines every pixel. It is deliberately built on the same
+// layer stack as ADARNet's decoder so that the Table 2 comparison isolates
+// the one variable the paper studies — uniform vs non-uniform SR — rather
+// than architecture differences.
+package surfnet
+
+import (
+	"math/rand"
+	"time"
+
+	"adarnet/internal/autodiff"
+	"adarnet/internal/core"
+	"adarnet/internal/grid"
+	"adarnet/internal/interp"
+	"adarnet/internal/nn"
+	"adarnet/internal/tensor"
+)
+
+// Model is a uniform-SR network: bicubic upsampling of the full field to the
+// target resolution followed by a conv–deconv refinement trunk.
+type Model struct {
+	// Factor is the per-side upsampling factor (8 for the paper's 64× SR).
+	Factor int
+	Net    *nn.Sequential
+	Norm   core.Normalization
+}
+
+// InC is the trunk input channel count: 4 flow variables + 2 coordinates.
+const InC = 6
+
+// New builds a SURFNet with the given per-side SR factor.
+func New(factor int, seed int64) *Model {
+	if factor < 1 {
+		factor = 8
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Model{
+		Factor: factor,
+		Net: nn.NewSequential(
+			nn.NewConv2D("surfnet.conv1", rng, 3, 3, InC, 8, nn.ReLU),
+			nn.NewConv2D("surfnet.conv2", rng, 3, 3, 8, 16, nn.ReLU),
+			nn.NewConv2D("surfnet.conv3", rng, 3, 3, 16, 64, nn.ReLU),
+			nn.NewDeconv2D("surfnet.deconv1", rng, 3, 3, 64, 64, nn.ReLU),
+			nn.NewDeconv2D("surfnet.deconv2", rng, 3, 3, 64, 16, nn.ReLU),
+			nn.NewDeconv2D("surfnet.deconv3", rng, 3, 3, 16, 4, nn.Linear),
+		),
+		Norm: core.IdentityNorm(),
+	}
+}
+
+// Params returns the trainable parameters.
+func (m *Model) Params() []*nn.Param { return m.Net.Params() }
+
+// Inference is a uniform-SR forward pass with its resource footprint.
+type Inference struct {
+	Field       *tensor.Tensor // physical units, (1, H·f, W·f, 4)
+	Cells       int            // uniform fine cell count
+	MemoryBytes int64
+	Elapsed     time.Duration
+}
+
+// Infer performs uniform SR of a physical-units LR flow field.
+func (m *Model) Infer(lr *grid.Flow) *Inference {
+	start := time.Now()
+	tensor.ResetAlloc()
+
+	t := autodiff.NewTape()
+	x := t.Const(m.Norm.Apply(grid.ToTensor(lr)))
+	out := m.forward(t, x)
+	field := m.Norm.Invert(out.Data)
+
+	return &Inference{
+		Field:       field,
+		Cells:       field.Dim(1) * field.Dim(2),
+		MemoryBytes: tensor.AllocatedBytes(),
+		Elapsed:     time.Since(start),
+	}
+}
+
+// forward upsamples, concatenates coordinates, and refines uniformly.
+func (m *Model) forward(t *autodiff.Tape, x *autodiff.Value) *autodiff.Value {
+	h, w := x.Data.Dim(1), x.Data.Dim(2)
+	th, tw := h*m.Factor, w*m.Factor
+	up := nn.Resize(interp.Bicubic, x, th, tw)
+	coords := t.Const(fullCoords(th, tw))
+	return m.Net.Forward(t, autodiff.ConcatChannels(up, coords))
+}
+
+// Train fits the trunk to reproduce solver fields: uniform SR needs HR
+// labels (the data burden the paper criticizes, §2), so training pairs are
+// (LR input, HR target at factor× resolution).
+func (m *Model) Train(inputs, targets []*tensor.Tensor, epochs int, lr float64) []float64 {
+	opt := nn.NewAdam(lr)
+	var losses []float64
+	for e := 0; e < epochs; e++ {
+		sum := 0.0
+		for i, in := range inputs {
+			t := autodiff.NewTape()
+			x := t.Const(m.Norm.Apply(in))
+			out := m.forward(t, x)
+			loss := autodiff.MSE(out, m.Norm.Apply(targets[i]))
+			t.Backward(loss)
+			opt.Step(m.Params())
+			sum += loss.Data.Data()[0]
+		}
+		losses = append(losses, sum/float64(len(inputs)))
+	}
+	return losses
+}
+
+// fullCoords builds the (1,h,w,2) normalized coordinate channels.
+func fullCoords(h, w int) *tensor.Tensor {
+	out := tensor.New(1, h, w, 2)
+	d := out.Data()
+	for y := 0; y < h; y++ {
+		gy := (float64(y) + 0.5) / float64(h)
+		for x := 0; x < w; x++ {
+			k := (y*w + x) * 2
+			d[k] = (float64(x) + 0.5) / float64(w)
+			d[k+1] = gy
+		}
+	}
+	return out
+}
+
+// ActivationBytes estimates the activation memory of one inference at the
+// given LR size analytically (layer output sizes × 8 bytes), matching what
+// the allocator measures; used for the Fig. 1 max-batch-size curve where
+// running the real forward at 1024² would be slow.
+func (m *Model) ActivationBytes(lrH, lrW int) int64 {
+	th := int64(lrH) * int64(m.Factor)
+	tw := int64(lrW) * int64(m.Factor)
+	px := th * tw
+	// Upsampled input (+coords), im2col buffers and layer outputs.
+	chans := []int64{InC, 8, 16, 64, 64, 16, 4}
+	var total int64
+	total += px * int64(grid.NumChannels) // bicubic output
+	total += px * 2                       // coords
+	total += px * InC                     // concat
+	for i := 0; i+1 < len(chans); i++ {
+		total += px * chans[i] * 9 // im2col (3×3 taps)
+		total += px * chans[i+1]   // layer output
+	}
+	return total * 8
+}
+
+// MaxBatch returns the largest batch size whose activation memory fits the
+// byte budget (Fig. 1: 16 GB V100).
+func (m *Model) MaxBatch(lrH, lrW int, budget int64) int {
+	per := m.ActivationBytes(lrH, lrW)
+	if per <= 0 {
+		return 0
+	}
+	n := int(budget / per)
+	return n
+}

@@ -1,0 +1,120 @@
+package surfnet
+
+import (
+	"testing"
+
+	"adarnet/internal/core"
+	"adarnet/internal/geometry"
+	"adarnet/internal/grid"
+	"adarnet/internal/interp"
+	"adarnet/internal/solver"
+	"adarnet/internal/tensor"
+)
+
+func lrCase(t *testing.T) *grid.Flow {
+	t.Helper()
+	c := geometry.ChannelCase(2.5e3, 8, 16)
+	f := c.Build()
+	opt := solver.DefaultOptions()
+	opt.MaxIter = 3000
+	if _, err := solver.Solve(f, opt); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestInferShapes(t *testing.T) {
+	m := New(2, 1)
+	f := lrCase(t)
+	m.Norm = core.FitNorm([]*tensor.Tensor{grid.ToTensor(f)})
+	inf := m.Infer(f)
+	if inf.Field.Dim(1) != 16 || inf.Field.Dim(2) != 32 {
+		t.Fatalf("uniform SR output %v", inf.Field.Shape())
+	}
+	if inf.Cells != 16*32 {
+		t.Fatalf("cells = %d", inf.Cells)
+	}
+	if inf.MemoryBytes <= 0 || inf.Elapsed <= 0 {
+		t.Fatal("resource accounting missing")
+	}
+	if !inf.Field.IsFinite() {
+		t.Fatal("non-finite output")
+	}
+}
+
+func TestUniformCostExceedsNonUniform(t *testing.T) {
+	// The structural claim behind Table 2: uniform SR touches every pixel at
+	// the finest resolution, so its memory footprint must exceed ADARNet's
+	// composite footprint on the same input whenever any patch stays coarse.
+	f := lrCase(t)
+	norm := core.FitNorm([]*tensor.Tensor{grid.ToTensor(f)})
+
+	surf := New(4, 1)
+	surf.Norm = norm
+	sInf := surf.Infer(f)
+
+	cfg := core.DefaultConfig(2, 2)
+	cfg.Bins = 3 // match 4x per side max
+	ad := core.New(cfg)
+	ad.Norm = norm
+	aInf := ad.Infer(f)
+
+	if aInf.Levels.MaxLevelUsed() == 0 {
+		t.Skip("untrained model refined nothing; cost comparison vacuous")
+	}
+	if sInf.MemoryBytes <= aInf.MemoryBytes {
+		t.Fatalf("uniform SR (%d bytes) not more expensive than non-uniform (%d bytes)",
+			sInf.MemoryBytes, aInf.MemoryBytes)
+	}
+}
+
+func TestTrainReducesLoss(t *testing.T) {
+	m := New(2, 1)
+	f := lrCase(t)
+	in := grid.ToTensor(f)
+	m.Norm = core.FitNorm([]*tensor.Tensor{in})
+	target := interp.Resize(interp.Bicubic, in, 16, 32)
+	losses := m.Train([]*tensor.Tensor{in}, []*tensor.Tensor{target}, 25, 3e-3)
+	if len(losses) != 25 {
+		t.Fatalf("%d loss entries", len(losses))
+	}
+	if !(losses[len(losses)-1] < losses[0]) {
+		t.Fatalf("loss did not decrease: %v → %v", losses[0], losses[len(losses)-1])
+	}
+}
+
+func TestActivationBytesScalesWithPixels(t *testing.T) {
+	m := New(8, 1)
+	b1 := m.ActivationBytes(16, 16)
+	b2 := m.ActivationBytes(32, 32)
+	if b2 != 4*b1 {
+		t.Fatalf("activation bytes must scale ∝ pixels: %d vs %d", b1, b2)
+	}
+}
+
+func TestMaxBatchMonotone(t *testing.T) {
+	m := New(8, 1)
+	budget := int64(16) << 30
+	prev := 1 << 30
+	for _, lr := range []int{16, 32, 64, 128} {
+		b := m.MaxBatch(lr, lr, budget)
+		if b > prev {
+			t.Fatalf("max batch increased with resolution: %d then %d", prev, b)
+		}
+		prev = b
+	}
+	// At 1024² target (LR 128) the batch must be tiny, matching Fig. 1.
+	if b := m.MaxBatch(128, 128, budget); b > 4 {
+		t.Fatalf("1024² max batch %d, expected ≤4", b)
+	}
+}
+
+func TestNewDefaultFactor(t *testing.T) {
+	m := New(0, 1)
+	if m.Factor != 8 {
+		t.Fatalf("default factor %d", m.Factor)
+	}
+	if len(m.Params()) != 12 {
+		t.Fatalf("param tensors = %d, want 12 (6 layers × W,B)", len(m.Params()))
+	}
+}

@@ -1,0 +1,62 @@
+package tensor
+
+import "sync/atomic"
+
+// Allocation accounting. The benchmark harness reproduces the paper's
+// inference-memory comparisons (Fig. 1, Table 2) by measuring the bytes of
+// tensor storage allocated during a forward pass, so the package keeps an
+// atomic running total and a high-water mark of live tensor bytes.
+//
+// Accounting is approximate by design: it counts allocations, and frees are
+// reported explicitly by scopes that know their tensors die together (see
+// MemScope). That matches how a static-graph framework like the paper's
+// TensorFlow backend accounts activation memory.
+
+var (
+	allocBytes atomic.Int64 // cumulative bytes allocated since last Reset
+	liveBytes  atomic.Int64 // currently live (scope-tracked) bytes
+	peakBytes  atomic.Int64 // high-water mark of liveBytes
+)
+
+const bytesPerElem = 8 // float64
+
+func account(elems int) {
+	b := int64(elems) * bytesPerElem
+	allocBytes.Add(b)
+	live := liveBytes.Add(b)
+	for {
+		p := peakBytes.Load()
+		if live <= p || peakBytes.CompareAndSwap(p, live) {
+			return
+		}
+	}
+}
+
+// release returns elems' bytes to the live counter.
+func release(elems int) {
+	liveBytes.Add(-int64(elems) * bytesPerElem)
+}
+
+// ResetAlloc zeroes the cumulative, live, and peak allocation counters.
+func ResetAlloc() {
+	allocBytes.Store(0)
+	liveBytes.Store(0)
+	peakBytes.Store(0)
+}
+
+// AllocatedBytes returns the cumulative bytes of tensor storage allocated
+// since the last ResetAlloc.
+func AllocatedBytes() int64 { return allocBytes.Load() }
+
+// PeakBytes returns the high-water mark of live tensor bytes since the last
+// ResetAlloc.
+func PeakBytes() int64 { return peakBytes.Load() }
+
+// Release reports that t's storage is no longer live. It is safe to call on
+// nil tensors and is idempotent only if the caller ensures single release.
+func Release(t *Tensor) {
+	if t == nil {
+		return
+	}
+	release(len(t.data))
+}

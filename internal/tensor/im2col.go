@@ -1,0 +1,102 @@
+package tensor
+
+import "fmt"
+
+// im2col / col2im transforms for SAME-padded, stride-1 convolution in NHWC
+// layout, which is the only convolution geometry ADARNet's networks use
+// (3×3 kernels, stride 1, spatial dims preserved; see paper §3.1).
+//
+// Im2Col produces a (N*H*W) × (KH*KW*C) matrix so convolution reduces to a
+// single GEMM against a (KH*KW*C) × F filter matrix.
+
+// Im2Col expands x (N,H,W,C) into patch rows for a kh×kw stride-1 SAME conv.
+func Im2Col(x *Tensor, kh, kw int) *Tensor {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: Im2Col requires NHWC tensor, got %v", x.shape))
+	}
+	n, h, w, c := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	ph, pw := (kh-1)/2, (kw-1)/2
+	rows := n * h * w
+	cols := kh * kw * c
+	out := New(rows, cols)
+	ParallelFor(rows, func(rs, re int) {
+		for r := rs; r < re; r++ {
+			wi := r % w
+			hi := (r / w) % h
+			ni := r / (w * h)
+			dst := out.data[r*cols : (r+1)*cols]
+			di := 0
+			for ki := 0; ki < kh; ki++ {
+				yy := hi + ki - ph
+				if yy < 0 || yy >= h {
+					for kj := 0; kj < kw; kj++ {
+						for cc := 0; cc < c; cc++ {
+							dst[di] = 0
+							di++
+						}
+					}
+					continue
+				}
+				rowBase := ((ni*h + yy) * w) * c
+				for kj := 0; kj < kw; kj++ {
+					xx := wi + kj - pw
+					if xx < 0 || xx >= w {
+						for cc := 0; cc < c; cc++ {
+							dst[di] = 0
+							di++
+						}
+						continue
+					}
+					src := x.data[rowBase+xx*c : rowBase+xx*c+c]
+					copy(dst[di:di+c], src)
+					di += c
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Col2Im scatters patch-row gradients back to an NHWC tensor: the adjoint of
+// Im2Col. cols is (N*H*W) × (KH*KW*C); the result has shape (N,H,W,C).
+func Col2Im(cols *Tensor, n, h, w, c, kh, kw int) *Tensor {
+	ph, pw := (kh-1)/2, (kw-1)/2
+	ncols := kh * kw * c
+	if cols.Dims() != 2 || cols.shape[0] != n*h*w || cols.shape[1] != ncols {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v incompatible with (%d,%d,%d,%d) k=(%d,%d)", cols.shape, n, h, w, c, kh, kw))
+	}
+	out := New(n, h, w, c)
+	// Parallelize over images: rows of different images never collide.
+	ParallelFor(n, func(ns, ne int) {
+		for ni := ns; ni < ne; ni++ {
+			for hi := 0; hi < h; hi++ {
+				for wi := 0; wi < w; wi++ {
+					r := (ni*h+hi)*w + wi
+					src := cols.data[r*ncols : (r+1)*ncols]
+					si := 0
+					for ki := 0; ki < kh; ki++ {
+						yy := hi + ki - ph
+						if yy < 0 || yy >= h {
+							si += kw * c
+							continue
+						}
+						rowBase := ((ni*h + yy) * w) * c
+						for kj := 0; kj < kw; kj++ {
+							xx := wi + kj - pw
+							if xx < 0 || xx >= w {
+								si += c
+								continue
+							}
+							dst := out.data[rowBase+xx*c : rowBase+xx*c+c]
+							for cc := 0; cc < c; cc++ {
+								dst[cc] += src[si]
+								si++
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,107 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes C = A·B for 2D tensors A (m×k) and B (k×n).
+// The kernel is a cache-blocked ikj loop parallelized over rows of A.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires 2D tensors, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims mismatch %v · %v", a.shape, b.shape))
+	}
+	c := New(m, n)
+	matMulInto(c.data, a.data, b.data, m, k, n, false)
+	return c
+}
+
+// MatMulAdd computes C += A·B into an existing 2D tensor C.
+func MatMulAdd(c, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if b.shape[0] != k || c.shape[0] != m || c.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulAdd shape mismatch c=%v a=%v b=%v", c.shape, a.shape, b.shape))
+	}
+	matMulInto(c.data, a.data, b.data, m, k, n, true)
+}
+
+// matMulInto is the shared GEMM kernel: c(m×n) {=, +=} a(m×k)·b(k×n).
+func matMulInto(c, a, b []float64, m, k, n int, accumulate bool) {
+	ParallelFor(m, func(rs, re int) {
+		for i := rs; i < re; i++ {
+			ci := c[i*n : (i+1)*n]
+			if !accumulate {
+				for j := range ci {
+					ci[j] = 0
+				}
+			}
+			ai := a[i*k : (i+1)*k]
+			for p, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bp := b[p*n : (p+1)*n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulT1 computes C = Aᵀ·B where A is (k×m) and B is (k×n), so C is m×n.
+// Used by convolution backward passes without materializing transposes.
+func MatMulT1(a, b *Tensor) *Tensor {
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT1 inner dims mismatch %v ᵀ· %v", a.shape, b.shape))
+	}
+	c := New(m, n)
+	// c[i,j] = sum_p a[p,i] * b[p,j]; parallelize over p-chunks with private
+	// accumulators would race, so parallelize over rows i instead.
+	ParallelFor(m, func(rs, re int) {
+		for i := rs; i < re; i++ {
+			ci := c.data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := a.data[p*m+i]
+				if av == 0 {
+					continue
+				}
+				bp := b.data[p*n : (p+1)*n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
+			}
+		}
+	})
+	return c
+}
+
+// MatMulT2 computes C = A·Bᵀ where A is (m×k) and B is (n×k), so C is m×n.
+func MatMulT2(a, b *Tensor) *Tensor {
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT2 inner dims mismatch %v · %v ᵀ", a.shape, b.shape))
+	}
+	c := New(m, n)
+	ParallelFor(m, func(rs, re int) {
+		for i := rs; i < re; i++ {
+			ai := a.data[i*k : (i+1)*k]
+			ci := c.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := b.data[j*k : (j+1)*k]
+				s := 0.0
+				for p, av := range ai {
+					s += av * bj[p]
+				}
+				ci[j] = s
+			}
+		}
+	})
+	return c
+}

@@ -1,0 +1,181 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Elementwise and reduction kernels. Binary ops require identical shapes;
+// broadcasting is deliberately not implemented — the NN layers that need it
+// (bias add) do it explicitly, which keeps kernels simple and fast.
+
+func (t *Tensor) assertSame(u *Tensor, op string) {
+	if !t.SameShape(u) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, t.shape, u.shape))
+	}
+}
+
+// Add returns t + u elementwise.
+func Add(t, u *Tensor) *Tensor {
+	t.assertSame(u, "Add")
+	out := New(t.shape...)
+	ParallelFor(len(t.data), func(s, e int) {
+		for i := s; i < e; i++ {
+			out.data[i] = t.data[i] + u.data[i]
+		}
+	})
+	return out
+}
+
+// Sub returns t - u elementwise.
+func Sub(t, u *Tensor) *Tensor {
+	t.assertSame(u, "Sub")
+	out := New(t.shape...)
+	ParallelFor(len(t.data), func(s, e int) {
+		for i := s; i < e; i++ {
+			out.data[i] = t.data[i] - u.data[i]
+		}
+	})
+	return out
+}
+
+// Mul returns t * u elementwise (Hadamard product).
+func Mul(t, u *Tensor) *Tensor {
+	t.assertSame(u, "Mul")
+	out := New(t.shape...)
+	ParallelFor(len(t.data), func(s, e int) {
+		for i := s; i < e; i++ {
+			out.data[i] = t.data[i] * u.data[i]
+		}
+	})
+	return out
+}
+
+// Scale returns a*t.
+func Scale(a float64, t *Tensor) *Tensor {
+	out := New(t.shape...)
+	ParallelFor(len(t.data), func(s, e int) {
+		for i := s; i < e; i++ {
+			out.data[i] = a * t.data[i]
+		}
+	})
+	return out
+}
+
+// AddInPlace accumulates u into t (t += u).
+func (t *Tensor) AddInPlace(u *Tensor) {
+	t.assertSame(u, "AddInPlace")
+	ParallelFor(len(t.data), func(s, e int) {
+		for i := s; i < e; i++ {
+			t.data[i] += u.data[i]
+		}
+	})
+}
+
+// Axpy computes t += a*u in place.
+func (t *Tensor) Axpy(a float64, u *Tensor) {
+	t.assertSame(u, "Axpy")
+	ParallelFor(len(t.data), func(s, e int) {
+		for i := s; i < e; i++ {
+			t.data[i] += a * u.data[i]
+		}
+	})
+}
+
+// ScaleInPlace multiplies every element by a.
+func (t *Tensor) ScaleInPlace(a float64) {
+	ParallelFor(len(t.data), func(s, e int) {
+		for i := s; i < e; i++ {
+			t.data[i] *= a
+		}
+	})
+}
+
+// Apply returns f mapped over t.
+func Apply(t *Tensor, f func(float64) float64) *Tensor {
+	out := New(t.shape...)
+	ParallelFor(len(t.data), func(s, e int) {
+		for i := s; i < e; i++ {
+			out.data[i] = f(t.data[i])
+		}
+	})
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	sum := 0.0
+	for _, v := range t.data {
+		sum += v
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty tensors).
+func (t *Tensor) Mean() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.data))
+}
+
+// Max returns the maximum element. It panics on empty tensors.
+func (t *Tensor) Max() float64 {
+	if len(t.data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := t.data[0]
+	for _, v := range t.data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element. It panics on empty tensors.
+func (t *Tensor) Min() float64 {
+	if len(t.data) == 0 {
+		panic("tensor: Min of empty tensor")
+	}
+	m := t.data[0]
+	for _, v := range t.data[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Norm2 returns the L2 norm of all elements.
+func (t *Tensor) Norm2() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MSE returns the mean squared error between t and u.
+func MSE(t, u *Tensor) float64 {
+	t.assertSame(u, "MSE")
+	if len(t.data) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, v := range t.data {
+		d := v - u.data[i]
+		s += d * d
+	}
+	return s / float64(len(t.data))
+}
+
+// Dot returns the inner product of t and u viewed as flat vectors.
+func Dot(t, u *Tensor) float64 {
+	t.assertSame(u, "Dot")
+	s := 0.0
+	for i, v := range t.data {
+		s += v * u.data[i]
+	}
+	return s
+}

@@ -1,0 +1,60 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel execution helpers shared by the heavy kernels (GEMM, im2col, the
+// physics solver's strip sweeps). Work is split into contiguous index ranges,
+// one per worker, which keeps memory access streaming-friendly.
+
+// maxWorkers bounds kernel parallelism; defaults to GOMAXPROCS(0).
+var maxWorkers = runtime.GOMAXPROCS(0)
+
+// SetWorkers sets the number of goroutines used by parallel kernels.
+// n < 1 resets to GOMAXPROCS. It returns the previous value.
+func SetWorkers(n int) int {
+	old := maxWorkers
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	maxWorkers = n
+	return old
+}
+
+// Workers returns the current kernel parallelism.
+func Workers() int { return maxWorkers }
+
+// ParallelFor runs fn(start, end) over [0,n) split into contiguous chunks
+// across the worker pool. It runs serially when n is small enough that
+// goroutine overhead would dominate.
+func ParallelFor(n int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	w := maxWorkers
+	if w > n {
+		w = n
+	}
+	// Below this many elements the dispatch overhead outweighs the win.
+	const serialThreshold = 2048
+	if w == 1 || n < serialThreshold {
+		fn(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}

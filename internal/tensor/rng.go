@@ -1,0 +1,42 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Deterministic random tensor constructors used for weight initialization
+// and synthetic test data. All take an explicit *rand.Rand so runs are
+// reproducible and parallel tests never share RNG state.
+
+// RandUniform returns a tensor with elements drawn from U(lo, hi).
+func RandUniform(rng *rand.Rand, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = lo + (hi-lo)*rng.Float64()
+	}
+	return t
+}
+
+// RandNormal returns a tensor with elements drawn from N(mean, std²).
+func RandNormal(rng *rand.Rand, mean, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = mean + std*rng.NormFloat64()
+	}
+	return t
+}
+
+// GlorotUniform returns a tensor initialized with the Glorot/Xavier uniform
+// scheme for the given fan-in and fan-out.
+func GlorotUniform(rng *rand.Rand, fanIn, fanOut int, shape ...int) *Tensor {
+	limit := glorotLimit(fanIn, fanOut)
+	return RandUniform(rng, -limit, limit, shape...)
+}
+
+func glorotLimit(fanIn, fanOut int) float64 {
+	if fanIn+fanOut == 0 {
+		return 0
+	}
+	return math.Sqrt(6.0 / float64(fanIn+fanOut))
+}

@@ -1,0 +1,132 @@
+package tensor
+
+import "fmt"
+
+// Patch extraction, assembly, and channel concatenation for NHWC tensors.
+// These are the data-movement primitives behind ADARNet's patch pipeline:
+// the scorer sees the whole field, the ranker slices it into fixed-size
+// patches, and the assembled non-uniform output is stitched back together.
+
+// ExtractPatch copies the (ph×pw) spatial window with top-left corner
+// (y0, x0) from image n of x (N,H,W,C) into a new (1,ph,pw,C) tensor.
+func ExtractPatch(x *Tensor, n, y0, x0, ph, pw int) *Tensor {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: ExtractPatch requires NHWC tensor, got %v", x.shape))
+	}
+	h, w, c := x.shape[1], x.shape[2], x.shape[3]
+	if y0 < 0 || x0 < 0 || y0+ph > h || x0+pw > w {
+		panic(fmt.Sprintf("tensor: patch (%d,%d)+(%d,%d) out of bounds for %v", y0, x0, ph, pw, x.shape))
+	}
+	out := New(1, ph, pw, c)
+	for yy := 0; yy < ph; yy++ {
+		srcOff := ((n*h+y0+yy)*w + x0) * c
+		dstOff := yy * pw * c
+		copy(out.data[dstOff:dstOff+pw*c], x.data[srcOff:srcOff+pw*c])
+	}
+	return out
+}
+
+// InsertPatch copies patch (1,ph,pw,C) into image n of x at (y0, x0).
+func InsertPatch(x, patch *Tensor, n, y0, x0 int) {
+	h, w, c := x.shape[1], x.shape[2], x.shape[3]
+	ph, pw := patch.shape[1], patch.shape[2]
+	if patch.shape[3] != c {
+		panic(fmt.Sprintf("tensor: InsertPatch channel mismatch %d vs %d", patch.shape[3], c))
+	}
+	if y0 < 0 || x0 < 0 || y0+ph > h || x0+pw > w {
+		panic(fmt.Sprintf("tensor: patch (%d,%d)+(%d,%d) out of bounds for %v", y0, x0, ph, pw, x.shape))
+	}
+	for yy := 0; yy < ph; yy++ {
+		dstOff := ((n*h+y0+yy)*w + x0) * c
+		srcOff := yy * pw * c
+		copy(x.data[dstOff:dstOff+pw*c], patch.data[srcOff:srcOff+pw*c])
+	}
+}
+
+// ConcatChannels concatenates NHWC tensors along the channel axis. All
+// inputs must share N, H, W.
+func ConcatChannels(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: ConcatChannels of nothing")
+	}
+	n, h, w := ts[0].shape[0], ts[0].shape[1], ts[0].shape[2]
+	totalC := 0
+	for _, t := range ts {
+		if t.Dims() != 4 || t.shape[0] != n || t.shape[1] != h || t.shape[2] != w {
+			panic(fmt.Sprintf("tensor: ConcatChannels spatial mismatch %v vs %v", ts[0].shape, t.shape))
+		}
+		totalC += t.shape[3]
+	}
+	out := New(n, h, w, totalC)
+	pixels := n * h * w
+	ParallelFor(pixels, func(ps, pe int) {
+		for p := ps; p < pe; p++ {
+			off := p * totalC
+			for _, t := range ts {
+				c := t.shape[3]
+				copy(out.data[off:off+c], t.data[p*c:(p+1)*c])
+				off += c
+			}
+		}
+	})
+	return out
+}
+
+// SplitChannels is the inverse of ConcatChannels: it splits x (N,H,W,C)
+// into tensors with the given channel counts (must sum to C).
+func SplitChannels(x *Tensor, counts ...int) []*Tensor {
+	n, h, w, c := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	sum := 0
+	for _, k := range counts {
+		sum += k
+	}
+	if sum != c {
+		panic(fmt.Sprintf("tensor: SplitChannels counts %v do not sum to %d", counts, c))
+	}
+	outs := make([]*Tensor, len(counts))
+	for i, k := range counts {
+		outs[i] = New(n, h, w, k)
+	}
+	pixels := n * h * w
+	ParallelFor(pixels, func(ps, pe int) {
+		for p := ps; p < pe; p++ {
+			off := p * c
+			for i, t := range outs {
+				k := counts[i]
+				copy(t.data[p*k:(p+1)*k], x.data[off:off+k])
+				off += k
+			}
+		}
+	})
+	return outs
+}
+
+// StackBatch concatenates (1,H,W,C) tensors into one (K,H,W,C) batch.
+func StackBatch(ts []*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: StackBatch of nothing")
+	}
+	h, w, c := ts[0].shape[1], ts[0].shape[2], ts[0].shape[3]
+	out := New(len(ts), h, w, c)
+	per := h * w * c
+	for i, t := range ts {
+		if t.shape[0] != 1 || t.shape[1] != h || t.shape[2] != w || t.shape[3] != c {
+			panic(fmt.Sprintf("tensor: StackBatch element %d shape %v incompatible", i, t.shape))
+		}
+		copy(out.data[i*per:(i+1)*per], t.data)
+	}
+	return out
+}
+
+// UnstackBatch splits (K,H,W,C) into K tensors of shape (1,H,W,C).
+func UnstackBatch(x *Tensor) []*Tensor {
+	k, h, w, c := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	per := h * w * c
+	out := make([]*Tensor, k)
+	for i := 0; i < k; i++ {
+		t := New(1, h, w, c)
+		copy(t.data, x.data[i*per:(i+1)*per])
+		out[i] = t
+	}
+	return out
+}

@@ -1,0 +1,508 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndLen(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", x.Len())
+	}
+	if x.Dims() != 3 || x.Dim(0) != 2 || x.Dim(1) != 3 || x.Dim(2) != 4 {
+		t.Fatalf("bad shape %v", x.Shape())
+	}
+	for _, v := range x.Data() {
+		if v != 0 {
+			t.Fatal("New must zero-fill")
+		}
+	}
+}
+
+func TestNewNegativeDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative dim")
+		}
+	}()
+	New(2, -1)
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(3, 4, 5)
+	x.Set(7.5, 1, 2, 3)
+	if got := x.At(1, 2, 3); got != 7.5 {
+		t.Fatalf("At = %v, want 7.5", got)
+	}
+	// Flat offset must be row-major.
+	if x.Data()[1*20+2*5+3] != 7.5 {
+		t.Fatal("row-major layout violated")
+	}
+}
+
+func TestAt4Set4MatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := RandNormal(rng, 0, 1, 2, 3, 4, 5)
+	for n := 0; n < 2; n++ {
+		for h := 0; h < 3; h++ {
+			for w := 0; w < 4; w++ {
+				for c := 0; c < 5; c++ {
+					if x.At4(n, h, w, c) != x.At(n, h, w, c) {
+						t.Fatalf("At4 mismatch at %d,%d,%d,%d", n, h, w, c)
+					}
+				}
+			}
+		}
+	}
+	x.Set4(42, 1, 2, 3, 4)
+	if x.At(1, 2, 3, 4) != 42 {
+		t.Fatal("Set4 did not write the generic location")
+	}
+}
+
+func TestIndexOutOfRangePanics(t *testing.T) {
+	x := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on OOB index")
+		}
+	}()
+	x.At(2, 0)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	y := x.Clone()
+	y.Set(99, 0, 0)
+	if x.At(0, 0) != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestReshapeSharesStorage(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Reshape(3, 2)
+	y.Set(42, 0, 1)
+	if x.At(0, 1) != 42 {
+		t.Fatal("Reshape must share storage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad reshape")
+		}
+	}()
+	x.Reshape(4, 2)
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float64{10, 20, 30, 40}, 2, 2)
+	if got := Add(a, b).Data(); got[3] != 44 {
+		t.Fatalf("Add: %v", got)
+	}
+	if got := Sub(b, a).Data(); got[0] != 9 {
+		t.Fatalf("Sub: %v", got)
+	}
+	if got := Mul(a, b).Data(); got[2] != 90 {
+		t.Fatalf("Mul: %v", got)
+	}
+	if got := Scale(0.5, b).Data(); got[1] != 10 {
+		t.Fatalf("Scale: %v", got)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	Add(New(2, 2), New(2, 3))
+}
+
+func TestAxpyAndInPlace(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	b := FromSlice([]float64{10, 10}, 2)
+	a.Axpy(2, b)
+	if a.Data()[0] != 21 || a.Data()[1] != 22 {
+		t.Fatalf("Axpy: %v", a.Data())
+	}
+	a.AddInPlace(b)
+	if a.Data()[0] != 31 {
+		t.Fatalf("AddInPlace: %v", a.Data())
+	}
+	a.ScaleInPlace(0.1)
+	if math.Abs(a.Data()[0]-3.1) > 1e-12 {
+		t.Fatalf("ScaleInPlace: %v", a.Data())
+	}
+}
+
+func TestReductions(t *testing.T) {
+	x := FromSlice([]float64{1, -2, 3, -4}, 4)
+	if x.Sum() != -2 {
+		t.Fatalf("Sum = %v", x.Sum())
+	}
+	if x.Mean() != -0.5 {
+		t.Fatalf("Mean = %v", x.Mean())
+	}
+	if x.Max() != 3 {
+		t.Fatalf("Max = %v", x.Max())
+	}
+	if x.Min() != -4 {
+		t.Fatalf("Min = %v", x.Min())
+	}
+	if got := x.Norm2(); math.Abs(got-math.Sqrt(30)) > 1e-12 {
+		t.Fatalf("Norm2 = %v", got)
+	}
+}
+
+func TestMSEAndDot(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{1, 0, 3}, 3)
+	if got := MSE(a, b); math.Abs(got-4.0/3.0) > 1e-12 {
+		t.Fatalf("MSE = %v", got)
+	}
+	if got := Dot(a, b); got != 10 {
+		t.Fatalf("Dot = %v", got)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	x := FromSlice([]float64{1, 2}, 2)
+	if !x.IsFinite() {
+		t.Fatal("finite tensor reported non-finite")
+	}
+	x.Data()[1] = math.NaN()
+	if x.IsFinite() {
+		t.Fatal("NaN not detected")
+	}
+	x.Data()[1] = math.Inf(1)
+	if x.IsFinite() {
+		t.Fatal("Inf not detected")
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range c.Data() {
+		if v != want[i] {
+			t.Fatalf("MatMul = %v, want %v", c.Data(), want)
+		}
+	}
+}
+
+// matmulNaive is the reference implementation for property tests.
+func matmulNaive(a, b *Tensor) *Tensor {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += a.At(i, p) * b.At(p, j)
+			}
+			c.Set(s, i, j)
+		}
+	}
+	return c
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.Intn(17), 1+rng.Intn(17), 1+rng.Intn(17)
+		a := RandNormal(rng, 0, 1, m, k)
+		b := RandNormal(rng, 0, 1, k, n)
+		got, want := MatMul(a, b), matmulNaive(a, b)
+		for i := range got.Data() {
+			if math.Abs(got.Data()[i]-want.Data()[i]) > 1e-10 {
+				t.Fatalf("trial %d: MatMul mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestMatMulT1T2AgreeWithExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	k, m, n := 9, 5, 7
+	a := RandNormal(rng, 0, 1, k, m)
+	b := RandNormal(rng, 0, 1, k, n)
+	// aT
+	at := New(m, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < m; j++ {
+			at.Set(a.At(i, j), j, i)
+		}
+	}
+	got := MatMulT1(a, b)
+	want := MatMul(at, b)
+	for i := range got.Data() {
+		if math.Abs(got.Data()[i]-want.Data()[i]) > 1e-10 {
+			t.Fatal("MatMulT1 disagrees with explicit transpose")
+		}
+	}
+
+	c := RandNormal(rng, 0, 1, m, k)
+	d := RandNormal(rng, 0, 1, n, k)
+	dt := New(k, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			dt.Set(d.At(i, j), j, i)
+		}
+	}
+	got2 := MatMulT2(c, d)
+	want2 := MatMul(c, dt)
+	for i := range got2.Data() {
+		if math.Abs(got2.Data()[i]-want2.Data()[i]) > 1e-10 {
+			t.Fatal("MatMulT2 disagrees with explicit transpose")
+		}
+	}
+}
+
+func TestIm2ColIdentityKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := RandNormal(rng, 0, 1, 2, 4, 5, 3)
+	cols := Im2Col(x, 1, 1)
+	if cols.Dim(0) != 2*4*5 || cols.Dim(1) != 3 {
+		t.Fatalf("Im2Col 1x1 shape %v", cols.Shape())
+	}
+	for i, v := range cols.Data() {
+		if v != x.Data()[i] {
+			t.Fatal("1x1 im2col must be identity")
+		}
+	}
+}
+
+func TestIm2ColCenterTap(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := RandNormal(rng, 0, 1, 1, 3, 3, 2)
+	cols := Im2Col(x, 3, 3)
+	// For the center pixel (1,1), the middle tap (ki=1,kj=1) must equal x[1,1].
+	r := 1*3 + 1
+	c := x.Dim(3)
+	centerOff := (1*3 + 1) * c
+	for cc := 0; cc < c; cc++ {
+		if cols.At(r, centerOff+cc) != x.At4(0, 1, 1, cc) {
+			t.Fatal("center tap mismatch")
+		}
+	}
+	// Corner pixel (0,0): taps reaching out of bounds must be zero.
+	if cols.At(0, 0) != 0 {
+		t.Fatal("OOB tap not zero-padded")
+	}
+}
+
+// TestCol2ImIsAdjointOfIm2Col verifies <Im2Col(x), y> == <x, Col2Im(y)> —
+// the defining adjoint property that makes conv backward exact.
+func TestCol2ImIsAdjointOfIm2Col(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n, h, w, c, kh, kw := 2, 5, 6, 3, 3, 3
+	x := RandNormal(rng, 0, 1, n, h, w, c)
+	y := RandNormal(rng, 0, 1, n*h*w, kh*kw*c)
+	lhs := Dot(Im2Col(x, kh, kw), y)
+	rhs := Dot(x, Col2Im(y, n, h, w, c, kh, kw))
+	if math.Abs(lhs-rhs) > 1e-9*math.Max(1, math.Abs(lhs)) {
+		t.Fatalf("adjoint violated: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestExtractInsertPatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := RandNormal(rng, 0, 1, 2, 8, 8, 4)
+	p := ExtractPatch(x, 1, 2, 4, 3, 3)
+	if p.Dim(1) != 3 || p.Dim(2) != 3 || p.Dim(3) != 4 {
+		t.Fatalf("patch shape %v", p.Shape())
+	}
+	for yy := 0; yy < 3; yy++ {
+		for xx := 0; xx < 3; xx++ {
+			for cc := 0; cc < 4; cc++ {
+				if p.At4(0, yy, xx, cc) != x.At4(1, 2+yy, 4+xx, cc) {
+					t.Fatal("ExtractPatch content mismatch")
+				}
+			}
+		}
+	}
+	y := New(2, 8, 8, 4)
+	InsertPatch(y, p, 1, 2, 4)
+	for yy := 0; yy < 3; yy++ {
+		for xx := 0; xx < 3; xx++ {
+			for cc := 0; cc < 4; cc++ {
+				if y.At4(1, 2+yy, 4+xx, cc) != p.At4(0, yy, xx, cc) {
+					t.Fatal("InsertPatch content mismatch")
+				}
+			}
+		}
+	}
+}
+
+func TestExtractPatchOOBPanics(t *testing.T) {
+	x := New(1, 4, 4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ExtractPatch(x, 0, 3, 3, 2, 2)
+}
+
+func TestConcatSplitChannelsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := RandNormal(rng, 0, 1, 2, 3, 4, 2)
+	b := RandNormal(rng, 0, 1, 2, 3, 4, 5)
+	cat := ConcatChannels(a, b)
+	if cat.Dim(3) != 7 {
+		t.Fatalf("concat channels %v", cat.Shape())
+	}
+	parts := SplitChannels(cat, 2, 5)
+	for i, v := range a.Data() {
+		if parts[0].Data()[i] != v {
+			t.Fatal("split part 0 mismatch")
+		}
+	}
+	for i, v := range b.Data() {
+		if parts[1].Data()[i] != v {
+			t.Fatal("split part 1 mismatch")
+		}
+	}
+}
+
+func TestStackUnstackBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ts := []*Tensor{
+		RandNormal(rng, 0, 1, 1, 2, 3, 4),
+		RandNormal(rng, 0, 1, 1, 2, 3, 4),
+		RandNormal(rng, 0, 1, 1, 2, 3, 4),
+	}
+	st := StackBatch(ts)
+	if st.Dim(0) != 3 {
+		t.Fatalf("stack shape %v", st.Shape())
+	}
+	back := UnstackBatch(st)
+	for i := range ts {
+		for j, v := range ts[i].Data() {
+			if back[i].Data()[j] != v {
+				t.Fatalf("unstack %d mismatch", i)
+			}
+		}
+	}
+}
+
+func TestAllocAccounting(t *testing.T) {
+	ResetAlloc()
+	x := New(1000) // 8000 bytes
+	if AllocatedBytes() != 8000 {
+		t.Fatalf("AllocatedBytes = %d", AllocatedBytes())
+	}
+	if PeakBytes() != 8000 {
+		t.Fatalf("PeakBytes = %d", PeakBytes())
+	}
+	Release(x)
+	y := New(500)
+	_ = y
+	if PeakBytes() != 8000 {
+		t.Fatalf("peak should remain 8000, got %d", PeakBytes())
+	}
+	if AllocatedBytes() != 12000 {
+		t.Fatalf("cumulative should be 12000, got %d", AllocatedBytes())
+	}
+	ResetAlloc()
+	if AllocatedBytes() != 0 || PeakBytes() != 0 {
+		t.Fatal("ResetAlloc did not zero counters")
+	}
+}
+
+func TestParallelForCoversRangeOnce(t *testing.T) {
+	n := 100000
+	marks := make([]int32, n)
+	ParallelFor(n, func(s, e int) {
+		for i := s; i < e; i++ {
+			marks[i]++
+		}
+	})
+	for i, m := range marks {
+		if m != 1 {
+			t.Fatalf("index %d visited %d times", i, m)
+		}
+	}
+}
+
+func TestParallelForEmptyAndSmall(t *testing.T) {
+	ParallelFor(0, func(s, e int) { t.Fatal("must not be called for n=0") })
+	count := 0
+	ParallelFor(3, func(s, e int) { count += e - s })
+	if count != 3 {
+		t.Fatalf("small range covered %d", count)
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	old := SetWorkers(2)
+	if Workers() != 2 {
+		t.Fatalf("Workers = %d", Workers())
+	}
+	SetWorkers(old)
+}
+
+// Property: Add is commutative and Sub(a,a) is zero.
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		a := FromSlice(append([]float64(nil), vals...), len(vals))
+		b := RandNormal(rand.New(rand.NewSource(int64(len(vals)))), 0, 1, len(vals))
+		ab, ba := Add(a, b), Add(b, a)
+		for i := range ab.Data() {
+			if ab.Data()[i] != ba.Data()[i] {
+				return false
+			}
+		}
+		z := Sub(a, a)
+		for _, v := range z.Data() {
+			if v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MatMul distributes over addition: A(B+C) = AB + AC.
+func TestQuickMatMulLinear(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a := RandNormal(rng, 0, 1, m, k)
+		b := RandNormal(rng, 0, 1, k, n)
+		c := RandNormal(rng, 0, 1, k, n)
+		lhs := MatMul(a, Add(b, c))
+		rhs := Add(MatMul(a, b), MatMul(a, c))
+		for i := range lhs.Data() {
+			if math.Abs(lhs.Data()[i]-rhs.Data()[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
