@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build fmt vet test race bench verify
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+# Fails (with the offending files) if anything is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The packages with lock-free/pooled state get a race pass; the full tree
+# under -race is slow on small CI boxes.
+race:
+	$(GO) test -race ./internal/tensor ./internal/autodiff ./internal/nn
+
+# Kernel microbenchmarks (also available as `adarnet-bench -exp micro`).
+bench:
+	$(GO) test ./internal/tensor ./internal/nn -run '^$$' -bench . -benchmem
+
+verify: fmt vet build test race
+	@echo verify OK

@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiments to run: all | fig1,fig9,fig10,fig11,table1,table2")
+	exp := flag.String("exp", "all", "experiments to run: all | micro,fig1,fig9,fig10,fig11,table1,table2")
 	scale := flag.String("scale", "quick", "experiment scale: tiny | quick | full")
 	flag.Parse()
 
@@ -46,6 +46,17 @@ func main() {
 	start := time.Now()
 	fmt.Printf("# adarnet-bench scale=%s (LR %dx%d, patches %dx%d, max level %d)\n",
 		sc.Name, sc.LRH, sc.LRW, sc.PatchH, sc.PatchW, sc.MaxLevel)
+
+	// Kernel microbenchmarks need no corpus or training, so they run before
+	// the (expensive) environment setup. Not part of "all": they measure the
+	// implementation, not the paper's tables.
+	if want["micro"] {
+		if err := bench.Micro(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "micro failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
 
 	if all || want["fig1"] {
 		bench.Fig1(os.Stdout)

@@ -8,10 +8,18 @@
 // whose Jacobians are linear (interpolation, stencils, concat) implement the
 // exact adjoint, so the PDE-residual loss in the paper's Eq. 1 backpropagates
 // exactly through the finite-difference operators.
+//
+// Storage lifecycle: op outputs, gradients, and registered scratch come from
+// the tensor pool; Tape.Free returns them after a step so the training loop
+// runs with a near-constant working set. Leaf Data (parameters, inputs) is
+// caller-owned and never recycled by the tape. A tape built with NewInferTape
+// records no backward structure at all — layers detect it via Recording() and
+// take gradient-free fast paths.
 package autodiff
 
 import (
 	"fmt"
+	"sync"
 
 	"adarnet/internal/tensor"
 )
@@ -23,45 +31,172 @@ type Value struct {
 	grad *tensor.Tensor
 
 	requiresGrad bool
+	leaf         bool
 	inputs       []*Value
 	backward     func(grad *tensor.Tensor)
 	tape         *Tape
 }
 
 // Tape records Values in forward order so Backward can traverse in reverse.
+// Values live in fixed-size slabs owned by the tape: slabs are appended to,
+// never reallocated, so *Value pointers stay valid as the tape grows, and
+// Reset rewinds them so a reused tape records with zero Value allocations.
 type Tape struct {
-	nodes []*Value
+	nodes     []*Value
+	scratch   []*tensor.Tensor
+	slabs     [][]Value
+	cur       int // index of the slab currently being filled
+	recording bool
 }
 
-// NewTape returns an empty tape.
-func NewTape() *Tape { return &Tape{} }
+// slabSize is the Value-arena chunk size: big enough that a typical forward
+// pass fits in one or two slabs, small enough not to hoard memory.
+const slabSize = 64
+
+// Freed tapes are kept for reuse so the per-step tape machinery (the Tape
+// struct, its node slice, its Value slabs) is allocated once, not per step.
+var (
+	tapeMu    sync.Mutex
+	freeTapes []*Tape
+)
+
+const maxFreeTapes = 8
+
+func getTape(recording bool) *Tape {
+	tapeMu.Lock()
+	if n := len(freeTapes) - 1; n >= 0 {
+		t := freeTapes[n]
+		freeTapes[n] = nil
+		freeTapes = freeTapes[:n]
+		tapeMu.Unlock()
+		t.recording = recording
+		return t
+	}
+	tapeMu.Unlock()
+	return &Tape{recording: recording}
+}
+
+// NewTape returns an empty recording tape for training.
+func NewTape() *Tape { return getTape(true) }
+
+// NewInferTape returns a tape for gradient-free forward passes. Ops recorded
+// on it keep no inputs and no backward closures — intermediates like im2col
+// matrices are not pinned and can be recycled eagerly — and Backward panics.
+func NewInferTape() *Tape { return getTape(false) }
+
+// newValue carves the next Value out of the tape's slab arena.
+func (t *Tape) newValue() *Value {
+	for {
+		if t.cur == len(t.slabs) {
+			t.slabs = append(t.slabs, make([]Value, 0, slabSize))
+		}
+		s := t.slabs[t.cur]
+		if len(s) < cap(s) {
+			s = append(s, Value{})
+			t.slabs[t.cur] = s
+			return &s[len(s)-1]
+		}
+		t.cur++
+	}
+}
+
+// Recording reports whether this tape builds backward structure. Layers use
+// it to pick the gradient-free fast path on inference tapes.
+func (t *Tape) Recording() bool { return t.recording }
 
 // Len returns the number of recorded nodes.
 func (t *Tape) Len() int { return len(t.nodes) }
 
-// Reset discards all recorded nodes so the tape can be reused.
-func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+// Reset discards all recorded nodes so the tape can be reused. It does not
+// return storage to the pool; use Free for that. Used slab entries are zeroed
+// so stale *Value pointers held outside the tape read as empty rather than
+// pinning dead tensors.
+func (t *Tape) Reset() {
+	for i := range t.nodes {
+		t.nodes[i] = nil
+	}
+	t.nodes = t.nodes[:0]
+	for i := range t.scratch {
+		t.scratch[i] = nil
+	}
+	t.scratch = t.scratch[:0]
+	for i := 0; i <= t.cur && i < len(t.slabs); i++ {
+		s := t.slabs[i]
+		for j := range s {
+			s[j] = Value{}
+		}
+		t.slabs[i] = s[:0]
+	}
+	t.cur = 0
+}
+
+// Scratch registers temporaries (im2col matrices, coordinate grids) that must
+// stay alive until backward completes; Free recycles them with the tape.
+func (t *Tape) Scratch(ts ...*tensor.Tensor) {
+	t.scratch = append(t.scratch, ts...)
+}
+
+// Free recycles everything the tape owns — op-node outputs, all gradients,
+// and registered scratch — then resets the tape. Leaf Data (Var/Const) is
+// caller-owned and left alone. After Free, every non-leaf Value recorded on
+// the tape is dead: the caller must copy out (e.g. Clone) any result it wants
+// to keep before calling Free. Free also retires the tape itself for reuse by
+// a later NewTape/NewInferTape, so the caller must not touch t afterwards.
+func (t *Tape) Free() {
+	for _, n := range t.nodes {
+		if n.grad != nil {
+			tensor.Recycle(n.grad)
+			n.grad = nil
+		}
+		if !n.leaf && n.Data != nil {
+			tensor.Recycle(n.Data)
+			n.Data = nil
+		}
+		n.inputs = nil
+		n.backward = nil
+	}
+	for _, s := range t.scratch {
+		tensor.Recycle(s)
+	}
+	t.Reset()
+	tapeMu.Lock()
+	if len(freeTapes) < maxFreeTapes {
+		freeTapes = append(freeTapes, t)
+	}
+	tapeMu.Unlock()
+}
 
 // Var records a trainable leaf holding data. Its gradient is accumulated
-// during Backward and read back by the optimizer.
+// during Backward and read back by the optimizer. On an inference tape the
+// leaf is recorded without gradient tracking.
 func (t *Tape) Var(data *tensor.Tensor) *Value {
-	v := &Value{Data: data, requiresGrad: true, tape: t}
+	v := t.newValue()
+	v.Data, v.requiresGrad, v.leaf, v.tape = data, t.recording, true, t
 	t.nodes = append(t.nodes, v)
 	return v
 }
 
 // Const records a non-trainable leaf (inputs, targets, coordinates).
 func (t *Tape) Const(data *tensor.Tensor) *Value {
-	v := &Value{Data: data, requiresGrad: false, tape: t}
+	v := t.newValue()
+	v.Data, v.leaf, v.tape = data, true, t
 	t.nodes = append(t.nodes, v)
 	return v
 }
 
 // NewOp records an op node with the given output data, inputs, and backward
 // closure. The closure receives the output gradient and must call
-// AccumGrad on any input it differentiates into. The node requires grad iff
-// any input does; backward is skipped entirely otherwise.
+// AccumGrad/AccumGradOwned on any input it differentiates into. The node
+// requires grad iff any input does; backward is skipped entirely otherwise.
+// On an inference tape the inputs and closure are dropped immediately, so
+// tensors captured only by the closure are unreferenced.
 func (t *Tape) NewOp(data *tensor.Tensor, inputs []*Value, backward func(grad *tensor.Tensor)) *Value {
+	if !t.recording {
+		v := t.newValue()
+		v.Data, v.tape = data, t
+		t.nodes = append(t.nodes, v)
+		return v
+	}
 	req := false
 	for _, in := range inputs {
 		if in.requiresGrad {
@@ -69,7 +204,8 @@ func (t *Tape) NewOp(data *tensor.Tensor, inputs []*Value, backward func(grad *t
 			break
 		}
 	}
-	v := &Value{Data: data, requiresGrad: req, inputs: inputs, backward: backward, tape: t}
+	v := t.newValue()
+	v.Data, v.requiresGrad, v.inputs, v.backward, v.tape = data, req, inputs, backward, t
 	t.nodes = append(t.nodes, v)
 	return v
 }
@@ -84,28 +220,49 @@ func (v *Value) Grad() *tensor.Tensor { return v.grad }
 func (v *Value) ZeroGrad() { v.grad = nil }
 
 // AccumGrad adds g into v's gradient buffer (allocating on first use).
-// Ops' backward closures call this on their inputs.
+// g remains owned by the caller — use this when g is shared with another
+// input (e.g. Add passes the same upstream gradient to both sides).
 func (v *Value) AccumGrad(g *tensor.Tensor) {
 	if !v.requiresGrad {
 		return
 	}
 	if v.grad == nil {
-		v.grad = g.Clone()
+		v.grad = tensor.ClonePooled(g)
 		return
 	}
 	v.grad.AddInPlace(g)
 }
 
+// AccumGradOwned adds g into v's gradient buffer, taking ownership of g:
+// the tensor is either installed as the gradient or recycled. Backward
+// closures call this with freshly computed adjoints so no per-step gradient
+// garbage survives. g must not be used by the caller afterwards.
+func (v *Value) AccumGradOwned(g *tensor.Tensor) {
+	if !v.requiresGrad {
+		tensor.Recycle(g)
+		return
+	}
+	if v.grad == nil {
+		v.grad = g
+		return
+	}
+	v.grad.AddInPlace(g)
+	tensor.Recycle(g)
+}
+
 // Backward seeds root's gradient with ones (for scalar losses) and replays
 // the tape in reverse, invoking each node's backward closure once.
 func (t *Tape) Backward(root *Value) {
+	if !t.recording {
+		panic("autodiff: Backward on an inference tape (NewInferTape)")
+	}
 	if root.tape != t {
 		panic("autodiff: Backward root recorded on a different tape")
 	}
 	if root.Data.Len() != 1 {
 		panic(fmt.Sprintf("autodiff: Backward root must be scalar, got shape %v", root.Data.Shape()))
 	}
-	root.AccumGrad(tensor.Full(1, root.Data.Shape()...))
+	root.AccumGradOwned(tensor.FullPooledLike(1, root.Data))
 	for i := len(t.nodes) - 1; i >= 0; i-- {
 		n := t.nodes[i]
 		if n.backward == nil || !n.requiresGrad || n.grad == nil {

@@ -9,6 +9,14 @@ import (
 // Generic differentiable ops. Layer-specific ops (conv, pool) live in
 // internal/nn; the ops here are the algebra the loss functions are built of.
 
+// scalar wraps v in a pooled 1-element tensor — the shape every reduction op
+// returns — without allocating a fresh slice per call.
+func scalar(v float64) *tensor.Tensor {
+	t := tensor.NewPooled(1)
+	t.Data()[0] = v
+	return t
+}
+
 // Add returns a + b elementwise.
 func Add(a, b *Value) *Value {
 	t := a.tape
@@ -25,7 +33,7 @@ func Sub(a, b *Value) *Value {
 	out := tensor.Sub(a.Data, b.Data)
 	return t.NewOp(out, []*Value{a, b}, func(g *tensor.Tensor) {
 		a.AccumGrad(g)
-		b.AccumGrad(tensor.Scale(-1, g))
+		b.AccumGradOwned(tensor.Scale(-1, g))
 	})
 }
 
@@ -34,8 +42,8 @@ func Mul(a, b *Value) *Value {
 	t := a.tape
 	out := tensor.Mul(a.Data, b.Data)
 	return t.NewOp(out, []*Value{a, b}, func(g *tensor.Tensor) {
-		a.AccumGrad(tensor.Mul(g, b.Data))
-		b.AccumGrad(tensor.Mul(g, a.Data))
+		a.AccumGradOwned(tensor.Mul(g, b.Data))
+		b.AccumGradOwned(tensor.Mul(g, a.Data))
 	})
 }
 
@@ -44,7 +52,7 @@ func Scale(k float64, a *Value) *Value {
 	t := a.tape
 	out := tensor.Scale(k, a.Data)
 	return t.NewOp(out, []*Value{a}, func(g *tensor.Tensor) {
-		a.AccumGrad(tensor.Scale(k, g))
+		a.AccumGradOwned(tensor.Scale(k, g))
 	})
 }
 
@@ -55,10 +63,10 @@ func ScaleScalar(s, a *Value) *Value {
 	sv := s.Data.Data()[0]
 	out := tensor.Scale(sv, a.Data)
 	return t.NewOp(out, []*Value{s, a}, func(g *tensor.Tensor) {
-		a.AccumGrad(tensor.Scale(sv, g))
+		a.AccumGradOwned(tensor.Scale(sv, g))
 		// ds = <g, a>
-		ds := tensor.FromSlice([]float64{tensor.Dot(g, a.Data)}, 1)
-		s.AccumGrad(ds)
+		ds := scalar(tensor.Dot(g, a.Data))
+		s.AccumGradOwned(ds)
 	})
 }
 
@@ -72,14 +80,14 @@ func ReLU(a *Value) *Value {
 		return 0
 	})
 	return t.NewOp(out, []*Value{a}, func(g *tensor.Tensor) {
-		ga := g.Clone()
+		ga := tensor.ClonePooled(g)
 		ad, gd := a.Data.Data(), ga.Data()
 		for i := range gd {
 			if ad[i] <= 0 {
 				gd[i] = 0
 			}
 		}
-		a.AccumGrad(ga)
+		a.AccumGradOwned(ga)
 	})
 }
 
@@ -93,14 +101,14 @@ func LeakyReLU(alpha float64, a *Value) *Value {
 		return alpha * x
 	})
 	return t.NewOp(out, []*Value{a}, func(g *tensor.Tensor) {
-		ga := g.Clone()
+		ga := tensor.ClonePooled(g)
 		ad, gd := a.Data.Data(), ga.Data()
 		for i := range gd {
 			if ad[i] <= 0 {
 				gd[i] *= alpha
 			}
 		}
-		a.AccumGrad(ga)
+		a.AccumGradOwned(ga)
 	})
 }
 
@@ -109,12 +117,12 @@ func Tanh(a *Value) *Value {
 	t := a.tape
 	out := tensor.Apply(a.Data, math.Tanh)
 	return t.NewOp(out, []*Value{a}, func(g *tensor.Tensor) {
-		ga := g.Clone()
+		ga := tensor.ClonePooled(g)
 		od, gd := out.Data(), ga.Data()
 		for i := range gd {
 			gd[i] *= 1 - od[i]*od[i]
 		}
-		a.AccumGrad(ga)
+		a.AccumGradOwned(ga)
 	})
 }
 
@@ -122,19 +130,19 @@ func Tanh(a *Value) *Value {
 func Mean(a *Value) *Value {
 	t := a.tape
 	n := a.Data.Len()
-	out := tensor.FromSlice([]float64{a.Data.Mean()}, 1)
+	out := scalar(a.Data.Mean())
 	return t.NewOp(out, []*Value{a}, func(g *tensor.Tensor) {
 		gv := g.Data()[0] / float64(n)
-		a.AccumGrad(tensor.Full(gv, a.Data.Shape()...))
+		a.AccumGradOwned(tensor.FullPooledLike(gv, a.Data))
 	})
 }
 
 // Sum returns the scalar sum of a.
 func Sum(a *Value) *Value {
 	t := a.tape
-	out := tensor.FromSlice([]float64{a.Data.Sum()}, 1)
+	out := scalar(a.Data.Sum())
 	return t.NewOp(out, []*Value{a}, func(g *tensor.Tensor) {
-		a.AccumGrad(tensor.Full(g.Data()[0], a.Data.Shape()...))
+		a.AccumGradOwned(tensor.FullPooledLike(g.Data()[0], a.Data))
 	})
 }
 
@@ -142,13 +150,13 @@ func Sum(a *Value) *Value {
 // constant target y.
 func MSE(a *Value, y *tensor.Tensor) *Value {
 	t := a.tape
-	out := tensor.FromSlice([]float64{tensor.MSE(a.Data, y)}, 1)
+	out := scalar(tensor.MSE(a.Data, y))
 	n := float64(a.Data.Len())
 	return t.NewOp(out, []*Value{a}, func(g *tensor.Tensor) {
 		scale := 2 * g.Data()[0] / n
 		ga := tensor.Sub(a.Data, y)
 		ga.ScaleInPlace(scale)
-		a.AccumGrad(ga)
+		a.AccumGradOwned(ga)
 	})
 }
 
@@ -164,11 +172,11 @@ func SquaredL2Mean(a *Value) *Value {
 	if n == 0 {
 		n = 1
 	}
-	out := tensor.FromSlice([]float64{s / n}, 1)
+	out := scalar(s / n)
 	return t.NewOp(out, []*Value{a}, func(g *tensor.Tensor) {
 		scale := 2 * g.Data()[0] / n
 		ga := tensor.Scale(scale, a.Data)
-		a.AccumGrad(ga)
+		a.AccumGradOwned(ga)
 	})
 }
 
@@ -182,7 +190,7 @@ func AddScalars(vs ...*Value) *Value {
 	for _, v := range vs {
 		s += v.Data.Data()[0]
 	}
-	out := tensor.FromSlice([]float64{s}, 1)
+	out := scalar(s)
 	return t.NewOp(out, vs, func(g *tensor.Tensor) {
 		for _, v := range vs {
 			v.AccumGrad(g)
@@ -203,7 +211,7 @@ func ConcatChannels(vs ...*Value) *Value {
 	return t.NewOp(out, vs, func(g *tensor.Tensor) {
 		parts := tensor.SplitChannels(g, counts...)
 		for i, v := range vs {
-			v.AccumGrad(parts[i])
+			v.AccumGradOwned(parts[i])
 		}
 	})
 }
@@ -220,8 +228,9 @@ func StackBatch(vs []*Value) *Value {
 	return t.NewOp(out, vs, func(g *tensor.Tensor) {
 		gd := g.Data()
 		for i, v := range vs {
-			gi := tensor.FromSlice(append([]float64(nil), gd[i*per:(i+1)*per]...), v.Data.Shape()...)
-			v.AccumGrad(gi)
+			gi := tensor.NewPooled(v.Data.Shape()...)
+			copy(gi.Data(), gd[i*per:(i+1)*per])
+			v.AccumGradOwned(gi)
 		}
 	})
 }
@@ -231,12 +240,12 @@ func SliceBatch(a *Value, i int) *Value {
 	t := a.tape
 	sh := a.Data.Shape()
 	per := sh[1] * sh[2] * sh[3]
-	d := append([]float64(nil), a.Data.Data()[i*per:(i+1)*per]...)
-	out := tensor.FromSlice(d, 1, sh[1], sh[2], sh[3])
+	out := tensor.NewPooled(1, sh[1], sh[2], sh[3])
+	copy(out.Data(), a.Data.Data()[i*per:(i+1)*per])
 	return t.NewOp(out, []*Value{a}, func(g *tensor.Tensor) {
-		ga := tensor.New(sh...)
+		ga := tensor.NewPooled(sh...)
 		copy(ga.Data()[i*per:(i+1)*per], g.Data())
-		a.AccumGrad(ga)
+		a.AccumGradOwned(ga)
 	})
 }
 
@@ -245,6 +254,6 @@ func SliceBatch(a *Value, i int) *Value {
 func LinearOp(a *Value, out *tensor.Tensor, adjoint func(g *tensor.Tensor) *tensor.Tensor) *Value {
 	t := a.tape
 	return t.NewOp(out, []*Value{a}, func(g *tensor.Tensor) {
-		a.AccumGrad(adjoint(g))
+		a.AccumGradOwned(adjoint(g))
 	})
 }

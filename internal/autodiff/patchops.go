@@ -17,7 +17,7 @@ func ExtractPatch(a *Value, y0, x0, ph, pw int) *Value {
 	c := shape[3]
 	w := shape[2]
 	return LinearOp(a, out, func(g *tensor.Tensor) *tensor.Tensor {
-		ga := tensor.New(shape...)
+		ga := tensor.NewPooled(shape...)
 		gd, sd := ga.Data(), g.Data()
 		for yy := 0; yy < ph; yy++ {
 			dstOff := ((y0+yy)*w + x0) * c
@@ -36,13 +36,13 @@ func Channel(a *Value, idx int) *Value {
 	if idx < 0 || idx >= c {
 		panic(fmt.Sprintf("autodiff: Channel %d out of range for %v", idx, sh))
 	}
-	out := tensor.New(n, h, w, 1)
+	out := tensor.NewPooled(n, h, w, 1)
 	od, ad := out.Data(), a.Data.Data()
 	for p := 0; p < n*h*w; p++ {
 		od[p] = ad[p*c+idx]
 	}
 	return LinearOp(a, out, func(g *tensor.Tensor) *tensor.Tensor {
-		ga := tensor.New(sh...)
+		ga := tensor.NewPooled(sh...)
 		gd, sd := ga.Data(), g.Data()
 		for p := 0; p < n*h*w; p++ {
 			gd[p*c+idx] = sd[p]
@@ -61,7 +61,7 @@ func ChannelAffine(a *Value, scale, shift []float64) *Value {
 	if len(scale) != c || len(shift) != c {
 		panic(fmt.Sprintf("autodiff: ChannelAffine wants %d coefficients, got %d/%d", c, len(scale), len(shift)))
 	}
-	out := tensor.New(sh...)
+	out := tensor.NewPooled(sh...)
 	od, ad := out.Data(), a.Data.Data()
 	for p := 0; p < len(ad); p += c {
 		for cc := 0; cc < c; cc++ {
@@ -69,7 +69,7 @@ func ChannelAffine(a *Value, scale, shift []float64) *Value {
 		}
 	}
 	return LinearOp(a, out, func(g *tensor.Tensor) *tensor.Tensor {
-		ga := tensor.New(sh...)
+		ga := tensor.NewPooled(sh...)
 		gd, sd := ga.Data(), g.Data()
 		for p := 0; p < len(gd); p += c {
 			for cc := 0; cc < c; cc++ {
@@ -87,7 +87,7 @@ func DiffX(a *Value, dx float64) *Value {
 	sh := a.Data.Shape()
 	n, h, w, c := sh[0], sh[1], sh[2], sh[3]
 	inv := 1 / (2 * dx)
-	out := tensor.New(sh...)
+	out := tensor.NewPooled(sh...)
 	od, ad := out.Data(), a.Data.Data()
 	for ni := 0; ni < n; ni++ {
 		for y := 0; y < h; y++ {
@@ -100,7 +100,7 @@ func DiffX(a *Value, dx float64) *Value {
 		}
 	}
 	return LinearOp(a, out, func(g *tensor.Tensor) *tensor.Tensor {
-		ga := tensor.New(sh...)
+		ga := tensor.NewPooled(sh...)
 		gd, sd := ga.Data(), g.Data()
 		for ni := 0; ni < n; ni++ {
 			for y := 0; y < h; y++ {
@@ -124,7 +124,7 @@ func DiffY(a *Value, dy float64) *Value {
 	sh := a.Data.Shape()
 	n, h, w, c := sh[0], sh[1], sh[2], sh[3]
 	inv := 1 / (2 * dy)
-	out := tensor.New(sh...)
+	out := tensor.NewPooled(sh...)
 	od, ad := out.Data(), a.Data.Data()
 	rowStride := w * c
 	for ni := 0; ni < n; ni++ {
@@ -139,7 +139,7 @@ func DiffY(a *Value, dy float64) *Value {
 		}
 	}
 	return LinearOp(a, out, func(g *tensor.Tensor) *tensor.Tensor {
-		ga := tensor.New(sh...)
+		ga := tensor.NewPooled(sh...)
 		gd, sd := ga.Data(), g.Data()
 		for ni := 0; ni < n; ni++ {
 			for y := 1; y < h-1; y++ {
@@ -163,7 +163,7 @@ func Laplacian(a *Value, dx, dy float64) *Value {
 	sh := a.Data.Shape()
 	n, h, w, c := sh[0], sh[1], sh[2], sh[3]
 	ix2, iy2 := 1/(dx*dx), 1/(dy*dy)
-	out := tensor.New(sh...)
+	out := tensor.NewPooled(sh...)
 	od, ad := out.Data(), a.Data.Data()
 	rowStride := w * c
 	for ni := 0; ni < n; ni++ {
@@ -178,7 +178,7 @@ func Laplacian(a *Value, dx, dy float64) *Value {
 		}
 	}
 	return LinearOp(a, out, func(g *tensor.Tensor) *tensor.Tensor {
-		ga := tensor.New(sh...)
+		ga := tensor.NewPooled(sh...)
 		gd, sd := ga.Data(), g.Data()
 		for ni := 0; ni < n; ni++ {
 			for y := 1; y < h-1; y++ {
@@ -204,6 +204,6 @@ func Laplacian(a *Value, dx, dy float64) *Value {
 func AddConst(k float64, a *Value) *Value {
 	out := tensor.Apply(a.Data, func(x float64) float64 { return x + k })
 	return LinearOp(a, out, func(g *tensor.Tensor) *tensor.Tensor {
-		return g.Clone()
+		return tensor.ClonePooled(g)
 	})
 }

@@ -1,0 +1,171 @@
+package autodiff
+
+import (
+	"testing"
+
+	"adarnet/internal/tensor"
+)
+
+// Lifecycle tests for the pooled tape: Free's ownership rules, the inference
+// fast path, and AccumGradOwned semantics.
+
+func TestFreePreservesLeavesRecyclesOps(t *testing.T) {
+	tp := NewTape()
+	leaf := tensor.FromSlice([]float64{1, 2, 3}, 3)
+	x := tp.Var(leaf)
+	y := Scale(2, x) // op node: its Data is tape-owned
+	opData := y.Data
+	tp.Free()
+
+	// Leaf storage is caller-owned and must survive Free intact.
+	if leaf.Data()[1] != 2 {
+		t.Fatal("Free clobbered leaf data")
+	}
+	// Op output was recycled: the tensor is poisoned until reissued.
+	if opData.Data() != nil && opData.Dims() != 0 {
+		t.Fatal("Free did not recycle the op node's output")
+	}
+	tensor.Recycle(leaf)
+}
+
+func TestFreeRecyclesGradsAndScratch(t *testing.T) {
+	tensor.ResetAlloc()
+	tp := NewTape()
+	leaf := tensor.FromSlice([]float64{1, 2, 3, 4}, 4)
+	x := tp.Var(leaf)
+	loss := Mean(Scale(3, x))
+	tp.Backward(loss)
+	scratch := tensor.NewPooled(8)
+	tp.Scratch(scratch)
+	tp.Free()
+	tensor.Recycle(leaf)
+	// Everything the step requested must be released: only a balanced
+	// account leaves zero live bytes.
+	if live := tensor.LiveBytes(); live != 0 {
+		t.Fatalf("%d bytes still live after Free", live)
+	}
+}
+
+func TestInferTapeMatchesRecordingForward(t *testing.T) {
+	in := tensor.FromSlice([]float64{1, -2, 3, -4, 5, -6}, 6)
+
+	rec := NewTape()
+	a := ReLU(Scale(2, rec.Const(in)))
+	want := a.Data.Clone()
+	rec.Free()
+
+	inf := NewInferTape()
+	b := ReLU(Scale(2, inf.Const(in)))
+	for i, v := range b.Data.Data() {
+		if v != want.Data()[i] {
+			t.Fatalf("infer forward diverges at %d: %v vs %v", i, v, want.Data()[i])
+		}
+	}
+	inf.Free()
+	tensor.Recycle(want)
+	tensor.Recycle(in)
+}
+
+func TestBackwardPanicsOnInferTape(t *testing.T) {
+	tp := NewInferTape()
+	x := tp.Const(tensor.FromSlice([]float64{1}, 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward on an inference tape must panic")
+		}
+		tp.Free()
+	}()
+	tp.Backward(x)
+}
+
+func TestInferTapeDropsBackwardStructure(t *testing.T) {
+	tp := NewInferTape()
+	x := tp.Const(tensor.FromSlice([]float64{1, 2}, 2))
+	y := tp.NewOp(tensor.NewPooled(2), []*Value{x}, func(g *tensor.Tensor) {
+		t.Fatal("backward closure must never run on an inference tape")
+	})
+	if y.RequiresGrad() {
+		t.Fatal("inference op must not require grad")
+	}
+	if y.inputs != nil || y.backward != nil {
+		t.Fatal("inference op retained inputs/backward")
+	}
+	tp.Free()
+}
+
+func TestAccumGradOwnedInstallsThenAdds(t *testing.T) {
+	tp := NewTape()
+	x := tp.Var(tensor.FromSlice([]float64{0, 0}, 2))
+
+	g1 := tensor.FromSlice([]float64{1, 2}, 2)
+	x.AccumGradOwned(g1)
+	if x.Grad() != g1 {
+		t.Fatal("first AccumGradOwned must install g directly")
+	}
+
+	g2 := tensor.FromSlice([]float64{10, 20}, 2)
+	x.AccumGradOwned(g2)
+	if x.Grad() != g1 {
+		t.Fatal("second AccumGradOwned must add into the installed grad")
+	}
+	if x.Grad().Data()[0] != 11 || x.Grad().Data()[1] != 22 {
+		t.Fatalf("grad = %v", x.Grad().Data())
+	}
+	// g2 was consumed (recycled) by the call.
+	if g2.Data() != nil && g2.Dims() != 0 {
+		t.Fatal("AccumGradOwned leaked the added-in tensor")
+	}
+	tp.Free()
+}
+
+func TestAccumGradOwnedRecyclesWhenNoGradNeeded(t *testing.T) {
+	tp := NewTape()
+	c := tp.Const(tensor.FromSlice([]float64{1}, 1))
+	g := tensor.NewPooled(1)
+	c.AccumGradOwned(g)
+	if c.Grad() != nil {
+		t.Fatal("const must not accumulate a gradient")
+	}
+	if g.Data() != nil && g.Dims() != 0 {
+		t.Fatal("AccumGradOwned must recycle g for a no-grad value")
+	}
+	tp.Free()
+}
+
+func TestTapeReuseAfterFree(t *testing.T) {
+	tp := NewTape()
+	in := tensor.FromSlice([]float64{2}, 1)
+	tp.Var(in)
+	tp.Free()
+
+	// The freed tape may be handed back by NewTape; either way the tape we
+	// get must start empty and record correctly.
+	tp2 := NewTape()
+	if tp2.Len() != 0 {
+		t.Fatalf("reused tape starts with %d nodes", tp2.Len())
+	}
+	x := tp2.Var(in)
+	loss := Mean(Scale(4, x))
+	tp2.Backward(loss)
+	if g := x.Grad(); g == nil || g.Data()[0] != 4 {
+		t.Fatalf("grad through reused tape = %v", x.Grad())
+	}
+	tp2.Free()
+	tensor.Recycle(in)
+}
+
+// The slab arena must hand out stable pointers: growing past one slab cannot
+// move Values recorded earlier.
+func TestValuePointersStableAcrossSlabs(t *testing.T) {
+	tp := NewTape()
+	in := tensor.FromSlice([]float64{1}, 1)
+	first := tp.Var(in)
+	for i := 0; i < 3*slabSize; i++ {
+		tp.Const(in)
+	}
+	if tp.nodes[0] != first || first.Data != in {
+		t.Fatal("Value pointer invalidated by arena growth")
+	}
+	tp.Free()
+	tensor.Recycle(in)
+}

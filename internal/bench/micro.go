@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"adarnet/internal/autodiff"
+	"adarnet/internal/nn"
+	"adarnet/internal/tensor"
+)
+
+// Micro runs the kernel-level microbenchmarks (GEMM, im2col, layer
+// forward/backward, allocation counts) via testing.Benchmark and prints one
+// row per benchmark. It is the CLI mirror of the `go test -bench` suites in
+// internal/tensor and internal/nn, so the numbers that gate the pooled
+// storage + tiled GEMM work are reproducible without the test harness.
+func Micro(w io.Writer) error {
+	fmt.Fprintln(w, "## micro: kernel benchmarks (ns/op, B/op, allocs/op)")
+	fmt.Fprintf(w, "%-22s %14s %12s %10s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+
+	row := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		fmt.Fprintf(w, "%-22s %14d %12d %10d\n",
+			name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	row("MatMul256", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		a := tensor.RandNormal(rng, 0, 1, 256, 256)
+		c := tensor.RandNormal(rng, 0, 1, 256, 256)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tensor.Recycle(tensor.MatMul(a, c))
+		}
+	})
+
+	row("Im2Col32x32x16", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(2))
+		x := tensor.RandNormal(rng, 0, 1, 1, 32, 32, 16)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tensor.Recycle(tensor.Im2Col(x, 3, 3))
+		}
+	})
+
+	convStack := func() (*nn.Sequential, *tensor.Tensor) {
+		rng := rand.New(rand.NewSource(3))
+		stack := nn.NewSequential(
+			nn.NewConv2D("m.conv1", rng, 3, 3, 7, 8, nn.ReLU),
+			nn.NewConv2D("m.conv2", rng, 3, 3, 8, 16, nn.ReLU),
+			nn.NewDeconv2D("m.deconv1", rng, 3, 3, 16, 4, nn.Linear),
+		)
+		return stack, tensor.RandNormal(rng, 0, 1, 1, 32, 32, 7)
+	}
+
+	row("ConvFwdBwd", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(4))
+		conv := nn.NewConv2D("m.bench", rng, 3, 3, 16, 16, nn.ReLU)
+		x := tensor.RandNormal(rng, 0, 1, 1, 32, 32, 16)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tp := autodiff.NewTape()
+			out := conv.Forward(tp, tp.Var(x))
+			tp.Backward(autodiff.Mean(out))
+			tp.Free()
+		}
+	})
+
+	row("InferAllocs", func(b *testing.B) {
+		stack, x := convStack()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tp := autodiff.NewInferTape()
+			stack.Forward(tp, tp.Const(x))
+			tp.Free()
+		}
+	})
+
+	row("TrainAllocs", func(b *testing.B) {
+		stack, x := convStack()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tp := autodiff.NewTape()
+			out := stack.Forward(tp, tp.Const(x))
+			tp.Backward(autodiff.Mean(out))
+			tp.Free()
+		}
+	})
+
+	return nil
+}

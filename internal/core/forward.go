@@ -61,8 +61,9 @@ func (m *Model) Forward(t *autodiff.Tape, x *autodiff.Value) *ForwardResult {
 			}
 			// Concatenate the patch's global 2D coordinates at target
 			// resolution so the shared decoder knows where it operates.
-			coords := t.Const(coordChannels(py, px, cfg.PatchH, cfg.PatchW, th, tw, h, w))
-			inputs = append(inputs, autodiff.ConcatChannels(p, coords))
+			cc := coordChannels(py, px, cfg.PatchH, cfg.PatchW, th, tw, h, w)
+			t.Scratch(cc) // const leaves aren't freed by the tape
+			inputs = append(inputs, autodiff.ConcatChannels(p, t.Const(cc)))
 		}
 		batch := inputs[0]
 		if len(inputs) > 1 {
@@ -85,7 +86,7 @@ func (m *Model) Forward(t *autodiff.Tape, x *autodiff.Value) *ForwardResult {
 // coordinates for the patch at tile (py, px) rendered at target resolution
 // (th, tw) within an LR field of size (h, w).
 func coordChannels(py, px, ph, pw, th, tw, h, w int) *tensor.Tensor {
-	out := tensor.New(1, th, tw, 2)
+	out := tensor.NewPooled(1, th, tw, 2)
 	d := out.Data()
 	for yy := 0; yy < th; yy++ {
 		// Global y in LR cell units, normalized by the field height.
@@ -109,14 +110,18 @@ func AssembleUniform(res *ForwardResult, cfg Config) *tensor.Tensor {
 	factor := 1 << uint(maxL)
 	h := res.Levels.NPy * cfg.PatchH * factor
 	w := res.Levels.NPx * cfg.PatchW * factor
-	out := tensor.New(1, h, w, 4)
+	out := tensor.NewPooled(1, h, w, 4)
 	for _, p := range res.Patches {
 		v := p.Value.Data
 		scale := 1 << uint(maxL-p.Level)
-		if scale > 1 {
+		prolonged := scale > 1
+		if prolonged {
 			v = interp.Resize(interp.Bicubic, v, v.Dim(1)*scale, v.Dim(2)*scale)
 		}
 		tensor.InsertPatch(out, v, 0, p.PY*cfg.PatchH*factor, p.PX*cfg.PatchW*factor)
+		if prolonged {
+			tensor.Recycle(v)
+		}
 	}
 	return out
 }

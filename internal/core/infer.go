@@ -25,8 +25,11 @@ type Inference struct {
 	Field *tensor.Tensor
 	// CompositeCells is the non-uniform DOF count Σ patchCells·4^level.
 	CompositeCells int
-	// MemoryBytes is the tensor storage allocated during the forward pass —
-	// the activation-memory figure Table 2 compares.
+	// MemoryBytes is the peak live tensor storage of the forward pass (the
+	// activation working set) — the activation-memory figure Table 2
+	// compares. With pooled storage and the gradient-free inference tape,
+	// transient buffers are recycled eagerly, so this tracks what a serving
+	// deployment actually needs resident rather than cumulative allocations.
 	MemoryBytes int64
 	// Elapsed is the wall-clock inference time.
 	Elapsed time.Duration
@@ -45,8 +48,14 @@ func (m *Model) InferCap(lr *grid.Flow, cap int) *Inference {
 	start := time.Now()
 	tensor.ResetAlloc()
 
-	t := autodiff.NewTape()
-	x := t.Const(m.Norm.Apply(grid.ToTensor(lr)))
+	// Inference tape: no backward closures are recorded, so im2col matrices
+	// and other forward intermediates are recycled as soon as each layer
+	// finishes instead of being pinned for a backward pass that never runs.
+	t := autodiff.NewInferTape()
+	raw := grid.ToTensor(lr)
+	norm := m.Norm.Apply(raw)
+	tensor.Recycle(raw)
+	x := t.Const(norm)
 	res := m.Forward(t, x)
 	if cap < res.Levels.MaxLevelUsed() {
 		for i, l := range res.Levels.Level {
@@ -60,6 +69,7 @@ func (m *Model) InferCap(lr *grid.Flow, cap int) *Inference {
 				// Re-render the decoded patch at the capped resolution.
 				factor := 1 << uint(p.Level-cap)
 				down := interpDown(p.Value.Data, factor)
+				t.Scratch(down) // const leaves aren't freed by the tape
 				p.Level = cap
 				p.Value = t.Const(down)
 			}
@@ -67,12 +77,15 @@ func (m *Model) InferCap(lr *grid.Flow, cap int) *Inference {
 	}
 	assembled := AssembleUniform(res, m.Cfg)
 	field := m.Norm.Invert(assembled)
+	tensor.Recycle(assembled)
+	t.Free()
+	tensor.Recycle(norm)
 
 	return &Inference{
 		Levels:         res.Levels,
 		Field:          field,
 		CompositeCells: res.Levels.CompositeCells(),
-		MemoryBytes:    tensor.AllocatedBytes(),
+		MemoryBytes:    tensor.PeakBytes(),
 		Elapsed:        time.Since(start),
 	}
 }

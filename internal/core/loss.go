@@ -44,6 +44,7 @@ func (m *Model) Loss(t *autodiff.Tape, res *ForwardResult, lrTruth *tensor.Tenso
 			lr = nn.Downsample(interp.Bicubic, lr, 1<<uint(p.Level))
 		}
 		truth := tensor.ExtractPatch(lrTruth, 0, p.PY*cfg.PatchH, p.PX*cfg.PatchW, cfg.PatchH, cfg.PatchW)
+		t.Scratch(truth) // pinned by MSE's backward closure until Free
 		dataTerms = append(dataTerms, autodiff.MSE(lr, truth))
 
 		// PDE term at the patch's native resolution on physical values.

@@ -75,9 +75,10 @@ func (tr *Trainer) Step(batch []Sample) (total, data, pde float64, err error) {
 	accum := make(map[*nn.Param]*tensor.Tensor, len(params))
 	for _, s := range batch {
 		t := autodiff.NewTape()
-		x := t.Const(m.Norm.Apply(s.Input))
+		norm := m.Norm.Apply(s.Input)
+		x := t.Const(norm)
 		res := m.Forward(t, x)
-		parts := m.Loss(t, res, m.Norm.Apply(s.Input), s.Meta)
+		parts := m.Loss(t, res, norm, s.Meta)
 		t.Backward(parts.Total)
 		total += parts.Total.Data.Data()[0]
 		data += parts.Data.Data.Data()[0]
@@ -87,10 +88,14 @@ func (tr *Trainer) Step(batch []Sample) (total, data, pde float64, err error) {
 				if a, ok := accum[p]; ok {
 					a.AddInPlace(g)
 				} else {
-					accum[p] = g.Clone()
+					accum[p] = tensor.ClonePooled(g)
 				}
 			}
 		}
+		// Return the sample's activations, gradients, and scratch to the pool
+		// so the batch trains with a near-constant working set.
+		t.Free()
+		tensor.Recycle(norm)
 	}
 	inv := 1.0 / float64(len(batch))
 	total *= inv
@@ -103,10 +108,11 @@ func (tr *Trainer) Step(batch []Sample) (total, data, pde float64, err error) {
 		v := p.Bind(t)
 		if g, ok := accum[p]; ok {
 			g.ScaleInPlace(inv)
-			v.AccumGrad(g)
+			v.AccumGradOwned(g)
 		}
 	}
 	tr.Opt.Step(params)
+	t.Free()
 	return total, data, pde, nil
 }
 

@@ -139,11 +139,11 @@ func Resize(m Method, x *tensor.Tensor, outH, outW int) *tensor.Tensor {
 	}
 	n, h, w, c := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	if h == outH && w == outW {
-		return x.Clone()
+		return tensor.ClonePooled(x)
 	}
 	rows := kernel1D(m, h, outH)
 	cols := kernel1D(m, w, outW)
-	out := tensor.New(n, outH, outW, c)
+	out := tensor.NewPooled(n, outH, outW, c)
 	xd, od := x.Data(), out.Data()
 	tensor.ParallelFor(n*outH, func(rs, re int) {
 		for r := rs; r < re; r++ {
@@ -175,11 +175,11 @@ func Resize(m Method, x *tensor.Tensor, outH, outW int) *tensor.Tensor {
 func ResizeAdjoint(m Method, gy *tensor.Tensor, inH, inW int) *tensor.Tensor {
 	n, oh, ow, c := gy.Dim(0), gy.Dim(1), gy.Dim(2), gy.Dim(3)
 	if oh == inH && ow == inW {
-		return gy.Clone()
+		return tensor.ClonePooled(gy)
 	}
 	rows := kernel1D(m, inH, oh)
 	cols := kernel1D(m, inW, ow)
-	out := tensor.New(n, inH, inW, c)
+	out := tensor.NewPooled(n, inH, inW, c)
 	gd, od := gy.Data(), out.Data()
 	// Scatter: parallelize over images so writes never collide.
 	tensor.ParallelFor(n, func(ns, ne int) {

@@ -1,0 +1,69 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"adarnet/internal/autodiff"
+	"adarnet/internal/tensor"
+)
+
+// Microbenchmarks for the layer hot path. BenchmarkConvFwdBwd measures one
+// training step's worth of a conv layer (forward + backward); the pooled
+// storage path should cut its per-op allocation count by an order of
+// magnitude versus the seed. BenchmarkInferAllocs measures a gradient-free
+// forward through a decoder-style stack — the Model.Infer fast path.
+
+func BenchmarkConvFwdBwd(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	conv := NewConv2D("bench", rng, 3, 3, 16, 16, ReLU)
+	x := tensor.RandNormal(rng, 0, 1, 1, 32, 32, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp := autodiff.NewTape()
+		xv := tp.Var(x)
+		out := conv.Forward(tp, xv)
+		loss := autodiff.Mean(out)
+		tp.Backward(loss)
+		tp.Free()
+	}
+}
+
+func benchStack(rng *rand.Rand) *Sequential {
+	return NewSequential(
+		NewConv2D("b.conv1", rng, 3, 3, 7, 8, ReLU),
+		NewConv2D("b.conv2", rng, 3, 3, 8, 16, ReLU),
+		NewDeconv2D("b.deconv1", rng, 3, 3, 16, 4, Linear),
+	)
+}
+
+func BenchmarkInferAllocs(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	stack := benchStack(rng)
+	x := tensor.RandNormal(rng, 0, 1, 1, 32, 32, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp := autodiff.NewInferTape()
+		out := stack.Forward(tp, tp.Const(x))
+		_ = out
+		tp.Free()
+	}
+}
+
+// BenchmarkTrainAllocs is the tape-mode counterpart of BenchmarkInferAllocs:
+// the same stack with backward, for tracking training-step allocation counts.
+func BenchmarkTrainAllocs(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	stack := benchStack(rng)
+	x := tensor.RandNormal(rng, 0, 1, 1, 32, 32, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp := autodiff.NewTape()
+		out := stack.Forward(tp, tp.Const(x))
+		tp.Backward(autodiff.Mean(out))
+		tp.Free()
+	}
+}

@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"adarnet/internal/autodiff"
 	"adarnet/internal/tensor"
@@ -44,19 +45,29 @@ func (c *Conv2D) Forward(t *autodiff.Tape, x *autodiff.Value) *autodiff.Value {
 	cols := tensor.Im2Col(x.Data, c.KH, c.KW) // (R, K)
 	flat := tensor.MatMul(cols, wv.Data)      // (R, F)
 	addBiasRows(flat, bv.Data)
-	out := flat.Reshape(n, h, w, c.OutC)
+	out := flat.ReshapeInPlace(n, h, w, c.OutC)
 
+	if !t.Recording() {
+		// Gradient-free fast path: the im2col matrix dies immediately and
+		// the activation runs in place on the pooled output.
+		tensor.Recycle(cols)
+		applyActivationInPlace(c.Act, out)
+		return t.NewOp(out, nil, nil)
+	}
+
+	t.Scratch(cols) // backward reads cols; the tape recycles it on Free
 	kh, kw, inC, outC := c.KH, c.KW, c.InC, c.OutC
 	conv := t.NewOp(out, []*autodiff.Value{x, wv, bv}, func(g *tensor.Tensor) {
-		gFlat := g.Reshape(n*h*w, outC)
+		gFlat := g.ReshapeInPlace(n*h*w, outC) // g is this node's grad; nothing else reads its NHWC shape
 		// dW = colsᵀ · g
-		wv.AccumGrad(tensor.MatMulT1(cols, gFlat))
+		wv.AccumGradOwned(tensor.MatMulT1(cols, gFlat))
 		// db = column sums of g
-		bv.AccumGrad(colSums(gFlat))
+		bv.AccumGradOwned(colSums(gFlat))
 		if x.RequiresGrad() {
 			// dx = col2im(g · Wᵀ)
 			dcols := tensor.MatMulT2(gFlat, wv.Data)
-			x.AccumGrad(tensor.Col2Im(dcols, n, h, w, inC, kh, kw))
+			x.AccumGradOwned(tensor.Col2Im(dcols, n, h, w, inC, kh, kw))
+			tensor.Recycle(dcols)
 		}
 	})
 	return applyActivation(c.Act, conv)
@@ -100,30 +111,44 @@ func (d *Deconv2D) Forward(t *autodiff.Tape, x *autodiff.Value) *autodiff.Value 
 	xFlat := x.Data.Reshape(n*h*w, d.InC)
 	spread := tensor.MatMulT2(xFlat, wv.Data) // (R, kh*kw*outC)
 	out := tensor.Col2Im(spread, n, h, w, d.OutC, d.KH, d.KW)
+	tensor.Recycle(spread) // backward re-derives gradients from xFlat, not spread
 	addBiasNHWC(out, bv.Data)
+
+	if !t.Recording() {
+		tensor.ReleaseView(xFlat) // recording path pins it in the backward closure
+		applyActivationInPlace(d.Act, out)
+		return t.NewOp(out, nil, nil)
+	}
 
 	kh, kw, inC := d.KH, d.KW, d.InC
 	dec := t.NewOp(out, []*autodiff.Value{x, wv, bv}, func(g *tensor.Tensor) {
 		// Adjoint of col2im is im2col.
 		gCols := tensor.Im2Col(g, kh, kw) // (R, kh*kw*outC)
 		// dW = gColsᵀ·x_flat → (kh*kw*outC, inC)
-		wv.AccumGrad(tensor.MatMulT1(gCols, xFlat))
-		bv.AccumGrad(channelSumsNHWC(g))
+		wv.AccumGradOwned(tensor.MatMulT1(gCols, xFlat))
+		bv.AccumGradOwned(channelSumsNHWC(g))
 		if x.RequiresGrad() {
 			// dx = gCols · W → (R, inC)
 			dx := tensor.MatMul(gCols, wv.Data)
-			x.AccumGrad(dx.Reshape(n, h, w, inC))
+			x.AccumGradOwned(dx.ReshapeInPlace(n, h, w, inC))
 		}
+		tensor.Recycle(gCols)
 	})
 	return applyActivation(d.Act, dec)
 }
 
 // addBiasRows adds bias b (F) to every row of flat (R×F).
-func addBiasRows(flat, b *tensor.Tensor) {
-	f := b.Len()
-	d := flat.Data()
-	bd := b.Data()
-	tensor.ParallelFor(flat.Dim(0), func(rs, re int) {
+func addBiasRows(flat, b *tensor.Tensor) { addBiasFlat(flat.Data(), b.Data()) }
+
+// addBiasNHWC adds a per-channel bias to an NHWC tensor. Layout-wise this is
+// identical to the row case (channels are the fastest axis), so no reshape
+// view is needed.
+func addBiasNHWC(x, b *tensor.Tensor) { addBiasFlat(x.Data(), b.Data()) }
+
+// addBiasFlat adds bd cyclically to d, treating d as rows of len(bd).
+func addBiasFlat(d, bd []float64) {
+	f := len(bd)
+	tensor.ParallelFor(len(d)/f, func(rs, re int) {
 		for r := rs; r < re; r++ {
 			row := d[r*f : (r+1)*f]
 			for j := range row {
@@ -133,28 +158,44 @@ func addBiasRows(flat, b *tensor.Tensor) {
 	})
 }
 
-// addBiasNHWC adds a per-channel bias to an NHWC tensor.
-func addBiasNHWC(x, b *tensor.Tensor) {
-	c := b.Len()
-	addBiasRows(x.Reshape(x.Len()/c, c), b)
+// colSums returns the per-column sums of a 2D tensor as a pooled vector.
+// Row ranges are reduced into per-worker partial sums merged under a mutex,
+// so the bias-gradient reduction scales with the other backward kernels.
+func colSums(m *tensor.Tensor) *tensor.Tensor {
+	return colSumsData(m.Data(), m.Dim(0), m.Dim(1))
 }
 
-// colSums returns the per-column sums of a 2D tensor as a vector.
-func colSums(m *tensor.Tensor) *tensor.Tensor {
-	r, c := m.Dim(0), m.Dim(1)
-	out := tensor.New(c)
-	od, md := out.Data(), m.Data()
-	for i := 0; i < r; i++ {
-		row := md[i*c : (i+1)*c]
-		for j, v := range row {
-			od[j] += v
+// colSumsData is colSums on raw row-major storage of r rows × c columns.
+func colSumsData(md []float64, r, c int) *tensor.Tensor {
+	out := tensor.NewPooled(c)
+	od := out.Data()
+	var mu sync.Mutex
+	tensor.ParallelForCost(r, 2*c, func(rs, re int) {
+		dst := od
+		var part []float64
+		if rs != 0 || re != r {
+			part = make([]float64, c)
+			dst = part
 		}
-	}
+		for i := rs; i < re; i++ {
+			row := md[i*c : (i+1)*c]
+			for j, v := range row {
+				dst[j] += v
+			}
+		}
+		if part != nil {
+			mu.Lock()
+			for j, v := range part {
+				od[j] += v
+			}
+			mu.Unlock()
+		}
+	})
 	return out
 }
 
 // channelSumsNHWC sums an NHWC tensor over N, H, W per channel.
 func channelSumsNHWC(x *tensor.Tensor) *tensor.Tensor {
 	c := x.Dim(3)
-	return colSums(x.Reshape(x.Len()/c, c))
+	return colSumsData(x.Data(), x.Len()/c, c)
 }

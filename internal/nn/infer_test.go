@@ -1,0 +1,64 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adarnet/internal/autodiff"
+	"adarnet/internal/tensor"
+)
+
+// The gradient-free fast path (inference tapes) must be numerically
+// identical to the recording path: same layers, same input, same output.
+
+func TestInferPathMatchesRecordingPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	stack := NewSequential(
+		NewConv2D("ip.conv1", rng, 3, 3, 5, 8, ReLU),
+		NewConv2D("ip.conv2", rng, 3, 3, 8, 12, LeakyReLU),
+		NewDeconv2D("ip.deconv1", rng, 3, 3, 12, 6, Tanh),
+		NewDeconv2D("ip.deconv2", rng, 3, 3, 6, 4, Linear),
+	)
+	x := tensor.RandNormal(rng, 0, 1, 1, 12, 10, 5)
+
+	rec := autodiff.NewTape()
+	want := stack.Forward(rec, rec.Const(x)).Data.Clone()
+	rec.Free()
+
+	inf := autodiff.NewInferTape()
+	got := stack.Forward(inf, inf.Const(x))
+	gd, wd := got.Data.Data(), want.Data()
+	if len(gd) != len(wd) {
+		t.Fatalf("infer output has %d elems, recording %d", len(gd), len(wd))
+	}
+	for i := range gd {
+		if math.Abs(gd[i]-wd[i]) > 1e-12 {
+			t.Fatalf("infer path diverges at %d: %g vs %g", i, gd[i], wd[i])
+		}
+	}
+	inf.Free()
+	tensor.Recycle(want)
+	tensor.Recycle(x)
+}
+
+// An inference forward must leave no live tensor bytes behind once the tape
+// and the caller-owned input are released — the zero-GC property the
+// Model.Infer fast path depends on.
+func TestInferLeavesNoLiveBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	stack := NewSequential(
+		NewConv2D("il.conv", rng, 3, 3, 4, 6, ReLU),
+		NewDeconv2D("il.deconv", rng, 3, 3, 6, 4, Linear),
+	)
+	x := tensor.RandNormal(rng, 0, 1, 1, 8, 8, 4)
+
+	tensor.ResetAlloc()
+	tp := autodiff.NewInferTape()
+	_ = stack.Forward(tp, tp.Const(x))
+	tp.Free()
+	if live := tensor.LiveBytes(); live != 0 {
+		t.Fatalf("%d bytes still live after inference Free", live)
+	}
+	tensor.Recycle(x)
+}

@@ -7,6 +7,7 @@ package nn
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"adarnet/internal/autodiff"
@@ -126,6 +127,31 @@ func applyActivation(a Activation, v *autodiff.Value) *autodiff.Value {
 		return autodiff.Tanh(v)
 	default:
 		return v
+	}
+}
+
+// applyActivationInPlace applies a's nonlinearity directly to t's storage.
+// Only the gradient-free inference path may use it: backward passes need the
+// pre-activation values that this overwrites.
+func applyActivationInPlace(a Activation, t *tensor.Tensor) {
+	d := t.Data()
+	switch a {
+	case ReLU:
+		for i, x := range d {
+			if x < 0 {
+				d[i] = 0
+			}
+		}
+	case LeakyReLU:
+		for i, x := range d {
+			if x < 0 {
+				d[i] = 0.1 * x
+			}
+		}
+	case Tanh:
+		for i, x := range d {
+			d[i] = math.Tanh(x)
+		}
 	}
 }
 

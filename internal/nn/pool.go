@@ -30,7 +30,7 @@ func (p *MaxPool2D) Forward(t *autodiff.Tape, x *autodiff.Value) *autodiff.Value
 		panic(fmt.Sprintf("nn: MaxPool2D (%d,%d) does not tile input %v", p.PH, p.PW, x.Data.Shape()))
 	}
 	oh, ow := h/p.PH, w/p.PW
-	out := tensor.New(n, oh, ow, c)
+	out := tensor.NewPooled(n, oh, ow, c)
 	argmax := make([]int, n*oh*ow*c) // flat input index of each max
 	xd, od := x.Data.Data(), out.Data()
 	ph, pw := p.PH, p.PW
@@ -63,12 +63,12 @@ func (p *MaxPool2D) Forward(t *autodiff.Tape, x *autodiff.Value) *autodiff.Value
 		if !x.RequiresGrad() {
 			return
 		}
-		gx := tensor.New(n, h, w, c)
+		gx := tensor.NewPooled(n, h, w, c)
 		gxd, gd := gx.Data(), g.Data()
 		for oi, ii := range argmax {
 			gxd[ii] += gd[oi]
 		}
-		x.AccumGrad(gx)
+		x.AccumGradOwned(gx)
 	})
 }
 
@@ -91,7 +91,7 @@ func (p *AvgPool2D) Forward(t *autodiff.Tape, x *autodiff.Value) *autodiff.Value
 		panic(fmt.Sprintf("nn: AvgPool2D (%d,%d) does not tile input %v", p.PH, p.PW, x.Data.Shape()))
 	}
 	oh, ow := h/p.PH, w/p.PW
-	out := tensor.New(n, oh, ow, c)
+	out := tensor.NewPooled(n, oh, ow, c)
 	xd, od := x.Data.Data(), out.Data()
 	ph, pw := p.PH, p.PW
 	inv := 1.0 / float64(ph*pw)
@@ -118,7 +118,7 @@ func (p *AvgPool2D) Forward(t *autodiff.Tape, x *autodiff.Value) *autodiff.Value
 		if !x.RequiresGrad() {
 			return
 		}
-		gx := tensor.New(n, h, w, c)
+		gx := tensor.NewPooled(n, h, w, c)
 		gxd, gd := gx.Data(), g.Data()
 		for r := 0; r < n*oh; r++ {
 			ni := r / oh
@@ -136,6 +136,6 @@ func (p *AvgPool2D) Forward(t *autodiff.Tape, x *autodiff.Value) *autodiff.Value
 				}
 			}
 		}
-		x.AccumGrad(gx)
+		x.AccumGradOwned(gx)
 	})
 }

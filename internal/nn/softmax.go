@@ -23,7 +23,7 @@ func (s *SpatialSoftmax) Params() []*Param { return nil }
 func (s *SpatialSoftmax) Forward(t *autodiff.Tape, x *autodiff.Value) *autodiff.Value {
 	n := x.Data.Dim(0)
 	per := x.Data.Len() / maxInt(n, 1)
-	out := tensor.New(x.Data.Shape()...)
+	out := tensor.NewPooled(x.Data.Shape()...)
 	xd, od := x.Data.Data(), out.Data()
 	for i := 0; i < n; i++ {
 		softmaxInto(od[i*per:(i+1)*per], xd[i*per:(i+1)*per])
@@ -32,7 +32,7 @@ func (s *SpatialSoftmax) Forward(t *autodiff.Tape, x *autodiff.Value) *autodiff.
 		if !x.RequiresGrad() {
 			return
 		}
-		gx := tensor.New(x.Data.Shape()...)
+		gx := tensor.NewPooled(x.Data.Shape()...)
 		gxd, gd := gx.Data(), g.Data()
 		for i := 0; i < n; i++ {
 			si := od[i*per : (i+1)*per]
@@ -46,7 +46,7 @@ func (s *SpatialSoftmax) Forward(t *autodiff.Tape, x *autodiff.Value) *autodiff.
 				dst[j] = sv * (gi[j] - dot)
 			}
 		}
-		x.AccumGrad(gx)
+		x.AccumGradOwned(gx)
 	})
 }
 

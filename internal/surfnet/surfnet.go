@@ -67,15 +67,20 @@ func (m *Model) Infer(lr *grid.Flow) *Inference {
 	start := time.Now()
 	tensor.ResetAlloc()
 
-	t := autodiff.NewTape()
-	x := t.Const(m.Norm.Apply(grid.ToTensor(lr)))
+	t := autodiff.NewInferTape()
+	raw := grid.ToTensor(lr)
+	norm := m.Norm.Apply(raw)
+	tensor.Recycle(raw)
+	x := t.Const(norm)
 	out := m.forward(t, x)
 	field := m.Norm.Invert(out.Data)
+	t.Free()
+	tensor.Recycle(norm)
 
 	return &Inference{
 		Field:       field,
 		Cells:       field.Dim(1) * field.Dim(2),
-		MemoryBytes: tensor.AllocatedBytes(),
+		MemoryBytes: tensor.PeakBytes(),
 		Elapsed:     time.Since(start),
 	}
 }
@@ -85,8 +90,9 @@ func (m *Model) forward(t *autodiff.Tape, x *autodiff.Value) *autodiff.Value {
 	h, w := x.Data.Dim(1), x.Data.Dim(2)
 	th, tw := h*m.Factor, w*m.Factor
 	up := nn.Resize(interp.Bicubic, x, th, tw)
-	coords := t.Const(fullCoords(th, tw))
-	return m.Net.Forward(t, autodiff.ConcatChannels(up, coords))
+	coords := fullCoords(th, tw)
+	t.Scratch(coords) // const leaves aren't freed by the tape
+	return m.Net.Forward(t, autodiff.ConcatChannels(up, t.Const(coords)))
 }
 
 // Train fits the trunk to reproduce solver fields: uniform SR needs HR
@@ -99,12 +105,17 @@ func (m *Model) Train(inputs, targets []*tensor.Tensor, epochs int, lr float64) 
 		sum := 0.0
 		for i, in := range inputs {
 			t := autodiff.NewTape()
-			x := t.Const(m.Norm.Apply(in))
+			norm := m.Norm.Apply(in)
+			x := t.Const(norm)
 			out := m.forward(t, x)
-			loss := autodiff.MSE(out, m.Norm.Apply(targets[i]))
+			tgt := m.Norm.Apply(targets[i])
+			t.Scratch(tgt)
+			loss := autodiff.MSE(out, tgt)
 			t.Backward(loss)
 			opt.Step(m.Params())
 			sum += loss.Data.Data()[0]
+			t.Free()
+			tensor.Recycle(norm)
 		}
 		losses = append(losses, sum/float64(len(inputs)))
 	}
@@ -113,7 +124,7 @@ func (m *Model) Train(inputs, targets []*tensor.Tensor, epochs int, lr float64) 
 
 // fullCoords builds the (1,h,w,2) normalized coordinate channels.
 func fullCoords(h, w int) *tensor.Tensor {
-	out := tensor.New(1, h, w, 2)
+	out := tensor.NewPooled(1, h, w, 2)
 	d := out.Data()
 	for y := 0; y < h; y++ {
 		gy := (float64(y) + 0.5) / float64(h)

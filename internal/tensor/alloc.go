@@ -52,6 +52,10 @@ func AllocatedBytes() int64 { return allocBytes.Load() }
 // ResetAlloc.
 func PeakBytes() int64 { return peakBytes.Load() }
 
+// LiveBytes returns the currently live (allocated and not yet released)
+// tensor-storage bytes. A balanced allocate/recycle cycle returns to zero.
+func LiveBytes() int64 { return liveBytes.Load() }
+
 // Release reports that t's storage is no longer live. It is safe to call on
 // nil tensors and is idempotent only if the caller ensures single release.
 func Release(t *Tensor) {

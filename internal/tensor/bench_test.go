@@ -1,0 +1,97 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Microbenchmarks for the tensor hot path. Shapes mirror the GEMMs the
+// convolution layers actually issue: square mid-size products, the skinny
+// m × huge k·n products of dW accumulation, and the im2col expansion that
+// feeds them. Run with -benchmem to see per-op allocation counts; the pooled
+// storage path should keep steady-state allocations near zero.
+
+func benchMatMul(b *testing.B, m, k, n int) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandNormal(rng, 0, 1, m, k)
+	x := RandNormal(rng, 0, 1, k, n)
+	b.ReportAllocs()
+	b.SetBytes(int64(2 * m * k * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := MatMul(a, x)
+		Recycle(c)
+	}
+}
+
+func BenchmarkMatMul256(b *testing.B)     { benchMatMul(b, 256, 256, 256) }
+func BenchmarkMatMulConvFwd(b *testing.B) { benchMatMul(b, 4096, 144, 64) }
+func BenchmarkMatMulSkinny(b *testing.B)  { benchMatMul(b, 8, 1024, 512) }
+func BenchmarkMatMulT1Grad(b *testing.B) { // dW = colsᵀ·g shape
+	rng := rand.New(rand.NewSource(2))
+	cols := RandNormal(rng, 0, 1, 4096, 144)
+	g := RandNormal(rng, 0, 1, 4096, 64)
+	b.ReportAllocs()
+	b.SetBytes(int64(2 * 4096 * 144 * 64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := MatMulT1(cols, g)
+		Recycle(c)
+	}
+}
+
+func BenchmarkMatMulT2Grad(b *testing.B) { // dcols = g·Wᵀ shape
+	rng := rand.New(rand.NewSource(3))
+	g := RandNormal(rng, 0, 1, 4096, 64)
+	w := RandNormal(rng, 0, 1, 144, 64)
+	b.ReportAllocs()
+	b.SetBytes(int64(2 * 4096 * 144 * 64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := MatMulT2(g, w)
+		Recycle(c)
+	}
+}
+
+func BenchmarkIm2Col(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := RandNormal(rng, 0, 1, 1, 64, 64, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := Im2Col(x, 3, 3)
+		Recycle(c)
+	}
+}
+
+// matmulZeroSkip is the seed GEMM inner loop with its `if av == 0` skip
+// branch, kept for the measured justification of removing it: on dense
+// activations the branch is a misprediction tax with no work to skip.
+func matmulZeroSkip(c, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		ci := c[i*n : (i+1)*n]
+		ai := a[i*k : (i+1)*k]
+		for p, av := range ai {
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+func BenchmarkMatMulNaiveZeroSkip(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	m, k, n := 256, 256, 256
+	a := RandNormal(rng, 0, 1, m, k)
+	x := RandNormal(rng, 0, 1, k, n)
+	c := make([]float64, m*n)
+	b.SetBytes(int64(2 * m * k * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matmulZeroSkip(c, a.Data(), x.Data(), m, k, n)
+	}
+}

@@ -18,8 +18,10 @@ func Im2Col(x *Tensor, kh, kw int) *Tensor {
 	ph, pw := (kh-1)/2, (kw-1)/2
 	rows := n * h * w
 	cols := kh * kw * c
-	out := New(rows, cols)
-	ParallelFor(rows, func(rs, re int) {
+	out := NewPooled(rows, cols)
+	// Each row moves kh·kw·c words; use the real cost so small images with
+	// large channel counts still dispatch in parallel.
+	ParallelForCost(rows, cols, func(rs, re int) {
 		for r := rs; r < re; r++ {
 			wi := r % w
 			hi := (r / w) % h
@@ -65,9 +67,10 @@ func Col2Im(cols *Tensor, n, h, w, c, kh, kw int) *Tensor {
 	if cols.Dims() != 2 || cols.shape[0] != n*h*w || cols.shape[1] != ncols {
 		panic(fmt.Sprintf("tensor: Col2Im shape %v incompatible with (%d,%d,%d,%d) k=(%d,%d)", cols.shape, n, h, w, c, kh, kw))
 	}
-	out := New(n, h, w, c)
-	// Parallelize over images: rows of different images never collide.
-	ParallelFor(n, func(ns, ne int) {
+	out := NewPooled(n, h, w, c)
+	// Parallelize over images: rows of different images never collide. Cost
+	// per image is the full patch volume it scatters.
+	ParallelForCost(n, h*w*ncols, func(ns, ne int) {
 		for ni := ns; ni < ne; ni++ {
 			for hi := 0; hi < h; hi++ {
 				for wi := 0; wi < w; wi++ {

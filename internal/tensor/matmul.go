@@ -2,8 +2,38 @@ package tensor
 
 import "fmt"
 
-// MatMul computes C = A·B for 2D tensors A (m×k) and B (k×n).
-// The kernel is a cache-blocked ikj loop parallelized over rows of A.
+// Cache-blocked GEMM in the BLIS style. All three products the network
+// needs — C = A·B, C = Aᵀ·B (conv weight gradients), C = A·Bᵀ (conv input
+// gradients, deconv forward) — share one packed-panel kernel:
+//
+//   - B is packed once per product into panels of gemmNR columns, tiled
+//     (gemmKC deep × gemmNC wide) so a tile stays cache-resident while every
+//     row block of A streams against it.
+//   - Each worker packs its own A rows into panels of gemmMR rows per depth
+//     tile, which also turns the strided column access of the Aᵀ case into
+//     contiguous reads.
+//   - The inner update is a register-blocked 4×4 outer-product accumulation;
+//     transposition is absorbed entirely by the packing, so there is a single
+//     micro-kernel and edge path to keep correct.
+//
+// The packing buffers come from the storage pool's unaccounted scratch tier
+// (pool.go), so steady-state GEMM performs no heap allocation.
+//
+// The seed kernel skipped multiplications when an A element was exactly
+// zero. Measured on dense activations (the common case: conv inputs after
+// bias), the branch cost ~5% and the skip almost never fired, so the blocked
+// kernel drops it; BenchmarkMatMulNaiveZeroSkip in bench_test.go keeps the
+// old loop around as the measured justification.
+
+const (
+	gemmMR = 4   // micro-kernel rows (A panel width)
+	gemmNR = 4   // micro-kernel cols (B panel width)
+	gemmKC = 256 // depth tile: one A panel (4×256) and one B panel (256×4) are L1-resident
+	gemmNC = 512 // column tile: a packed B tile (256×512 = 1 MiB) stays in L2/L3
+)
+
+// MatMul computes C = A·B for 2D tensors A (m×k) and B (k×n). The result is
+// pool-backed; Recycle it when dead.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul requires 2D tensors, got %v and %v", a.shape, b.shape))
@@ -13,8 +43,8 @@ func MatMul(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dims mismatch %v · %v", a.shape, b.shape))
 	}
-	c := New(m, n)
-	matMulInto(c.data, a.data, b.data, m, k, n, false)
+	c := NewPooled(m, n)
+	gemm(c.data, m, n, k, a.data, k, false, b.data, n, false)
 	return c
 }
 
@@ -25,83 +55,354 @@ func MatMulAdd(c, a, b *Tensor) {
 	if b.shape[0] != k || c.shape[0] != m || c.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulAdd shape mismatch c=%v a=%v b=%v", c.shape, a.shape, b.shape))
 	}
-	matMulInto(c.data, a.data, b.data, m, k, n, true)
-}
-
-// matMulInto is the shared GEMM kernel: c(m×n) {=, +=} a(m×k)·b(k×n).
-func matMulInto(c, a, b []float64, m, k, n int, accumulate bool) {
-	ParallelFor(m, func(rs, re int) {
-		for i := rs; i < re; i++ {
-			ci := c[i*n : (i+1)*n]
-			if !accumulate {
-				for j := range ci {
-					ci[j] = 0
-				}
-			}
-			ai := a[i*k : (i+1)*k]
-			for p, av := range ai {
-				if av == 0 {
-					continue
-				}
-				bp := b[p*n : (p+1)*n]
-				for j, bv := range bp {
-					ci[j] += av * bv
-				}
-			}
-		}
-	})
+	gemm(c.data, m, n, k, a.data, k, false, b.data, n, false)
 }
 
 // MatMulT1 computes C = Aᵀ·B where A is (k×m) and B is (k×n), so C is m×n.
 // Used by convolution backward passes without materializing transposes.
+// The result is pool-backed; Recycle it when dead.
 func MatMulT1(a, b *Tensor) *Tensor {
 	k, m := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulT1 inner dims mismatch %v ᵀ· %v", a.shape, b.shape))
 	}
-	c := New(m, n)
-	// c[i,j] = sum_p a[p,i] * b[p,j]; parallelize over p-chunks with private
-	// accumulators would race, so parallelize over rows i instead.
-	ParallelFor(m, func(rs, re int) {
-		for i := rs; i < re; i++ {
-			ci := c.data[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := a.data[p*m+i]
-				if av == 0 {
-					continue
-				}
-				bp := b.data[p*n : (p+1)*n]
-				for j, bv := range bp {
-					ci[j] += av * bv
-				}
-			}
-		}
-	})
+	c := NewPooled(m, n)
+	gemm(c.data, m, n, k, a.data, m, true, b.data, n, false)
 	return c
 }
 
 // MatMulT2 computes C = A·Bᵀ where A is (m×k) and B is (n×k), so C is m×n.
+// The result is pool-backed; Recycle it when dead.
 func MatMulT2(a, b *Tensor) *Tensor {
 	m, k := a.shape[0], a.shape[1]
 	n, k2 := b.shape[0], b.shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulT2 inner dims mismatch %v · %v ᵀ", a.shape, b.shape))
 	}
-	c := New(m, n)
-	ParallelFor(m, func(rs, re int) {
-		for i := rs; i < re; i++ {
-			ai := a.data[i*k : (i+1)*k]
-			ci := c.data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				bj := b.data[j*k : (j+1)*k]
-				s := 0.0
-				for p, av := range ai {
-					s += av * bj[p]
+	c := NewPooled(m, n)
+	gemm(c.data, m, n, k, a.data, k, false, b.data, k, true)
+	return c
+}
+
+// gemm accumulates C += op(A)·op(B) where C is row-major m×n (ldc = n).
+// aTrans selects op(A)[i][p] = a[p*lda+i] (lda = m) instead of a[i*lda+p]
+// (lda = k); bTrans selects op(B)[p][j] = b[j*ldb+p] (ldb = k) instead of
+// b[p*ldb+j] (ldb = n). The caller provides a zeroed or pre-accumulated C.
+func gemm(c []float64, m, n, k int, a []float64, lda int, aTrans bool, b []float64, ldb int, bTrans bool) {
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	// With only a handful of C rows the packed-B traffic (k·n writes + reads)
+	// cannot amortize; stream op(B) directly instead.
+	if m <= 2*gemmMR {
+		gemmSmallM(c, m, n, k, a, lda, aTrans, b, ldb, bTrans)
+		return
+	}
+	nPT := (k + gemmKC - 1) / gemmKC // depth tiles
+	nJT := (n + gemmNC - 1) / gemmNC // column tiles
+	nR4 := roundUp(n, gemmNR)
+
+	// Pack all of B once into (column-tile, depth-tile) blocks of gemmNR-wide
+	// panels; the buffer is shared read-only by every worker. Block (tj, tp)
+	// starts at tj·k·gemmNC + tp·gemmKC·ncbR(tj), where ncbR(tj) is the
+	// tile's panel-rounded width.
+	lastNcbR := nR4 - (nJT-1)*gemmNC
+	packedB := getBuf((nJT-1)*k*gemmNC + k*lastNcbR)
+	for tj := 0; tj < nJT; tj++ {
+		j0 := tj * gemmNC
+		ncb := minInt(gemmNC, n-j0)
+		ncbR := roundUp(ncb, gemmNR)
+		for tp := 0; tp < nPT; tp++ {
+			p0 := tp * gemmKC
+			kcb := minInt(gemmKC, k-p0)
+			off := tj*k*gemmNC + p0*ncbR
+			packB(packedB[off:off+kcb*ncbR], b, ldb, p0, j0, kcb, ncb, bTrans)
+		}
+	}
+
+	// Parallelize over rows of C: workers write disjoint rows and share the
+	// packed B. Per-row cost is 2·k·n flops, so even very skinny products
+	// (m = 8, k·n huge) dispatch in parallel.
+	ParallelForCost(m, 2*k*n, func(rs, re int) {
+		rows := re - rs
+		aBuf := getBuf(roundUp(rows, gemmMR) * gemmKC)
+		for tp := 0; tp < nPT; tp++ {
+			p0 := tp * gemmKC
+			kcb := minInt(gemmKC, k-p0)
+			packA(aBuf, a, lda, rs, p0, rows, kcb, aTrans)
+			for tj := 0; tj < nJT; tj++ {
+				j0 := tj * gemmNC
+				ncb := minInt(gemmNC, n-j0)
+				ncbR := roundUp(ncb, gemmNR)
+				blk := packedB[tj*k*gemmNC+p0*ncbR:]
+				for ir := 0; ir < rows; ir += gemmMR {
+					mr := minInt(gemmMR, rows-ir)
+					ap := aBuf[(ir/gemmMR)*gemmKC*gemmMR:]
+					ap = ap[:kcb*gemmMR]
+					for jp := 0; jp < ncb; jp += gemmNR {
+						nr := minInt(gemmNR, ncb-jp)
+						bp := blk[(jp/gemmNR)*kcb*gemmNR:]
+						bp = bp[:kcb*gemmNR]
+						if mr == gemmMR && nr == gemmNR {
+							gemmKernel4x4(c, n, rs+ir, j0+jp, ap, bp)
+						} else {
+							gemmKernelEdge(c, n, rs+ir, j0+jp, mr, nr, ap, bp)
+						}
+					}
 				}
-				ci[j] = s
+			}
+		}
+		putBuf(aBuf)
+	})
+	putBuf(packedB)
+}
+
+// gemmSmallM computes C += op(A)·op(B) for short C (m ≤ 2·gemmMR) without
+// packing: each op(B) row (or column, via dots when bTrans) is streamed once
+// per C row, which beats the blocked path's pack-then-read when there are
+// too few rows to amortize it.
+func gemmSmallM(c []float64, m, n, k int, a []float64, lda int, aTrans bool, b []float64, ldb int, bTrans bool) {
+	ParallelForCost(m, 2*k*n, func(rs, re int) {
+		for i := rs; i < re; i++ {
+			ci := c[i*n : (i+1)*n]
+			switch {
+			case bTrans && aTrans:
+				for j := 0; j < n; j++ {
+					bj := b[j*ldb : j*ldb+k]
+					s := 0.0
+					for p, bv := range bj {
+						s += a[p*lda+i] * bv
+					}
+					ci[j] += s
+				}
+			case bTrans:
+				ai := a[i*lda : i*lda+k]
+				for j := 0; j < n; j++ {
+					bj := b[j*ldb : j*ldb+k]
+					s := 0.0
+					for p, bv := range bj {
+						s += ai[p] * bv
+					}
+					ci[j] += s
+				}
+			default:
+				for p := 0; p < k; p++ {
+					av := 0.0
+					if aTrans {
+						av = a[p*lda+i]
+					} else {
+						av = a[i*lda+p]
+					}
+					row := b[p*ldb : p*ldb+n]
+					for j, bv := range row {
+						ci[j] += av * bv
+					}
+				}
 			}
 		}
 	})
-	return c
+}
+
+// packA copies the (rows × kcb) block of op(A) starting at (i0, p0) into
+// gemmMR-row panels: panel r holds rows i0+4r..i0+4r+3, laid out p-major so
+// the micro-kernel reads 4 contiguous values per depth step. Rows past the
+// edge are zero-filled.
+func packA(dst, a []float64, lda, i0, p0, rows, kcb int, aTrans bool) {
+	for ir := 0; ir < rows; ir += gemmMR {
+		mr := minInt(gemmMR, rows-ir)
+		panel := dst[(ir/gemmMR)*gemmKC*gemmMR:]
+		if aTrans {
+			// op(A)[i][p] = a[p*lda + i]
+			base := i0 + ir
+			for p := 0; p < kcb; p++ {
+				src := a[(p0+p)*lda+base:]
+				q := p * gemmMR
+				for ii := 0; ii < mr; ii++ {
+					panel[q+ii] = src[ii]
+				}
+				for ii := mr; ii < gemmMR; ii++ {
+					panel[q+ii] = 0
+				}
+			}
+			continue
+		}
+		r0 := a[(i0+ir)*lda+p0:]
+		var r1, r2, r3 []float64
+		if mr > 1 {
+			r1 = a[(i0+ir+1)*lda+p0:]
+		}
+		if mr > 2 {
+			r2 = a[(i0+ir+2)*lda+p0:]
+		}
+		if mr > 3 {
+			r3 = a[(i0+ir+3)*lda+p0:]
+		}
+		for p := 0; p < kcb; p++ {
+			q := p * gemmMR
+			panel[q] = r0[p]
+			if mr > 1 {
+				panel[q+1] = r1[p]
+			} else {
+				panel[q+1] = 0
+			}
+			if mr > 2 {
+				panel[q+2] = r2[p]
+			} else {
+				panel[q+2] = 0
+			}
+			if mr > 3 {
+				panel[q+3] = r3[p]
+			} else {
+				panel[q+3] = 0
+			}
+		}
+	}
+}
+
+// packB copies the (kcb × ncb) block of op(B) at (p0, j0) into gemmNR-column
+// panels, p-major within each panel. Columns past the edge are zero-filled.
+func packB(dst, b []float64, ldb, p0, j0, kcb, ncb int, bTrans bool) {
+	for jp := 0; jp < ncb; jp += gemmNR {
+		nr := minInt(gemmNR, ncb-jp)
+		panel := dst[(jp/gemmNR)*kcb*gemmNR:]
+		if bTrans {
+			// op(B)[p][j] = b[j*ldb + p]
+			var c0, c1, c2, c3 []float64
+			c0 = b[(j0+jp)*ldb+p0:]
+			if nr > 1 {
+				c1 = b[(j0+jp+1)*ldb+p0:]
+			}
+			if nr > 2 {
+				c2 = b[(j0+jp+2)*ldb+p0:]
+			}
+			if nr > 3 {
+				c3 = b[(j0+jp+3)*ldb+p0:]
+			}
+			for p := 0; p < kcb; p++ {
+				q := p * gemmNR
+				panel[q] = c0[p]
+				if nr > 1 {
+					panel[q+1] = c1[p]
+				} else {
+					panel[q+1] = 0
+				}
+				if nr > 2 {
+					panel[q+2] = c2[p]
+				} else {
+					panel[q+2] = 0
+				}
+				if nr > 3 {
+					panel[q+3] = c3[p]
+				} else {
+					panel[q+3] = 0
+				}
+			}
+			continue
+		}
+		for p := 0; p < kcb; p++ {
+			src := b[(p0+p)*ldb+j0+jp:]
+			q := p * gemmNR
+			for jj := 0; jj < nr; jj++ {
+				panel[q+jj] = src[jj]
+			}
+			for jj := nr; jj < gemmNR; jj++ {
+				panel[q+jj] = 0
+			}
+		}
+	}
+}
+
+// gemmKernel4x4 accumulates the full 4×4 tile C[i0:i0+4, j0:j0+4] += Ap·Bp
+// over one depth tile, with all 16 partial sums in registers.
+func gemmKernel4x4(c []float64, ldc, i0, j0 int, ap, bp []float64) {
+	var c00, c01, c02, c03 float64
+	var c10, c11, c12, c13 float64
+	var c20, c21, c22, c23 float64
+	var c30, c31, c32, c33 float64
+	if len(bp) < len(ap) {
+		panic("tensor: gemm panel length mismatch")
+	}
+	bp = bp[:len(ap)] // equal lengths let one loop bound cover both panels
+	for o := 0; o+gemmMR <= len(ap); o += gemmMR {
+		a0, a1, a2, a3 := ap[o], ap[o+1], ap[o+2], ap[o+3]
+		b0, b1, b2, b3 := bp[o], bp[o+1], bp[o+2], bp[o+3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	r0 := c[i0*ldc+j0 : i0*ldc+j0+4]
+	r1 := c[(i0+1)*ldc+j0 : (i0+1)*ldc+j0+4]
+	r2 := c[(i0+2)*ldc+j0 : (i0+2)*ldc+j0+4]
+	r3 := c[(i0+3)*ldc+j0 : (i0+3)*ldc+j0+4]
+	r0[0] += c00
+	r0[1] += c01
+	r0[2] += c02
+	r0[3] += c03
+	r1[0] += c10
+	r1[1] += c11
+	r1[2] += c12
+	r1[3] += c13
+	r2[0] += c20
+	r2[1] += c21
+	r2[2] += c22
+	r2[3] += c23
+	r3[0] += c30
+	r3[1] += c31
+	r3[2] += c32
+	r3[3] += c33
+}
+
+// gemmKernelEdge handles ragged tiles (mr < 4 rows and/or nr < 4 cols); the
+// packed panels are zero-padded so it can still run the full-width loop.
+func gemmKernelEdge(c []float64, ldc, i0, j0, mr, nr int, ap, bp []float64) {
+	var acc [gemmMR * gemmNR]float64
+	for o := 0; o+gemmMR <= len(ap) && o+gemmNR <= len(bp); o += gemmMR {
+		a0, a1, a2, a3 := ap[o], ap[o+1], ap[o+2], ap[o+3]
+		b0, b1, b2, b3 := bp[o], bp[o+1], bp[o+2], bp[o+3]
+		acc[0] += a0 * b0
+		acc[1] += a0 * b1
+		acc[2] += a0 * b2
+		acc[3] += a0 * b3
+		acc[4] += a1 * b0
+		acc[5] += a1 * b1
+		acc[6] += a1 * b2
+		acc[7] += a1 * b3
+		acc[8] += a2 * b0
+		acc[9] += a2 * b1
+		acc[10] += a2 * b2
+		acc[11] += a2 * b3
+		acc[12] += a3 * b0
+		acc[13] += a3 * b1
+		acc[14] += a3 * b2
+		acc[15] += a3 * b3
+	}
+	for ii := 0; ii < mr; ii++ {
+		row := c[(i0+ii)*ldc+j0:]
+		for jj := 0; jj < nr; jj++ {
+			row[jj] += acc[ii*gemmNR+jj]
+		}
+	}
+}
+
+func roundUp(n, to int) int { return (n + to - 1) / to * to }
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }

@@ -1,0 +1,113 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Tile-boundary tests for the blocked GEMM. The kernel tiles at gemmMR=4
+// rows, gemmNR=4 columns, gemmKC depth and gemmNC column-panel widths, so
+// correctness bugs hide exactly at sizes that straddle those edges; the
+// random-size test in tensor_test.go (≤17) never reaches them.
+
+func mmClose(t *testing.T, got, want *Tensor, label string) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("%s: shape %v, want %v", label, got.Shape(), want.Shape())
+	}
+	gd, wd := got.Data(), want.Data()
+	for i := range gd {
+		if math.Abs(gd[i]-wd[i]) > 1e-9*(1+math.Abs(wd[i])) {
+			t.Fatalf("%s: mismatch at %d: %g vs %g", label, i, gd[i], wd[i])
+		}
+	}
+}
+
+func TestMatMulTileBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := [][3]int{
+		{3, 5, 2},      // all under one micro-tile
+		{4, 4, 4},      // exact micro-tile
+		{5, 9, 6},      // one past the micro-tile in every dim
+		{63, 33, 65},   // ragged in m and n
+		{64, 256, 64},  // exact depth tile gemmKC
+		{65, 257, 66},  // one past the depth tile
+		{8, 300, 515},  // crosses the gemmNC column panel (512)
+		{130, 127, 29}, // ragged everywhere
+		{1, 1000, 1},   // dot-product degenerate shape
+		{97, 1, 53},    // rank-1 update shape
+	}
+	for _, sz := range cases {
+		m, k, n := sz[0], sz[1], sz[2]
+		a := RandNormal(rng, 0, 1, m, k)
+		b := RandNormal(rng, 0, 1, k, n)
+		mmClose(t, MatMul(a, b), matmulNaive(a, b), "MatMul")
+	}
+}
+
+func TestMatMulAddAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	m, k, n := 66, 130, 70
+	a := RandNormal(rng, 0, 1, m, k)
+	b := RandNormal(rng, 0, 1, k, n)
+	c := RandNormal(rng, 0, 1, m, n)
+	want := matmulNaive(a, b)
+	want.AddInPlace(c)
+	MatMulAdd(c, a, b)
+	mmClose(t, c, want, "MatMulAdd")
+}
+
+func TestMatMulT1T2TileBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, sz := range [][3]int{{5, 7, 3}, {65, 258, 61}, {128, 64, 515}} {
+		m, k, n := sz[0], sz[1], sz[2]
+
+		// T1: (k,m)ᵀ·(k,n)
+		a := RandNormal(rng, 0, 1, k, m)
+		b := RandNormal(rng, 0, 1, k, n)
+		at := New(m, k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < m; j++ {
+				at.Set(a.At(i, j), j, i)
+			}
+		}
+		mmClose(t, MatMulT1(a, b), matmulNaive(at, b), "MatMulT1")
+
+		// T2: (m,k)·(n,k)ᵀ
+		c := RandNormal(rng, 0, 1, m, k)
+		d := RandNormal(rng, 0, 1, n, k)
+		dt := New(k, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				dt.Set(d.At(i, j), j, i)
+			}
+		}
+		mmClose(t, MatMulT2(c, d), matmulNaive(c, dt), "MatMulT2")
+	}
+}
+
+func TestMatMulZeroDims(t *testing.T) {
+	a := New(0, 5)
+	b := New(5, 3)
+	if c := MatMul(a, b); c.Dim(0) != 0 || c.Dim(1) != 3 {
+		t.Fatalf("0-row product shape = %v", c.Shape())
+	}
+	d := New(3, 0)
+	e := New(0, 4)
+	c := MatMul(d, e) // k=0: result must be all zeros, not garbage
+	for _, v := range c.Data() {
+		if v != 0 {
+			t.Fatal("k=0 product not zero")
+		}
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inner-dimension mismatch must panic")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 5))
+}

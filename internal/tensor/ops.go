@@ -18,7 +18,7 @@ func (t *Tensor) assertSame(u *Tensor, op string) {
 // Add returns t + u elementwise.
 func Add(t, u *Tensor) *Tensor {
 	t.assertSame(u, "Add")
-	out := New(t.shape...)
+	out := NewPooled(t.shape...)
 	ParallelFor(len(t.data), func(s, e int) {
 		for i := s; i < e; i++ {
 			out.data[i] = t.data[i] + u.data[i]
@@ -30,7 +30,7 @@ func Add(t, u *Tensor) *Tensor {
 // Sub returns t - u elementwise.
 func Sub(t, u *Tensor) *Tensor {
 	t.assertSame(u, "Sub")
-	out := New(t.shape...)
+	out := NewPooled(t.shape...)
 	ParallelFor(len(t.data), func(s, e int) {
 		for i := s; i < e; i++ {
 			out.data[i] = t.data[i] - u.data[i]
@@ -42,7 +42,7 @@ func Sub(t, u *Tensor) *Tensor {
 // Mul returns t * u elementwise (Hadamard product).
 func Mul(t, u *Tensor) *Tensor {
 	t.assertSame(u, "Mul")
-	out := New(t.shape...)
+	out := NewPooled(t.shape...)
 	ParallelFor(len(t.data), func(s, e int) {
 		for i := s; i < e; i++ {
 			out.data[i] = t.data[i] * u.data[i]
@@ -53,7 +53,7 @@ func Mul(t, u *Tensor) *Tensor {
 
 // Scale returns a*t.
 func Scale(a float64, t *Tensor) *Tensor {
-	out := New(t.shape...)
+	out := NewPooled(t.shape...)
 	ParallelFor(len(t.data), func(s, e int) {
 		for i := s; i < e; i++ {
 			out.data[i] = a * t.data[i]
@@ -93,7 +93,7 @@ func (t *Tensor) ScaleInPlace(a float64) {
 
 // Apply returns f mapped over t.
 func Apply(t *Tensor, f func(float64) float64) *Tensor {
-	out := New(t.shape...)
+	out := NewPooled(t.shape...)
 	ParallelFor(len(t.data), func(s, e int) {
 		for i := s; i < e; i++ {
 			out.data[i] = f(t.data[i])

@@ -3,43 +3,69 @@ package tensor
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Parallel execution helpers shared by the heavy kernels (GEMM, im2col, the
 // physics solver's strip sweeps). Work is split into contiguous index ranges,
 // one per worker, which keeps memory access streaming-friendly.
 
-// maxWorkers bounds kernel parallelism; defaults to GOMAXPROCS(0).
-var maxWorkers = runtime.GOMAXPROCS(0)
+// maxWorkers bounds kernel parallelism; defaults to GOMAXPROCS(0). It is an
+// atomic because SetWorkers may be called (by benchmarks, tests, or a serving
+// layer adjusting concurrency) while kernels on other goroutines read it.
+var maxWorkers atomic.Int32
+
+func init() { maxWorkers.Store(int32(runtime.GOMAXPROCS(0))) }
 
 // SetWorkers sets the number of goroutines used by parallel kernels.
-// n < 1 resets to GOMAXPROCS. It returns the previous value.
+// n < 1 resets to GOMAXPROCS. It returns the previous value. Safe to call
+// concurrently with running kernels: they pick up the new value on their
+// next dispatch.
 func SetWorkers(n int) int {
-	old := maxWorkers
 	if n < 1 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	maxWorkers = n
-	return old
+	return int(maxWorkers.Swap(int32(n)))
 }
 
 // Workers returns the current kernel parallelism.
-func Workers() int { return maxWorkers }
+func Workers() int { return int(maxWorkers.Load()) }
+
+// serialWorkThreshold is the total work (in abstract per-element cost units,
+// roughly flops) below which goroutine dispatch overhead outweighs the win.
+const serialWorkThreshold = 1 << 16
+
+// defaultItemCost is the per-item work ParallelFor assumes when the caller
+// does not provide a cost. It reproduces the package's historical gate
+// (serial below 2048 items) for the light elementwise kernels.
+const defaultItemCost = 32
 
 // ParallelFor runs fn(start, end) over [0,n) split into contiguous chunks
-// across the worker pool. It runs serially when n is small enough that
-// goroutine overhead would dominate.
+// across the worker pool, assuming a small constant cost per item. Kernels
+// whose per-item work varies by orders of magnitude (GEMM rows, im2col
+// patches) must use ParallelForCost so that a few very heavy items are not
+// mistaken for a small job.
 func ParallelFor(n int, fn func(start, end int)) {
+	ParallelForCost(n, defaultItemCost, fn)
+}
+
+// ParallelForCost is ParallelFor with an explicit per-item cost estimate
+// (roughly flops, or moved float64 words). The serial/parallel decision is
+// made on total work n·costPerItem rather than the item count, so a
+// skinny-but-heavy job (say 8 GEMM rows of a million flops each) still fans
+// out across workers.
+func ParallelForCost(n, costPerItem int, fn func(start, end int)) {
 	if n <= 0 {
 		return
 	}
-	w := maxWorkers
+	w := Workers()
 	if w > n {
 		w = n
 	}
-	// Below this many elements the dispatch overhead outweighs the win.
-	const serialThreshold = 2048
-	if w == 1 || n < serialThreshold {
+	if costPerItem < 1 {
+		costPerItem = 1
+	}
+	if w == 1 || n*costPerItem < serialWorkThreshold {
 		fn(0, n)
 		return
 	}

@@ -1,0 +1,86 @@
+package tensor
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Regression tests for the cost-aware dispatch gate and the SetWorkers
+// atomicity contract.
+
+// A skinny-but-heavy job (few items, huge per-item cost) must still fan out:
+// the historic gate compared the item count alone, so 8 GEMM rows of a
+// million flops each ran serially.
+func TestParallelForCostSkinnyHeavyDispatches(t *testing.T) {
+	old := SetWorkers(4)
+	defer SetWorkers(old)
+
+	var calls int32
+	ParallelForCost(8, 1<<20, func(s, e int) {
+		atomic.AddInt32(&calls, 1)
+	})
+	if calls < 2 {
+		t.Fatalf("skinny-heavy job dispatched %d chunk(s); want parallel fan-out", calls)
+	}
+
+	// The same 8 items with a tiny cost must stay serial (one call).
+	calls = 0
+	ParallelForCost(8, 1, func(s, e int) {
+		atomic.AddInt32(&calls, 1)
+	})
+	if calls != 1 {
+		t.Fatalf("light job dispatched %d chunks; want 1 (serial)", calls)
+	}
+}
+
+func TestParallelForCostCoversRangeOnce(t *testing.T) {
+	old := SetWorkers(3)
+	defer SetWorkers(old)
+	n := 10007 // prime: chunks cannot divide evenly
+	marks := make([]int32, n)
+	ParallelForCost(n, 1000, func(s, e int) {
+		for i := s; i < e; i++ {
+			atomic.AddInt32(&marks[i], 1)
+		}
+	})
+	for i, m := range marks {
+		if m != 1 {
+			t.Fatalf("index %d visited %d times", i, m)
+		}
+	}
+}
+
+// TestSetWorkersConcurrent exercises SetWorkers racing against running
+// kernels; under -race this verifies maxWorkers is accessed atomically.
+func TestSetWorkersConcurrent(t *testing.T) {
+	old := Workers()
+	defer SetWorkers(old)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				SetWorkers(1 + i%8)
+			}
+		}
+	}()
+
+	for i := 0; i < 50; i++ {
+		var sum int64
+		ParallelForCost(4096, 64, func(s, e int) {
+			atomic.AddInt64(&sum, int64(e-s))
+		})
+		if sum != 4096 {
+			t.Fatalf("iteration %d covered %d of 4096 items", i, sum)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

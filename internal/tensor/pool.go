@@ -1,0 +1,254 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Pooled tensor storage: a size-classed free list that lets the training and
+// inference hot paths reuse float64 buffers across iterations instead of
+// allocating fresh ones (and paying GC for them) every step.
+//
+// Design (see DESIGN.md §7 for the full ownership rules):
+//
+//   - Buffers are grouped into power-of-two size classes. Class c holds
+//     buffers whose capacity is at least 1<<c elements; NewPooled(n) draws
+//     from the class that rounds n up, so a returned buffer always has
+//     enough capacity and at most 2× slack.
+//   - Recycle accepts ANY tensor, pooled or not: the buffer is filed under
+//     the largest class its capacity covers, so even storage that came from
+//     plain New re-enters circulation.
+//   - Accounting (alloc.go) is logical, not physical: NewPooled accounts
+//     exactly like New, and Recycle releases the live bytes. Cumulative
+//     AllocatedBytes therefore measures the tensor storage a pass *requested*
+//     regardless of pooling, which keeps the Fig. 1 / Table 2 memory
+//     comparisons meaningful, while PeakBytes tracks the true working set.
+//   - Each class retains a bounded number of buffers (budgeted by bytes) so
+//     the pool cannot hoard unbounded memory after a large transient.
+//
+// Ownership rule: whoever calls Recycle must be the last user of the tensor.
+// After Recycle the tensor is poisoned (nil storage) so accidental reuse
+// fails fast on index, but aliased views created via Reshape/FromSlice share
+// the storage and must be considered dead too.
+
+const (
+	// minClassBits is the smallest pooled class (64 elements = 512 B);
+	// smaller buffers are cheaper to allocate than to pool.
+	minClassBits = 6
+	// maxClassBits caps pooled buffers at 1<<24 elements (128 MiB); larger
+	// requests fall through to plain allocation and Recycle drops them.
+	maxClassBits = 24
+	// classByteBudget bounds the bytes retained per class (64 MiB), so a
+	// class of 1 KiB buffers keeps many and a class of 64 MiB buffers one.
+	classByteBudget = 64 << 20
+)
+
+type bufClass struct {
+	mu   sync.Mutex
+	bufs [][]float64
+	max  int // retention cap, in buffers
+}
+
+var classes [maxClassBits + 1]bufClass
+
+// Tensor headers (the struct + its shape slice) are recycled separately from
+// their float64 storage, so a steady-state NewPooled→Recycle cycle performs
+// zero heap allocations. Headers enter the freelist only through Recycle;
+// ones the caller never recycles are simply collected by the GC.
+var (
+	headerMu   sync.Mutex
+	headers    []*Tensor
+	maxHeaders = 4096
+)
+
+// newHeader builds a tensor around data, reusing a recycled header (and its
+// shape backing array) when one is available.
+func newHeader(shape []int, data []float64) *Tensor {
+	headerMu.Lock()
+	if n := len(headers) - 1; n >= 0 {
+		t := headers[n]
+		headers[n] = nil
+		headers = headers[:n]
+		headerMu.Unlock()
+		t.shape = append(t.shape[:0], shape...)
+		t.data = data
+		return t
+	}
+	headerMu.Unlock()
+	return &Tensor{shape: append([]int(nil), shape...), data: data}
+}
+
+func putHeader(t *Tensor) {
+	t.data = nil
+	t.shape = t.shape[:0]
+	headerMu.Lock()
+	if len(headers) < maxHeaders {
+		headers = append(headers, t)
+	}
+	headerMu.Unlock()
+}
+
+func init() {
+	for c := minClassBits; c <= maxClassBits; c++ {
+		max := classByteBudget / (bytesPerElem << uint(c))
+		if max < 2 {
+			max = 2
+		}
+		if max > 1024 {
+			max = 1024
+		}
+		classes[c].max = max
+	}
+}
+
+// classFor returns the class whose buffers can hold n elements (rounding up),
+// or -1 if n is outside the pooled range.
+func classFor(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	c := bits.Len(uint(n - 1)) // ceil(log2(n))
+	if c < minClassBits {
+		c = minClassBits
+	}
+	if c > maxClassBits {
+		return -1
+	}
+	return c
+}
+
+// getBuf returns a zeroed buffer of length n, reusing pooled storage when
+// available. It does not touch the allocation accounting.
+func getBuf(n int) []float64 {
+	c := classFor(n)
+	if c < 0 {
+		return make([]float64, n)
+	}
+	cl := &classes[c]
+	cl.mu.Lock()
+	if last := len(cl.bufs) - 1; last >= 0 {
+		buf := cl.bufs[last]
+		cl.bufs[last] = nil
+		cl.bufs = cl.bufs[:last]
+		cl.mu.Unlock()
+		buf = buf[:n]
+		for i := range buf {
+			buf[i] = 0
+		}
+		return buf
+	}
+	cl.mu.Unlock()
+	return make([]float64, n, 1<<uint(c))
+}
+
+// putBuf files buf under the largest class its capacity covers. Buffers
+// outside the pooled range, or arriving when the class is full, are dropped
+// for the GC. It does not touch the allocation accounting.
+func putBuf(buf []float64) {
+	cp := cap(buf)
+	if cp < 1<<minClassBits || cp > 1<<maxClassBits {
+		return // outside the pooled range: let the GC take it
+	}
+	c := bits.Len(uint(cp)) - 1 // floor(log2(cap))
+	cl := &classes[c]
+	cl.mu.Lock()
+	if len(cl.bufs) < cl.max {
+		cl.bufs = append(cl.bufs, buf[:0])
+	}
+	cl.mu.Unlock()
+}
+
+// NewPooled returns a zero-filled tensor with the given shape, drawing its
+// storage from the buffer pool when possible. It is accounted identically to
+// New; release the storage with Recycle when the tensor is dead.
+func NewPooled(shape ...int) *Tensor {
+	n := checkShape(shape)
+	account(n)
+	return newHeader(shape, getBuf(n))
+}
+
+// FullPooled returns a pooled tensor with every element set to v.
+func FullPooled(v float64, shape ...int) *Tensor {
+	t := NewPooled(shape...)
+	if v != 0 {
+		t.Fill(v)
+	}
+	return t
+}
+
+// FullPooledLike returns a pooled tensor shaped like ref with every element
+// set to v. It avoids the shape-copy round trip of FullPooled(v, ref.Shape()...),
+// which matters in backward closures that fill a gradient per step.
+func FullPooledLike(v float64, ref *Tensor) *Tensor {
+	n := len(ref.data)
+	account(n)
+	t := newHeader(ref.shape, getBuf(n))
+	if v != 0 {
+		t.Fill(v)
+	}
+	return t
+}
+
+// ClonePooled returns a deep copy of t backed by pooled storage.
+func ClonePooled(t *Tensor) *Tensor {
+	out := NewPooled(t.shape...)
+	copy(out.data, t.data)
+	return out
+}
+
+// Recycle releases t's accounting and returns its storage — and its header —
+// to the pool for reuse. It accepts tensors from any constructor and is safe
+// on nil. The caller must be the last user: t (and any view sharing its
+// storage) must not be touched afterwards. Until the header is handed out
+// again, a recycled tensor has nil storage so accidental reuse fails fast.
+func Recycle(t *Tensor) {
+	if t == nil || t.data == nil && len(t.shape) == 0 {
+		return
+	}
+	release(len(t.data))
+	buf := t.data
+	putHeader(t)
+	putBuf(buf)
+}
+
+// ReleaseView retires a view header (one made by Reshape) without touching
+// its storage or the allocation accounting: only the Tensor struct returns to
+// the header pool. The view must not be used afterwards; the base tensor and
+// its storage remain valid. Use it for short-lived reshapes whose base is
+// still owned elsewhere (e.g. a 2D view of an NHWC gradient).
+func ReleaseView(t *Tensor) {
+	if t == nil || t.data == nil && len(t.shape) == 0 {
+		return
+	}
+	putHeader(t)
+}
+
+// PoolStats reports the buffers and bytes currently retained by the pool,
+// for tests and diagnostics.
+func PoolStats() (buffers int, bytes int64) {
+	for c := minClassBits; c <= maxClassBits; c++ {
+		cl := &classes[c]
+		cl.mu.Lock()
+		for _, b := range cl.bufs {
+			buffers++
+			bytes += int64(cap(b)) * bytesPerElem
+		}
+		cl.mu.Unlock()
+	}
+	return
+}
+
+// DrainPool drops every retained buffer and header, returning the memory to
+// the GC. Tests use it to isolate pool behavior; long-running servers can
+// call it after a workload spike.
+func DrainPool() {
+	for c := minClassBits; c <= maxClassBits; c++ {
+		cl := &classes[c]
+		cl.mu.Lock()
+		cl.bufs = nil
+		cl.mu.Unlock()
+	}
+	headerMu.Lock()
+	headers = nil
+	headerMu.Unlock()
+}

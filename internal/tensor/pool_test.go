@@ -1,0 +1,195 @@
+package tensor
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Tests for the pooled-storage layer: buffer reuse, header reuse, the
+// logical allocation accounting, and safety under concurrency and misuse.
+
+func TestNewPooledZeroedAndShaped(t *testing.T) {
+	a := NewPooled(3, 4)
+	a.Fill(7)
+	Recycle(a)
+	b := NewPooled(3, 4) // must come back zeroed even if it reuses a's buffer
+	for i, v := range b.Data() {
+		if v != 0 {
+			t.Fatalf("reused buffer not zeroed at %d: %v", i, v)
+		}
+	}
+	if b.Dim(0) != 3 || b.Dim(1) != 4 {
+		t.Fatalf("shape = %v", b.Shape())
+	}
+	Recycle(b)
+}
+
+func TestPooledBufferReuse(t *testing.T) {
+	DrainPool()
+	a := NewPooled(1000)
+	p := &a.Data()[0]
+	Recycle(a)
+	b := NewPooled(900) // same size class (1024): must reuse a's storage
+	if &b.Data()[0] != p {
+		t.Fatal("pooled allocation did not reuse the recycled buffer")
+	}
+	Recycle(b)
+}
+
+func TestHeaderReuse(t *testing.T) {
+	DrainPool()
+	a := NewPooled(128)
+	Recycle(a)
+	b := NewPooled(64) // different class is fine; the header is class-free
+	if a != b {
+		t.Fatal("NewPooled did not reuse the recycled header")
+	}
+	Recycle(b)
+}
+
+func TestRecycleDoubleAndNilSafe(t *testing.T) {
+	Recycle(nil) // must not panic
+	a := NewPooled(32)
+	Recycle(a)
+	Recycle(a) // poisoned: second call must be a no-op, not a double release
+}
+
+func TestRecyclePoisons(t *testing.T) {
+	a := NewPooled(16)
+	Recycle(a)
+	if a.Data() != nil || a.Dims() != 0 {
+		t.Fatalf("recycled tensor not poisoned: data=%v shape=%v", a.Data(), a.Shape())
+	}
+}
+
+func TestAccountingSymmetry(t *testing.T) {
+	DrainPool()
+	ResetAlloc()
+	a := NewPooled(512)
+	if got := AllocatedBytes(); got != 512*bytesPerElem {
+		t.Fatalf("AllocatedBytes = %d", got)
+	}
+	if got := PeakBytes(); got != 512*bytesPerElem {
+		t.Fatalf("PeakBytes = %d", got)
+	}
+	Recycle(a)
+	// A second pooled allocation re-requests the storage: cumulative counts
+	// it again (the metric is pooling-independent), peak stays flat.
+	b := NewPooled(512)
+	if got := AllocatedBytes(); got != 2*512*bytesPerElem {
+		t.Fatalf("cumulative AllocatedBytes after reuse = %d", got)
+	}
+	if got := PeakBytes(); got != 512*bytesPerElem {
+		t.Fatalf("PeakBytes after reuse = %d", got)
+	}
+	Recycle(b)
+}
+
+func TestFromSliceRecycleSymmetry(t *testing.T) {
+	ResetAlloc()
+	a := FromSlice(make([]float64, 100), 100)
+	Recycle(a)
+	b := New(50)
+	Recycle(b)
+	if got := PeakBytes(); got != 100*bytesPerElem {
+		t.Fatalf("PeakBytes = %d, want %d", got, 100*bytesPerElem)
+	}
+}
+
+func TestPoolStatsAndDrain(t *testing.T) {
+	DrainPool()
+	Recycle(NewPooled(4096))
+	bufs, bytes := PoolStats()
+	if bufs != 1 || bytes < 4096*bytesPerElem {
+		t.Fatalf("PoolStats = %d bufs, %d bytes", bufs, bytes)
+	}
+	DrainPool()
+	if bufs, _ := PoolStats(); bufs != 0 {
+		t.Fatalf("pool not empty after drain: %d bufs", bufs)
+	}
+}
+
+func TestOversizedRequestsBypassPool(t *testing.T) {
+	DrainPool()
+	a := NewPooled(1<<maxClassBits + 1)
+	Recycle(a)
+	if bufs, _ := PoolStats(); bufs != 0 {
+		t.Fatal("oversized buffer was retained by the pool")
+	}
+}
+
+func TestFullPooledLikeAndClonePooled(t *testing.T) {
+	ref := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	f := FullPooledLike(2.5, ref)
+	if !f.SameShape(ref) {
+		t.Fatalf("FullPooledLike shape = %v", f.Shape())
+	}
+	for _, v := range f.Data() {
+		if v != 2.5 {
+			t.Fatalf("FullPooledLike fill = %v", f.Data())
+		}
+	}
+	c := ClonePooled(ref)
+	c.Data()[0] = 99
+	if ref.Data()[0] != 1 {
+		t.Fatal("ClonePooled shares storage with its source")
+	}
+	Recycle(f)
+	Recycle(c)
+	Recycle(ref)
+}
+
+func TestReleaseView(t *testing.T) {
+	base := NewPooled(4, 4)
+	base.Fill(3)
+	v := base.Reshape(16)
+	ReleaseView(v)
+	// The base must be untouched: same storage, same values.
+	for _, x := range base.Data() {
+		if x != 3 {
+			t.Fatal("ReleaseView disturbed the base tensor's storage")
+		}
+	}
+	ReleaseView(nil) // no-op
+	Recycle(base)
+}
+
+func TestReshapeInPlace(t *testing.T) {
+	a := NewPooled(2, 6)
+	p := &a.Data()[0]
+	b := a.ReshapeInPlace(3, 4)
+	if b != a || &b.Data()[0] != p {
+		t.Fatal("ReshapeInPlace must mutate and return the same tensor")
+	}
+	if b.Dim(0) != 3 || b.Dim(1) != 4 {
+		t.Fatalf("shape = %v", b.Shape())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ReshapeInPlace with wrong element count must panic")
+		}
+		Recycle(a)
+	}()
+	a.ReshapeInPlace(5, 5)
+}
+
+// TestPoolConcurrent hammers the pool from several goroutines; run with
+// -race it checks the mutex discipline of the class lists and header list.
+func TestPoolConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				n := 1 + rng.Intn(5000)
+				a := NewPooled(n)
+				a.Data()[n-1] = float64(n)
+				Recycle(a)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}

@@ -17,7 +17,7 @@ func ExtractPatch(x *Tensor, n, y0, x0, ph, pw int) *Tensor {
 	if y0 < 0 || x0 < 0 || y0+ph > h || x0+pw > w {
 		panic(fmt.Sprintf("tensor: patch (%d,%d)+(%d,%d) out of bounds for %v", y0, x0, ph, pw, x.shape))
 	}
-	out := New(1, ph, pw, c)
+	out := NewPooled(1, ph, pw, c)
 	for yy := 0; yy < ph; yy++ {
 		srcOff := ((n*h+y0+yy)*w + x0) * c
 		dstOff := yy * pw * c
@@ -57,7 +57,7 @@ func ConcatChannels(ts ...*Tensor) *Tensor {
 		}
 		totalC += t.shape[3]
 	}
-	out := New(n, h, w, totalC)
+	out := NewPooled(n, h, w, totalC)
 	pixels := n * h * w
 	ParallelFor(pixels, func(ps, pe int) {
 		for p := ps; p < pe; p++ {
@@ -85,7 +85,7 @@ func SplitChannels(x *Tensor, counts ...int) []*Tensor {
 	}
 	outs := make([]*Tensor, len(counts))
 	for i, k := range counts {
-		outs[i] = New(n, h, w, k)
+		outs[i] = NewPooled(n, h, w, k)
 	}
 	pixels := n * h * w
 	ParallelFor(pixels, func(ps, pe int) {
@@ -107,7 +107,7 @@ func StackBatch(ts []*Tensor) *Tensor {
 		panic("tensor: StackBatch of nothing")
 	}
 	h, w, c := ts[0].shape[1], ts[0].shape[2], ts[0].shape[3]
-	out := New(len(ts), h, w, c)
+	out := NewPooled(len(ts), h, w, c)
 	per := h * w * c
 	for i, t := range ts {
 		if t.shape[0] != 1 || t.shape[1] != h || t.shape[2] != w || t.shape[3] != c {
@@ -124,7 +124,7 @@ func UnstackBatch(x *Tensor) []*Tensor {
 	per := h * w * c
 	out := make([]*Tensor, k)
 	for i := 0; i < k; i++ {
-		t := New(1, h, w, c)
+		t := NewPooled(1, h, w, c)
 		copy(t.data, x.data[i*per:(i+1)*per])
 		out[i] = t
 	}

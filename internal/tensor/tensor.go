@@ -26,17 +26,19 @@ type Tensor struct {
 func New(shape ...int) *Tensor {
 	n := checkShape(shape)
 	account(n)
-	return &Tensor{shape: append([]int(nil), shape...), data: make([]float64, n)}
+	return newHeader(shape, make([]float64, n))
 }
 
 // FromSlice wraps data in a tensor of the given shape. The slice is used
 // directly (not copied); len(data) must equal the shape's element count.
+// The storage is accounted like New's so that Recycle stays symmetric.
 func FromSlice(data []float64, shape ...int) *Tensor {
 	n := checkShape(shape)
 	if len(data) != n {
-		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d elems)", len(data), shape, n))
+		panicShape(fmt.Sprintf("tensor: data length %d does not match shape %%v (%d elems)", len(data), n), shape)
 	}
-	return &Tensor{shape: append([]int(nil), shape...), data: data}
+	account(n)
+	return newHeader(shape, data)
 }
 
 // Full returns a tensor with every element set to v.
@@ -48,15 +50,23 @@ func Full(v float64, shape ...int) *Tensor {
 	return t
 }
 
+// checkShape validates a shape and returns its element count. The panic paths
+// copy the shape before formatting it so the slice itself never escapes:
+// call-site variadic literals (New(1, h, w, c)) stay on the caller's stack.
 func checkShape(shape []int) int {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+			panicShape("tensor: negative dimension in shape %v", shape)
 		}
 		n *= d
 	}
 	return n
+}
+
+//go:noinline
+func panicShape(format string, shape []int) {
+	panic(fmt.Sprintf(format, append([]int(nil), shape...)))
 }
 
 // Shape returns the tensor's dimensions. The returned slice is a copy.
@@ -92,7 +102,7 @@ func (t *Tensor) Clone() *Tensor {
 	account(len(t.data))
 	d := make([]float64, len(t.data))
 	copy(d, t.data)
-	return &Tensor{shape: append([]int(nil), t.shape...), data: d}
+	return newHeader(t.shape, d)
 }
 
 // Reshape returns a view of t with a new shape covering the same elements.
@@ -100,9 +110,22 @@ func (t *Tensor) Clone() *Tensor {
 func (t *Tensor) Reshape(shape ...int) *Tensor {
 	n := checkShape(shape)
 	if n != len(t.data) {
-		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.shape, len(t.data), shape, n))
+		panicShape(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %%v (%d elems)", t.shape, len(t.data), n), shape)
 	}
-	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
+	return newHeader(shape, t.data)
+}
+
+// ReshapeInPlace reinterprets t's storage under a new shape, mutating and
+// returning t itself. Unlike Reshape it creates no second header, so it is
+// the right call when the old shape is no longer needed — e.g. flattening a
+// freshly computed GEMM result into its NHWC form on the hot path.
+func (t *Tensor) ReshapeInPlace(shape ...int) *Tensor {
+	n := checkShape(shape)
+	if n != len(t.data) {
+		panicShape(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %%v (%d elems)", t.shape, len(t.data), n), shape)
+	}
+	t.shape = append(t.shape[:0], shape...)
+	return t
 }
 
 // index computes the flat offset of a multi-index.
