@@ -17,10 +17,10 @@ vet:
 test:
 	$(GO) test ./...
 
-# The packages with lock-free/pooled state get a race pass; the full tree
-# under -race is slow on small CI boxes.
+# The packages with lock-free/pooled/concurrent state get a race pass; the
+# full tree under -race is slow on small CI boxes.
 race:
-	$(GO) test -race ./internal/tensor ./internal/autodiff ./internal/nn
+	$(GO) test -race ./internal/tensor ./internal/autodiff ./internal/nn ./internal/serve/... ./internal/core/...
 
 # Kernel microbenchmarks (also available as `adarnet-bench -exp micro`).
 bench:

@@ -12,15 +12,23 @@
 // The façade re-exports the user-facing pieces of the internal packages:
 //
 //   - model construction, training, inference: Model, New, Trainer
+//   - batched serving: Predictor, Engine, NewEngine, engine options
 //   - the physics substrate: Case constructors, Solve
 //   - the baselines: AMRRun (feature-based AMR), SURFNet (uniform SR)
 //   - the evaluation harness: experiment runners for every paper figure/table
+//
+// API conventions (DESIGN.md §8): context-aware entry points take ctx as the
+// first argument (RunE2EContext, SolveContext, RunAMRContext, Trainer.Fit);
+// the ctx-less originals remain as thin deprecated wrappers. Failure modes
+// callers branch on are typed sentinels — ErrDiverged, ErrQueueFull,
+// ErrEngineClosed, ErrUntrained — wrapped with %w, matched via errors.Is.
 //
 // See examples/ for runnable end-to-end programs and DESIGN.md for the
 // system inventory.
 package adarnet
 
 import (
+	"context"
 	"io"
 
 	"adarnet/internal/amr"
@@ -29,6 +37,7 @@ import (
 	"adarnet/internal/dataset"
 	"adarnet/internal/geometry"
 	"adarnet/internal/grid"
+	"adarnet/internal/serve"
 	"adarnet/internal/solver"
 	"adarnet/internal/surfnet"
 )
@@ -72,6 +81,66 @@ type AMRConfig = amr.Config
 // SURFNet is the uniform-super-resolution baseline model.
 type SURFNet = surfnet.Model
 
+// Engine is the batched, concurrent inference server (internal/serve): it
+// micro-batches predictions across in-flight requests and demultiplexes the
+// results to each caller.
+type Engine = serve.Engine
+
+// EngineOption configures an Engine at construction.
+type EngineOption = serve.Option
+
+// EngineStats is a point-in-time snapshot of an engine's counters.
+type EngineStats = serve.EngineStats
+
+// Predictor is the inference contract shared by the direct path (*Model,
+// one request per forward pass) and the batched path (*Engine, requests
+// micro-batched across callers). Both produce bit-identical results.
+type Predictor interface {
+	// Predict solves the case's LR field and infers the HR prediction.
+	Predict(ctx context.Context, c *Case) (*Inference, error)
+	// PredictFlow infers from an already-solved LR flow field.
+	PredictFlow(ctx context.Context, lr *Flow) (*Inference, error)
+}
+
+// Both implementations are checked at compile time.
+var (
+	_ Predictor = (*Model)(nil)
+	_ Predictor = (*Engine)(nil)
+)
+
+// Typed sentinel errors; matched with errors.Is against wrapped returns.
+var (
+	// ErrDiverged: the physics solver blew up (NaN/Inf).
+	ErrDiverged = solver.ErrDiverged
+	// ErrUntrained: an inference entry point got a nil/parameterless model.
+	ErrUntrained = core.ErrUntrained
+	// ErrQueueFull: the engine's bounded submission queue shed the request.
+	ErrQueueFull = serve.ErrQueueFull
+	// ErrEngineClosed: submission after Engine.Close.
+	ErrEngineClosed = serve.ErrEngineClosed
+)
+
+// NewEngine starts a batched inference engine for a trained model.
+func NewEngine(m *Model, opts ...EngineOption) (*Engine, error) {
+	return serve.New(m, opts...)
+}
+
+// Engine construction options.
+var (
+	// WithMaxBatch sets the batch flush size (default 8).
+	WithMaxBatch = serve.WithMaxBatch
+	// WithMaxDelay sets the partial-batch flush deadline (default 2ms).
+	WithMaxDelay = serve.WithMaxDelay
+	// WithWorkers sets the forward-pass worker count (default 2).
+	WithWorkers = serve.WithWorkers
+	// WithQueueDepth bounds the submission queue (default 64).
+	WithQueueDepth = serve.WithQueueDepth
+	// WithSolverOptions sets the LR-solve options Engine.Predict uses.
+	WithSolverOptions = serve.WithSolverOptions
+	// WithLevelCap clamps inferred refinement levels.
+	WithLevelCap = serve.WithLevelCap
+)
+
 // DefaultConfig returns the paper's model configuration for a patch size.
 func DefaultConfig(patchH, patchW int) Config { return core.DefaultConfig(patchH, patchW) }
 
@@ -81,19 +150,50 @@ func New(cfg Config) *Model { return core.New(cfg) }
 // NewTrainer builds a trainer for the model.
 func NewTrainer(m *Model) *Trainer { return core.NewTrainer(m) }
 
+// RunE2EContext executes LR solve → one-shot inference → physics-solver
+// correction, canceling between stages and inside each solve via ctx.
+func RunE2EContext(ctx context.Context, m *Model, c *Case, opt SolverOptions) (*E2EResult, error) {
+	return core.RunE2E(ctx, m, c, opt)
+}
+
 // RunE2E executes LR solve → one-shot inference → physics-solver correction.
+//
+// Deprecated: use RunE2EContext, which supports cancellation. RunE2E is
+// RunE2EContext with context.Background().
 func RunE2E(m *Model, c *Case, opt SolverOptions) (*E2EResult, error) {
-	return core.RunE2E(m, c, opt)
+	return core.RunE2E(context.Background(), m, c, opt)
+}
+
+// SolveContext drives a flow to steady state with the RANS-SA solver,
+// polling ctx between pseudo-time steps.
+func SolveContext(ctx context.Context, f *Flow, opt SolverOptions) (SolverResult, error) {
+	return solver.Solve(ctx, f, opt)
 }
 
 // Solve drives a flow to steady state with the RANS-SA solver.
-func Solve(f *Flow, opt SolverOptions) (SolverResult, error) { return solver.Solve(f, opt) }
+//
+// Deprecated: use SolveContext, which supports cancellation. Solve is
+// SolveContext with context.Background().
+func Solve(f *Flow, opt SolverOptions) (SolverResult, error) {
+	return solver.Solve(context.Background(), f, opt)
+}
 
 // DefaultSolverOptions returns robust solver settings.
 func DefaultSolverOptions() SolverOptions { return solver.DefaultOptions() }
 
+// RunAMRContext executes the iterative feature-based AMR baseline for a
+// case, canceling between cycles and inside each solve via ctx.
+func RunAMRContext(ctx context.Context, c *Case, cfg AMRConfig) (*AMRResult, error) {
+	return amr.Run(ctx, c, cfg)
+}
+
 // RunAMR executes the iterative feature-based AMR baseline for a case.
-func RunAMR(c *Case, cfg AMRConfig) (*AMRResult, error) { return amr.Run(c, cfg) }
+//
+// Deprecated: use RunAMRContext, which supports cancellation. RunAMR is
+// RunAMRContext with context.Background().
+func RunAMR(c *Case, cfg AMRConfig) (*AMRResult, error) {
+	return amr.Run(context.Background(), c, cfg)
+}
 
 // DefaultAMRConfig mirrors the paper's AMR baseline setup.
 func DefaultAMRConfig(patchH, patchW int) AMRConfig { return amr.DefaultConfig(patchH, patchW) }
@@ -111,9 +211,17 @@ var (
 	PaperTestCases = geometry.PaperTestCases
 )
 
+// GenerateDatasetContext runs the solver over the paper's training sweeps,
+// aborting the sweep when ctx is canceled.
+func GenerateDatasetContext(ctx context.Context, perFamily, h, w int) ([]Sample, error) {
+	return dataset.Generate(ctx, dataset.DefaultOptions(perFamily, h, w))
+}
+
 // GenerateDataset runs the solver over the paper's training sweeps.
+//
+// Deprecated: use GenerateDatasetContext, which supports cancellation.
 func GenerateDataset(perFamily, h, w int) ([]Sample, error) {
-	return dataset.Generate(dataset.DefaultOptions(perFamily, h, w))
+	return dataset.Generate(context.Background(), dataset.DefaultOptions(perFamily, h, w))
 }
 
 // SplitDataset partitions samples into train/validation sets.
@@ -131,16 +239,15 @@ var (
 // "tiny", "quick", or "full" (see internal/bench for their meanings).
 type ExperimentEnv = bench.Env
 
-// SetupExperiments prepares (and memoizes) the experiment environment.
-func SetupExperiments(scale string) *ExperimentEnv {
-	switch scale {
-	case "tiny":
-		return bench.Setup(bench.TinyScale())
-	case "full":
-		return bench.Setup(bench.FullScale())
-	default:
-		return bench.Setup(bench.QuickScale())
+// SetupExperiments prepares (and memoizes) the experiment environment. An
+// unknown scale name is an explicit error — it no longer falls back to
+// "quick" silently.
+func SetupExperiments(scale string) (*ExperimentEnv, error) {
+	s, err := bench.ScaleByName(scale)
+	if err != nil {
+		return nil, err
 	}
+	return bench.Setup(s), nil
 }
 
 // Experiment runners; each prints the figure/table rows to w.

@@ -5,7 +5,10 @@ package adarnet
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"adarnet/internal/grid"
 	"adarnet/internal/tensor"
@@ -138,4 +141,58 @@ func TestModelCheckpointFacade(t *testing.T) {
 		t.Fatal("restored model predicts differently")
 	}
 	_ = grid.NumChannels
+}
+
+func TestSetupExperimentsUnknownScale(t *testing.T) {
+	if _, err := SetupExperiments("quikc"); err == nil {
+		t.Fatal("expected explicit error for unknown scale, got nil")
+	}
+}
+
+func TestEngineThroughFacade(t *testing.T) {
+	// The façade engine must serve predictions bit-identical to direct
+	// model inference, and expose the sentinel errors for errors.Is.
+	m, samples := trainTinyModel(t)
+	e, err := NewEngine(m, WithMaxBatch(4), WithMaxDelay(5*time.Millisecond), WithWorkers(2), WithQueueDepth(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := samples[0].Meta
+	want := m.Infer(lr)
+	got, err := e.PredictFlow(context.Background(), lr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd, gd := want.Field.Data(), got.Field.Data()
+	for k := range wd {
+		if wd[k] != gd[k] {
+			t.Fatalf("field[%d]: engine %v != direct %v", k, gd[k], wd[k])
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.PredictFlow(context.Background(), lr); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("after Close: err = %v, want ErrEngineClosed", err)
+	}
+}
+
+func TestContextEntryPoints(t *testing.T) {
+	// Every ctx-first façade entry point must honor a pre-canceled context.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := ChannelCase(2.5e3, 8, 32)
+	if _, err := SolveContext(ctx, c.Build(), DefaultSolverOptions()); !errors.Is(err, context.Canceled) {
+		t.Errorf("SolveContext: err = %v, want context.Canceled", err)
+	}
+	if _, err := RunAMRContext(ctx, c, DefaultAMRConfig(2, 2)); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunAMRContext: err = %v, want context.Canceled", err)
+	}
+	m := New(DefaultConfig(2, 2))
+	if _, err := RunE2EContext(ctx, m, c, DefaultSolverOptions()); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunE2EContext: err = %v, want context.Canceled", err)
+	}
+	if _, err := GenerateDatasetContext(ctx, 1, 8, 32); !errors.Is(err, context.Canceled) {
+		t.Errorf("GenerateDatasetContext: err = %v, want context.Canceled", err)
+	}
 }

@@ -9,6 +9,7 @@ package adarnet
 // same code paths the full-scale runners use.
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"testing"
@@ -134,7 +135,7 @@ func BenchmarkSolverStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fl := f.Clone()
-		if _, err := solver.Solve(fl, opt); err != nil {
+		if _, err := solver.Solve(context.Background(), fl, opt); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -20,20 +20,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiments to run: all | micro,fig1,fig9,fig10,fig11,table1,table2")
+	exp := flag.String("exp", "all", "experiments to run: all | micro,serve,fig1,fig9,fig10,fig11,table1,table2")
 	scale := flag.String("scale", "quick", "experiment scale: tiny | quick | full")
 	flag.Parse()
 
-	var sc bench.Scale
-	switch *scale {
-	case "tiny":
-		sc = bench.TinyScale()
-	case "full":
-		sc = bench.FullScale()
-	case "quick":
-		sc = bench.QuickScale()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+	sc, err := bench.ScaleByName(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -53,6 +46,13 @@ func main() {
 	if want["micro"] {
 		if err := bench.Micro(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "micro failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if want["serve"] {
+		if err := bench.Serve(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "serve failed: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println()

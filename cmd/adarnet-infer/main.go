@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"adarnet/internal/core"
@@ -57,11 +59,14 @@ func main() {
 		}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	fmt.Printf("solving LR field for %s...\n", c.Name)
 	lr := c.Build()
 	opt := solver.DefaultOptions()
 	t0 := time.Now()
-	lrRes, err := solver.Solve(lr, opt)
+	lrRes, err := solver.Solve(ctx, lr, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adarnet-infer:", err)
 		os.Exit(1)
@@ -82,7 +87,7 @@ func main() {
 	if *converge {
 		fine := inf.ToFlow(lr, c.BuildAt)
 		t1 := time.Now()
-		psRes, err := solver.Solve(fine, opt)
+		psRes, err := solver.Solve(ctx, fine, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "adarnet-infer:", err)
 			os.Exit(1)

@@ -1,0 +1,188 @@
+// Command adarnet-serve exposes the batched inference engine over HTTP: a
+// stdlib net/http server with JSON in/out, so many clients can request
+// predictions concurrently and share forward-pass batches.
+//
+// Endpoints:
+//
+//	POST /predict  {"case":"cylinder","re":1e5,"h":16,"w":64}
+//	               → refinement map, composite cells, timing
+//	GET  /healthz  liveness probe
+//	GET  /stats    engine counters (requests, batches, occupancy, latencies)
+//
+// Usage:
+//
+//	adarnet-serve -model model.gob -addr :8080 -max-batch 8 -workers 4
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"adarnet/internal/core"
+	"adarnet/internal/geometry"
+	"adarnet/internal/serve"
+	"adarnet/internal/solver"
+)
+
+type predictRequest struct {
+	Case string  `json:"case"` // channel | flatplate | cylinder | naca0012 | naca1412
+	Re   float64 `json:"re"`
+	H    int     `json:"h"`
+	W    int     `json:"w"`
+}
+
+type predictResponse struct {
+	Case           string  `json:"case"`
+	Levels         [][]int `json:"levels"` // refinement level per patch tile
+	CompositeCells int     `json:"composite_cells"`
+	UniformCells   int     `json:"uniform_cells"`
+	ElapsedMs      float64 `json:"elapsed_ms"`
+}
+
+func buildCase(r predictRequest) (*geometry.Case, error) {
+	if r.H <= 0 {
+		r.H = 16
+	}
+	if r.W <= 0 {
+		r.W = 64
+	}
+	if r.Re <= 0 {
+		r.Re = 2.5e3
+	}
+	switch r.Case {
+	case "channel", "":
+		return geometry.ChannelCase(r.Re, r.H, r.W), nil
+	case "flatplate":
+		return geometry.FlatPlateCase(r.Re, r.H, r.W), nil
+	case "cylinder":
+		return geometry.CylinderCase(r.Re, r.H, r.W), nil
+	case "naca0012":
+		return geometry.AirfoilCase("0012", r.Re, r.H, r.W), nil
+	case "naca1412":
+		return geometry.AirfoilCase("1412", r.Re, r.H, r.W), nil
+	default:
+		return nil, fmt.Errorf("unknown case %q", r.Case)
+	}
+}
+
+func main() {
+	model := flag.String("model", "", "checkpoint path (required)")
+	addr := flag.String("addr", ":8080", "listen address")
+	patch := flag.Int("patch", 4, "patch size the checkpoint was trained with")
+	bins := flag.Int("bins", 4, "number of target resolutions")
+	maxBatch := flag.Int("max-batch", 8, "batch flush size")
+	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "partial-batch flush deadline")
+	workers := flag.Int("workers", 2, "forward-pass workers")
+	queueDepth := flag.Int("queue-depth", 64, "submission queue bound")
+	solverIter := flag.Int("solver-max-iter", 12000, "LR-solve iteration cap per request")
+	flag.Parse()
+
+	if *model == "" {
+		fmt.Fprintln(os.Stderr, "adarnet-serve: -model is required (train one with adarnet-train)")
+		os.Exit(2)
+	}
+	cfg := core.DefaultConfig(*patch, *patch)
+	cfg.Bins = *bins
+	m := core.New(cfg)
+	if err := m.Load(*model); err != nil {
+		fmt.Fprintln(os.Stderr, "adarnet-serve:", err)
+		os.Exit(1)
+	}
+
+	sopt := solver.DefaultOptions()
+	sopt.MaxIter = *solverIter
+	engine, err := serve.New(m,
+		serve.WithMaxBatch(*maxBatch),
+		serve.WithMaxDelay(*maxDelay),
+		serve.WithWorkers(*workers),
+		serve.WithQueueDepth(*queueDepth),
+		serve.WithSolverOptions(sopt),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adarnet-serve:", err)
+		os.Exit(1)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(engine.Stats())
+	})
+	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req predictRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		c, err := buildCase(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		start := time.Now()
+		inf, err := engine.Predict(r.Context(), c)
+		switch {
+		case err == nil:
+		case errors.Is(err, serve.ErrQueueFull):
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		case errors.Is(err, serve.ErrEngineClosed):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			http.Error(w, err.Error(), http.StatusRequestTimeout)
+			return
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		levels := make([][]int, inf.Levels.NPy)
+		for py := range levels {
+			row := make([]int, inf.Levels.NPx)
+			for px := range row {
+				row[px] = inf.Levels.At(py, px)
+			}
+			levels[py] = row
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(predictResponse{
+			Case:           c.Name,
+			Levels:         levels,
+			CompositeCells: inf.CompositeCells,
+			UniformCells:   inf.Levels.UniformCells(),
+			ElapsedMs:      float64(time.Since(start).Microseconds()) / 1000,
+		})
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+		engine.Close()
+	}()
+
+	fmt.Printf("adarnet-serve: %d-param model, listening on %s\n", m.ParamCount(), *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "adarnet-serve:", err)
+		os.Exit(1)
+	}
+}

@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"adarnet/internal/core"
 	"adarnet/internal/dataset"
@@ -30,13 +32,16 @@ func main() {
 	out := flag.String("out", "model.gob", "checkpoint output path")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var samples []core.Sample
 	var err error
 	if *corpus != "" {
 		samples, err = dataset.LoadFile(*corpus)
 	} else {
 		fmt.Println("generating corpus inline...")
-		samples, err = dataset.Generate(dataset.DefaultOptions(*perFamily, *h, *w))
+		samples, err = dataset.Generate(ctx, dataset.DefaultOptions(*perFamily, *h, *w))
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adarnet-train:", err)
@@ -60,7 +65,7 @@ func main() {
 	opts.Monitor = func(e int, total, data, pde float64) {
 		fmt.Printf("epoch %3d: total %.3e  data %.3e  pde %.3e\n", e, total, data, pde)
 	}
-	if _, err := tr.Run(train, opts); err != nil {
+	if _, err := tr.Fit(ctx, train, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "adarnet-train:", err)
 		os.Exit(1)
 	}

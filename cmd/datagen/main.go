@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"adarnet/internal/dataset"
 )
@@ -28,7 +30,9 @@ func main() {
 	opt.Progress = func(done, total int, name string) {
 		fmt.Printf("[%d/%d] %s\n", done, total, name)
 	}
-	samples, err := dataset.Generate(opt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	samples, err := dataset.Generate(ctx, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)

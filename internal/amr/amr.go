@@ -13,6 +13,7 @@
 package amr
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -80,8 +81,12 @@ type Result struct {
 }
 
 // Run executes the iterative feature-based AMR loop for a case whose Build()
-// resolution is the LR mesh.
-func Run(c *geometry.Case, cfg Config) (*Result, error) {
+// resolution is the LR mesh. ctx cancels between cycles and inside each
+// solve; a nil ctx behaves as context.Background().
+func Run(ctx context.Context, c *geometry.Case, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.MaxLevel <= 0 || cfg.MaxLevel > patch.MaxLevel {
 		cfg.MaxLevel = patch.MaxLevel
 	}
@@ -97,6 +102,9 @@ func Run(c *geometry.Case, cfg Config) (*Result, error) {
 	res := &Result{Case: c, Levels: levels}
 
 	for cycle := 0; cycle < cfg.MaxCycles; cycle++ {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("amr: canceled before cycle %d: %w", cycle, err)
+		}
 		start := time.Now()
 		opt := cfg.Solver
 		if cfg.CycleMaxIter > 0 && cycle < cfg.MaxCycles-1 && levels.MaxLevelUsed() < cfg.MaxLevel {
@@ -105,7 +113,7 @@ func Run(c *geometry.Case, cfg Config) (*Result, error) {
 				opt.MaxIter = cfg.CycleMaxIter
 			}
 		}
-		sres, err := solver.Solve(f, opt)
+		sres, err := solver.Solve(ctx, f, opt)
 		if err != nil {
 			return res, fmt.Errorf("amr: cycle %d solve: %w", cycle, err)
 		}

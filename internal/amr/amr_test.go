@@ -1,6 +1,7 @@
 package amr
 
 import (
+	"context"
 	"testing"
 
 	"adarnet/internal/geometry"
@@ -20,7 +21,7 @@ func quickConfig() Config {
 
 func TestRunChannelRefinesWalls(t *testing.T) {
 	c := geometry.ChannelCase(2.5e3, 8, 32)
-	r, err := Run(c, quickConfig())
+	r, err := Run(context.Background(), c, quickConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestRunStopsWhenMeshStable(t *testing.T) {
 	c := geometry.ChannelCase(2.5e3, 8, 32)
 	cfg := quickConfig()
 	cfg.Threshold = 2.0 // above the max feature by construction
-	r, err := Run(c, cfg)
+	r, err := Run(context.Background(), c, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestMarkPatchesGradual(t *testing.T) {
 	f := c.Build()
 	opt := solver.DefaultOptions()
 	opt.MaxIter = 4000
-	if _, err := solver.Solve(f, opt); err != nil {
+	if _, err := solver.Solve(context.Background(), f, opt); err != nil {
 		t.Fatal(err)
 	}
 	cur := patch.NewMap(8, 32, 2, 2)
@@ -138,7 +139,7 @@ func TestRegridSameLevelIsIdentity(t *testing.T) {
 
 func TestCycleStatsAccounting(t *testing.T) {
 	c := geometry.ChannelCase(2.5e3, 8, 32)
-	r, err := Run(c, quickConfig())
+	r, err := Run(context.Background(), c, quickConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestSummaryRenders(t *testing.T) {
 	c := geometry.ChannelCase(2.5e3, 8, 32)
 	cfg := quickConfig()
 	cfg.Threshold = 2.0
-	r, err := Run(c, cfg)
+	r, err := Run(context.Background(), c, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestSummaryRenders(t *testing.T) {
 
 func TestRunWithImmersedBody(t *testing.T) {
 	c := geometry.CylinderCase(1e5, 16, 32)
-	r, err := Run(c, quickConfig())
+	r, err := Run(context.Background(), c, quickConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

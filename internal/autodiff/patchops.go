@@ -12,15 +12,22 @@ import (
 // ExtractPatch differentiably extracts the (ph×pw) window at (y0, x0) from
 // image 0 of a (1,H,W,C) Value.
 func ExtractPatch(a *Value, y0, x0, ph, pw int) *Value {
-	out := tensor.ExtractPatch(a.Data, 0, y0, x0, ph, pw)
+	return ExtractPatchAt(a, 0, y0, x0, ph, pw)
+}
+
+// ExtractPatchAt differentiably extracts the (ph×pw) window at (y0, x0) from
+// image n of an (N,H,W,C) Value — the batched form used when one tape holds
+// the stacked fields of several in-flight inference requests.
+func ExtractPatchAt(a *Value, n, y0, x0, ph, pw int) *Value {
+	out := tensor.ExtractPatch(a.Data, n, y0, x0, ph, pw)
 	shape := a.Data.Shape()
 	c := shape[3]
-	w := shape[2]
+	h, w := shape[1], shape[2]
 	return LinearOp(a, out, func(g *tensor.Tensor) *tensor.Tensor {
 		ga := tensor.NewPooled(shape...)
 		gd, sd := ga.Data(), g.Data()
 		for yy := 0; yy < ph; yy++ {
-			dstOff := ((y0+yy)*w + x0) * c
+			dstOff := ((n*h+y0+yy)*w + x0) * c
 			srcOff := yy * pw * c
 			copy(gd[dstOff:dstOff+pw*c], sd[srcOff:srcOff+pw*c])
 		}

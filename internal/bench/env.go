@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -49,6 +50,21 @@ func FullScale() Scale {
 	return Scale{Name: "full", LRH: 16, LRW: 64, PatchH: 4, PatchW: 4, MaxLevel: 3, PerFamily: 4, Epochs: 6, SolverMaxIter: 20000}
 }
 
+// ScaleByName resolves a scale name ("tiny", "quick", "full") to its Scale,
+// or reports an explicit error for an unknown name — no silent fallback.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "tiny":
+		return TinyScale(), nil
+	case "quick":
+		return QuickScale(), nil
+	case "full":
+		return FullScale(), nil
+	default:
+		return Scale{}, fmt.Errorf("bench: unknown scale %q (want tiny, quick, or full)", name)
+	}
+}
+
 // Env is a prepared experiment environment: trained ADARNet and SURFNet
 // models plus memoized per-case solver results so the figure and table
 // runners share work.
@@ -89,7 +105,7 @@ func Setup(s Scale) *Env {
 	// Corpus: the paper's three families, subsampled.
 	dopt := dataset.DefaultOptions(s.PerFamily, s.LRH, s.LRW)
 	dopt.Solver = sopt
-	samples, err := dataset.Generate(dopt)
+	samples, err := dataset.Generate(context.Background(), dopt)
 	if err != nil {
 		panic(fmt.Sprintf("bench: corpus generation failed: %v", err))
 	}
@@ -105,7 +121,7 @@ func Setup(s Scale) *Env {
 	topt := core.DefaultTrainOptions()
 	topt.Epochs = s.Epochs
 	topt.BatchSize = 4
-	if _, err := tr.Run(train, topt); err != nil {
+	if _, err := tr.Fit(context.Background(), train, topt); err != nil {
 		panic(fmt.Sprintf("bench: ADARNet training failed: %v", err))
 	}
 

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"adarnet/internal/amr"
@@ -25,7 +26,7 @@ func (e *Env) AMRRun(c *geometry.Case, maxLevel int) (*amr.Result, error) {
 	cfg.MaxLevel = maxLevel
 	cfg.MaxCycles = maxLevel + 2
 	cfg.Solver = e.SolverOpt
-	r, err := amr.Run(c, cfg)
+	r, err := amr.Run(context.Background(), c, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("bench: AMR %s n=%d: %w", c.Name, maxLevel, err)
 	}
@@ -46,7 +47,7 @@ func (e *Env) E2ERun(c *geometry.Case, maxLevel int) (*core.E2EResult, error) {
 	}
 	e.mu.Unlock()
 
-	r, err := core.RunE2ECap(e.Model, c, e.SolverOpt, maxLevel)
+	r, err := core.RunE2ECap(context.Background(), e.Model, c, e.SolverOpt, maxLevel)
 	if err != nil {
 		return nil, fmt.Errorf("bench: E2E %s n=%d: %w", c.Name, maxLevel, err)
 	}

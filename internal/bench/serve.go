@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"adarnet/internal/core"
+	"adarnet/internal/grid"
+	"adarnet/internal/serve"
+	"adarnet/internal/tensor"
+)
+
+// Serve measures the batched inference engine against sequential direct
+// inference with 8 concurrent clients, on two request mixes:
+//
+//   - distinct: every client submits its own field — throughput is bounded
+//     by the forward-pass FLOPs, so micro-batching mostly buys amortized
+//     per-call overhead (and, on multi-core hosts, worker parallelism);
+//   - hot: every client polls the same flow state — the engine coalesces
+//     the identical in-flight requests into one forward pass per batch,
+//     while the direct path recomputes each one.
+//
+// Every engine response is checked bit-identical against the direct result
+// before it counts, so the throughput numbers are for verified-correct
+// outputs.
+func Serve(w io.Writer) error {
+	const (
+		clients = 8
+		rounds  = 6
+	)
+	flows := serveBenchFlows(clients, 8, 16)
+	m := serveBenchModel(flows)
+
+	// Sequential direct inference is the baseline and the reference output.
+	want := make([]*core.Inference, clients)
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for i, f := range flows {
+			inf := m.Infer(f)
+			if r == 0 {
+				want[i] = inf
+			}
+		}
+	}
+	direct := reqPerSec(clients*rounds, time.Since(start))
+
+	// runEngine drives one concurrent client per flow, `rounds` requests
+	// each, verifying every response against its reference.
+	runEngine := func(reqFlows []*grid.Flow, refs []*core.Inference, maxBatch int) (float64, error) {
+		e, err := serve.New(m,
+			serve.WithMaxBatch(maxBatch),
+			serve.WithMaxDelay(2*time.Millisecond),
+			serve.WithWorkers(2),
+		)
+		if err != nil {
+			return 0, err
+		}
+		defer e.Close()
+		errs := make([]error, len(reqFlows))
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for i := range reqFlows {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					inf, err := e.PredictFlow(context.Background(), reqFlows[i])
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					if err := sameInference(refs[i], inf); err != nil {
+						errs[i] = fmt.Errorf("client %d round %d: %w", i, r, err)
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		elapsed := time.Since(t0)
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		return reqPerSec(len(reqFlows)*rounds, elapsed), nil
+	}
+
+	b1, err := runEngine(flows, want, 1)
+	if err != nil {
+		return err
+	}
+	b8, err := runEngine(flows, want, 8)
+	if err != nil {
+		return err
+	}
+
+	// Hot-request mix: distinct Flow allocations, identical contents.
+	hotFlows := make([]*grid.Flow, clients)
+	hotRefs := make([]*core.Inference, clients)
+	for i := range hotFlows {
+		hotFlows[i] = flows[0].Clone()
+		hotRefs[i] = want[0]
+	}
+	start = time.Now()
+	for r := 0; r < clients*rounds; r++ {
+		m.Infer(flows[0])
+	}
+	hotDirect := reqPerSec(clients*rounds, time.Since(start))
+	hotB8, err := runEngine(hotFlows, hotRefs, 8)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "## serve: engine throughput, 8 concurrent clients, outputs bit-identical to direct inference")
+	fmt.Fprintf(w, "%-34s %12s %10s\n", "workload / mode", "req/s", "speedup")
+	fmt.Fprintf(w, "%-34s %12.1f %10s\n", "distinct  direct sequential", direct, "1.00x")
+	fmt.Fprintf(w, "%-34s %12.1f %9.2fx\n", "distinct  engine max-batch=1", b1, b1/direct)
+	fmt.Fprintf(w, "%-34s %12.1f %9.2fx\n", "distinct  engine max-batch=8", b8, b8/direct)
+	fmt.Fprintf(w, "%-34s %12.1f %10s\n", "hot       direct sequential", hotDirect, "1.00x")
+	fmt.Fprintf(w, "%-34s %12.1f %9.2fx\n", "hot       engine max-batch=8", hotB8, hotB8/hotDirect)
+	if hotB8 >= 2*hotDirect {
+		fmt.Fprintf(w, "engine is %.2fx sequential direct inference on the hot-request mix (target: >= 2x)\n", hotB8/hotDirect)
+	} else {
+		fmt.Fprintf(w, "warning: hot-mix speedup %.2fx is below the 2x target on this run\n", hotB8/hotDirect)
+	}
+	return nil
+}
+
+func reqPerSec(n int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}
+
+// sameInference demands bitwise equality — the engine's batched forward must
+// not perturb a single ULP relative to the direct path.
+func sameInference(want, got *core.Inference) error {
+	if want.CompositeCells != got.CompositeCells {
+		return fmt.Errorf("composite cells %d != %d", got.CompositeCells, want.CompositeCells)
+	}
+	for k, lvl := range want.Levels.Level {
+		if got.Levels.Level[k] != lvl {
+			return fmt.Errorf("level[%d] = %d, want %d", k, got.Levels.Level[k], lvl)
+		}
+	}
+	wd, gd := want.Field.Data(), got.Field.Data()
+	if len(wd) != len(gd) {
+		return fmt.Errorf("field size %d != %d", len(gd), len(wd))
+	}
+	for k := range wd {
+		if wd[k] != gd[k] {
+			return fmt.Errorf("field[%d] = %v, want %v", k, gd[k], wd[k])
+		}
+	}
+	return nil
+}
+
+// serveBenchModel builds a small deterministic model with normalization
+// fitted to the benchmark flows; throughput and bit-identity do not require
+// trained weights.
+func serveBenchModel(flows []*grid.Flow) *core.Model {
+	cfg := core.DefaultConfig(2, 2)
+	cfg.Bins = 2
+	cfg.Seed = 7
+	m := core.New(cfg)
+	inputs := make([]*tensor.Tensor, len(flows))
+	for i, f := range flows {
+		inputs[i] = grid.ToTensor(f)
+	}
+	m.Norm = core.FitNorm(inputs)
+	return m
+}
+
+// serveBenchFlows builds n deterministic pseudo-random LR fields of shape h×w.
+func serveBenchFlows(n, h, w int) []*grid.Flow {
+	rng := rand.New(rand.NewSource(42))
+	flows := make([]*grid.Flow, n)
+	for i := range flows {
+		f := grid.NewFlow(h, w, 0.1, 0.1)
+		f.UIn, f.Nu, f.NutIn = 1, 1e-3, 3e-3
+		for k := 0; k < h*w; k++ {
+			f.U.Data[k] = 1 + 0.3*rng.Float64()
+			f.V.Data[k] = 0.1 * (rng.Float64() - 0.5)
+			f.P.Data[k] = 0.5 * rng.Float64()
+			f.Nut.Data[k] = 3e-3 * rng.Float64()
+		}
+		flows[i] = f
+	}
+	return flows
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -42,7 +43,7 @@ func Table2(e *Env, w io.Writer) ([]Table2Row, error) {
 			return rows, err
 		}
 		lr := c.Build()
-		if _, err := solver.Solve(lr, e.SolverOpt); err != nil {
+		if _, err := solver.Solve(context.Background(), lr, e.SolverOpt); err != nil {
 			return rows, err
 		}
 
@@ -62,7 +63,7 @@ func Table2(e *Env, w io.Writer) ([]Table2Row, error) {
 		}
 		grid.ApplyBC(sFine)
 		psStart := time.Now()
-		if _, err := solver.Solve(sFine, e.SolverOpt); err != nil {
+		if _, err := solver.Solve(context.Background(), sFine, e.SolverOpt); err != nil {
 			return rows, err
 		}
 		surfPS := time.Since(psStart)

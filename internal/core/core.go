@@ -7,6 +7,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -15,6 +16,10 @@ import (
 	"adarnet/internal/patch"
 	"adarnet/internal/tensor"
 )
+
+// ErrUntrained reports that an inference entry point was handed a nil model
+// or one with no parameters. Callers match it with errors.Is.
+var ErrUntrained = errors.New("model is nil or has no parameters")
 
 // Config collects ADARNet's architecture and training hyperparameters. The
 // defaults mirror the paper (§4.2) scaled by the LR grid the model is built

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -9,6 +11,7 @@ import (
 	"adarnet/internal/geometry"
 	"adarnet/internal/grid"
 	"adarnet/internal/patch"
+	"adarnet/internal/solver"
 	"adarnet/internal/tensor"
 )
 
@@ -379,5 +382,90 @@ func TestPDEResidualDetectsDivergence(t *testing.T) {
 	loss := pdeResidualLoss(tp.Const(x), 0.1, 0.1, 1e-4)
 	if loss.Data.Data()[0] <= 0 {
 		t.Fatal("divergent field has zero PDE loss")
+	}
+}
+
+func TestFitCancellation(t *testing.T) {
+	m := tinyModel()
+	samples := []Sample{tinySample(9, 8, 16), tinySample(10, 8, 16), tinySample(11, 8, 16)}
+	tr := NewTrainer(m)
+	tr.FitNormalization(samples)
+	opts := DefaultTrainOptions()
+	opts.Epochs = 50
+	opts.BatchSize = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	fired := false
+	opts.Monitor = func(e int, total, data, pde float64) {
+		if !fired {
+			fired = true
+			cancel()
+		}
+	}
+	stats, err := tr.Fit(ctx, samples, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(stats) >= opts.Epochs {
+		t.Fatalf("ran all %d epochs despite cancellation", len(stats))
+	}
+}
+
+func TestRunE2EUntrained(t *testing.T) {
+	c := geometry.ChannelCase(2.5e3, 8, 32)
+	if _, err := RunE2E(context.Background(), nil, c, solver.DefaultOptions()); !errors.Is(err, ErrUntrained) {
+		t.Fatalf("err = %v, want ErrUntrained", err)
+	}
+}
+
+func TestForwardBatchMatchesForward(t *testing.T) {
+	// One tape holding B stacked samples must reproduce B solo passes
+	// bit-for-bit: same levels and same decoded patch values per sample.
+	m := tinyModel()
+	const b = 3
+	samples := []Sample{tinySample(1, 8, 16), tinySample(2, 8, 16), tinySample(3, 8, 16)}
+	tr := NewTrainer(m)
+	tr.FitNormalization(samples)
+
+	solo := make([]*ForwardResult, b)
+	soloT := autodiff.NewInferTape()
+	norms := make([]*tensor.Tensor, b)
+	for i, s := range samples {
+		norms[i] = m.Norm.Apply(s.Input)
+		solo[i] = m.Forward(soloT, soloT.Const(norms[i]))
+	}
+
+	h, w := 8, 16
+	stacked := tensor.NewPooled(b, h, w, 4)
+	sd := stacked.Data()
+	per := h * w * 4
+	for i := range norms {
+		copy(sd[i*per:(i+1)*per], norms[i].Data())
+	}
+	batchT := autodiff.NewInferTape()
+	batched := m.ForwardBatch(batchT, batchT.Const(stacked))
+	if len(batched) != b {
+		t.Fatalf("%d results, want %d", len(batched), b)
+	}
+	for i := 0; i < b; i++ {
+		for k, lvl := range solo[i].Levels.Level {
+			if batched[i].Levels.Level[k] != lvl {
+				t.Fatalf("sample %d: level[%d] = %d, want %d", i, k, batched[i].Levels.Level[k], lvl)
+			}
+		}
+		if len(batched[i].Patches) != len(solo[i].Patches) {
+			t.Fatalf("sample %d: %d patches, want %d", i, len(batched[i].Patches), len(solo[i].Patches))
+		}
+		for p := range solo[i].Patches {
+			sp, bp := solo[i].Patches[p], batched[i].Patches[p]
+			if sp.PY != bp.PY || sp.PX != bp.PX || sp.Level != bp.Level {
+				t.Fatalf("sample %d patch %d: (%d,%d,L%d) vs (%d,%d,L%d)", i, p, bp.PY, bp.PX, bp.Level, sp.PY, sp.PX, sp.Level)
+			}
+			sv, bv := sp.Value.Data.Data(), bp.Value.Data.Data()
+			for k := range sv {
+				if sv[k] != bv[k] {
+					t.Fatalf("sample %d patch %d elem %d: %v != %v", i, p, k, bv[k], sv[k])
+				}
+			}
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"adarnet/internal/geometry"
@@ -45,21 +46,27 @@ type E2EResult struct {
 
 // RunE2E executes the full ADARNet pipeline for a case: LR solve → one-shot
 // inference → physics-solver correction to the same convergence criteria
-// the AMR baseline uses.
-func RunE2E(m *Model, c *geometry.Case, opt solver.Options) (*E2EResult, error) {
-	return RunE2ECap(m, c, opt, patchMaxLevel)
+// the AMR baseline uses. ctx cancels between stages and inside each solve.
+func RunE2E(ctx context.Context, m *Model, c *geometry.Case, opt solver.Options) (*E2EResult, error) {
+	return RunE2ECap(ctx, m, c, opt, patchMaxLevel)
 }
 
 // RunE2ECap is RunE2E with the inferred refinement levels clamped to cap,
 // for the grid-convergence study (Fig. 11).
-func RunE2ECap(m *Model, c *geometry.Case, opt solver.Options, cap int) (*E2EResult, error) {
+func RunE2ECap(ctx context.Context, m *Model, c *geometry.Case, opt solver.Options, cap int) (*E2EResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if m == nil || len(m.Params()) == 0 {
+		return nil, ErrUntrained
+	}
 	start := time.Now()
 	res := &E2EResult{Case: c}
 
 	// (lr) obtain the low-resolution input field.
 	lrFlow := c.Build()
 	lrStart := time.Now()
-	lrRes, err := solver.Solve(lrFlow, opt)
+	lrRes, err := solver.Solve(ctx, lrFlow, opt)
 	if err != nil {
 		return res, err
 	}
@@ -67,13 +74,16 @@ func RunE2ECap(m *Model, c *geometry.Case, opt solver.Options, cap int) (*E2ERes
 	res.LRWall = time.Since(lrStart)
 
 	// (inf) one-shot non-uniform super-resolution.
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	inf := m.InferCap(lrFlow, cap)
 	res.Inference = inf
 
 	// (ps) drive the inference to convergence on the DNN's discretization.
 	fine := inf.ToFlow(lrFlow, c.BuildAt)
 	psStart := time.Now()
-	psRes, err := solver.Solve(fine, opt)
+	psRes, err := solver.Solve(ctx, fine, opt)
 	if err != nil {
 		return res, err
 	}

@@ -31,55 +31,83 @@ type ForwardResult struct {
 // tape t. Binning is dynamic: each bin's patches are batched together for
 // one shared-decoder pass (the paper's variable batch size, §3.1).
 func (m *Model) Forward(t *autodiff.Tape, x *autodiff.Value) *ForwardResult {
+	return m.ForwardBatch(t, x)[0]
+}
+
+// ForwardBatch runs the network on a normalized (B,H,W,4) stack of LR inputs
+// recorded on tape t and returns one ForwardResult per sample. The scorer
+// sees the whole stack as one convolution pass, ranking runs per sample, and
+// each bin's decoder pass batches the patches of EVERY sample together — the
+// cross-request micro-batching the serving engine is built on. Per-element
+// arithmetic is identical to B separate Forward calls (same GEMM reduction
+// order, same per-sample ranking), so batched outputs are bit-identical to
+// solo inference.
+//
+// The returned results share Scores and Latent (the batched tensors); Levels
+// and Patches are per-sample.
+func (m *Model) ForwardBatch(t *autodiff.Tape, x *autodiff.Value) []*ForwardResult {
 	cfg := m.Cfg
-	h, w := x.Data.Dim(1), x.Data.Dim(2)
+	b, h, w := x.Data.Dim(0), x.Data.Dim(1), x.Data.Dim(2)
 	if h%cfg.PatchH != 0 || w%cfg.PatchW != 0 {
 		panic(fmt.Sprintf("core: input %dx%d not tiled by %dx%d patches", h, w, cfg.PatchH, cfg.PatchW))
 	}
 
 	scores, latent := m.Scorer.Forward(t, x)
-	levels := Rank(scores.Data, cfg.Bins, cfg.PatchH, cfg.PatchW)
-	groups := BinPatches(levels, cfg.Bins)
 
-	// Enrich the field with the latent channel, then cut into patches.
-	enriched := autodiff.ConcatChannels(x, latent) // (1,H,W,5)
+	// Enrich the fields with the latent channel, then cut into patches.
+	enriched := autodiff.ConcatChannels(x, latent) // (B,H,W,5)
 
-	res := &ForwardResult{Scores: scores, Latent: latent, Levels: levels}
-	for bin, ids := range groups {
-		if len(ids) == 0 {
-			continue
+	results := make([]*ForwardResult, b)
+	for n := range results {
+		results[n] = &ForwardResult{
+			Scores: scores,
+			Latent: latent,
+			Levels: RankSample(scores.Data, n, cfg.Bins, cfg.PatchH, cfg.PatchW),
 		}
+	}
+
+	// One decoder pass per bin over the patches of every sample: the slot
+	// list remembers which (sample, tile) each decoded image belongs to so
+	// the outputs demultiplex back to their requests.
+	type slot struct{ sample, py, px int }
+	for bin := 0; bin < cfg.Bins; bin++ {
+		var slots []slot
+		var inputs []*autodiff.Value
 		factor := 1 << uint(bin)
 		th, tw := cfg.PatchH*factor, cfg.PatchW*factor
-		inputs := make([]*autodiff.Value, 0, len(ids))
-		for _, id := range ids {
-			py, px := id/levels.NPx, id%levels.NPx
-			p := autodiff.ExtractPatch(enriched, py*cfg.PatchH, px*cfg.PatchW, cfg.PatchH, cfg.PatchW)
-			// Bicubic refinement to the bin's target resolution (paper §3.1).
-			if factor > 1 {
-				p = nn.Resize(interp.Bicubic, p, th, tw)
+		for n, res := range results {
+			for _, id := range BinPatches(res.Levels, cfg.Bins)[bin] {
+				py, px := id/res.Levels.NPx, id%res.Levels.NPx
+				p := autodiff.ExtractPatchAt(enriched, n, py*cfg.PatchH, px*cfg.PatchW, cfg.PatchH, cfg.PatchW)
+				// Bicubic refinement to the bin's target resolution (paper §3.1).
+				if factor > 1 {
+					p = nn.Resize(interp.Bicubic, p, th, tw)
+				}
+				// Concatenate the patch's global 2D coordinates at target
+				// resolution so the shared decoder knows where it operates.
+				cc := coordChannels(py, px, cfg.PatchH, cfg.PatchW, th, tw, h, w)
+				t.Scratch(cc) // const leaves aren't freed by the tape
+				inputs = append(inputs, autodiff.ConcatChannels(p, t.Const(cc)))
+				slots = append(slots, slot{sample: n, py: py, px: px})
 			}
-			// Concatenate the patch's global 2D coordinates at target
-			// resolution so the shared decoder knows where it operates.
-			cc := coordChannels(py, px, cfg.PatchH, cfg.PatchW, th, tw, h, w)
-			t.Scratch(cc) // const leaves aren't freed by the tape
-			inputs = append(inputs, autodiff.ConcatChannels(p, t.Const(cc)))
+		}
+		if len(inputs) == 0 {
+			continue
 		}
 		batch := inputs[0]
 		if len(inputs) > 1 {
 			batch = autodiff.StackBatch(inputs)
 		}
 		out := m.Decoder.Forward(t, batch) // (K, th, tw, 4)
-		for k, id := range ids {
-			py, px := id/levels.NPx, id%levels.NPx
+		for k, s := range slots {
 			v := out
-			if len(ids) > 1 {
+			if len(inputs) > 1 {
 				v = autodiff.SliceBatch(out, k)
 			}
-			res.Patches = append(res.Patches, PatchPrediction{PY: py, PX: px, Level: bin, Value: v})
+			results[s.sample].Patches = append(results[s.sample].Patches, PatchPrediction{PY: s.py, PX: s.px, Level: bin, Value: v})
 		}
 	}
-	return res
+	return results
 }
 
 // coordChannels builds the (1, th, tw, 2) tensor of global normalized

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"adarnet/internal/autodiff"
+	"adarnet/internal/geometry"
 	"adarnet/internal/grid"
 	"adarnet/internal/interp"
 	"adarnet/internal/patch"
+	"adarnet/internal/solver"
 	"adarnet/internal/tensor"
 )
 
@@ -57,24 +60,7 @@ func (m *Model) InferCap(lr *grid.Flow, cap int) *Inference {
 	tensor.Recycle(raw)
 	x := t.Const(norm)
 	res := m.Forward(t, x)
-	if cap < res.Levels.MaxLevelUsed() {
-		for i, l := range res.Levels.Level {
-			if l > cap {
-				res.Levels.Level[i] = cap
-			}
-		}
-		for i := range res.Patches {
-			p := &res.Patches[i]
-			if p.Level > cap {
-				// Re-render the decoded patch at the capped resolution.
-				factor := 1 << uint(p.Level-cap)
-				down := interpDown(p.Value.Data, factor)
-				t.Scratch(down) // const leaves aren't freed by the tape
-				p.Level = cap
-				p.Value = t.Const(down)
-			}
-		}
-	}
+	CapLevels(t, res, cap)
 	assembled := AssembleUniform(res, m.Cfg)
 	field := m.Norm.Invert(assembled)
 	tensor.Recycle(assembled)
@@ -88,6 +74,66 @@ func (m *Model) InferCap(lr *grid.Flow, cap int) *Inference {
 		MemoryBytes:    tensor.PeakBytes(),
 		Elapsed:        time.Since(start),
 	}
+}
+
+// CapLevels clamps a forward result's refinement levels to cap, re-rendering
+// any finer decoded patches at the capped resolution (the truncated-inference
+// sweep of Fig. 11). Both the single-shot InferCap path and the serving
+// engine's batched path share it. Downsampled replacements are registered on
+// the tape as scratch so t.Free reclaims them.
+func CapLevels(t *autodiff.Tape, res *ForwardResult, cap int) {
+	if cap >= res.Levels.MaxLevelUsed() {
+		return
+	}
+	for i, l := range res.Levels.Level {
+		if l > cap {
+			res.Levels.Level[i] = cap
+		}
+	}
+	for i := range res.Patches {
+		p := &res.Patches[i]
+		if p.Level > cap {
+			// Re-render the decoded patch at the capped resolution.
+			factor := 1 << uint(p.Level-cap)
+			down := interpDown(p.Value.Data, factor)
+			t.Scratch(down) // const leaves aren't freed by the tape
+			p.Level = cap
+			p.Value = t.Const(down)
+		}
+	}
+}
+
+// PredictFlow is the Predictor entry point for a pre-solved LR flow field:
+// it checks the context and the model before delegating to the gradient-free
+// inference path. It is safe to call from many goroutines at once.
+func (m *Model) PredictFlow(ctx context.Context, lr *grid.Flow) (*Inference, error) {
+	if m == nil || len(m.Params()) == 0 {
+		return nil, ErrUntrained
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return m.Infer(lr), nil
+}
+
+// Predict is the Predictor entry point for a geometry case: it builds the
+// case's LR grid, runs the physics solver (default options; the serving
+// engine exposes WithSolverOptions for tuning) to produce the model's input
+// field, then infers the non-uniform HR prediction. The solver polls ctx.
+func (m *Model) Predict(ctx context.Context, c *geometry.Case) (*Inference, error) {
+	return m.PredictOpt(ctx, c, solver.DefaultOptions())
+}
+
+// PredictOpt is Predict with explicit physics-solver options for the LR pass.
+func (m *Model) PredictOpt(ctx context.Context, c *geometry.Case, opt solver.Options) (*Inference, error) {
+	if m == nil || len(m.Params()) == 0 {
+		return nil, ErrUntrained
+	}
+	lr := c.Build()
+	if _, err := solver.Solve(ctx, lr, opt); err != nil {
+		return nil, err
+	}
+	return m.PredictFlow(ctx, lr)
 }
 
 // ToFlow converts the inference field into a solver-ready flow that carries

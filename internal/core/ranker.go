@@ -18,9 +18,17 @@ import (
 // Rank assigns each patch of a (1, NPy, NPx, 1) score tensor to a bin and
 // returns the resulting refinement-level map for a ph×pw patch tiling.
 func Rank(scores *tensor.Tensor, bins, ph, pw int) *patch.Map {
+	return RankSample(scores, 0, bins, ph, pw)
+}
+
+// RankSample is Rank for image n of an (N, NPy, NPx, 1) score tensor: the
+// min–max normalization and binning run over that sample's own scores, so a
+// batched scorer pass ranks each in-flight request exactly as a solo pass
+// would.
+func RankSample(scores *tensor.Tensor, n, bins, ph, pw int) *patch.Map {
 	npy, npx := scores.Dim(1), scores.Dim(2)
 	m := patch.NewMap(npy*ph, npx*pw, ph, pw)
-	d := scores.Data()
+	d := scores.Data()[n*npy*npx : (n+1)*npy*npx]
 	lo, hi := d[0], d[0]
 	for _, v := range d {
 		if v < lo {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -117,7 +118,20 @@ func (tr *Trainer) Step(batch []Sample) (total, data, pde float64, err error) {
 }
 
 // Run trains for opts.Epochs over the samples and returns per-epoch stats.
+//
+// Deprecated: use Fit, which takes a context.Context and supports
+// cancellation between batches. Run is Fit with context.Background().
 func (tr *Trainer) Run(samples []Sample, opts TrainOptions) ([]EpochStats, error) {
+	return tr.Fit(context.Background(), samples, opts)
+}
+
+// Fit trains for opts.Epochs over the samples and returns per-epoch stats.
+// The loop polls ctx between batches; on cancellation it returns the stats
+// of completed epochs together with the wrapped context error.
+func (tr *Trainer) Fit(ctx context.Context, samples []Sample, opts TrainOptions) ([]EpochStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("core: no training samples")
 	}
@@ -141,6 +155,9 @@ func (tr *Trainer) Run(samples []Sample, opts TrainOptions) ([]EpochStats, error
 		st.Epoch = e
 		batches := 0
 		for at := 0; at < len(order); at += opts.BatchSize {
+			if err := ctx.Err(); err != nil {
+				return stats, fmt.Errorf("core: training canceled in epoch %d: %w", e, err)
+			}
 			end := at + opts.BatchSize
 			if end > len(order) {
 				end = len(order)

@@ -6,7 +6,9 @@
 package dataset
 
 import (
+	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -44,8 +46,13 @@ func DefaultOptions(perFamily, h, w int) Options {
 }
 
 // Generate runs the solver over the training sweeps and returns samples.
-// Samples whose solve diverges are skipped with a diagnostic.
-func Generate(opt Options) ([]core.Sample, error) {
+// Samples whose solve diverges are skipped with a diagnostic; cancellation
+// via ctx aborts the sweep and returns the wrapped context error. A nil ctx
+// behaves as context.Background().
+func Generate(ctx context.Context, opt Options) ([]core.Sample, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opt.PerFamily <= 0 {
 		opt.PerFamily = 4
 	}
@@ -59,7 +66,10 @@ func Generate(opt Options) ([]core.Sample, error) {
 	samples := make([]core.Sample, 0, len(cases))
 	for i, c := range cases {
 		f := c.Build()
-		if _, err := solver.Solve(f, opt.Solver); err != nil {
+		if _, err := solver.Solve(ctx, f, opt.Solver); err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return samples, fmt.Errorf("dataset: canceled at %s: %w", c.Name, ctx.Err())
+			}
 			fmt.Fprintf(os.Stderr, "dataset: skipping %s: %v\n", c.Name, err)
 			continue
 		}

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"adarnet/internal/core"
@@ -16,7 +17,7 @@ func TestGenerateSmallCorpus(t *testing.T) {
 	opt.Families = []geometry.Kind{geometry.Channel}
 	var progressed int
 	opt.Progress = func(done, total int, name string) { progressed++ }
-	samples, err := Generate(opt)
+	samples, err := Generate(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}

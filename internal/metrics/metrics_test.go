@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -97,7 +98,7 @@ func TestDragOfSolvedCylinderPositive(t *testing.T) {
 	f := c.Build()
 	opt := solver.DefaultOptions()
 	opt.MaxIter = 8000
-	if _, err := solver.Solve(f, opt); err != nil {
+	if _, err := solver.Solve(context.Background(), f, opt); err != nil {
 		t.Fatal(err)
 	}
 	cd := Drag(f, 0.85)

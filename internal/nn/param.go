@@ -31,7 +31,16 @@ func NewParam(name string, data *tensor.Tensor) *Param {
 
 // Bind registers the parameter on the tape for this step and returns its
 // Value. Layers call this at the start of Forward.
+//
+// On an inference tape the parameter is recorded as a plain constant and the
+// Param itself is not written to: gradient-free forward passes never produce
+// a Grad, and leaving the struct untouched lets many goroutines run inference
+// through one shared model concurrently (the batched serving engine does
+// exactly that) without racing on p.node.
 func (p *Param) Bind(t *autodiff.Tape) *autodiff.Value {
+	if !t.Recording() {
+		return t.Const(p.Data)
+	}
 	p.node = t.Var(p.Data)
 	return p.node
 }

@@ -1,0 +1,324 @@
+// Package serve implements a batched, concurrent inference engine for
+// trained ADARNet models. Many goroutines call Predict/PredictFlow; the
+// engine micro-batches their fields across in-flight requests, runs the
+// scorer and the per-resolution decoder groups as single batched forward
+// passes on gradient-free inference tapes, and demultiplexes the results
+// back to each caller.
+//
+// Pipeline (DESIGN.md §8):
+//
+//	callers → bounded queue → batcher (flush on MaxBatch / MaxDelay)
+//	        → worker pool (batched forward, per-sample assembly) → demux
+//
+// Backpressure is load-shedding: when the queue is full, submission fails
+// immediately with ErrQueueFull instead of blocking the caller. Every stage
+// honors context cancellation — a canceled request is dropped at the next
+// stage boundary and its caller unblocks with the context error.
+//
+// In-flight requests with bitwise-identical fields are coalesced
+// (single-flight): they occupy one batch slot, share one forward pass, and
+// each caller receives its own copy of the result. This is the hot-request
+// pattern — many clients polling a prediction for the same flow state —
+// and it is exact, because inference reads nothing but the field values.
+//
+// Batched outputs are bit-identical to direct core.Model inference: the GEMM
+// accumulates over the depth dimension in the same order regardless of how
+// many rows the batch contributes, and ranking, patch extraction, and
+// assembly are per-sample operations (see core.ForwardBatch).
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"context"
+	"sync"
+
+	"adarnet/internal/core"
+	"adarnet/internal/geometry"
+	"adarnet/internal/grid"
+	"adarnet/internal/patch"
+	"adarnet/internal/solver"
+)
+
+// config collects the engine knobs, set through functional Options.
+type config struct {
+	maxBatch   int
+	maxDelay   time.Duration
+	workers    int
+	queueDepth int
+	solverOpt  solver.Options
+	levelCap   int
+}
+
+// Option configures an Engine at construction.
+type Option func(*config)
+
+// WithMaxBatch sets the flush size: a batch dispatches as soon as this many
+// requests are pending (default 8).
+func WithMaxBatch(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.maxBatch = n
+		}
+	}
+}
+
+// WithMaxDelay sets the flush deadline: a partial batch dispatches at most
+// this long after its first request arrived (default 2ms).
+func WithMaxDelay(d time.Duration) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.maxDelay = d
+		}
+	}
+}
+
+// WithWorkers sets the number of forward-pass workers (default 2).
+func WithWorkers(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.workers = n
+		}
+	}
+}
+
+// WithQueueDepth bounds the submission queue; a full queue rejects new
+// requests with ErrQueueFull (default 64).
+func WithQueueDepth(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.queueDepth = n
+		}
+	}
+}
+
+// WithSolverOptions sets the physics-solver options Predict uses for the LR
+// solve that produces the model input.
+func WithSolverOptions(opt solver.Options) Option {
+	return func(c *config) { c.solverOpt = opt }
+}
+
+// WithLevelCap clamps inferred refinement levels (default patch.MaxLevel).
+func WithLevelCap(n int) Option {
+	return func(c *config) {
+		if n >= 0 && n <= patch.MaxLevel {
+			c.levelCap = n
+		}
+	}
+}
+
+// request is one in-flight prediction traveling through the pipeline.
+type request struct {
+	ctx      context.Context
+	flow     *grid.Flow
+	enqueued time.Time
+	done     chan response // buffered(1): workers never block on reply
+}
+
+type response struct {
+	inf *core.Inference
+	err error
+}
+
+// Engine is a batched inference server around one trained model. It is safe
+// for concurrent use; create it with New and release it with Close.
+type Engine struct {
+	model *core.Model
+	cfg   config
+
+	queue   chan *request   // bounded submission queue
+	batches chan []*request // unbuffered batcher→worker handoff
+
+	mu     sync.RWMutex // guards closed vs. queue sends
+	closed bool
+	wg     sync.WaitGroup
+
+	stats counters
+
+	// hold, when non-nil, blocks each worker before it processes a batch —
+	// a test hook that makes queue saturation deterministic.
+	hold chan struct{}
+}
+
+// New starts an engine for a trained model. The model is shared read-only
+// across workers (inference tapes never write to it). Returns
+// core.ErrUntrained for a nil or parameterless model.
+func New(m *core.Model, opts ...Option) (*Engine, error) {
+	if m == nil || len(m.Params()) == 0 {
+		return nil, fmt.Errorf("serve: %w", core.ErrUntrained)
+	}
+	cfg := config{
+		maxBatch:   8,
+		maxDelay:   2 * time.Millisecond,
+		workers:    2,
+		queueDepth: 64,
+		solverOpt:  solver.DefaultOptions(),
+		levelCap:   patch.MaxLevel,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	e := &Engine{
+		model:   m,
+		cfg:     cfg,
+		queue:   make(chan *request, cfg.queueDepth),
+		batches: make(chan []*request),
+	}
+	e.wg.Add(1 + cfg.workers)
+	go e.batcher()
+	for i := 0; i < cfg.workers; i++ {
+		go e.worker()
+	}
+	return e, nil
+}
+
+// Close drains the pipeline and stops the engine: in-flight requests finish,
+// subsequent submissions fail with ErrEngineClosed. Close is idempotent.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	close(e.queue)
+	e.mu.Unlock()
+	e.wg.Wait()
+	return nil
+}
+
+// Predict builds the case's LR grid, runs the physics solver to produce the
+// model input (in the caller's goroutine — the solve is per-request work),
+// then submits the field for batched inference.
+func (e *Engine) Predict(ctx context.Context, c *geometry.Case) (*core.Inference, error) {
+	lr := c.Build()
+	if _, err := solver.Solve(ctx, lr, e.cfg.solverOpt); err != nil {
+		return nil, err
+	}
+	return e.PredictFlow(ctx, lr)
+}
+
+// PredictFlow submits a solved LR flow field for batched inference and
+// blocks until the result, a queue rejection, or ctx cancellation. The field
+// is read, not retained.
+func (e *Engine) PredictFlow(ctx context.Context, lr *grid.Flow) (*core.Inference, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	req := &request{ctx: ctx, flow: lr, enqueued: time.Now(), done: make(chan response, 1)}
+
+	// The read lock pairs with Close's write lock so the queue cannot be
+	// closed between the flag check and the send.
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return nil, fmt.Errorf("serve: submit: %w", ErrEngineClosed)
+	}
+	select {
+	case e.queue <- req:
+		e.mu.RUnlock()
+	default:
+		e.mu.RUnlock()
+		e.stats.rejected.Add(1)
+		return nil, fmt.Errorf("serve: submit (queue depth %d): %w", e.cfg.queueDepth, ErrQueueFull)
+	}
+	e.stats.requests.Add(1)
+
+	select {
+	case resp := <-e.awaitDone(req):
+		return resp.inf, resp.err
+	case <-ctx.Done():
+		// The worker will still reply into the buffered channel and skip the
+		// forward pass for this request when it notices the dead context.
+		e.stats.canceled.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+// awaitDone exists so the select above reads naturally; done is buffered, so
+// the abandoned-request path leaks nothing.
+func (e *Engine) awaitDone(req *request) chan response { return req.done }
+
+// batcher collects queued requests into batches, flushing when MaxBatch is
+// reached or MaxDelay after the first pending request.
+func (e *Engine) batcher() {
+	defer e.wg.Done()
+	var pending []*request
+	var timer *time.Timer
+	var timeout <-chan time.Time
+
+	flush := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timeout = nil, nil
+		}
+		if len(pending) == 0 {
+			return
+		}
+		e.stats.batches.Add(1)
+		e.stats.batchedItems.Add(uint64(len(pending)))
+		e.batches <- pending
+		pending = nil
+	}
+
+	for {
+		select {
+		case req, ok := <-e.queue:
+			if !ok {
+				flush()
+				close(e.batches)
+				return
+			}
+			pending = append(pending, req)
+			if len(pending) >= e.cfg.maxBatch {
+				flush()
+			} else if timer == nil {
+				timer = time.NewTimer(e.cfg.maxDelay)
+				timeout = timer.C
+			}
+		case <-timeout:
+			timer, timeout = nil, nil
+			flush()
+		}
+	}
+}
+
+// worker consumes batches, drops dead requests, groups live ones by field
+// shape, and runs one batched forward pass per group.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for batch := range e.batches {
+		if e.hold != nil {
+			<-e.hold
+		}
+		now := time.Now()
+		var live []*request
+		for _, req := range batch {
+			e.stats.queueWaitNanos.Add(uint64(now.Sub(req.enqueued)))
+			if err := req.ctx.Err(); err != nil {
+				req.done <- response{err: err}
+				continue
+			}
+			live = append(live, req)
+		}
+		// Group by grid shape: one stacked tensor per (H, W).
+		for len(live) > 0 {
+			h, w := live[0].flow.H, live[0].flow.W
+			group := live[:0:0]
+			rest := live[:0:0]
+			for _, req := range live {
+				if req.flow.H == h && req.flow.W == w {
+					group = append(group, req)
+				} else {
+					rest = append(rest, req)
+				}
+			}
+			e.runGroup(group)
+			live = rest
+		}
+	}
+}

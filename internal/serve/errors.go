@@ -1,0 +1,15 @@
+package serve
+
+import "errors"
+
+// Sentinel errors for the serving engine. They are returned wrapped with %w
+// context, so match them with errors.Is.
+var (
+	// ErrQueueFull reports that the bounded submission queue rejected a
+	// request — the engine is saturated and the caller should shed load or
+	// retry with backoff.
+	ErrQueueFull = errors.New("serve: submission queue full")
+
+	// ErrEngineClosed reports a submission after Close.
+	ErrEngineClosed = errors.New("serve: engine closed")
+)

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// counters are the engine's hot-path metrics; all fields are atomics so
+// every pipeline stage updates them without locks.
+type counters struct {
+	requests     atomic.Uint64 // accepted submissions
+	completed    atomic.Uint64 // replies delivered with a result
+	canceled     atomic.Uint64 // callers that gave up or arrived dead
+	rejected     atomic.Uint64 // queue-full rejections
+	batches      atomic.Uint64 // batches flushed by the batcher
+	batchedItems atomic.Uint64 // requests across all flushed batches
+	coalesced    atomic.Uint64 // requests served from another request's forward pass
+
+	queueWaitNanos atomic.Uint64 // submit → batch pickup, summed
+	forwardNanos   atomic.Uint64 // batched forward passes, summed
+	assembleNanos  atomic.Uint64 // per-sample cap/assemble/invert, summed
+}
+
+// EngineStats is a point-in-time snapshot of the engine's counters.
+type EngineStats struct {
+	Requests  uint64 // submissions accepted into the queue
+	Completed uint64 // predictions delivered
+	Canceled  uint64 // requests dropped by context cancellation
+	Rejected  uint64 // submissions shed with ErrQueueFull
+	Batches   uint64 // forward-pass batches dispatched
+	Coalesced uint64 // requests that shared an identical in-flight request's forward pass
+
+	// MeanBatchOccupancy is requests per batch — the micro-batching win.
+	MeanBatchOccupancy float64
+
+	// MeanQueueWait is the average submit → batch-pickup latency.
+	MeanQueueWait time.Duration
+	// MeanForward is the average batched-forward stage time per batch.
+	MeanForward time.Duration
+	// MeanAssemble is the average assembly/demux stage time per batch.
+	MeanAssemble time.Duration
+}
+
+// Stats snapshots the engine counters. Safe to call concurrently with
+// serving; the fields are read individually, not as one atomic unit.
+func (e *Engine) Stats() EngineStats {
+	s := EngineStats{
+		Requests:  e.stats.requests.Load(),
+		Completed: e.stats.completed.Load(),
+		Canceled:  e.stats.canceled.Load(),
+		Rejected:  e.stats.rejected.Load(),
+		Batches:   e.stats.batches.Load(),
+		Coalesced: e.stats.coalesced.Load(),
+	}
+	if items := e.stats.batchedItems.Load(); items > 0 {
+		s.MeanQueueWait = time.Duration(e.stats.queueWaitNanos.Load() / items)
+	}
+	if s.Batches > 0 {
+		s.MeanBatchOccupancy = float64(e.stats.batchedItems.Load()) / float64(s.Batches)
+		s.MeanForward = time.Duration(e.stats.forwardNanos.Load() / s.Batches)
+		s.MeanAssemble = time.Duration(e.stats.assembleNanos.Load() / s.Batches)
+	}
+	return s
+}
+
+// String renders the snapshot for logs.
+func (s EngineStats) String() string {
+	return fmt.Sprintf("requests=%d completed=%d canceled=%d rejected=%d batches=%d coalesced=%d occupancy=%.2f queue_wait=%v forward=%v assemble=%v",
+		s.Requests, s.Completed, s.Canceled, s.Rejected, s.Batches, s.Coalesced,
+		s.MeanBatchOccupancy, s.MeanQueueWait, s.MeanForward, s.MeanAssemble)
+}

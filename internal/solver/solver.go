@@ -17,6 +17,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -118,7 +119,15 @@ type state struct {
 
 // Solve advances f to steady state in place. The flow must have BCs, UIn,
 // Nu, and NutIn configured; wall distance is computed on demand.
-func Solve(f *grid.Flow, opt Options) (Result, error) {
+//
+// The loop polls ctx between pseudo-time steps: on cancellation the partial
+// solution is written back to f and the wrapped context error is returned
+// (match with errors.Is(err, context.Canceled) / context.DeadlineExceeded).
+// A nil ctx behaves as context.Background().
+func Solve(ctx context.Context, f *grid.Flow, opt Options) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opt.MaxIter <= 0 {
 		opt.MaxIter = 30000
 	}
@@ -158,6 +167,11 @@ func Solve(f *grid.Flow, opt Options) (Result, error) {
 	limitCycle := false
 	iter := 0
 	for ; iter < opt.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			s.writeBack(f)
+			return Result{Iterations: iter, Residual: res, Residual0: res0, Cells: s.fluid, Work: iter * s.fluid},
+				fmt.Errorf("solver: canceled after %d iterations: %w", iter, err)
+		}
 		dt := s.timeStep(opt.CFL)
 		upd := s.step(dt, opt.PoissonSweeps)
 
@@ -165,7 +179,8 @@ func Solve(f *grid.Flow, opt Options) (Result, error) {
 			res = upd
 			if math.IsNaN(res) || math.IsInf(res, 0) {
 				s.writeBack(f)
-				return Result{Iterations: iter + 1, Residual: math.Inf(1), Residual0: res0, Cells: s.fluid, Work: (iter + 1) * s.fluid}, ErrDiverged
+				return Result{Iterations: iter + 1, Residual: math.Inf(1), Residual0: res0, Cells: s.fluid, Work: (iter + 1) * s.fluid},
+					fmt.Errorf("solver: NaN/Inf update at iteration %d: %w", iter+1, ErrDiverged)
 			}
 			if res > res0 {
 				res0 = res
@@ -203,7 +218,8 @@ func Solve(f *grid.Flow, opt Options) (Result, error) {
 	}
 	s.writeBack(f)
 	if !f.IsFinite() {
-		return Result{Iterations: iter, Residual: math.Inf(1), Residual0: res0, Cells: s.fluid, Work: iter * s.fluid}, ErrDiverged
+		return Result{Iterations: iter, Residual: math.Inf(1), Residual0: res0, Cells: s.fluid, Work: iter * s.fluid},
+			fmt.Errorf("solver: non-finite fields after %d iterations: %w", iter, ErrDiverged)
 	}
 	return Result{
 		Iterations: iter,

@@ -1,6 +1,8 @@
 package solver
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -15,7 +17,7 @@ func TestPoiseuilleProfile(t *testing.T) {
 	f := c.Build()
 	opt := DefaultOptions()
 	opt.MaxIter = 15000
-	res, err := Solve(f, opt)
+	res, err := Solve(context.Background(), f, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +50,7 @@ func TestMassConservation(t *testing.T) {
 	f := c.Build()
 	opt := DefaultOptions()
 	opt.MaxIter = 15000
-	res, err := Solve(f, opt)
+	res, err := Solve(context.Background(), f, opt)
 	if err != nil || !res.Converged {
 		t.Fatalf("solve failed: %v %v", res, err)
 	}
@@ -72,7 +74,7 @@ func TestDivergenceFreeAtConvergence(t *testing.T) {
 	f := c.Build()
 	opt := DefaultOptions()
 	opt.MaxIter = 15000
-	if _, err := Solve(f, opt); err != nil {
+	if _, err := Solve(context.Background(), f, opt); err != nil {
 		t.Fatal(err)
 	}
 	r := physics.ComputeResiduals(f)
@@ -88,7 +90,7 @@ func TestFlatPlateBoundaryLayerGrows(t *testing.T) {
 	f := c.Build()
 	opt := DefaultOptions()
 	opt.MaxIter = 20000
-	res, err := Solve(f, opt)
+	res, err := Solve(context.Background(), f, opt)
 	if err != nil || !res.Converged {
 		t.Fatalf("solve failed: %v %v", res, err)
 	}
@@ -116,7 +118,7 @@ func TestCylinderWakeDeficitAndEddy(t *testing.T) {
 	f := c.Build()
 	opt := DefaultOptions()
 	opt.MaxIter = 20000
-	res, err := Solve(f, opt)
+	res, err := Solve(context.Background(), f, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,12 +153,12 @@ func TestWarmStartConvergesFaster(t *testing.T) {
 	cold := c.Build()
 	opt := DefaultOptions()
 	opt.MaxIter = 15000
-	resCold, err := Solve(cold, opt)
+	resCold, err := Solve(context.Background(), cold, opt)
 	if err != nil || !resCold.Converged {
 		t.Fatalf("cold solve failed: %v %v", resCold, err)
 	}
 	warm := cold.Clone()
-	resWarm, err := Solve(warm, opt)
+	resWarm, err := Solve(context.Background(), warm, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +172,7 @@ func TestSolverReportsWork(t *testing.T) {
 	f := c.Build()
 	opt := DefaultOptions()
 	opt.MaxIter = 8000
-	res, err := Solve(f, opt)
+	res, err := Solve(context.Background(), f, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +188,7 @@ func TestSolverOptionsDefaults(t *testing.T) {
 	// Zero-valued options must be replaced by usable defaults.
 	c := geometry.ChannelCase(2.5e3, 8, 16)
 	f := c.Build()
-	res, err := Solve(f, Options{MaxIter: 500})
+	res, err := Solve(context.Background(), f, Options{MaxIter: 500})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,8 +212,46 @@ func TestDivergenceDetection(t *testing.T) {
 	f.U.Data[5*16+5] = math.NaN()
 	opt := DefaultOptions()
 	opt.MaxIter = 200
-	_, err := Solve(f, opt)
+	_, err := Solve(context.Background(), f, opt)
 	if err == nil {
 		t.Fatal("expected ErrDiverged")
+	}
+}
+
+func TestSolveCancellation(t *testing.T) {
+	// Cancel mid-solve: the solver must stop at the next iteration boundary,
+	// write the partial state back, and return the wrapped context error.
+	c := &geometry.Case{Name: "cancel", Kind: geometry.Channel, Re: 500, Height: 0.1, Length: 1, H: 32, W: 64}
+	f := c.Build()
+	ctx, cancel := context.WithCancel(context.Background())
+	opt := DefaultOptions()
+	opt.MaxIter = 100000
+	opt.Monitor = func(iter int, res float64) {
+		if iter >= 50 {
+			cancel()
+		}
+	}
+	res, err := Solve(ctx, f, opt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Iterations >= opt.MaxIter {
+		t.Fatalf("ran to MaxIter (%d) despite cancellation", res.Iterations)
+	}
+	if !f.IsFinite() {
+		t.Fatal("partial write-back left non-finite fields")
+	}
+}
+
+func TestSolveDivergedSentinel(t *testing.T) {
+	// An absurd CFL blows the solve up; the error must match ErrDiverged
+	// through the %w wrapping.
+	c := &geometry.Case{Name: "blowup", Kind: geometry.Channel, Re: 500, Height: 0.1, Length: 1, H: 16, W: 32}
+	f := c.Build()
+	opt := DefaultOptions()
+	opt.CFL = 500
+	opt.MaxIter = 2000
+	if _, err := Solve(context.Background(), f, opt); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("err = %v, want ErrDiverged", err)
 	}
 }

@@ -1,6 +1,7 @@
 package surfnet
 
 import (
+	"context"
 	"testing"
 
 	"adarnet/internal/core"
@@ -17,7 +18,7 @@ func lrCase(t *testing.T) *grid.Flow {
 	f := c.Build()
 	opt := solver.DefaultOptions()
 	opt.MaxIter = 3000
-	if _, err := solver.Solve(f, opt); err != nil {
+	if _, err := solver.Solve(context.Background(), f, opt); err != nil {
 		t.Fatal(err)
 	}
 	return f
