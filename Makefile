@@ -18,9 +18,10 @@ test:
 	$(GO) test ./...
 
 # The packages with lock-free/pooled/concurrent state get a race pass; the
-# full tree under -race is slow on small CI boxes.
+# full tree under -race is slow on small CI boxes. cmd/adarnet-serve rides
+# along for the HTTP-boundary and fault-injection tests.
 race:
-	$(GO) test -race ./internal/tensor ./internal/autodiff ./internal/nn ./internal/serve/... ./internal/core/...
+	$(GO) test -race ./internal/tensor ./internal/autodiff ./internal/nn ./internal/serve/... ./internal/core/... ./cmd/adarnet-serve
 
 # Kernel microbenchmarks (also available as `adarnet-bench -exp micro`).
 bench:

@@ -21,7 +21,16 @@
 // first argument (RunE2EContext, SolveContext, RunAMRContext, Trainer.Fit);
 // the ctx-less originals remain as thin deprecated wrappers. Failure modes
 // callers branch on are typed sentinels — ErrDiverged, ErrQueueFull,
-// ErrEngineClosed, ErrUntrained — wrapped with %w, matched via errors.Is.
+// ErrEngineClosed, ErrUntrained, ErrInternal, ErrCheckpointCorrupt —
+// wrapped with %w, matched via errors.Is.
+//
+// Fault containment (DESIGN.md §9): a panic is a programmer error at package
+// boundaries, recovered only at the serve/CLI boundary. An engine worker
+// converts a panicking forward pass into ErrInternal for the poisoned
+// request while its batch-mates are retried and still succeed; checkpoints
+// are written atomically (temp + fsync + rename) with an integrity header,
+// so a crash mid-save never destroys the previous good file and damaged
+// files fail loudly with ErrCheckpointCorrupt.
 //
 // See examples/ for runnable end-to-end programs and DESIGN.md for the
 // system inventory.
@@ -118,7 +127,18 @@ var (
 	ErrQueueFull = serve.ErrQueueFull
 	// ErrEngineClosed: submission after Engine.Close.
 	ErrEngineClosed = serve.ErrEngineClosed
+	// ErrInternal: the request's forward pass panicked inside an engine
+	// worker. The panic is contained (batch-mates are retried and still
+	// succeed; the engine keeps serving); only the poisoned request fails.
+	ErrInternal = serve.ErrInternal
+	// ErrCheckpointCorrupt: a checkpoint failed integrity checks
+	// (truncation, bit flips, undecodable payload) on Model.Load.
+	ErrCheckpointCorrupt = core.ErrCheckpointCorrupt
 )
+
+// PanicError is the concrete error behind ErrInternal; errors.As exposes the
+// recovered panic value and a truncated stack for logging.
+type PanicError = serve.PanicError
 
 // NewEngine starts a batched inference engine for a trained model.
 func NewEngine(m *Model, opts ...EngineOption) (*Engine, error) {

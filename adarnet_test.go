@@ -7,6 +7,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"os"
 	"testing"
 	"time"
 
@@ -141,6 +142,19 @@ func TestModelCheckpointFacade(t *testing.T) {
 		t.Fatal("restored model predicts differently")
 	}
 	_ = grid.NumChannels
+
+	// A damaged checkpoint surfaces the façade's integrity sentinel.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := New(DefaultConfig(2, 2)).Load(path); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("corrupt checkpoint: err = %v, want ErrCheckpointCorrupt", err)
+	}
 }
 
 func TestSetupExperimentsUnknownScale(t *testing.T) {

@@ -7,7 +7,16 @@
 //	POST /predict  {"case":"cylinder","re":1e5,"h":16,"w":64}
 //	               → refinement map, composite cells, timing
 //	GET  /healthz  liveness probe
-//	GET  /stats    engine counters (requests, batches, occupancy, latencies)
+//	GET  /stats    engine counters (requests, batches, occupancy, latencies,
+//	               contained panics)
+//
+// The boundary is hardened: request bodies are size-capped and rejected on
+// unknown fields, grid dimensions are bounded (h, w ≤ -max-dim, tiled by the
+// model's patch size) so a hostile request cannot trigger multi-GB
+// allocations, every request carries a server-side deadline, and a panic in
+// a forward pass surfaces as HTTP 500 on that request alone — the engine
+// retries its batch-mates and the listener keeps serving (see
+// internal/serve and DESIGN.md §9).
 //
 // Usage:
 //
@@ -16,61 +25,19 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"time"
 
 	"adarnet/internal/core"
-	"adarnet/internal/geometry"
 	"adarnet/internal/serve"
 	"adarnet/internal/solver"
 )
-
-type predictRequest struct {
-	Case string  `json:"case"` // channel | flatplate | cylinder | naca0012 | naca1412
-	Re   float64 `json:"re"`
-	H    int     `json:"h"`
-	W    int     `json:"w"`
-}
-
-type predictResponse struct {
-	Case           string  `json:"case"`
-	Levels         [][]int `json:"levels"` // refinement level per patch tile
-	CompositeCells int     `json:"composite_cells"`
-	UniformCells   int     `json:"uniform_cells"`
-	ElapsedMs      float64 `json:"elapsed_ms"`
-}
-
-func buildCase(r predictRequest) (*geometry.Case, error) {
-	if r.H <= 0 {
-		r.H = 16
-	}
-	if r.W <= 0 {
-		r.W = 64
-	}
-	if r.Re <= 0 {
-		r.Re = 2.5e3
-	}
-	switch r.Case {
-	case "channel", "":
-		return geometry.ChannelCase(r.Re, r.H, r.W), nil
-	case "flatplate":
-		return geometry.FlatPlateCase(r.Re, r.H, r.W), nil
-	case "cylinder":
-		return geometry.CylinderCase(r.Re, r.H, r.W), nil
-	case "naca0012":
-		return geometry.AirfoilCase("0012", r.Re, r.H, r.W), nil
-	case "naca1412":
-		return geometry.AirfoilCase("1412", r.Re, r.H, r.W), nil
-	default:
-		return nil, fmt.Errorf("unknown case %q", r.Case)
-	}
-}
 
 func main() {
 	model := flag.String("model", "", "checkpoint path (required)")
@@ -82,8 +49,16 @@ func main() {
 	workers := flag.Int("workers", 2, "forward-pass workers")
 	queueDepth := flag.Int("queue-depth", 64, "submission queue bound")
 	solverIter := flag.Int("solver-max-iter", 12000, "LR-solve iteration cap per request")
+	maxDim := flag.Int("max-dim", 256, "largest accepted grid dimension (h or w)")
+	maxBody := flag.Int64("max-body", 1<<20, "request-body byte cap")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 disables)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "HTTP header read deadline")
+	readTimeout := flag.Duration("read-timeout", 10*time.Second, "HTTP request read deadline")
+	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "HTTP response write deadline (keep > request-timeout)")
+	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "keep-alive idle deadline")
 	flag.Parse()
 
+	logger := log.New(os.Stderr, "adarnet-serve: ", log.LstdFlags)
 	if *model == "" {
 		fmt.Fprintln(os.Stderr, "adarnet-serve: -model is required (train one with adarnet-train)")
 		os.Exit(2)
@@ -92,7 +67,11 @@ func main() {
 	cfg.Bins = *bins
 	m := core.New(cfg)
 	if err := m.Load(*model); err != nil {
-		fmt.Fprintln(os.Stderr, "adarnet-serve:", err)
+		if errors.Is(err, core.ErrCheckpointCorrupt) {
+			fmt.Fprintln(os.Stderr, "adarnet-serve: checkpoint failed integrity checks (re-train or restore a backup):", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "adarnet-serve:", err)
+		}
 		os.Exit(1)
 	}
 
@@ -110,66 +89,22 @@ func main() {
 		os.Exit(1)
 	}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
+	mux := newMux(engine, serverConfig{
+		maxDim:         *maxDim,
+		patchTile:      *patch,
+		maxBody:        *maxBody,
+		requestTimeout: *reqTimeout,
+		logf:           logger.Printf,
 	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(engine.Stats())
-	})
-	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		var req predictRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		c, err := buildCase(req)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		start := time.Now()
-		inf, err := engine.Predict(r.Context(), c)
-		switch {
-		case err == nil:
-		case errors.Is(err, serve.ErrQueueFull):
-			http.Error(w, err.Error(), http.StatusTooManyRequests)
-			return
-		case errors.Is(err, serve.ErrEngineClosed):
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-			return
-		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-			http.Error(w, err.Error(), http.StatusRequestTimeout)
-			return
-		default:
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		levels := make([][]int, inf.Levels.NPy)
-		for py := range levels {
-			row := make([]int, inf.Levels.NPx)
-			for px := range row {
-				row[px] = inf.Levels.At(py, px)
-			}
-			levels[py] = row
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(predictResponse{
-			Case:           c.Name,
-			Levels:         levels,
-			CompositeCells: inf.CompositeCells,
-			UniformCells:   inf.Levels.UniformCells(),
-			ElapsedMs:      float64(time.Since(start).Microseconds()) / 1000,
-		})
-	})
-
-	srv := &http.Server{Addr: *addr, Handler: mux}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		ErrorLog:          logger,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	go func() {

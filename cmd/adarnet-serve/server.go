@@ -1,0 +1,204 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"adarnet/internal/core"
+	"adarnet/internal/geometry"
+	"adarnet/internal/serve"
+)
+
+// predictor is the slice of *serve.Engine the HTTP layer uses; tests stub it
+// to exercise request validation and error mapping without a trained model.
+type predictor interface {
+	Predict(ctx context.Context, c *geometry.Case) (*core.Inference, error)
+	Stats() serve.EngineStats
+}
+
+// serverConfig bounds what a request may cost before it reaches the engine.
+// Every limit exists to convert a hostile or buggy input into a 4xx instead
+// of an allocation, a stuck handler, or a worker panic.
+type serverConfig struct {
+	maxDim         int           // largest accepted grid H or W
+	patchTile      int           // H and W must tile by the model's patch size
+	maxBody        int64         // request-body byte cap
+	requestTimeout time.Duration // per-request deadline (0 = client's only)
+	logf           func(format string, args ...any)
+}
+
+type predictRequest struct {
+	// Pointer fields distinguish "omitted → default" from an explicit
+	// value, so explicit zero or negative dimensions are rejected instead
+	// of silently replaced.
+	Case string   `json:"case"` // channel | flatplate | cylinder | naca0012 | naca1412
+	Re   *float64 `json:"re"`
+	H    *int     `json:"h"`
+	W    *int     `json:"w"`
+}
+
+type predictResponse struct {
+	Case           string  `json:"case"`
+	Levels         [][]int `json:"levels"` // refinement level per patch tile
+	CompositeCells int     `json:"composite_cells"`
+	UniformCells   int     `json:"uniform_cells"`
+	ElapsedMs      float64 `json:"elapsed_ms"`
+}
+
+// buildCase validates the request against cfg's bounds and constructs the
+// geometry. Every rejection is a client error (HTTP 400).
+func buildCase(r predictRequest, cfg serverConfig) (*geometry.Case, error) {
+	h, w, re := 16, 64, 2.5e3
+	if r.H != nil {
+		h = *r.H
+	}
+	if r.W != nil {
+		w = *r.W
+	}
+	if r.Re != nil {
+		re = *r.Re
+	}
+	for _, d := range [2]struct {
+		name string
+		v    int
+	}{{"h", h}, {"w", w}} {
+		if d.v < 1 || d.v > cfg.maxDim {
+			return nil, fmt.Errorf("%s=%d out of range [1, %d]", d.name, d.v, cfg.maxDim)
+		}
+		if cfg.patchTile > 0 && d.v%cfg.patchTile != 0 {
+			return nil, fmt.Errorf("%s=%d not a multiple of the model's patch size %d", d.name, d.v, cfg.patchTile)
+		}
+	}
+	if math.IsNaN(re) || math.IsInf(re, 0) || re <= 0 || re > 1e9 {
+		return nil, fmt.Errorf("re=%v out of range (0, 1e9]", re)
+	}
+	switch r.Case {
+	case "channel", "":
+		return geometry.ChannelCase(re, h, w), nil
+	case "flatplate":
+		return geometry.FlatPlateCase(re, h, w), nil
+	case "cylinder":
+		return geometry.CylinderCase(re, h, w), nil
+	case "naca0012":
+		return geometry.AirfoilCase("0012", re, h, w), nil
+	case "naca1412":
+		return geometry.AirfoilCase("1412", re, h, w), nil
+	default:
+		return nil, fmt.Errorf("unknown case %q", r.Case)
+	}
+}
+
+// newMux wires the HTTP endpoints around a predictor. Handlers never trust
+// the request: bodies are size-capped, unknown fields and out-of-bounds
+// dimensions are 400s, methods are restricted, and an engine-internal panic
+// (serve.ErrInternal) maps to a 500 whose detail stays in the server log —
+// the listener itself is never at risk.
+func newMux(p predictor, cfg serverConfig) *http.ServeMux {
+	if cfg.logf == nil {
+		cfg.logf = func(string, ...any) {}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(p.Stats()); err != nil {
+			cfg.logf("stats: encode: %v", err)
+		}
+	})
+	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, cfg.maxBody)
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		var req predictRequest
+		if err := dec.Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				http.Error(w, fmt.Sprintf("request body exceeds %d bytes", cfg.maxBody), http.StatusRequestEntityTooLarge)
+				return
+			}
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		c, err := buildCase(req, cfg)
+		if err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+
+		ctx := r.Context()
+		if cfg.requestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, cfg.requestTimeout)
+			defer cancel()
+		}
+		start := time.Now()
+		inf, err := p.Predict(ctx, c)
+		switch {
+		case err == nil:
+		case errors.Is(err, serve.ErrQueueFull):
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		case errors.Is(err, serve.ErrEngineClosed):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			http.Error(w, err.Error(), http.StatusRequestTimeout)
+			return
+		case errors.Is(err, serve.ErrInternal):
+			// The contained panic: full detail (value + stack) goes to the
+			// log; the client gets a clean 500 and the listener lives on.
+			var pe *serve.PanicError
+			if errors.As(err, &pe) {
+				cfg.logf("predict %s: contained panic: %v\n%s", c.Name, pe.Value, pe.Stack)
+			} else {
+				cfg.logf("predict %s: %v", c.Name, err)
+			}
+			http.Error(w, "internal error", http.StatusInternalServerError)
+			return
+		default:
+			cfg.logf("predict %s: %v", c.Name, err)
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		levels := make([][]int, inf.Levels.NPy)
+		for py := range levels {
+			row := make([]int, inf.Levels.NPx)
+			for px := range row {
+				row[px] = inf.Levels.At(py, px)
+			}
+			levels[py] = row
+		}
+		w.Header().Set("Content-Type", "application/json")
+		err = json.NewEncoder(w).Encode(predictResponse{
+			Case:           c.Name,
+			Levels:         levels,
+			CompositeCells: inf.CompositeCells,
+			UniformCells:   inf.Levels.UniformCells(),
+			ElapsedMs:      float64(time.Since(start).Microseconds()) / 1000,
+		})
+		if err != nil {
+			cfg.logf("predict %s: encode: %v", c.Name, err)
+		}
+	})
+	return mux
+}

@@ -21,6 +21,11 @@ import (
 // or one with no parameters. Callers match it with errors.Is.
 var ErrUntrained = errors.New("model is nil or has no parameters")
 
+// ErrCheckpointCorrupt re-exports nn's checkpoint-integrity sentinel so
+// Model.Load callers can branch on "the file is damaged" (re-fetch or fall
+// back to an older checkpoint) without importing internal/nn.
+var ErrCheckpointCorrupt = nn.ErrCheckpointCorrupt
+
 // Config collects ADARNet's architecture and training hyperparameters. The
 // defaults mirror the paper (§4.2) scaled by the LR grid the model is built
 // for: 16×16 patches, b = 4 bins, λ = 0.03, Adam at 1e-4.
@@ -165,14 +170,17 @@ func (m *Model) Params() []*nn.Param {
 // ParamCount returns the total learnable-parameter count.
 func (m *Model) ParamCount() int { return nn.CountParams(m.Params()) }
 
-// Save checkpoints the model weights to path.
+// Save checkpoints the model weights to path. The write is atomic (temp
+// file + fsync + rename), so a crash mid-save never destroys a previous
+// checkpoint at the same path.
 func (m *Model) Save(path string) error { return nn.SaveFile(path, m.Params()) }
 
-// Load restores weights from path.
+// Load restores weights from path. Damaged files fail with a wrapped
+// ErrCheckpointCorrupt.
 func (m *Model) Load(path string) error {
 	n, err := nn.LoadFile(path, m.Params())
 	if err != nil {
-		return err
+		return fmt.Errorf("core: load %s: %w", path, err)
 	}
 	if n == 0 {
 		return fmt.Errorf("core: checkpoint %s restored no parameters", path)

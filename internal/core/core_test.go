@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"os"
 	"testing"
 
 	"adarnet/internal/autodiff"
@@ -356,6 +357,26 @@ func TestSaveLoadModel(t *testing.T) {
 	}
 	if err := m2.Load(path + ".missing"); err == nil {
 		t.Fatal("expected error for missing checkpoint")
+	}
+}
+
+func TestLoadCorruptCheckpoint(t *testing.T) {
+	m := tinyModel()
+	path := t.TempDir() + "/model.gob"
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x10
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = New(Config{PatchH: 4, PatchW: 4, Seed: 99}).Load(path)
+	if !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("corrupt checkpoint: err = %v, want ErrCheckpointCorrupt", err)
 	}
 }
 

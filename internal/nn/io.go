@@ -1,15 +1,48 @@
 package nn
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // Checkpointing: parameters are serialized by name with encoding/gob. Only
 // names present in both the file and the model are restored, so checkpoints
 // stay usable across additive architecture changes.
+//
+// On-disk format (v1): a fixed header — magic "ADARCKPT", format version,
+// payload length, CRC-32 of the payload (all little-endian) — followed by
+// the gob payload. The header makes checkpoints self-describing: a
+// truncated or bit-flipped file fails fast with ErrCheckpointCorrupt
+// instead of an obscure gob decode error. Headerless v0 files (plain gob)
+// are still read for back-compat.
+//
+// SaveFile is crash-safe: it writes to a temp file in the target directory,
+// fsyncs, and atomically renames over the destination, so a crash or full
+// disk mid-write can never destroy the previous good checkpoint.
+
+// ErrCheckpointCorrupt reports a checkpoint whose bytes fail integrity
+// checks — truncation, bit flips, or an undecodable payload. Callers match
+// it with errors.Is; the wrapping message carries the specific failure.
+var ErrCheckpointCorrupt = errors.New("nn: checkpoint corrupt")
+
+const (
+	ckptMagic   = "ADARCKPT"
+	ckptVersion = 1
+	// magic(8) + version uint32 + payload length uint64 + CRC-32 uint32.
+	ckptHeaderLen = 8 + 4 + 8 + 4
+)
+
+// saveWriter wraps the checkpoint temp file before SaveParams writes to it.
+// Tests replace it to inject mid-write failures (simulating a crash or a
+// full disk) and assert the previous checkpoint survives.
+var saveWriter = func(f *os.File) io.Writer { return f }
 
 // checkpointEntry is the on-disk record for one parameter.
 type checkpointEntry struct {
@@ -18,7 +51,8 @@ type checkpointEntry struct {
 	Data  []float64
 }
 
-// SaveParams writes params to w in gob format.
+// SaveParams writes params to w in the v1 checkpoint format: integrity
+// header followed by the gob payload.
 func SaveParams(w io.Writer, params []*Param) error {
 	entries := make([]checkpointEntry, 0, len(params))
 	for _, p := range params {
@@ -28,16 +62,59 @@ func SaveParams(w io.Writer, params []*Param) error {
 			Data:  append([]float64(nil), p.Data.Data()...),
 		})
 	}
-	return gob.NewEncoder(w).Encode(entries)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(entries); err != nil {
+		return fmt.Errorf("nn: encode checkpoint: %w", err)
+	}
+	payload := buf.Bytes()
+
+	hdr := make([]byte, ckptHeaderLen)
+	copy(hdr, ckptMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], ckptVersion)
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[20:24], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("nn: write checkpoint header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("nn: write checkpoint: %w", err)
+	}
+	return nil
 }
 
 // LoadParams reads a checkpoint from r and copies matching entries (by name
-// and shape) into params. It returns the number restored and an error if a
-// named match has an incompatible shape.
+// and shape) into params. It returns the number restored; integrity
+// failures wrap ErrCheckpointCorrupt. Both v1 (headered) and v0 (plain gob)
+// checkpoints are accepted.
 func LoadParams(r io.Reader, params []*Param) (int, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return 0, fmt.Errorf("nn: read checkpoint: %w", err)
+	}
+	payload := raw
+	if len(raw) >= len(ckptMagic) && string(raw[:len(ckptMagic)]) == ckptMagic {
+		if len(raw) < ckptHeaderLen {
+			return 0, fmt.Errorf("nn: checkpoint header truncated at %d bytes: %w", len(raw), ErrCheckpointCorrupt)
+		}
+		version := binary.LittleEndian.Uint32(raw[8:12])
+		if version != ckptVersion {
+			return 0, fmt.Errorf("nn: checkpoint format v%d not supported (this build reads v%d and headerless v0)", version, ckptVersion)
+		}
+		want := binary.LittleEndian.Uint64(raw[12:20])
+		sum := binary.LittleEndian.Uint32(raw[20:24])
+		payload = raw[ckptHeaderLen:]
+		if uint64(len(payload)) != want {
+			return 0, fmt.Errorf("nn: checkpoint payload is %d bytes, header says %d: %w", len(payload), want, ErrCheckpointCorrupt)
+		}
+		if got := crc32.ChecksumIEEE(payload); got != sum {
+			return 0, fmt.Errorf("nn: checkpoint checksum %08x, header says %08x: %w", got, sum, ErrCheckpointCorrupt)
+		}
+	}
+	// No magic: a headerless v0 file; gob itself is the only check. (A v1
+	// file with a corrupted magic lands here too and fails gob decode.)
 	var entries []checkpointEntry
-	if err := gob.NewDecoder(r).Decode(&entries); err != nil {
-		return 0, fmt.Errorf("nn: decode checkpoint: %w", err)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&entries); err != nil {
+		return 0, fmt.Errorf("nn: decode checkpoint: %v: %w", err, ErrCheckpointCorrupt)
 	}
 	byName := make(map[string]checkpointEntry, len(entries))
 	for _, e := range entries {
@@ -58,17 +135,49 @@ func LoadParams(r io.Reader, params []*Param) (int, error) {
 	return restored, nil
 }
 
-// SaveFile checkpoints params to path.
+// SaveFile checkpoints params to path atomically: temp file in path's
+// directory → fsync → rename. If any step fails, the destination is
+// untouched (the previous checkpoint, if any, stays loadable) and the temp
+// file is removed.
 func SaveFile(path string, params []*Param) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("nn: create checkpoint: %w", err)
+		return fmt.Errorf("nn: create checkpoint temp: %w", err)
 	}
-	defer f.Close()
-	if err := SaveParams(f, params); err != nil {
+	tmpName := tmp.Name()
+	committed := false
+	defer func() {
+		if !committed {
+			os.Remove(tmpName)
+		}
+	}()
+
+	err = SaveParams(saveWriter(tmp), params)
+	if err == nil {
+		if serr := tmp.Sync(); serr != nil {
+			err = fmt.Errorf("nn: sync checkpoint: %w", serr)
+		}
+	}
+	// One Close, its error checked — not the deferred-Close-plus-Close
+	// pattern that swallows the first error.
+	if cerr := tmp.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("nn: close checkpoint: %w", cerr)
+	}
+	if err != nil {
 		return err
 	}
-	return f.Close()
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("nn: commit checkpoint: %w", err)
+	}
+	committed = true
+	// Best-effort directory sync so the rename itself survives a crash;
+	// not all platforms/filesystems support fsync on a directory.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // LoadFile restores params from path.

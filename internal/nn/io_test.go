@@ -1,0 +1,206 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// ioTestParams builds a small deterministic parameter set.
+func ioTestParams(seed int64) []*Param {
+	rng := rand.New(rand.NewSource(seed))
+	return NewConv2D("layer", rng, 3, 3, 2, 3, Linear).Params()
+}
+
+// writeV0 serializes params in the headerless v0 format (plain gob), the
+// layout every checkpoint on disk before the integrity header used.
+func writeV0(t *testing.T, path string, params []*Param) {
+	t.Helper()
+	entries := make([]checkpointEntry, 0, len(params))
+	for _, p := range params {
+		entries = append(entries, checkpointEntry{
+			Name:  p.Name,
+			Shape: p.Data.Shape(),
+			Data:  append([]float64(nil), p.Data.Data()...),
+		})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(entries); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func assertParamsEqual(t *testing.T, want, got []*Param) {
+	t.Helper()
+	for i := range want {
+		wd, gd := want[i].Data.Data(), got[i].Data.Data()
+		for k := range wd {
+			if wd[k] != gd[k] {
+				t.Fatalf("param %q elem %d = %v, want %v", want[i].Name, k, gd[k], wd[k])
+			}
+		}
+	}
+}
+
+// TestV0HeaderlessBackCompat checks that pre-header checkpoints still load.
+func TestV0HeaderlessBackCompat(t *testing.T) {
+	src := ioTestParams(21)
+	path := filepath.Join(t.TempDir(), "v0.gob")
+	writeV0(t, path, src)
+
+	dst := ioTestParams(22)
+	n, err := LoadFile(path, dst)
+	if err != nil {
+		t.Fatalf("v0 load: %v", err)
+	}
+	if n != len(src) {
+		t.Fatalf("restored %d params, want %d", n, len(src))
+	}
+	assertParamsEqual(t, src, dst)
+}
+
+// TestCheckpointTruncation checks that every truncation point of a v1 file —
+// inside the header and inside the payload — fails with
+// ErrCheckpointCorrupt rather than an untyped gob error.
+func TestCheckpointTruncation(t *testing.T) {
+	src := ioTestParams(23)
+	path := filepath.Join(t.TempDir(), "ckpt.gob")
+	if err := SaveFile(path, src); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{ckptHeaderLen - 4, ckptHeaderLen + 7, len(full) - 1} {
+		if _, err := LoadParams(bytes.NewReader(full[:cut]), ioTestParams(24)); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Errorf("truncated at %d of %d bytes: err = %v, want ErrCheckpointCorrupt", cut, len(full), err)
+		}
+	}
+}
+
+// TestCheckpointBitFlip flips one byte in the header magic, the checksum
+// field, and the payload; each corruption must surface ErrCheckpointCorrupt.
+func TestCheckpointBitFlip(t *testing.T) {
+	src := ioTestParams(25)
+	path := filepath.Join(t.TempDir(), "ckpt.gob")
+	if err := SaveFile(path, src); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []int{2, 20, ckptHeaderLen + len(full[ckptHeaderLen:])/2} {
+		bad := append([]byte(nil), full...)
+		bad[pos] ^= 0x40
+		if _, err := LoadParams(bytes.NewReader(bad), ioTestParams(26)); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Errorf("byte %d flipped: err = %v, want ErrCheckpointCorrupt", pos, err)
+		}
+	}
+}
+
+// TestUnsupportedVersion checks that a future format version is rejected
+// with a descriptive error — not misreported as corruption.
+func TestUnsupportedVersion(t *testing.T) {
+	src := ioTestParams(27)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[8] = ckptVersion + 1 // little-endian version low byte
+	_, err := LoadParams(bytes.NewReader(raw), ioTestParams(28))
+	if err == nil || errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("future version: err = %v, want a non-corrupt unsupported-version error", err)
+	}
+	if !strings.Contains(err.Error(), "not supported") {
+		t.Errorf("future version error %q does not say unsupported", err)
+	}
+}
+
+// failAfter returns write errors once n bytes have been accepted.
+type failAfter struct {
+	w     io.Writer
+	left  int
+	fault error
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if len(p) > f.left {
+		n := f.left
+		f.left = 0
+		f.w.Write(p[:n])
+		return n, f.fault
+	}
+	f.left -= len(p)
+	return f.w.Write(p)
+}
+
+// TestSaveFileCrashKeepsPreviousCheckpoint is the acceptance scenario:
+// a write failure mid-SaveFile (a crash / full-disk stand-in, injected via
+// the saveWriter hook) leaves the previous checkpoint bytes untouched and
+// loadable, and leaves no temp litter behind.
+func TestSaveFileCrashKeepsPreviousCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.gob")
+
+	good := ioTestParams(29)
+	if err := SaveFile(path, good); err != nil {
+		t.Fatal(err)
+	}
+
+	diskFull := fmt.Errorf("injected: disk full")
+	saveWriter = func(f *os.File) io.Writer { return &failAfter{w: f, left: ckptHeaderLen + 10, fault: diskFull} }
+	defer func() { saveWriter = func(f *os.File) io.Writer { return f } }()
+
+	if err := SaveFile(path, ioTestParams(30)); !errors.Is(err, diskFull) {
+		t.Fatalf("interrupted save: err = %v, want injected write error", err)
+	}
+
+	// The previous checkpoint is intact and loads the original weights.
+	dst := ioTestParams(31)
+	if _, err := LoadFile(path, dst); err != nil {
+		t.Fatalf("previous checkpoint no longer loads: %v", err)
+	}
+	assertParamsEqual(t, good, dst)
+
+	// The failed attempt's temp file was cleaned up.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != filepath.Base(path) {
+			t.Errorf("leftover file after failed save: %s", e.Name())
+		}
+	}
+}
+
+// TestSaveFileReplacesAtomically checks the happy-path rewrite: a second
+// SaveFile over an existing checkpoint swaps in the new weights.
+func TestSaveFileReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := SaveFile(path, ioTestParams(32)); err != nil {
+		t.Fatal(err)
+	}
+	next := ioTestParams(33)
+	if err := SaveFile(path, next); err != nil {
+		t.Fatal(err)
+	}
+	dst := ioTestParams(34)
+	if _, err := LoadFile(path, dst); err != nil {
+		t.Fatal(err)
+	}
+	assertParamsEqual(t, next, dst)
+}

@@ -10,15 +10,53 @@ import (
 	"adarnet/internal/tensor"
 )
 
-// runGroup coalesces bitwise-identical fields, stacks the unique normalized
-// fields of same-shape requests into one (B,H,W,4) tensor, runs the batched
-// forward pass on a gradient-free tape, and demultiplexes the assembled
-// per-sample predictions to their callers.
+// runGroup runs one same-shape group through the batched forward pass inside
+// a panic boundary. A panic poisons the whole batched pass — there is no way
+// to tell which sample tripped it — so on failure the group degrades
+// gracefully: every request that has not been answered yet is retried
+// individually on a fresh tape. Batch-mates of a poisoned request therefore
+// still succeed (bit-identical to direct inference, since a batch of one is
+// the direct path), and only the request(s) whose own forward pass panics
+// again receive ErrInternal.
+func (e *Engine) runGroup(reqs []*request) {
+	err := e.forwardGroup(reqs)
+	if err == nil {
+		return
+	}
+	if len(reqs) == 1 {
+		e.fail(reqs[0], err)
+		return
+	}
+	for _, req := range reqs {
+		if req.replied {
+			continue
+		}
+		e.stats.retried.Add(1)
+		if rerr := e.forwardGroup([]*request{req}); rerr != nil {
+			e.fail(req, rerr)
+		}
+	}
+}
+
+// forwardGroup coalesces bitwise-identical fields, stacks the unique
+// normalized fields of same-shape requests into one (B,H,W,4) tensor, runs
+// the batched forward pass on a gradient-free tape, and demultiplexes the
+// assembled per-sample predictions to their callers. A panic anywhere inside
+// is recovered into a *PanicError (wrapping ErrInternal) for runGroup to
+// handle; the tape's pooled buffers are abandoned to the GC on that path —
+// a panic is rare enough that leaking one tape's working set beats trying to
+// free state of unknown integrity.
 //
 // Inference.MemoryBytes is zero on this path: the peak-allocation counter is
 // process-global and several workers share it, so the figure is only
 // meaningful for direct single-request core.Model inference.
-func (e *Engine) runGroup(reqs []*request) {
+func (e *Engine) forwardGroup(reqs []*request) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.stats.panics.Add(1)
+			err = newPanicError(r)
+		}
+	}()
 	start := time.Now()
 	m := e.model
 
@@ -54,6 +92,9 @@ coalesce:
 	stacked := tensor.NewPooled(b, h, w, grid.NumChannels)
 	sd := stacked.Data()
 	for i, req := range uniq {
+		if e.inject != nil {
+			e.inject(req.flow)
+		}
 		raw := grid.ToTensor(req.flow)
 		norm := m.Norm.Apply(raw)
 		copy(sd[i*per:(i+1)*per], norm.Data())
@@ -93,11 +134,27 @@ coalesce:
 			})
 		}
 	}
+	return nil
 }
 
+// reply delivers a result and fail delivers an error; both are no-ops for a
+// request that was already answered, so the post-panic retry path cannot
+// double-send on the buffered(1) done channel.
 func (e *Engine) reply(req *request, inf *core.Inference) {
+	if req.replied {
+		return
+	}
+	req.replied = true
 	req.done <- response{inf: inf}
 	e.stats.completed.Add(1)
+}
+
+func (e *Engine) fail(req *request, err error) {
+	if req.replied {
+		return
+	}
+	req.replied = true
+	req.done <- response{err: err}
 }
 
 // flowKey is an FNV-1a hash over the four field channels — the exact inputs

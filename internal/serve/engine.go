@@ -114,6 +114,13 @@ type request struct {
 	flow     *grid.Flow
 	enqueued time.Time
 	done     chan response // buffered(1): workers never block on reply
+
+	// replied flips when the response is delivered. One worker goroutine
+	// owns a batch end to end — including the individual retries after a
+	// batch-level panic — so the flag needs no synchronization; it exists
+	// so the retry path never double-replies to a request that was answered
+	// before the panic.
+	replied bool
 }
 
 type response struct {
@@ -139,6 +146,11 @@ type Engine struct {
 	// hold, when non-nil, blocks each worker before it processes a batch —
 	// a test hook that makes queue saturation deterministic.
 	hold chan struct{}
+
+	// inject, when non-nil, runs inside the forward boundary for each
+	// request about to enter a batched pass — a test hook that panics
+	// deterministically so the fault-containment path can be exercised.
+	inject func(*grid.Flow)
 }
 
 // New starts an engine for a trained model. The model is shared read-only
@@ -287,38 +299,57 @@ func (e *Engine) batcher() {
 	}
 }
 
-// worker consumes batches, drops dead requests, groups live ones by field
-// shape, and runs one batched forward pass per group.
+// worker consumes batches and processes each inside a fault boundary, so a
+// panicking forward pass can never kill the process or strand Close.
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for batch := range e.batches {
 		if e.hold != nil {
 			<-e.hold
 		}
-		now := time.Now()
-		var live []*request
-		for _, req := range batch {
-			e.stats.queueWaitNanos.Add(uint64(now.Sub(req.enqueued)))
-			if err := req.ctx.Err(); err != nil {
-				req.done <- response{err: err}
-				continue
+		e.processBatch(batch)
+	}
+}
+
+// processBatch drops dead requests, groups live ones by field shape, and runs
+// one batched forward pass per group. The deferred recover is the worker's
+// last-resort boundary: runGroup contains forward-pass panics itself, so this
+// only fires on a panic in the surrounding bookkeeping — and even then every
+// unanswered caller gets ErrInternal instead of hanging on a worker that
+// died mid-batch.
+func (e *Engine) processBatch(batch []*request) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.stats.panics.Add(1)
+			err := newPanicError(r)
+			for _, req := range batch {
+				e.fail(req, err)
 			}
-			live = append(live, req)
 		}
-		// Group by grid shape: one stacked tensor per (H, W).
-		for len(live) > 0 {
-			h, w := live[0].flow.H, live[0].flow.W
-			group := live[:0:0]
-			rest := live[:0:0]
-			for _, req := range live {
-				if req.flow.H == h && req.flow.W == w {
-					group = append(group, req)
-				} else {
-					rest = append(rest, req)
-				}
+	}()
+	now := time.Now()
+	var live []*request
+	for _, req := range batch {
+		e.stats.queueWaitNanos.Add(uint64(now.Sub(req.enqueued)))
+		if err := req.ctx.Err(); err != nil {
+			e.fail(req, err)
+			continue
+		}
+		live = append(live, req)
+	}
+	// Group by grid shape: one stacked tensor per (H, W).
+	for len(live) > 0 {
+		h, w := live[0].flow.H, live[0].flow.W
+		group := live[:0:0]
+		rest := live[:0:0]
+		for _, req := range live {
+			if req.flow.H == h && req.flow.W == w {
+				group = append(group, req)
+			} else {
+				rest = append(rest, req)
 			}
-			e.runGroup(group)
-			live = rest
 		}
+		e.runGroup(group)
+		live = rest
 	}
 }

@@ -1,6 +1,10 @@
 package serve
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+	"runtime"
+)
 
 // Sentinel errors for the serving engine. They are returned wrapped with %w
 // context, so match them with errors.Is.
@@ -12,4 +16,42 @@ var (
 
 	// ErrEngineClosed reports a submission after Close.
 	ErrEngineClosed = errors.New("serve: engine closed")
+
+	// ErrInternal reports that the request's forward pass panicked inside a
+	// worker. The panic is contained: the worker recovers, batch-mates are
+	// retried on a fresh tape, and only the request(s) whose own forward
+	// pass panics receive this error. The concrete error is a *PanicError
+	// carrying the panic value and a truncated stack; errors.Is against
+	// ErrInternal is the stable way to branch on it.
+	ErrInternal = errors.New("serve: internal error")
 )
+
+// panicStackLimit bounds the stack trace captured into a PanicError; panics
+// are reported, not resumed, so a truncated trace is enough to locate the
+// fault without holding tens of KB per failed request.
+const panicStackLimit = 4 << 10
+
+// PanicError is the concrete error behind ErrInternal: a panic recovered at
+// the worker boundary, converted into a reply so the caller unblocks and the
+// engine keeps serving.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, truncated to panicStackLimit.
+	Stack string
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("serve: worker panic: %v", p.Value)
+}
+
+// Unwrap makes errors.Is(err, ErrInternal) match.
+func (p *PanicError) Unwrap() error { return ErrInternal }
+
+// newPanicError captures the current goroutine's stack; call it from the
+// deferred recover, where the trace still includes the panic site.
+func newPanicError(v any) *PanicError {
+	buf := make([]byte, panicStackLimit)
+	n := runtime.Stack(buf, false)
+	return &PanicError{Value: v, Stack: string(buf[:n])}
+}

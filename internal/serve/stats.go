@@ -16,6 +16,8 @@ type counters struct {
 	batches      atomic.Uint64 // batches flushed by the batcher
 	batchedItems atomic.Uint64 // requests across all flushed batches
 	coalesced    atomic.Uint64 // requests served from another request's forward pass
+	panics       atomic.Uint64 // panics recovered at a worker boundary
+	retried      atomic.Uint64 // individual re-runs after a batch-level panic
 
 	queueWaitNanos atomic.Uint64 // submit → batch pickup, summed
 	forwardNanos   atomic.Uint64 // batched forward passes, summed
@@ -30,6 +32,16 @@ type EngineStats struct {
 	Rejected  uint64 // submissions shed with ErrQueueFull
 	Batches   uint64 // forward-pass batches dispatched
 	Coalesced uint64 // requests that shared an identical in-flight request's forward pass
+
+	// Panics counts panics recovered at worker boundaries — each one would
+	// have killed the process before fault containment. Nonzero Panics with
+	// the process still serving is the containment working as designed, but
+	// it always indicates a bug worth chasing via the logged stack.
+	Panics uint64
+	// Retried counts requests re-run individually after a batch-level panic
+	// (the graceful-degradation path that keeps batch-mates of a poisoned
+	// request succeeding).
+	Retried uint64
 
 	// MeanBatchOccupancy is requests per batch — the micro-batching win.
 	MeanBatchOccupancy float64
@@ -52,6 +64,8 @@ func (e *Engine) Stats() EngineStats {
 		Rejected:  e.stats.rejected.Load(),
 		Batches:   e.stats.batches.Load(),
 		Coalesced: e.stats.coalesced.Load(),
+		Panics:    e.stats.panics.Load(),
+		Retried:   e.stats.retried.Load(),
 	}
 	if items := e.stats.batchedItems.Load(); items > 0 {
 		s.MeanQueueWait = time.Duration(e.stats.queueWaitNanos.Load() / items)
@@ -66,7 +80,7 @@ func (e *Engine) Stats() EngineStats {
 
 // String renders the snapshot for logs.
 func (s EngineStats) String() string {
-	return fmt.Sprintf("requests=%d completed=%d canceled=%d rejected=%d batches=%d coalesced=%d occupancy=%.2f queue_wait=%v forward=%v assemble=%v",
-		s.Requests, s.Completed, s.Canceled, s.Rejected, s.Batches, s.Coalesced,
+	return fmt.Sprintf("requests=%d completed=%d canceled=%d rejected=%d batches=%d coalesced=%d panics=%d retried=%d occupancy=%.2f queue_wait=%v forward=%v assemble=%v",
+		s.Requests, s.Completed, s.Canceled, s.Rejected, s.Batches, s.Coalesced, s.Panics, s.Retried,
 		s.MeanBatchOccupancy, s.MeanQueueWait, s.MeanForward, s.MeanAssemble)
 }
