@@ -21,11 +21,13 @@ test:
 # full tree under -race is slow on small CI boxes. cmd/adarnet-serve rides
 # along for the HTTP-boundary and fault-injection tests.
 race:
-	$(GO) test -race ./internal/tensor ./internal/autodiff ./internal/nn ./internal/serve/... ./internal/core/... ./cmd/adarnet-serve
+	$(GO) test -race ./internal/obs ./internal/tensor ./internal/autodiff ./internal/nn ./internal/serve/... ./internal/core/... ./cmd/adarnet-serve
 
 # Kernel microbenchmarks (also available as `adarnet-bench -exp micro`).
+# BenchmarkHistogramRecord guards the telemetry hot path: the bar is
+# ≤ ~50 ns/op with 0 allocs/op (DESIGN.md §10).
 bench:
-	$(GO) test ./internal/tensor ./internal/nn -run '^$$' -bench . -benchmem
+	$(GO) test ./internal/obs ./internal/tensor ./internal/nn -run '^$$' -bench . -benchmem
 
 verify: fmt vet build test race
 	@echo verify OK

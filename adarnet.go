@@ -32,6 +32,15 @@
 // so a crash mid-save never destroys the previous good file and damaged
 // files fail loudly with ErrCheckpointCorrupt.
 //
+// Observability (DESIGN.md §10): every engine records per-stage latency
+// histograms (queue wait, forward, assemble, end-to-end) and batch
+// occupancy; EngineStats reports means and p50/p95/p99 tails derived from
+// those histograms. WithEngineMetrics attaches the engine's instruments to
+// a MetricsRegistry — DefaultMetrics is the process-wide registry exposed
+// by the cmd binaries on /metrics in Prometheus text format — and
+// WithEngineLogger routes the engine's contained-panic reports to a
+// structured *slog.Logger with the request IDs of the affected calls.
+//
 // See examples/ for runnable end-to-end programs and DESIGN.md for the
 // system inventory.
 package adarnet
@@ -46,6 +55,7 @@ import (
 	"adarnet/internal/dataset"
 	"adarnet/internal/geometry"
 	"adarnet/internal/grid"
+	"adarnet/internal/obs"
 	"adarnet/internal/serve"
 	"adarnet/internal/solver"
 	"adarnet/internal/surfnet"
@@ -98,8 +108,22 @@ type Engine = serve.Engine
 // EngineOption configures an Engine at construction.
 type EngineOption = serve.Option
 
-// EngineStats is a point-in-time snapshot of an engine's counters.
+// EngineStats is a point-in-time snapshot of an engine's counters and
+// latency distributions.
 type EngineStats = serve.EngineStats
+
+// Tail summarizes a latency distribution at the quantiles operators watch
+// (p50/p95/p99); EngineStats carries one per pipeline stage.
+type Tail = serve.Tail
+
+// MetricsRegistry holds named metrics and renders them in Prometheus text
+// exposition format (internal/obs).
+type MetricsRegistry = obs.Registry
+
+// DefaultMetrics is the process-wide metrics registry; the cmd binaries
+// serve it on /metrics, and WithEngineMetrics(DefaultMetrics) adds an
+// engine's counters and stage histograms to it.
+var DefaultMetrics = obs.Default
 
 // Predictor is the inference contract shared by the direct path (*Model,
 // one request per forward pass) and the batched path (*Engine, requests
@@ -159,6 +183,12 @@ var (
 	WithSolverOptions = serve.WithSolverOptions
 	// WithLevelCap clamps inferred refinement levels.
 	WithLevelCap = serve.WithLevelCap
+	// WithEngineMetrics attaches the engine's counters and stage histograms
+	// to a metrics registry (adarnet_serve_* on /metrics).
+	WithEngineMetrics = serve.WithMetrics
+	// WithEngineLogger routes contained-panic reports (stage, request IDs,
+	// panic value, truncated stack) to a structured logger.
+	WithEngineLogger = serve.WithLogger
 )
 
 // DefaultConfig returns the paper's model configuration for a patch size.

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiments to run: all | micro,serve,fig1,fig9,fig10,fig11,table1,table2")
 	scale := flag.String("scale", "quick", "experiment scale: tiny | quick | full")
+	jsonDir := flag.String("json-dir", "", "directory for machine-readable BENCH_<exp>.json outputs; empty disables")
 	flag.Parse()
 
 	sc, err := bench.ScaleByName(*scale)
@@ -51,7 +53,11 @@ func main() {
 		fmt.Println()
 	}
 	if want["serve"] {
-		if err := bench.Serve(os.Stdout); err != nil {
+		jsonPath := ""
+		if *jsonDir != "" {
+			jsonPath = filepath.Join(*jsonDir, "BENCH_serve.json")
+		}
+		if _, err := bench.ServeJSON(os.Stdout, jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "serve failed: %v\n", err)
 			os.Exit(1)
 		}

@@ -7,8 +7,18 @@
 //	POST /predict  {"case":"cylinder","re":1e5,"h":16,"w":64}
 //	               → refinement map, composite cells, timing
 //	GET  /healthz  liveness probe
-//	GET  /stats    engine counters (requests, batches, occupancy, latencies,
-//	               contained panics)
+//	GET  /stats    engine counters (requests, batches, occupancy, latency
+//	               means and p50/p95/p99 tails, contained panics)
+//	GET  /metrics  Prometheus text exposition: engine stage histograms,
+//	               HTTP latency, tensor-pool gauges, process counters
+//
+// Every request carries an ID (generated, or adopted from a well-formed
+// X-Request-Id header), echoed in the response header, stamped on each
+// structured log line (-log-format text|json), and retained in an
+// in-process last-N-request trace ring. With -debug-addr set, a second
+// listener exposes /debug/pprof, /debug/vars, /debug/requests (the ring),
+// and /metrics — kept off the serving port so profiling can never be
+// reached from the traffic-facing address by accident.
 //
 // The boundary is hardened: request bodies are size-capped and rejected on
 // unknown fields, grid dimensions are bounded (h, w ≤ -max-dim, tiled by the
@@ -16,11 +26,12 @@
 // allocations, every request carries a server-side deadline, and a panic in
 // a forward pass surfaces as HTTP 500 on that request alone — the engine
 // retries its batch-mates and the listener keeps serving (see
-// internal/serve and DESIGN.md §9).
+// internal/serve and DESIGN.md §9–§10).
 //
 // Usage:
 //
-//	adarnet-serve -model model.gob -addr :8080 -max-batch 8 -workers 4
+//	adarnet-serve -model model.gob -addr :8080 -max-batch 8 -workers 4 \
+//	              -log-format json -debug-addr localhost:6060
 package main
 
 import (
@@ -28,13 +39,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"time"
 
 	"adarnet/internal/core"
+	"adarnet/internal/obs"
 	"adarnet/internal/serve"
 	"adarnet/internal/solver"
 )
@@ -56,9 +68,16 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 10*time.Second, "HTTP request read deadline")
 	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "HTTP response write deadline (keep > request-timeout)")
 	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "keep-alive idle deadline")
+	logFormat := flag.String("log-format", "text", "structured log format: text | json")
+	debugAddr := flag.String("debug-addr", "", "diagnostics listen address (pprof, /debug/requests, /metrics); empty disables")
+	traceRequests := flag.Int("trace-requests", 128, "completed requests retained in the in-process trace ring")
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "adarnet-serve: ", log.LstdFlags)
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adarnet-serve:", err)
+		os.Exit(2)
+	}
 	if *model == "" {
 		fmt.Fprintln(os.Stderr, "adarnet-serve: -model is required (train one with adarnet-train)")
 		os.Exit(2)
@@ -68,9 +87,9 @@ func main() {
 	m := core.New(cfg)
 	if err := m.Load(*model); err != nil {
 		if errors.Is(err, core.ErrCheckpointCorrupt) {
-			fmt.Fprintln(os.Stderr, "adarnet-serve: checkpoint failed integrity checks (re-train or restore a backup):", err)
+			logger.Error("checkpoint failed integrity checks (re-train or restore a backup)", "err", err.Error())
 		} else {
-			fmt.Fprintln(os.Stderr, "adarnet-serve:", err)
+			logger.Error("checkpoint load failed", "err", err.Error())
 		}
 		os.Exit(1)
 	}
@@ -83,18 +102,22 @@ func main() {
 		serve.WithWorkers(*workers),
 		serve.WithQueueDepth(*queueDepth),
 		serve.WithSolverOptions(sopt),
+		serve.WithMetrics(obs.Default),
+		serve.WithLogger(logger),
 	)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "adarnet-serve:", err)
+		logger.Error("engine start failed", "err", err.Error())
 		os.Exit(1)
 	}
 
+	ring := obs.NewTraceRing(*traceRequests)
 	mux := newMux(engine, serverConfig{
 		maxDim:         *maxDim,
 		patchTile:      *patch,
 		maxBody:        *maxBody,
 		requestTimeout: *reqTimeout,
-		logf:           logger.Printf,
+		logger:         logger,
+		ring:           ring,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -103,7 +126,7 @@ func main() {
 		ReadTimeout:       *readTimeout,
 		WriteTimeout:      *writeTimeout,
 		IdleTimeout:       *idleTimeout,
-		ErrorLog:          logger,
+		ErrorLog:          slog.NewLogLogger(logger.Handler(), slog.LevelError),
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -115,9 +138,41 @@ func main() {
 		engine.Close()
 	}()
 
-	fmt.Printf("adarnet-serve: %d-param model, listening on %s\n", m.ParamCount(), *addr)
+	if *debugAddr != "" {
+		// The debug listener gets no write timeout: a 30 s CPU profile or an
+		// execution trace legitimately streams for that long.
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           obs.DebugMux(obs.Default, ring),
+			ReadHeaderTimeout: 5 * time.Second,
+			ErrorLog:          slog.NewLogLogger(logger.Handler(), slog.LevelError),
+		}
+		go func() {
+			logger.Info("debug listener up", "addr", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "err", err.Error())
+			}
+		}()
+		defer dbg.Close()
+	}
+
+	logger.Info("listening", "addr", *addr, "params", m.ParamCount(),
+		"max_batch", *maxBatch, "workers", *workers, "log_format", *logFormat)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, "adarnet-serve:", err)
+		logger.Error("listener failed", "err", err.Error())
 		os.Exit(1)
+	}
+}
+
+// newLogger builds the process logger for -log-format. Both handlers write
+// to stderr so stdout stays clean for tooling.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (text | json)", format)
 	}
 }

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"adarnet/internal/obs"
+)
+
+// TestRequestIDInLogAndRing is the observability integration test: one
+// request through the full middleware + handler stack must carry the same
+// request ID in the X-Request-Id response header, the structured access-log
+// line, and the trace ring.
+func TestRequestIDInLogAndRing(t *testing.T) {
+	var logged bytes.Buffer
+	cfg := testConfig()
+	cfg.logger = slog.New(slog.NewJSONHandler(&logged, nil))
+	cfg.ring = obs.NewTraceRing(8)
+	mux := newMux(&stubPredictor{inf: stubInference()}, cfg)
+
+	rec := postPredict(mux, `{"case":"channel"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %q", rec.Code, rec.Body)
+	}
+	id := rec.Header().Get("X-Request-Id")
+	if id == "" {
+		t.Fatal("response missing X-Request-Id")
+	}
+
+	// The access-log line carries the same ID, as structured JSON.
+	var line struct {
+		Msg       string  `json:"msg"`
+		RequestID string  `json:"request_id"`
+		Route     string  `json:"route"`
+		Status    int     `json:"status"`
+		ElapsedMs float64 `json:"elapsed_ms"`
+	}
+	if err := json.Unmarshal(logged.Bytes(), &line); err != nil {
+		t.Fatalf("access log is not one JSON line: %v (%q)", err, logged.String())
+	}
+	if line.Msg != "request" || line.RequestID != id || line.Route != "/predict" || line.Status != 200 {
+		t.Errorf("access log = %+v, want msg=request request_id=%s route=/predict status=200", line, id)
+	}
+
+	// The trace ring retains the same request under the same ID.
+	entries := cfg.ring.Snapshot()
+	if len(entries) != 1 {
+		t.Fatalf("ring has %d entries, want 1", len(entries))
+	}
+	if e := entries[0]; e.ID != id || e.Route != "/predict" || e.Status != 200 {
+		t.Errorf("ring entry = %+v, want id=%s route=/predict status=200", e, id)
+	}
+}
+
+// TestClientRequestIDAdopted checks that a well-formed client X-Request-Id
+// is adopted end to end, and a hostile one is replaced.
+func TestClientRequestIDAdopted(t *testing.T) {
+	var logged bytes.Buffer
+	cfg := testConfig()
+	cfg.logger = slog.New(slog.NewTextHandler(&logged, nil))
+	cfg.ring = obs.NewTraceRing(8)
+	mux := newMux(&stubPredictor{inf: stubInference()}, cfg)
+
+	req := httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(`{}`))
+	req.Header.Set("X-Request-Id", "client-abc.123")
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-Id"); got != "client-abc.123" {
+		t.Errorf("well-formed client ID not adopted: header = %q", got)
+	}
+	if entries := cfg.ring.Snapshot(); len(entries) != 1 || entries[0].ID != "client-abc.123" {
+		t.Errorf("ring did not record the adopted ID: %+v", entries)
+	}
+	if !strings.Contains(logged.String(), "request_id=client-abc.123") {
+		t.Errorf("access log missing adopted ID: %q", logged.String())
+	}
+
+	req = httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(`{}`))
+	req.Header.Set("X-Request-Id", "evil\nid=injected")
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-Id"); got == "" || strings.Contains(got, "\n") {
+		t.Errorf("hostile ID not replaced: header = %q", got)
+	}
+}
+
+// TestQuietRoutes checks that /healthz and /metrics stay out of the access
+// log and the trace ring (probe and scrape noise) while /stats is traced.
+func TestQuietRoutes(t *testing.T) {
+	var logged bytes.Buffer
+	cfg := testConfig()
+	cfg.logger = slog.New(slog.NewTextHandler(&logged, nil))
+	cfg.ring = obs.NewTraceRing(8)
+	mux := newMux(&stubPredictor{inf: stubInference()}, cfg)
+
+	for _, path := range []string{"/healthz", "/metrics", "/stats"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET %s: status = %d", path, rec.Code)
+		}
+	}
+	if cfg.ring.Len() != 1 {
+		t.Errorf("ring has %d entries, want only /stats", cfg.ring.Len())
+	}
+	if log := logged.String(); strings.Contains(log, "/healthz") || strings.Contains(log, "route=/metrics") {
+		t.Errorf("quiet routes leaked into the access log: %q", log)
+	}
+}
+
+// TestMetricsEndpointServesEngineStats checks the /metrics route on the
+// serving mux renders valid Prometheus text including the process metrics.
+func TestMetricsEndpointServesEngineStats(t *testing.T) {
+	mux := newMux(&stubPredictor{inf: stubInference()}, testConfig())
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE adarnet_http_requests_total counter",
+		"# TYPE adarnet_http_request_seconds histogram",
+		`adarnet_http_request_seconds_bucket{le="+Inf"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestHandlerPanicLoggedWithRequestID checks the last line of defense: a
+// panic escaping a handler is answered with a 500 carrying the request ID
+// header, and logged at ERROR with the same ID and a stack.
+func TestHandlerPanicLoggedWithRequestID(t *testing.T) {
+	var logged bytes.Buffer
+	cfg := testConfig()
+	cfg.logger = slog.New(slog.NewTextHandler(&logged, nil))
+	cfg.ring = obs.NewTraceRing(8)
+
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("handler exploded")
+	})
+	h := withObs(inner, cfg)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(`{}`)))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	id := rec.Header().Get("X-Request-Id")
+	log := logged.String()
+	if !strings.Contains(log, "handler exploded") || !strings.Contains(log, "level=ERROR") {
+		t.Errorf("panic not logged at ERROR: %q", log)
+	}
+	if id == "" || !strings.Contains(log, id) {
+		t.Errorf("panic log missing request ID %q: %q", id, log)
+	}
+	if entries := cfg.ring.Snapshot(); len(entries) != 1 || entries[0].Status != 500 {
+		t.Errorf("panicked request not traced as 500: %+v", entries)
+	}
+}

@@ -5,12 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"net/http"
+	"runtime"
 	"time"
 
 	"adarnet/internal/core"
 	"adarnet/internal/geometry"
+	"adarnet/internal/obs"
 	"adarnet/internal/serve"
 )
 
@@ -21,15 +25,28 @@ type predictor interface {
 	Stats() serve.EngineStats
 }
 
+// HTTP-boundary metrics, registered once on the process registry: every
+// request through the middleware lands in the latency histogram, and 5xx
+// responses get their own counter so an alert needs no log parsing.
+var (
+	httpRequests = obs.Default.Counter("adarnet_http_requests_total",
+		"HTTP requests served (all routes through the access middleware).")
+	httpServerErrors = obs.Default.Counter("adarnet_http_responses_5xx_total",
+		"HTTP responses with a 5xx status.")
+	httpLatency = obs.Default.Histogram("adarnet_http_request_seconds",
+		"End-to-end HTTP request latency, including decode and encode.", 1e-9)
+)
+
 // serverConfig bounds what a request may cost before it reaches the engine.
 // Every limit exists to convert a hostile or buggy input into a 4xx instead
 // of an allocation, a stuck handler, or a worker panic.
 type serverConfig struct {
-	maxDim         int           // largest accepted grid H or W
-	patchTile      int           // H and W must tile by the model's patch size
-	maxBody        int64         // request-body byte cap
-	requestTimeout time.Duration // per-request deadline (0 = client's only)
-	logf           func(format string, args ...any)
+	maxDim         int            // largest accepted grid H or W
+	patchTile      int            // H and W must tile by the model's patch size
+	maxBody        int64          // request-body byte cap
+	requestTimeout time.Duration  // per-request deadline (0 = client's only)
+	logger         *slog.Logger   // structured access + error log (nil: silent)
+	ring           *obs.TraceRing // last-N completed requests (nil: no tracing)
 }
 
 type predictRequest struct {
@@ -93,16 +110,120 @@ func buildCase(r predictRequest, cfg serverConfig) (*geometry.Case, error) {
 	}
 }
 
-// newMux wires the HTTP endpoints around a predictor. Handlers never trust
-// the request: bodies are size-capped, unknown fields and out-of-bounds
-// dimensions are 400s, methods are restricted, and an engine-internal panic
-// (serve.ErrInternal) maps to a 500 whose detail stays in the server log —
-// the listener itself is never at risk.
-func newMux(p predictor, cfg serverConfig) *http.ServeMux {
-	if cfg.logf == nil {
-		cfg.logf = func(string, ...any) {}
+// statusWriter captures the response status for the access log, the trace
+// ring, and the 5xx counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// validRequestID reports whether a client-supplied X-Request-Id is safe to
+// adopt: short and plain so it cannot smuggle log-injection payloads.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// withObs is the per-request observability middleware: it assigns (or
+// adopts) a request ID, propagates it via context to every layer below —
+// handler logs, engine panic logs, error paths — echoes it in the
+// X-Request-Id response header, captures the status, and on completion
+// emits one structured access-log line, appends to the trace ring, and
+// records the HTTP latency histogram. A panic escaping a handler is logged
+// at ERROR with the request ID and a truncated stack, answered with a clean
+// 500, and does not take down the listener. /healthz and /metrics are
+// exempt from the access log and the ring (probe and scrape noise), but
+// panics there are still contained.
+func withObs(next http.Handler, cfg serverConfig) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if !validRequestID(id) {
+			id = obs.NewRequestID()
+		}
+		ctx := obs.WithRequestID(r.Context(), id)
+		r = r.WithContext(ctx)
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w}
+
+		quiet := r.URL.Path == "/healthz" || r.URL.Path == "/metrics"
+		start := time.Now()
+		defer func() {
+			elapsed := time.Since(start)
+			if rec := recover(); rec != nil {
+				buf := make([]byte, 4<<10)
+				n := runtime.Stack(buf, false)
+				if cfg.logger != nil {
+					cfg.logger.Error("handler panic",
+						"request_id", id, "route", r.URL.Path,
+						"panic", fmt.Sprint(rec), "stack", string(buf[:n]))
+				}
+				if sw.status == 0 {
+					http.Error(sw, "internal error", http.StatusInternalServerError)
+				}
+			}
+			if sw.status == 0 {
+				sw.status = http.StatusOK
+			}
+			httpRequests.Inc()
+			httpLatency.ObserveDuration(elapsed)
+			if sw.status >= 500 {
+				httpServerErrors.Inc()
+			}
+			if quiet {
+				return
+			}
+			if cfg.logger != nil {
+				cfg.logger.Info("request",
+					"request_id", id, "method", r.Method, "route", r.URL.Path,
+					"status", sw.status, "elapsed_ms", float64(elapsed.Microseconds())/1000)
+			}
+			cfg.ring.Add(obs.TraceEntry{
+				ID: id, Route: r.URL.Path, Status: sw.status,
+				Start: start, Elapsed: elapsed,
+			})
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// newMux wires the HTTP endpoints around a predictor, wrapped in the
+// observability middleware. Handlers never trust the request: bodies are
+// size-capped, unknown fields and out-of-bounds dimensions are 400s,
+// methods are restricted, and an engine-internal panic (serve.ErrInternal)
+// maps to a 500 whose detail stays in the server log — the listener itself
+// is never at risk.
+func newMux(p predictor, cfg serverConfig) http.Handler {
+	logger := cfg.logger
+	if logger == nil {
+		// Handlers log unconditionally through this discard logger; the
+		// middleware checks cfg.logger itself and skips the access log.
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Default.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
 			http.Error(w, "GET only", http.StatusMethodNotAllowed)
@@ -118,10 +239,11 @@ func newMux(p predictor, cfg serverConfig) *http.ServeMux {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(p.Stats()); err != nil {
-			cfg.logf("stats: encode: %v", err)
+			logger.Warn("stats encode failed", "request_id", obs.RequestIDFrom(r.Context()), "err", err.Error())
 		}
 	})
 	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
+		reqID := obs.RequestIDFrom(r.Context())
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
 			return
@@ -169,14 +291,16 @@ func newMux(p predictor, cfg serverConfig) *http.ServeMux {
 			// log; the client gets a clean 500 and the listener lives on.
 			var pe *serve.PanicError
 			if errors.As(err, &pe) {
-				cfg.logf("predict %s: contained panic: %v\n%s", c.Name, pe.Value, pe.Stack)
+				logger.Error("predict: contained panic",
+					"request_id", reqID, "case", c.Name,
+					"panic", fmt.Sprint(pe.Value), "stack", pe.Stack)
 			} else {
-				cfg.logf("predict %s: %v", c.Name, err)
+				logger.Error("predict failed", "request_id", reqID, "case", c.Name, "err", err.Error())
 			}
 			http.Error(w, "internal error", http.StatusInternalServerError)
 			return
 		default:
-			cfg.logf("predict %s: %v", c.Name, err)
+			logger.Error("predict failed", "request_id", reqID, "case", c.Name, "err", err.Error())
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
@@ -197,8 +321,8 @@ func newMux(p predictor, cfg serverConfig) *http.ServeMux {
 			ElapsedMs:      float64(time.Since(start).Microseconds()) / 1000,
 		})
 		if err != nil {
-			cfg.logf("predict %s: encode: %v", c.Name, err)
+			logger.Warn("predict encode failed", "request_id", reqID, "case", c.Name, "err", err.Error())
 		}
 	})
-	return mux
+	return withObs(mux, cfg)
 }

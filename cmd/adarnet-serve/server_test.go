@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -48,7 +49,7 @@ func testConfig() serverConfig {
 	return serverConfig{maxDim: 64, patchTile: 4, maxBody: 1 << 10}
 }
 
-func postPredict(mux *http.ServeMux, body string) *httptest.ResponseRecorder {
+func postPredict(mux http.Handler, body string) *httptest.ResponseRecorder {
 	rec := httptest.NewRecorder()
 	req := httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(body))
 	mux.ServeHTTP(rec, req)
@@ -152,7 +153,7 @@ func TestInternalErrorMapping(t *testing.T) {
 		&serve.PanicError{Value: "index out of range", Stack: "goroutine 7 [running]: secret frames"})
 	var logged bytes.Buffer
 	cfg := testConfig()
-	cfg.logf = func(format string, args ...any) { fmt.Fprintf(&logged, format+"\n", args...) }
+	cfg.logger = slog.New(slog.NewTextHandler(&logged, nil))
 	mux := newMux(&stubPredictor{err: pe}, cfg)
 
 	rec := postPredict(mux, `{"case":"channel"}`)

@@ -9,13 +9,17 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
+	"time"
 
 	"adarnet/internal/core"
 	"adarnet/internal/dataset"
+	"adarnet/internal/obs"
 )
 
 func main() {
@@ -30,10 +34,30 @@ func main() {
 	epochs := flag.Int("epochs", 10, "training epochs")
 	batch := flag.Int("batch", 8, "batch size")
 	out := flag.String("out", "model.gob", "checkpoint output path")
+	debugAddr := flag.String("debug-addr", "", "diagnostics listen address (pprof, /metrics, /debug/vars); empty disables")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *debugAddr != "" {
+		// Live view into a long training run: step-time histogram, per-epoch
+		// loss gauges, pool hit rates on /metrics; CPU/heap profiles and
+		// execution traces under /debug/pprof. No write timeout — a 30 s CPU
+		// profile streams for that long.
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           obs.DebugMux(obs.Default, nil),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			fmt.Printf("debug listener on %s\n", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "adarnet-train: debug listener:", err)
+			}
+		}()
+		defer dbg.Close()
+	}
 
 	var samples []core.Sample
 	var err error

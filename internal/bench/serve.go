@@ -2,9 +2,11 @@ package bench
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"sync"
 	"time"
 
@@ -13,6 +15,52 @@ import (
 	"adarnet/internal/serve"
 	"adarnet/internal/tensor"
 )
+
+// ServeResult is the machine-readable output of the serve benchmark:
+// throughput per mode plus the per-stage latency distribution of the
+// batched engine run, taken from the engine's own histograms — the same
+// data /metrics exports — so BENCH_serve.json carries tail-latency
+// trajectory data, not just means.
+type ServeResult struct {
+	Clients int `json:"clients"`
+	Rounds  int `json:"rounds"`
+
+	DirectRPS    float64 `json:"direct_rps"`
+	EngineB1RPS  float64 `json:"engine_b1_rps"`
+	EngineB8RPS  float64 `json:"engine_b8_rps"`
+	HotDirectRPS float64 `json:"hot_direct_rps"`
+	HotEngineRPS float64 `json:"hot_engine_b8_rps"`
+
+	// Stages are the engine max-batch=8 distinct-mix stage latencies:
+	// queue_wait, forward, assemble, e2e (each in milliseconds), plus
+	// batch occupancy.
+	Stages        []StageLatency `json:"stages"`
+	MeanOccupancy float64        `json:"mean_batch_occupancy"`
+	Batches       uint64         `json:"batches"`
+}
+
+// StageLatency is one pipeline stage's latency summary in milliseconds.
+type StageLatency struct {
+	Stage  string  `json:"stage"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+func stageLatency(name string, mean time.Duration, t serve.Tail) StageLatency {
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	return StageLatency{Stage: name, MeanMs: ms(mean), P50Ms: ms(t.P50), P95Ms: ms(t.P95), P99Ms: ms(t.P99)}
+}
+
+func stagesFrom(s serve.EngineStats) []StageLatency {
+	return []StageLatency{
+		stageLatency("queue_wait", s.MeanQueueWait, s.QueueWaitTail),
+		stageLatency("forward", s.MeanForward, s.ForwardTail),
+		stageLatency("assemble", s.MeanAssemble, s.AssembleTail),
+		stageLatency("e2e", s.MeanE2E, s.E2ETail),
+	}
+}
 
 // Serve measures the batched inference engine against sequential direct
 // inference with 8 concurrent clients, on two request mixes:
@@ -27,7 +75,20 @@ import (
 // Every engine response is checked bit-identical against the direct result
 // before it counts, so the throughput numbers are for verified-correct
 // outputs.
+//
+// Alongside throughput, the report includes per-stage latency quantiles
+// (queue wait → forward → assemble → end-to-end) from the engine's own
+// histograms — the distributional view the paper's evaluation argument
+// rests on.
 func Serve(w io.Writer) error {
+	_, err := ServeJSON(w, "")
+	return err
+}
+
+// ServeJSON runs the serve benchmark, prints the human-readable report to
+// w, and — when jsonPath is non-empty — writes the ServeResult as JSON so
+// BENCH_*.json files accumulate tail-latency trajectories across runs.
+func ServeJSON(w io.Writer, jsonPath string) (*ServeResult, error) {
 	const (
 		clients = 8
 		rounds  = 6
@@ -49,15 +110,16 @@ func Serve(w io.Writer) error {
 	direct := reqPerSec(clients*rounds, time.Since(start))
 
 	// runEngine drives one concurrent client per flow, `rounds` requests
-	// each, verifying every response against its reference.
-	runEngine := func(reqFlows []*grid.Flow, refs []*core.Inference, maxBatch int) (float64, error) {
+	// each, verifying every response against its reference. The returned
+	// stats snapshot carries the run's stage histograms.
+	runEngine := func(reqFlows []*grid.Flow, refs []*core.Inference, maxBatch int) (float64, serve.EngineStats, error) {
 		e, err := serve.New(m,
 			serve.WithMaxBatch(maxBatch),
 			serve.WithMaxDelay(2*time.Millisecond),
 			serve.WithWorkers(2),
 		)
 		if err != nil {
-			return 0, err
+			return 0, serve.EngineStats{}, err
 		}
 		defer e.Close()
 		errs := make([]error, len(reqFlows))
@@ -84,19 +146,19 @@ func Serve(w io.Writer) error {
 		elapsed := time.Since(t0)
 		for _, err := range errs {
 			if err != nil {
-				return 0, err
+				return 0, serve.EngineStats{}, err
 			}
 		}
-		return reqPerSec(len(reqFlows)*rounds, elapsed), nil
+		return reqPerSec(len(reqFlows)*rounds, elapsed), e.Stats(), nil
 	}
 
-	b1, err := runEngine(flows, want, 1)
+	b1, _, err := runEngine(flows, want, 1)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	b8, err := runEngine(flows, want, 8)
+	b8, b8stats, err := runEngine(flows, want, 8)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
 	// Hot-request mix: distinct Flow allocations, identical contents.
@@ -111,9 +173,9 @@ func Serve(w io.Writer) error {
 		m.Infer(flows[0])
 	}
 	hotDirect := reqPerSec(clients*rounds, time.Since(start))
-	hotB8, err := runEngine(hotFlows, hotRefs, 8)
+	hotB8, _, err := runEngine(hotFlows, hotRefs, 8)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
 	fmt.Fprintln(w, "## serve: engine throughput, 8 concurrent clients, outputs bit-identical to direct inference")
@@ -127,6 +189,41 @@ func Serve(w io.Writer) error {
 		fmt.Fprintf(w, "engine is %.2fx sequential direct inference on the hot-request mix (target: >= 2x)\n", hotB8/hotDirect)
 	} else {
 		fmt.Fprintf(w, "warning: hot-mix speedup %.2fx is below the 2x target on this run\n", hotB8/hotDirect)
+	}
+
+	res := &ServeResult{
+		Clients: clients, Rounds: rounds,
+		DirectRPS: direct, EngineB1RPS: b1, EngineB8RPS: b8,
+		HotDirectRPS: hotDirect, HotEngineRPS: hotB8,
+		Stages:        stagesFrom(b8stats),
+		MeanOccupancy: b8stats.MeanBatchOccupancy,
+		Batches:       b8stats.Batches,
+	}
+	fmt.Fprintln(w, "\n## serve: stage latency (engine max-batch=8, distinct mix, from engine histograms)")
+	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s\n", "stage", "mean ms", "p50 ms", "p95 ms", "p99 ms")
+	for _, st := range res.Stages {
+		fmt.Fprintf(w, "%-12s %10.3f %10.3f %10.3f %10.3f\n", st.Stage, st.MeanMs, st.P50Ms, st.P95Ms, st.P99Ms)
+	}
+	fmt.Fprintf(w, "batches=%d mean occupancy=%.2f\n", res.Batches, res.MeanOccupancy)
+
+	if jsonPath != "" {
+		if err := writeServeJSON(jsonPath, res); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "json written to %s\n", jsonPath)
+	}
+	return res, nil
+}
+
+// writeServeJSON persists the benchmark result, indented so runs diff
+// cleanly in version control.
+func writeServeJSON(path string, res *ServeResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encode serve json: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench: write serve json: %w", err)
 	}
 	return nil
 }

@@ -4,11 +4,31 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"adarnet/internal/autodiff"
 	"adarnet/internal/grid"
 	"adarnet/internal/nn"
+	"adarnet/internal/obs"
 	"adarnet/internal/tensor"
+)
+
+// Training telemetry on the process registry: the step-time histogram is
+// the training analogue of the serving stage histograms — a fattening tail
+// means GC pressure or a pool miss storm, which the mean step time hides —
+// and the loss gauges give a scrape-only view of convergence (adarnet-train
+// -debug-addr exposes them live on /metrics).
+var (
+	trainStepSeconds = obs.Default.Histogram("adarnet_train_step_seconds",
+		"Optimizer step time (forward, backward, and Adam update for one batch).", 1e-9)
+	trainEpochs = obs.Default.Counter("adarnet_train_epochs_total",
+		"Training epochs completed.")
+	trainLossTotal = obs.Default.Gauge("adarnet_train_loss_total",
+		"Mean total loss of the last completed epoch.")
+	trainLossData = obs.Default.Gauge("adarnet_train_loss_data",
+		"Mean data-loss component of the last completed epoch.")
+	trainLossPDE = obs.Default.Gauge("adarnet_train_loss_pde",
+		"Mean PDE-loss component of the last completed epoch.")
 )
 
 // Sample is one training example: the physical-units LR flow field and its
@@ -69,6 +89,7 @@ func (tr *Trainer) Step(batch []Sample) (total, data, pde float64, err error) {
 	if len(batch) == 0 {
 		return 0, 0, 0, fmt.Errorf("core: empty training batch")
 	}
+	defer trainStepSeconds.ObserveSince(time.Now())
 	m := tr.Model
 	params := m.Params()
 	// Gradient accumulation: each sample gets its own tape; Param.Bind on a
@@ -179,6 +200,10 @@ func (tr *Trainer) Fit(ctx context.Context, samples []Sample, opts TrainOptions)
 		st.Data /= float64(batches)
 		st.PDE /= float64(batches)
 		stats = append(stats, st)
+		trainEpochs.Inc()
+		trainLossTotal.Set(st.Total)
+		trainLossData.Set(st.Data)
+		trainLossPDE.Set(st.PDE)
 		if opts.Monitor != nil {
 			opts.Monitor(e, st.Total, st.Data, st.PDE)
 		}

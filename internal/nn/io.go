@@ -10,6 +10,19 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
+
+	"adarnet/internal/obs"
+)
+
+// Checkpoint telemetry: save durations include the fsync and atomic rename,
+// so a degrading disk shows up as a fattening tail here long before a save
+// actually fails.
+var (
+	ckptSaveSeconds = obs.Default.Histogram("adarnet_checkpoint_save_seconds",
+		"Atomic checkpoint save duration (encode, fsync, rename).", 1e-9)
+	ckptSaves = obs.Default.Counter("adarnet_checkpoint_saves_total",
+		"Checkpoints committed to disk.")
 )
 
 // Checkpointing: parameters are serialized by name with encoding/gob. Only
@@ -140,6 +153,7 @@ func LoadParams(r io.Reader, params []*Param) (int, error) {
 // untouched (the previous checkpoint, if any, stays loadable) and the temp
 // file is removed.
 func SaveFile(path string, params []*Param) error {
+	start := time.Now()
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -177,6 +191,8 @@ func SaveFile(path string, params []*Param) error {
 		d.Sync()
 		d.Close()
 	}
+	ckptSaveSeconds.ObserveSince(start)
+	ckptSaves.Inc()
 	return nil
 }
 

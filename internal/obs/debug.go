@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux builds the opt-in diagnostics surface a binary exposes on its
+// -debug-addr: the full net/http/pprof suite (CPU and heap profiles,
+// goroutine dumps, execution traces), expvar, the Prometheus metrics of
+// reg, and — when ring is non-nil — the last-N-request trace ring as JSON.
+//
+// It is deliberately a separate mux on a separate listener: profiling
+// endpoints can stall a goroutine for the length of a CPU profile and must
+// never share a port (or an exposure decision) with the serving traffic.
+//
+// Endpoints:
+//
+//	/metrics              Prometheus text exposition of reg
+//	/debug/vars           expvar JSON (includes the "adarnet" metric map)
+//	/debug/requests       trace ring, newest first (404 when no ring)
+//	/debug/pprof/...      index, profile, heap, goroutine, trace, symbol, cmdline
+func DebugMux(reg *Registry, ring *TraceRing) *http.ServeMux {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	mux.Handle("/debug/vars", expvar.Handler())
+	if ring != nil {
+		mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet {
+				http.Error(w, "GET only", http.StatusMethodNotAllowed)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			if err := json.NewEncoder(w).Encode(ring.Snapshot()); err != nil {
+				// Connection gone mid-encode; nothing to do.
+				_ = err
+			}
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDebugMux checks every route the opt-in debug listener exposes:
+// the scrape endpoint, expvar, the trace ring as JSON, and pprof's index.
+func TestDebugMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("debug_test_total", "").Inc()
+	ring := NewTraceRing(4)
+	ring.Add(TraceEntry{ID: "dbg-1", Route: "/predict", Status: 200, Start: time.Unix(1, 0), Elapsed: time.Millisecond})
+
+	srv := httptest.NewServer(DebugMux(reg, ring))
+	defer srv.Close()
+	get := func(path string) (*http.Response, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp, string(body)
+	}
+
+	if resp, body := get("/metrics"); resp.StatusCode != 200 || !strings.Contains(body, "debug_test_total 1") {
+		t.Errorf("/metrics: status=%d body=%q", resp.StatusCode, body)
+	}
+	if resp, body := get("/debug/vars"); resp.StatusCode != 200 || !strings.Contains(body, "adarnet") {
+		t.Errorf("/debug/vars: status=%d missing adarnet map (body %q)", resp.StatusCode, body)
+	}
+	resp, body := get("/debug/requests")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/requests: status=%d", resp.StatusCode)
+	}
+	var entries []TraceEntry
+	if err := json.Unmarshal([]byte(body), &entries); err != nil {
+		t.Fatalf("/debug/requests: not JSON: %v (body %q)", err, body)
+	}
+	if len(entries) != 1 || entries[0].ID != "dbg-1" {
+		t.Errorf("/debug/requests = %+v, want the dbg-1 entry", entries)
+	}
+	if resp, body := get("/debug/pprof/"); resp.StatusCode != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: status=%d, index should list profiles", resp.StatusCode)
+	}
+}

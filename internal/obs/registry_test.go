@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the Prometheus text format byte for byte for a
+// small registry: HELP/TYPE headers, registration order, counter and gauge
+// samples, and a histogram's full bucket series with cumulative counts,
+// +Inf, _sum, and _count.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests handled.")
+	c.Add(7)
+	g := r.Gauge("test_live_bytes", "Live bytes.")
+	g.Set(1.5)
+	h := r.Histogram("test_latency", "Latency distribution.", 1)
+	h.Observe(0) // bucket 0, le="0"
+	h.Observe(2) // bucket 2, le="2"
+	h.Observe(5) // bucket 4 [4,6), le="5"
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	// The histogram's 72 bucket lines are generated from the shared edge
+	// functions; the cumulative counts and the scalar lines are literal.
+	var want strings.Builder
+	want.WriteString("# HELP test_requests_total Requests handled.\n")
+	want.WriteString("# TYPE test_requests_total counter\n")
+	want.WriteString("test_requests_total 7\n")
+	want.WriteString("# HELP test_live_bytes Live bytes.\n")
+	want.WriteString("# TYPE test_live_bytes gauge\n")
+	want.WriteString("test_live_bytes 1.5\n")
+	want.WriteString("# HELP test_latency Latency distribution.\n")
+	want.WriteString("# TYPE test_latency histogram\n")
+	for i := 0; i < NumBuckets; i++ {
+		cum := 0
+		switch {
+		case i >= 4:
+			cum = 3
+		case i >= 2:
+			cum = 2
+		default:
+			cum = 1
+		}
+		le := strconv.FormatFloat(BucketUpper(i)-1, 'g', -1, 64)
+		fmt.Fprintf(&want, "test_latency_bucket{le=%q} %d\n", le, cum)
+	}
+	want.WriteString("test_latency_bucket{le=\"+Inf\"} 3\n")
+	want.WriteString("test_latency_sum 7\n")
+	want.WriteString("test_latency_count 3\n")
+
+	if got != want.String() {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want.String())
+	}
+}
+
+// TestExpositionScale checks the ns→seconds unit conversion on the exported
+// edges and sum: a histogram recording nanoseconds with scale 1e-9 must
+// expose second-valued le bounds and sum.
+func TestExpositionScale(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "", 1e-9)
+	h.Observe(2_000_000_000) // 2 s
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "test_seconds_sum 2\n") {
+		t.Errorf("sum not scaled to seconds:\n%s", out)
+	}
+	// Bucket 0's le is (1-1)*1e-9 = 0 regardless of scale.
+	if !strings.Contains(out, `test_seconds_bucket{le="0"} 0`) {
+		t.Errorf("bucket 0 edge missing:\n%s", out)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "first")
+	b := r.Counter("x_total", "second")
+	if a != b {
+		t.Error("same name+kind must return the same counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("the two handles are not the same instrument")
+	}
+
+	// Kind conflict replaces in place; exposition order stays stable.
+	r.Gauge("y", "a gauge")
+	r.Counter("z_total", "after")
+	r.Histogram("y", "now a histogram", 1)
+	names := []string{}
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			names = append(names, strings.TrimPrefix(line, "# TYPE "))
+		}
+	}
+	want := []string{"x_total counter", "y histogram", "z_total counter"}
+	if len(names) != len(want) {
+		t.Fatalf("TYPE lines = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("TYPE line %d = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9starts_with_digit", "has space", "has-dash", "ünïcode"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q: expected panic at registration", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+	// The full legal charset is accepted.
+	r.Counter("Aa_z09:colon", "")
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total", "").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("content type = %q", ct)
+	}
+
+	post, err := srv.Client().Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 405 {
+		t.Errorf("POST to scrape endpoint: status = %d, want 405", post.StatusCode)
+	}
+}
+
+func TestExpvarMap(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(4)
+	h := r.Histogram("h_ns", "", 1e-9)
+	h.Observe(1_000_000_000)
+	m := r.expvarMap()
+	if m["c_total"] != 4.0 {
+		t.Errorf("c_total = %v, want 4", m["c_total"])
+	}
+	hm, ok := m["h_ns"].(map[string]any)
+	if !ok {
+		t.Fatalf("h_ns = %T, want map", m["h_ns"])
+	}
+	if hm["count"] != uint64(1) {
+		t.Errorf("count = %v, want 1", hm["count"])
+	}
+	if hm["sum"] != 1.0 {
+		t.Errorf("sum = %v, want 1 (scaled to seconds)", hm["sum"])
+	}
+}

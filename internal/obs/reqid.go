@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// Request IDs: every request entering the HTTP boundary gets an ID of the
+// form "prefix-sequence" — an 8-hex-char per-process random prefix (so IDs
+// from different processes or restarts never collide in aggregated logs)
+// and a monotonically increasing sequence number. The ID travels in the
+// request context, so handler logs, engine logs, error paths, and the trace
+// ring all tag the same request with the same ID.
+
+var (
+	reqSeq    atomic.Uint64
+	reqPrefix = func() string {
+		var b [4]byte
+		if _, err := crand.Read(b[:]); err != nil {
+			// A broken entropy source shouldn't stop the server; fall back to
+			// a fixed prefix — IDs stay unique within the process.
+			return "00000000"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+)
+
+// NewRequestID returns a process-unique request ID.
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%06x", reqPrefix, reqSeq.Add(1))
+}
+
+// reqIDKey is the private context key for the request ID.
+type reqIDKey struct{}
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestIDFrom returns the request ID carried by ctx, or "" if none.
+func RequestIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTraceRingOrderAndEviction(t *testing.T) {
+	r := NewTraceRing(3)
+	for i := 1; i <= 5; i++ {
+		r.Add(TraceEntry{ID: fmt.Sprintf("req-%d", i)})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	got := r.Snapshot()
+	want := []string{"req-5", "req-4", "req-3"} // newest first, oldest evicted
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Errorf("snapshot[%d] = %q, want %q", i, e.ID, want[i])
+		}
+	}
+}
+
+func TestTraceRingPartial(t *testing.T) {
+	r := NewTraceRing(8)
+	r.Add(TraceEntry{ID: "a"})
+	r.Add(TraceEntry{ID: "b"})
+	got := r.Snapshot()
+	if len(got) != 2 || got[0].ID != "b" || got[1].ID != "a" {
+		t.Errorf("partial ring snapshot = %+v, want [b a]", got)
+	}
+}
+
+// TestTraceRingNil checks that a nil ring is a usable no-op, so callers
+// never branch on whether tracing is enabled.
+func TestTraceRingNil(t *testing.T) {
+	var r *TraceRing
+	r.Add(TraceEntry{ID: "x"})
+	if r.Snapshot() != nil || r.Len() != 0 {
+		t.Error("nil ring must be an empty no-op")
+	}
+}
+
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Add(TraceEntry{ID: fmt.Sprintf("%d-%d", w, i)})
+				_ = r.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != 16 {
+		t.Errorf("len = %d, want 16", r.Len())
+	}
+}
+
+func TestRequestIDs(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == b {
+		t.Errorf("consecutive IDs collide: %q", a)
+	}
+	for _, id := range []string{a, b} {
+		if !strings.Contains(id, "-") || len(id) < 10 {
+			t.Errorf("ID %q does not look like prefix-sequence", id)
+		}
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := WithRequestID(context.Background(), "req-42")
+	if got := RequestIDFrom(ctx); got != "req-42" {
+		t.Errorf("RequestIDFrom = %q, want req-42", got)
+	}
+	if got := RequestIDFrom(context.Background()); got != "" {
+		t.Errorf("ID from clean context = %q, want empty", got)
+	}
+	if got := RequestIDFrom(nil); got != "" { //nolint:staticcheck // nil-safety is the contract under test
+		t.Errorf("ID from nil context = %q, want empty", got)
+	}
+}

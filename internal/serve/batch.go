@@ -1,12 +1,15 @@
 package serve
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"time"
 
 	"adarnet/internal/autodiff"
 	"adarnet/internal/core"
 	"adarnet/internal/grid"
+	"adarnet/internal/obs"
 	"adarnet/internal/tensor"
 )
 
@@ -23,6 +26,7 @@ func (e *Engine) runGroup(reqs []*request) {
 	if err == nil {
 		return
 	}
+	e.logPanic("batched forward", err, reqs)
 	if len(reqs) == 1 {
 		e.fail(reqs[0], err)
 		return
@@ -33,9 +37,34 @@ func (e *Engine) runGroup(reqs []*request) {
 		}
 		e.stats.retried.Add(1)
 		if rerr := e.forwardGroup([]*request{req}); rerr != nil {
+			e.logPanic("individual retry", rerr, []*request{req})
 			e.fail(req, rerr)
 		}
 	}
+}
+
+// logPanic emits a structured ERROR record for a contained panic, tagged
+// with the request IDs the HTTP boundary propagated via context so the log
+// line joins the per-request access log and the trace ring. Silent when the
+// engine has no logger.
+func (e *Engine) logPanic(stage string, err error, reqs []*request) {
+	if e.logger == nil {
+		return
+	}
+	ids := make([]string, 0, len(reqs))
+	for _, req := range reqs {
+		if id := obs.RequestIDFrom(req.ctx); id != "" {
+			ids = append(ids, id)
+		}
+	}
+	attrs := []any{"stage", stage, "request_ids", ids}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		attrs = append(attrs, "panic", fmt.Sprint(pe.Value), "stack", pe.Stack)
+	} else {
+		attrs = append(attrs, "err", err.Error())
+	}
+	e.logger.Error("serve: contained panic", attrs...)
 }
 
 // forwardGroup coalesces bitwise-identical fields, stacks the unique
@@ -105,7 +134,7 @@ coalesce:
 
 	results := m.ForwardBatch(t, t.Const(stacked))
 	forwardDone := time.Now()
-	e.stats.forwardNanos.Add(uint64(forwardDone.Sub(start)))
+	e.stats.forward.ObserveDuration(forwardDone.Sub(start))
 
 	infs := make([]*core.Inference, b)
 	for i, res := range results {
@@ -121,7 +150,7 @@ coalesce:
 		}
 	}
 	t.Free()
-	e.stats.assembleNanos.Add(uint64(time.Since(forwardDone)))
+	e.stats.assemble.ObserveDuration(time.Since(forwardDone))
 
 	for i, inf := range infs {
 		e.reply(uniq[i], inf)
@@ -147,6 +176,7 @@ func (e *Engine) reply(req *request, inf *core.Inference) {
 	req.replied = true
 	req.done <- response{inf: inf}
 	e.stats.completed.Add(1)
+	e.stats.e2e.ObserveSince(req.enqueued)
 }
 
 func (e *Engine) fail(req *request, err error) {

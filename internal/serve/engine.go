@@ -29,6 +29,7 @@ package serve
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"context"
@@ -37,6 +38,7 @@ import (
 	"adarnet/internal/core"
 	"adarnet/internal/geometry"
 	"adarnet/internal/grid"
+	"adarnet/internal/obs"
 	"adarnet/internal/patch"
 	"adarnet/internal/solver"
 )
@@ -49,6 +51,8 @@ type config struct {
 	queueDepth int
 	solverOpt  solver.Options
 	levelCap   int
+	metrics    *obs.Registry
+	logger     *slog.Logger
 }
 
 // Option configures an Engine at construction.
@@ -108,6 +112,23 @@ func WithLevelCap(n int) Option {
 	}
 }
 
+// WithMetrics attaches the engine's counters and per-stage latency
+// histograms to reg under the adarnet_serve_* names, so a /metrics endpoint
+// exports the same distributions Stats() reports. The engine records into
+// its own instruments either way; this only adds the exposition.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(c *config) { c.metrics = reg }
+}
+
+// WithLogger sets a structured logger for engine-internal events — today,
+// contained worker panics, logged at ERROR with the request IDs of the
+// affected requests (propagated via context from the HTTP boundary) and the
+// truncated panic stack. A nil logger (the default) keeps the engine silent;
+// errors still reach callers as *PanicError.
+func WithLogger(l *slog.Logger) Option {
+	return func(c *config) { c.logger = l }
+}
+
 // request is one in-flight prediction traveling through the pipeline.
 type request struct {
 	ctx      context.Context
@@ -143,6 +164,10 @@ type Engine struct {
 
 	stats counters
 
+	// logger, when non-nil, receives engine-internal events (contained
+	// panics) as structured records tagged with request IDs.
+	logger *slog.Logger
+
 	// hold, when non-nil, blocks each worker before it processes a batch —
 	// a test hook that makes queue saturation deterministic.
 	hold chan struct{}
@@ -174,8 +199,12 @@ func New(m *core.Model, opts ...Option) (*Engine, error) {
 	e := &Engine{
 		model:   m,
 		cfg:     cfg,
+		logger:  cfg.logger,
 		queue:   make(chan *request, cfg.queueDepth),
 		batches: make(chan []*request),
+	}
+	if cfg.metrics != nil {
+		e.RegisterMetrics(cfg.metrics)
 	}
 	e.wg.Add(1 + cfg.workers)
 	go e.batcher()
@@ -271,8 +300,7 @@ func (e *Engine) batcher() {
 		if len(pending) == 0 {
 			return
 		}
-		e.stats.batches.Add(1)
-		e.stats.batchedItems.Add(uint64(len(pending)))
+		e.stats.occupancy.Observe(int64(len(pending)))
 		e.batches <- pending
 		pending = nil
 	}
@@ -322,6 +350,7 @@ func (e *Engine) processBatch(batch []*request) {
 		if r := recover(); r != nil {
 			e.stats.panics.Add(1)
 			err := newPanicError(r)
+			e.logPanic("batch bookkeeping", err, batch)
 			for _, req := range batch {
 				e.fail(req, err)
 			}
@@ -330,7 +359,7 @@ func (e *Engine) processBatch(batch []*request) {
 	now := time.Now()
 	var live []*request
 	for _, req := range batch {
-		e.stats.queueWaitNanos.Add(uint64(now.Sub(req.enqueued)))
+		e.stats.queueWait.ObserveDuration(now.Sub(req.enqueued))
 		if err := req.ctx.Err(); err != nil {
 			e.fail(req, err)
 			continue

@@ -4,27 +4,34 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"adarnet/internal/obs"
 )
 
-// counters are the engine's hot-path metrics; all fields are atomics so
-// every pipeline stage updates them without locks.
+// counters are the engine's hot-path metrics; the scalar fields are atomics
+// and the stage histograms are lock-free, so every pipeline stage records
+// without locks. The histograms are the single source of truth for stage
+// timing: EngineStats means and tails, the /metrics exposition, and the
+// benchmark harness all derive from the same buckets, so they can never
+// disagree.
 type counters struct {
-	requests     atomic.Uint64 // accepted submissions
-	completed    atomic.Uint64 // replies delivered with a result
-	canceled     atomic.Uint64 // callers that gave up or arrived dead
-	rejected     atomic.Uint64 // queue-full rejections
-	batches      atomic.Uint64 // batches flushed by the batcher
-	batchedItems atomic.Uint64 // requests across all flushed batches
-	coalesced    atomic.Uint64 // requests served from another request's forward pass
-	panics       atomic.Uint64 // panics recovered at a worker boundary
-	retried      atomic.Uint64 // individual re-runs after a batch-level panic
+	requests  atomic.Uint64 // accepted submissions
+	completed atomic.Uint64 // replies delivered with a result
+	canceled  atomic.Uint64 // callers that gave up or arrived dead
+	rejected  atomic.Uint64 // queue-full rejections
+	coalesced atomic.Uint64 // requests served from another request's forward pass
+	panics    atomic.Uint64 // panics recovered at a worker boundary
+	retried   atomic.Uint64 // individual re-runs after a batch-level panic
 
-	queueWaitNanos atomic.Uint64 // submit → batch pickup, summed
-	forwardNanos   atomic.Uint64 // batched forward passes, summed
-	assembleNanos  atomic.Uint64 // per-sample cap/assemble/invert, summed
+	queueWait obs.Histogram // submit → batch pickup, ns, per request
+	forward   obs.Histogram // batched forward pass, ns, per batch group
+	assemble  obs.Histogram // cap/assemble/invert + demux, ns, per batch group
+	e2e       obs.Histogram // submit → reply delivered, ns, per completed request
+	occupancy obs.Histogram // requests per flushed batch
 }
 
-// EngineStats is a point-in-time snapshot of the engine's counters.
+// EngineStats is a point-in-time snapshot of the engine's counters and
+// latency distributions.
 type EngineStats struct {
 	Requests  uint64 // submissions accepted into the queue
 	Completed uint64 // predictions delivered
@@ -52,29 +59,64 @@ type EngineStats struct {
 	MeanForward time.Duration
 	// MeanAssemble is the average assembly/demux stage time per batch.
 	MeanAssemble time.Duration
+	// MeanE2E is the average submit → reply latency per completed request.
+	MeanE2E time.Duration
+
+	// Per-stage latency tails, from the same histograms that feed the means
+	// and the /metrics exposition. E2E covers submit → reply for completed
+	// requests; the stage tails are per batch (Forward, Assemble) or per
+	// request (QueueWait).
+	QueueWaitTail Tail
+	ForwardTail   Tail
+	AssembleTail  Tail
+	E2ETail       Tail
+}
+
+// Tail summarizes a latency distribution at the quantiles operators watch.
+type Tail struct {
+	P50 time.Duration
+	P95 time.Duration
+	P99 time.Duration
+}
+
+func tailOf(s obs.Snapshot) Tail {
+	return Tail{
+		P50: time.Duration(s.Quantile(0.50)),
+		P95: time.Duration(s.Quantile(0.95)),
+		P99: time.Duration(s.Quantile(0.99)),
+	}
 }
 
 // Stats snapshots the engine counters. Safe to call concurrently with
 // serving; the fields are read individually, not as one atomic unit.
+// All timing fields — means and tails — derive from the stage histogram
+// snapshots, the same data /metrics exports.
 func (e *Engine) Stats() EngineStats {
 	s := EngineStats{
 		Requests:  e.stats.requests.Load(),
 		Completed: e.stats.completed.Load(),
 		Canceled:  e.stats.canceled.Load(),
 		Rejected:  e.stats.rejected.Load(),
-		Batches:   e.stats.batches.Load(),
 		Coalesced: e.stats.coalesced.Load(),
 		Panics:    e.stats.panics.Load(),
 		Retried:   e.stats.retried.Load(),
 	}
-	if items := e.stats.batchedItems.Load(); items > 0 {
-		s.MeanQueueWait = time.Duration(e.stats.queueWaitNanos.Load() / items)
-	}
-	if s.Batches > 0 {
-		s.MeanBatchOccupancy = float64(e.stats.batchedItems.Load()) / float64(s.Batches)
-		s.MeanForward = time.Duration(e.stats.forwardNanos.Load() / s.Batches)
-		s.MeanAssemble = time.Duration(e.stats.assembleNanos.Load() / s.Batches)
-	}
+	qs := e.stats.queueWait.Snapshot()
+	fs := e.stats.forward.Snapshot()
+	as := e.stats.assemble.Snapshot()
+	es := e.stats.e2e.Snapshot()
+	os := e.stats.occupancy.Snapshot()
+
+	s.Batches = os.Count
+	s.MeanBatchOccupancy = os.Mean()
+	s.MeanQueueWait = time.Duration(qs.Mean())
+	s.MeanForward = time.Duration(fs.Mean())
+	s.MeanAssemble = time.Duration(as.Mean())
+	s.MeanE2E = time.Duration(es.Mean())
+	s.QueueWaitTail = tailOf(qs)
+	s.ForwardTail = tailOf(fs)
+	s.AssembleTail = tailOf(as)
+	s.E2ETail = tailOf(es)
 	return s
 }
 
@@ -83,4 +125,36 @@ func (s EngineStats) String() string {
 	return fmt.Sprintf("requests=%d completed=%d canceled=%d rejected=%d batches=%d coalesced=%d panics=%d retried=%d occupancy=%.2f queue_wait=%v forward=%v assemble=%v",
 		s.Requests, s.Completed, s.Canceled, s.Rejected, s.Batches, s.Coalesced, s.Panics, s.Retried,
 		s.MeanBatchOccupancy, s.MeanQueueWait, s.MeanForward, s.MeanAssemble)
+}
+
+// RegisterMetrics attaches the engine's counters and stage histograms to a
+// metrics registry under the adarnet_serve_* names (DESIGN.md §10). The
+// registry reads the engine's own instruments — there is no second set of
+// books — so /metrics and Stats() always agree. Typically wired through the
+// WithMetrics option; exported for callers that construct the registry
+// after the engine.
+func (e *Engine) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c := &e.stats
+	reg.CounterFunc("adarnet_serve_requests_total", "Submissions accepted into the queue.",
+		func() float64 { return float64(c.requests.Load()) })
+	reg.CounterFunc("adarnet_serve_completed_total", "Predictions delivered.",
+		func() float64 { return float64(c.completed.Load()) })
+	reg.CounterFunc("adarnet_serve_canceled_total", "Requests dropped by context cancellation.",
+		func() float64 { return float64(c.canceled.Load()) })
+	reg.CounterFunc("adarnet_serve_rejected_total", "Submissions shed with ErrQueueFull.",
+		func() float64 { return float64(c.rejected.Load()) })
+	reg.CounterFunc("adarnet_serve_coalesced_total", "Requests served from another request's forward pass.",
+		func() float64 { return float64(c.coalesced.Load()) })
+	reg.CounterFunc("adarnet_serve_panics_total", "Panics recovered at worker boundaries.",
+		func() float64 { return float64(c.panics.Load()) })
+	reg.CounterFunc("adarnet_serve_retried_total", "Individual re-runs after a batch-level panic.",
+		func() float64 { return float64(c.retried.Load()) })
+	reg.AttachHistogram("adarnet_serve_queue_wait_seconds", "Submit to batch-pickup wait per request.", 1e-9, &c.queueWait)
+	reg.AttachHistogram("adarnet_serve_forward_seconds", "Batched forward-pass time per batch group.", 1e-9, &c.forward)
+	reg.AttachHistogram("adarnet_serve_assemble_seconds", "Assembly/demux time per batch group.", 1e-9, &c.assemble)
+	reg.AttachHistogram("adarnet_serve_e2e_seconds", "Submit to reply latency per completed request.", 1e-9, &c.e2e)
+	reg.AttachHistogram("adarnet_serve_batch_occupancy", "Requests per flushed batch.", 1, &c.occupancy)
 }

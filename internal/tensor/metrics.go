@@ -1,0 +1,36 @@
+package tensor
+
+import "adarnet/internal/obs"
+
+// Pool observability: the buffer pool is the hot path's memory system, so
+// its effectiveness is exported on the process registry. A falling hit rate
+// or climbing retained bytes is the first sign a new workload's tensor
+// shapes escaped the pooled size classes (DESIGN.md §7, §10).
+//
+// Hit/miss counters are owned here (one atomic add on the NewPooled path);
+// the byte gauges read the existing accounting at scrape time, so scraping
+// costs nothing between scrapes.
+var (
+	poolHits = obs.Default.Counter("adarnet_tensor_pool_hits_total",
+		"Pooled-buffer requests served from the free list.")
+	poolMisses = obs.Default.Counter("adarnet_tensor_pool_misses_total",
+		"Pooled-buffer requests that fell through to a fresh allocation.")
+)
+
+func init() {
+	obs.Default.GaugeFunc("adarnet_tensor_live_bytes",
+		"Live (allocated, not yet recycled) tensor-storage bytes.",
+		func() float64 { return float64(LiveBytes()) })
+	obs.Default.GaugeFunc("adarnet_tensor_peak_bytes",
+		"High-water mark of live tensor bytes since the last reset.",
+		func() float64 { return float64(PeakBytes()) })
+	obs.Default.GaugeFunc("adarnet_tensor_pool_retained_bytes",
+		"Bytes currently parked in the buffer pool's free lists.",
+		func() float64 { _, b := PoolStats(); return float64(b) })
+}
+
+// PoolHitMiss reports the cumulative pooled-buffer hit/miss counts, for
+// tests and diagnostics.
+func PoolHitMiss() (hits, misses uint64) {
+	return poolHits.Value(), poolMisses.Value()
+}

@@ -122,6 +122,7 @@ func classFor(n int) int {
 func getBuf(n int) []float64 {
 	c := classFor(n)
 	if c < 0 {
+		poolMisses.Inc()
 		return make([]float64, n)
 	}
 	cl := &classes[c]
@@ -131,6 +132,7 @@ func getBuf(n int) []float64 {
 		cl.bufs[last] = nil
 		cl.bufs = cl.bufs[:last]
 		cl.mu.Unlock()
+		poolHits.Inc()
 		buf = buf[:n]
 		for i := range buf {
 			buf[i] = 0
@@ -138,6 +140,7 @@ func getBuf(n int) []float64 {
 		return buf
 	}
 	cl.mu.Unlock()
+	poolMisses.Inc()
 	return make([]float64, n, 1<<uint(c))
 }
 
