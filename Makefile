@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race bench verify
+.PHONY: all build fmt vet test race bench bench-json benchdiff verify
 
 all: verify
 
@@ -21,13 +21,27 @@ test:
 # full tree under -race is slow on small CI boxes. cmd/adarnet-serve rides
 # along for the HTTP-boundary and fault-injection tests.
 race:
-	$(GO) test -race ./internal/obs ./internal/tensor ./internal/autodiff ./internal/nn ./internal/serve/... ./internal/core/... ./cmd/adarnet-serve
+	$(GO) test -race ./internal/obs ./internal/tensor ./internal/autodiff ./internal/nn ./internal/interp ./internal/serve/... ./internal/core/... ./cmd/adarnet-serve
 
 # Kernel microbenchmarks (also available as `adarnet-bench -exp micro`).
 # BenchmarkHistogramRecord guards the telemetry hot path: the bar is
 # ≤ ~50 ns/op with 0 allocs/op (DESIGN.md §10).
 bench:
-	$(GO) test ./internal/obs ./internal/tensor ./internal/nn -run '^$$' -bench . -benchmem
+	$(GO) test ./internal/obs ./internal/tensor ./internal/nn ./internal/serve/... ./internal/core/... -run '^$$' -bench . -benchmem
+
+# Machine-readable benchmark snapshots (BENCH_serve.json, BENCH_infer32.json)
+# for regression gating with benchdiff.
+bench-json:
+	$(GO) run ./cmd/adarnet-bench -exp micro,serve,infer32 -json-dir .
+
+# Compare two benchmark snapshots; gate on a metric with e.g.
+#   make benchdiff OLD=BENCH_infer32.old.json NEW=BENCH_infer32.json \
+#     BENCHDIFF_FLAGS='-metric batches.1.speedup -max-regress 10'
+OLD ?= BENCH_infer32.old.json
+NEW ?= BENCH_infer32.json
+BENCHDIFF_FLAGS ?=
+benchdiff:
+	$(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS) $(OLD) $(NEW)
 
 verify: fmt vet build test race
 	@echo verify OK

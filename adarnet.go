@@ -116,6 +116,26 @@ type EngineStats = serve.EngineStats
 // (p50/p95/p99); EngineStats carries one per pipeline stage.
 type Tail = serve.Tail
 
+// Precision selects an engine's numeric path: Float64 (default,
+// bit-identical to direct Model inference) or Float32 (the frozen fused
+// fast path; tolerance-bounded agreement, see DESIGN.md §11).
+type Precision = serve.Precision
+
+// Engine numeric paths for WithPrecision.
+const (
+	Float64 = serve.Float64
+	Float32 = serve.Float32
+)
+
+// Model32 is a frozen float32 snapshot of a trained Model — the tape-free
+// fused-kernel fast path behind WithPrecision(Float32), also usable
+// directly for single-request inference.
+type Model32 = core.Model32
+
+// NewModel32 freezes a trained model into the float32 fast path; returns
+// ErrUntrained for a nil or parameterless model.
+func NewModel32(m *Model) (*Model32, error) { return core.NewModel32(m) }
+
 // MetricsRegistry holds named metrics and renders them in Prometheus text
 // exposition format (internal/obs).
 type MetricsRegistry = obs.Registry
@@ -183,6 +203,8 @@ var (
 	WithSolverOptions = serve.WithSolverOptions
 	// WithLevelCap clamps inferred refinement levels.
 	WithLevelCap = serve.WithLevelCap
+	// WithPrecision selects the engine's numeric path (default Float64).
+	WithPrecision = serve.WithPrecision
 	// WithEngineMetrics attaches the engine's counters and stage histograms
 	// to a metrics registry (adarnet_serve_* on /metrics).
 	WithEngineMetrics = serve.WithMetrics

@@ -20,8 +20,21 @@ import (
 	"adarnet/internal/bench"
 )
 
+// validExps lists every runnable experiment; unknown -exp names are rejected
+// with this list instead of silently running nothing.
+var validExps = []string{"micro", "serve", "infer32", "fig1", "fig9", "fig10", "fig11", "table1", "table2"}
+
+func isValidExp(name string) bool {
+	for _, v := range validExps {
+		if name == v {
+			return true
+		}
+	}
+	return false
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiments to run: all | micro,serve,fig1,fig9,fig10,fig11,table1,table2")
+	exp := flag.String("exp", "all", "experiments to run: all | "+strings.Join(validExps, ","))
 	scale := flag.String("scale", "quick", "experiment scale: tiny | quick | full")
 	jsonDir := flag.String("json-dir", "", "directory for machine-readable BENCH_<exp>.json outputs; empty disables")
 	flag.Parse()
@@ -34,7 +47,12 @@ func main() {
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
-		want[strings.TrimSpace(e)] = true
+		name := strings.TrimSpace(e)
+		if name != "all" && !isValidExp(name) {
+			fmt.Fprintf(os.Stderr, "adarnet-bench: unknown experiment %q (valid: all, %s)\n", name, strings.Join(validExps, ", "))
+			os.Exit(2)
+		}
+		want[name] = true
 	}
 	all := want["all"]
 
@@ -59,6 +77,17 @@ func main() {
 		}
 		if _, err := bench.ServeJSON(os.Stdout, jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "serve failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if want["infer32"] {
+		jsonPath := ""
+		if *jsonDir != "" {
+			jsonPath = filepath.Join(*jsonDir, "BENCH_infer32.json")
+		}
+		if _, err := bench.Infer32JSON(os.Stdout, jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "infer32 failed: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println()

@@ -61,6 +61,7 @@ func main() {
 	workers := flag.Int("workers", 2, "forward-pass workers")
 	queueDepth := flag.Int("queue-depth", 64, "submission queue bound")
 	solverIter := flag.Int("solver-max-iter", 12000, "LR-solve iteration cap per request")
+	precision := flag.String("precision", "float64", "inference numeric path: float64 (bit-exact default) | float32 (fused fast path)")
 	maxDim := flag.Int("max-dim", 256, "largest accepted grid dimension (h or w)")
 	maxBody := flag.Int64("max-body", 1<<20, "request-body byte cap")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 disables)")
@@ -94,9 +95,21 @@ func main() {
 		os.Exit(1)
 	}
 
+	var prec serve.Precision
+	switch *precision {
+	case "float64":
+		prec = serve.Float64
+	case "float32":
+		prec = serve.Float32
+	default:
+		fmt.Fprintf(os.Stderr, "adarnet-serve: unknown -precision %q (float64 | float32)\n", *precision)
+		os.Exit(2)
+	}
+
 	sopt := solver.DefaultOptions()
 	sopt.MaxIter = *solverIter
 	engine, err := serve.New(m,
+		serve.WithPrecision(prec),
 		serve.WithMaxBatch(*maxBatch),
 		serve.WithMaxDelay(*maxDelay),
 		serve.WithWorkers(*workers),
@@ -157,7 +170,8 @@ func main() {
 	}
 
 	logger.Info("listening", "addr", *addr, "params", m.ParamCount(),
-		"max_batch", *maxBatch, "workers", *workers, "log_format", *logFormat)
+		"max_batch", *maxBatch, "workers", *workers, "precision", engine.Precision().String(),
+		"log_format", *logFormat)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("listener failed", "err", err.Error())
 		os.Exit(1)

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestFlattenNestedMetrics(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	body := `{
+		"engine_b8_rps": 120.5,
+		"batches": [
+			{"batch": 1, "speedup": 1.02},
+			{"batch": 8, "speedup": 1.78}
+		],
+		"label": "quick",
+		"nested": {"p99_ms": 4.25}
+	}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadMetrics(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"engine_b8_rps":     120.5,
+		"batches.0.batch":   1,
+		"batches.0.speedup": 1.02,
+		"batches.1.batch":   8,
+		"batches.1.speedup": 1.78,
+		"nested.p99_ms":     4.25,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("flattened metrics = %v, want %v", got, want)
+	}
+}
+
+func TestSharedKeysSorted(t *testing.T) {
+	a := map[string]float64{"b": 1, "a": 2, "only_a": 3}
+	b := map[string]float64{"a": 1, "b": 2, "only_b": 3}
+	got := sharedKeys(a, b)
+	want := []string{"a", "b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sharedKeys = %v, want %v", got, want)
+	}
+}
+
+func TestRegressionPct(t *testing.T) {
+	cases := []struct {
+		name        string
+		old, new_   float64
+		lowerBetter bool
+		want        float64
+	}{
+		{"throughput drop is a regression", 100, 90, false, 10},
+		{"throughput gain is negative regression", 100, 120, false, -20},
+		{"latency rise is a regression", 10, 12, true, 20},
+		{"latency drop is an improvement", 10, 8, true, -20},
+		{"unchanged", 5, 5, false, 0},
+	}
+	for _, c := range cases {
+		if got := regressionPct(c.old, c.new_, c.lowerBetter); got != c.want {
+			t.Errorf("%s: regressionPct(%v, %v, %v) = %v, want %v",
+				c.name, c.old, c.new_, c.lowerBetter, got, c.want)
+		}
+	}
+}
+
+func TestLoadMetricsErrors(t *testing.T) {
+	if _, err := loadMetrics(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file: want error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadMetrics(bad); err == nil {
+		t.Fatal("malformed json: want error")
+	}
+}

@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"adarnet/internal/autodiff"
+	"adarnet/internal/core"
+	"adarnet/internal/geometry"
+	"adarnet/internal/grid"
+	"adarnet/internal/patch"
+	"adarnet/internal/tensor"
+)
+
+// infer32RelTol is the documented fast-path accuracy budget (DESIGN.md §11):
+// per element, |f32 − f64| ≤ tol · (span_c + |f64|) where span_c is the
+// channel's de-normalization span. The benchmark fails, not warns, when a
+// run exceeds it.
+const infer32RelTol = 2e-3
+
+// Infer32Result is the machine-readable output of the float32 fast-path
+// benchmark: per-batch-size latency/allocation comparison against the
+// float64 reference, plus the accuracy audit on the paper's test geometries.
+type Infer32Result struct {
+	Batches []Infer32Batch `json:"batches"`
+
+	// Accuracy over the paper test cases (geometry.PaperTestCases fields):
+	// worst absolute and range-relative error of the assembled physical
+	// field, and the fraction of patches whose refinement level (the argmax
+	// over score bins) matches the float64 reference.
+	Cases           int     `json:"cases"`
+	MaxAbsErr       float64 `json:"max_abs_err"`
+	MaxRelErr       float64 `json:"max_rel_err"`
+	RelTol          float64 `json:"rel_tol"`
+	ArgmaxAgreement float64 `json:"argmax_agreement"`
+}
+
+// Infer32Batch compares one batch size across precisions. Times are per
+// batched forward+assemble pass, not per sample.
+type Infer32Batch struct {
+	Batch          int     `json:"batch"`
+	F64NsPerOp     int64   `json:"f64_ns_per_op"`
+	F32NsPerOp     int64   `json:"f32_ns_per_op"`
+	F64AllocsPerOp int64   `json:"f64_allocs_per_op"`
+	F32AllocsPerOp int64   `json:"f32_allocs_per_op"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// Infer32 runs the float32 fast-path benchmark with a human-readable report.
+func Infer32(w io.Writer) error {
+	_, err := Infer32JSON(w, "")
+	return err
+}
+
+// infer32BenchDims is the benchmark's LR grid: the paper's quick-scale field
+// size, large enough that the per-pass cost is GEMM-bound rather than
+// dispatch-bound (tiny grids under-report the fast path's win).
+const (
+	infer32H = 16
+	infer32W = 64
+)
+
+// Infer32JSON builds the benchmark model and delegates to Infer32ModelJSON,
+// writing BENCH_infer32.json when jsonPath is non-empty.
+func Infer32JSON(w io.Writer, jsonPath string) (*Infer32Result, error) {
+	flows := serveBenchFlows(8, infer32H, infer32W)
+	cfg := core.DefaultConfig(4, 4)
+	cfg.Seed = 7
+	m := core.New(cfg)
+	inputs := make([]*tensor.Tensor, len(flows))
+	for i, f := range flows {
+		inputs[i] = grid.ToTensor(f)
+	}
+	m.Norm = core.FitNorm(inputs)
+	return Infer32ModelJSON(m, w, jsonPath)
+}
+
+// Infer32ModelJSON benchmarks the frozen float32 fast path of m against the
+// float64 tape path. A nil or parameterless model is refused with
+// core.ErrUntrained — freezing garbage weights would only benchmark noise.
+func Infer32ModelJSON(m *core.Model, w io.Writer, jsonPath string) (*Infer32Result, error) {
+	if m == nil || len(m.Params()) == 0 {
+		return nil, fmt.Errorf("bench: infer32: %w", core.ErrUntrained)
+	}
+	fm, err := core.NewModel32(m)
+	if err != nil {
+		return nil, err
+	}
+	flows := serveBenchFlows(8, infer32H, infer32W)
+
+	res := &Infer32Result{RelTol: infer32RelTol}
+	fmt.Fprintln(w, "## infer32: float32 fused fast path vs float64 tape path (per batched pass)")
+	fmt.Fprintf(w, "%-8s %14s %14s %12s %12s %9s\n", "batch", "f64 ns/op", "f32 ns/op", "f64 allocs", "f32 allocs", "speedup")
+	for _, b := range []int{1, 8} {
+		batch := flows[:b]
+		f64r := testing.Benchmark(func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				for _, inf := range infer64Batch(m, batch) {
+					tensor.Recycle(inf.Field)
+				}
+			}
+		})
+		f32r := testing.Benchmark(func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				for _, inf := range fm.BeginBatch(batch).Finish(patch.MaxLevel) {
+					tensor.Recycle(inf.Field)
+				}
+			}
+		})
+		row := Infer32Batch{
+			Batch:          b,
+			F64NsPerOp:     f64r.NsPerOp(),
+			F32NsPerOp:     f32r.NsPerOp(),
+			F64AllocsPerOp: f64r.AllocsPerOp(),
+			F32AllocsPerOp: f32r.AllocsPerOp(),
+		}
+		if row.F32NsPerOp > 0 {
+			row.Speedup = float64(row.F64NsPerOp) / float64(row.F32NsPerOp)
+		}
+		res.Batches = append(res.Batches, row)
+		fmt.Fprintf(w, "%-8d %14d %14d %12d %12d %8.2fx\n",
+			row.Batch, row.F64NsPerOp, row.F32NsPerOp, row.F64AllocsPerOp, row.F32AllocsPerOp, row.Speedup)
+	}
+
+	// Accuracy audit on the paper's test geometries: the fast path must
+	// reproduce the float64 field within tolerance and choose the same
+	// refinement level for every patch.
+	cases := geometry.PaperTestCases(infer32H, infer32W)
+	res.Cases = len(cases)
+	patches, matched := 0, 0
+	for ci, c := range cases {
+		f := c.Build()
+		ref := m.Infer(f)
+		got := fm.InferFlow(f)
+		for k, lvl := range ref.Levels.Level {
+			patches++
+			if got.Levels.Level[k] == lvl {
+				matched++
+			}
+		}
+		rd, gd := ref.Field.Data(), got.Field.Data()
+		if len(rd) != len(gd) {
+			return nil, fmt.Errorf("bench: infer32 case %d: field shapes %v vs %v", ci, ref.Field.Shape(), got.Field.Shape())
+		}
+		for k := range rd {
+			ch := k % grid.NumChannels
+			span := m.Norm.Max[ch] - m.Norm.Min[ch]
+			d := math.Abs(gd[k] - rd[k])
+			rel := d / (span + math.Abs(rd[k]))
+			if d > res.MaxAbsErr {
+				res.MaxAbsErr = d
+			}
+			if rel > res.MaxRelErr {
+				res.MaxRelErr = rel
+			}
+		}
+	}
+	res.ArgmaxAgreement = float64(matched) / math.Max(float64(patches), 1)
+
+	fmt.Fprintf(w, "\naccuracy over %d paper test geometries: max abs err %.3g, max rel err %.3g (tol %.1g), argmax agreement %.1f%%\n",
+		res.Cases, res.MaxAbsErr, res.MaxRelErr, res.RelTol, 100*res.ArgmaxAgreement)
+	if res.MaxRelErr > res.RelTol {
+		return nil, fmt.Errorf("bench: infer32: max rel err %.3g exceeds documented tolerance %.1g", res.MaxRelErr, res.RelTol)
+	}
+	if res.ArgmaxAgreement < 1 {
+		return nil, fmt.Errorf("bench: infer32: refinement-map agreement %.4f, want 1.0", res.ArgmaxAgreement)
+	}
+	if s := res.Batches[len(res.Batches)-1].Speedup; s >= 1.5 {
+		fmt.Fprintf(w, "float32 fast path is %.2fx the float64 path at batch 8 (target: >= 1.5x)\n", s)
+	} else {
+		fmt.Fprintf(w, "warning: batch-8 speedup %.2fx is below the 1.5x target on this run\n", s)
+	}
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("bench: encode infer32 json: %w", err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("bench: write infer32 json: %w", err)
+		}
+		fmt.Fprintf(w, "json written to %s\n", jsonPath)
+	}
+	return res, nil
+}
+
+// infer64Batch is the float64 reference for one batched pass: the same
+// stack → forward → cap → assemble → invert pipeline the serving engine
+// runs on its default path (serve.forwardGroup64), without the engine around
+// it, so the comparison isolates the numeric paths.
+func infer64Batch(m *core.Model, flows []*grid.Flow) []*core.Inference {
+	b := len(flows)
+	h, w := flows[0].H, flows[0].W
+	per := h * w * grid.NumChannels
+	start := time.Now()
+
+	t := autodiff.NewInferTape()
+	stacked := tensor.NewPooled(b, h, w, grid.NumChannels)
+	sd := stacked.Data()
+	for i, f := range flows {
+		raw := grid.ToTensor(f)
+		norm := m.Norm.Apply(raw)
+		copy(sd[i*per:(i+1)*per], norm.Data())
+		tensor.Recycle(raw)
+		tensor.Recycle(norm)
+	}
+	t.Scratch(stacked)
+
+	results := m.ForwardBatch(t, t.Const(stacked))
+	infs := make([]*core.Inference, b)
+	for i, res := range results {
+		assembled := core.AssembleUniform(res, m.Cfg)
+		field := m.Norm.Invert(assembled)
+		tensor.Recycle(assembled)
+		infs[i] = &core.Inference{
+			Levels:         res.Levels,
+			Field:          field,
+			CompositeCells: res.Levels.CompositeCells(),
+			Elapsed:        time.Since(start),
+		}
+	}
+	t.Free()
+	return infs
+}

@@ -1,0 +1,17 @@
+package bench
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"adarnet/internal/core"
+)
+
+// TestInfer32RefusesUntrained pins the typed refusal: the float32 benchmark
+// must not freeze and measure a nil or parameterless model.
+func TestInfer32RefusesUntrained(t *testing.T) {
+	if _, err := Infer32ModelJSON(nil, io.Discard, ""); !errors.Is(err, core.ErrUntrained) {
+		t.Fatalf("nil model: err = %v, want ErrUntrained", err)
+	}
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"adarnet/internal/grid"
+	"adarnet/internal/interp"
+	"adarnet/internal/nn"
+	"adarnet/internal/patch"
+	"adarnet/internal/tensor"
+)
+
+// Float32 inference fast path. A Model32 is a frozen snapshot of a trained
+// Model: every weight converted to float32 once, conv filters pre-packed
+// into the GEMM panel layout, and the whole scorer→ranker→decoder pipeline
+// re-expressed over tape-free fused kernels (nn.InferModel32). The snapshot
+// is immutable and safe for concurrent use from any number of goroutines;
+// per-call scratch comes from the shared float32 buffer pool and is fully
+// recycled before each call returns.
+//
+// The float64 path is untouched: Model32 is opt-in (serve.WithPrecision),
+// and its outputs agree with the float64 reference within the tolerance
+// documented in DESIGN.md §11. Within the float32 path itself, batched and
+// single-sample forwards are bit-identical for the same reasons the float64
+// ForwardBatch is: per-row GEMM reductions, per-sample ranking, and
+// per-image epilogues do not depend on batch composition.
+
+// Model32 is a frozen single-precision snapshot of a trained Model.
+type Model32 struct {
+	Cfg  Config
+	Norm Normalization
+
+	scorer  *nn.InferModel32 // conv1..conv4 → latent (B,H,W,1)
+	score   *nn.InferModel32 // pool + softmax → (B,NPy,NPx,1)
+	decoder *nn.InferModel32
+}
+
+// NewModel32 freezes m into the float32 fast path. It returns ErrUntrained
+// for a nil or parameterless model — converting garbage weights would only
+// produce garbage predictions with no error to catch it.
+func NewModel32(m *Model) (*Model32, error) {
+	if m == nil || len(m.Params()) == 0 {
+		return nil, ErrUntrained
+	}
+	scorer, err := nn.Freeze32(m.Scorer.Conv1, m.Scorer.Conv2, m.Scorer.Conv3, m.Scorer.Conv4)
+	if err != nil {
+		return nil, fmt.Errorf("core: freeze scorer: %w", err)
+	}
+	score, err := nn.Freeze32(m.Scorer.Pool, m.Scorer.Softmax)
+	if err != nil {
+		return nil, fmt.Errorf("core: freeze scorer head: %w", err)
+	}
+	decoder, err := nn.Freeze32(m.Decoder.Net)
+	if err != nil {
+		return nil, fmt.Errorf("core: freeze decoder: %w", err)
+	}
+	return &Model32{Cfg: m.Cfg, Norm: m.Norm, scorer: scorer, score: score, decoder: decoder}, nil
+}
+
+// patchPred32 is one decoded patch of the fast path: tile position,
+// refinement level, and the (1, ph·2^level, pw·2^level, 4) normalized values.
+type patchPred32 struct {
+	py, px, level int
+	val           *tensor.Tensor32
+}
+
+// forwardResult32 is a full fast-path pass over one sample.
+type forwardResult32 struct {
+	levels  *patch.Map
+	patches []patchPred32
+}
+
+// Batch32 is an in-flight fast-path batch: BeginBatch has run the network,
+// Finish assembles the per-sample fields. The split exists so the serving
+// engine can time the forward and assemble stages separately, exactly as it
+// does on the float64 path.
+type Batch32 struct {
+	fm      *Model32
+	start   time.Time
+	results []*forwardResult32
+}
+
+// InferFlow runs the fast path on a physical-units LR flow field and
+// assembles the non-uniform HR prediction.
+func (fm *Model32) InferFlow(lr *grid.Flow) *Inference {
+	return fm.InferFlowCap(lr, patch.MaxLevel)
+}
+
+// InferFlowCap is InferFlow with refinement levels clamped to cap.
+func (fm *Model32) InferFlowCap(lr *grid.Flow, cap int) *Inference {
+	tensor.ResetAlloc32()
+	b := fm.BeginBatch([]*grid.Flow{lr})
+	inf := b.Finish(cap)[0]
+	inf.MemoryBytes = tensor.PeakBytes32()
+	return inf
+}
+
+// BeginBatch normalizes and stacks the flows (all must share one grid
+// shape), runs the frozen network over the stack, and returns the batch
+// ready for Finish. Normalization happens during the float64→float32 cast,
+// so no intermediate float64 tensor is materialized per request.
+func (fm *Model32) BeginBatch(flows []*grid.Flow) *Batch32 {
+	start := time.Now()
+	b := len(flows)
+	if b == 0 {
+		return &Batch32{fm: fm, start: start}
+	}
+	h, w := flows[0].H, flows[0].W
+	x := tensor.NewPooled32(b, h, w, grid.NumChannels)
+	xd := x.Data()
+	per := h * w * grid.NumChannels
+	var span [grid.NumChannels]float64
+	for c := range span {
+		span[c] = fm.Norm.Max[c] - fm.Norm.Min[c]
+	}
+	for i, f := range flows {
+		if f.H != h || f.W != w {
+			panic(fmt.Sprintf("core: BeginBatch flow %d is %dx%d, batch is %dx%d", i, f.H, f.W, h, w))
+		}
+		dst := xd[i*per : (i+1)*per]
+		for k := 0; k < h*w; k++ {
+			o := k * grid.NumChannels
+			dst[o+0] = float32((f.U.Data[k] - fm.Norm.Min[0]) / span[0])
+			dst[o+1] = float32((f.V.Data[k] - fm.Norm.Min[1]) / span[1])
+			dst[o+2] = float32((f.P.Data[k] - fm.Norm.Min[2]) / span[2])
+			dst[o+3] = float32((f.Nut.Data[k] - fm.Norm.Min[3]) / span[3])
+		}
+	}
+	results := fm.forwardBatch(x)
+	tensor.Recycle32(x)
+	return &Batch32{fm: fm, start: start, results: results}
+}
+
+// Finish caps, assembles, and de-normalizes each sample into an Inference.
+// Every fast-path scratch tensor is recycled; the returned Fields are
+// caller-owned float64 tensors in physical units.
+func (b *Batch32) Finish(levelCap int) []*Inference {
+	infs := make([]*Inference, len(b.results))
+	for i, res := range b.results {
+		capLevels32(res, levelCap)
+		field := b.fm.assembleInvert(res)
+		for _, p := range res.patches {
+			tensor.Recycle32(p.val)
+		}
+		infs[i] = &Inference{
+			Levels:         res.levels,
+			Field:          field,
+			CompositeCells: res.levels.CompositeCells(),
+			Elapsed:        time.Since(b.start),
+		}
+	}
+	b.results = nil
+	return infs
+}
+
+// forwardBatch mirrors Model.ForwardBatch over the frozen kernels: one
+// scorer pass for the whole stack, per-sample ranking, and one decoder pass
+// per bin batching the patches of every sample. The input is not recycled.
+func (fm *Model32) forwardBatch(x *tensor.Tensor32) []*forwardResult32 {
+	cfg := fm.Cfg
+	b, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	if h%cfg.PatchH != 0 || w%cfg.PatchW != 0 {
+		panic(fmt.Sprintf("core: input %dx%d not tiled by %dx%d patches", h, w, cfg.PatchH, cfg.PatchW))
+	}
+
+	latent := fm.scorer.Forward32(x) // (B,H,W,1)
+	scores := fm.score.Forward32(latent)
+	results := make([]*forwardResult32, b)
+	for n := range results {
+		results[n] = &forwardResult32{levels: RankSample32(scores, n, cfg.Bins, cfg.PatchH, cfg.PatchW)}
+	}
+	tensor.Recycle32(scores)
+	enriched := tensor.ConcatChannels32(x, latent) // (B,H,W,5)
+	tensor.Recycle32(latent)
+
+	type slot struct{ sample, py, px int }
+	for bin := 0; bin < cfg.Bins; bin++ {
+		var slots []slot
+		var inputs []*tensor.Tensor32
+		factor := 1 << uint(bin)
+		th, tw := cfg.PatchH*factor, cfg.PatchW*factor
+		for n, res := range results {
+			for _, id := range BinPatches(res.levels, cfg.Bins)[bin] {
+				py, px := id/res.levels.NPx, id%res.levels.NPx
+				p := tensor.ExtractPatch32(enriched, n, py*cfg.PatchH, px*cfg.PatchW, cfg.PatchH, cfg.PatchW)
+				if factor > 1 {
+					r := interp.Resize32(interp.Bicubic, p, th, tw)
+					tensor.Recycle32(p)
+					p = r
+				}
+				cc := coordChannels32(py, px, cfg.PatchH, cfg.PatchW, th, tw, h, w)
+				in := tensor.ConcatChannels32(p, cc)
+				tensor.Recycle32(p)
+				tensor.Recycle32(cc)
+				inputs = append(inputs, in)
+				slots = append(slots, slot{sample: n, py: py, px: px})
+			}
+		}
+		if len(inputs) == 0 {
+			continue
+		}
+		batch := inputs[0]
+		if len(inputs) > 1 {
+			batch = tensor.StackBatch32(inputs)
+			for _, in := range inputs {
+				tensor.Recycle32(in)
+			}
+		}
+		out := fm.decoder.Forward32(batch) // (K, th, tw, 4)
+		tensor.Recycle32(batch)
+		if len(inputs) == 1 {
+			s := slots[0]
+			results[s.sample].patches = append(results[s.sample].patches, patchPred32{py: s.py, px: s.px, level: bin, val: out})
+			continue
+		}
+		for k, s := range slots {
+			v := tensor.SliceBatch32(out, k)
+			results[s.sample].patches = append(results[s.sample].patches, patchPred32{py: s.py, px: s.px, level: bin, val: v})
+		}
+		tensor.Recycle32(out)
+	}
+	tensor.Recycle32(enriched)
+	return results
+}
+
+// RankSample32 ranks image n of an (N, NPy, NPx, 1) float32 score tensor,
+// computing the min–max binning in float64 with the exact formula of
+// RankSample so the two paths' refinement decisions diverge only when the
+// float32 scores themselves cross a bin boundary.
+func RankSample32(scores *tensor.Tensor32, n, bins, ph, pw int) *patch.Map {
+	npy, npx := scores.Dim(1), scores.Dim(2)
+	m := patch.NewMap(npy*ph, npx*pw, ph, pw)
+	d := scores.Data()[n*npy*npx : (n+1)*npy*npx]
+	lo, hi := d[0], d[0]
+	for _, v := range d {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := float64(hi) - float64(lo)
+	for py := 0; py < npy; py++ {
+		for px := 0; px < npx; px++ {
+			s := float64(d[py*npx+px])
+			var bin int
+			if span <= 1e-15 {
+				bin = 0 // degenerate: all scores equal → everything stays LR
+			} else {
+				bin = int(float64(bins) * (s - float64(lo)) / span)
+				if bin >= bins {
+					bin = bins - 1
+				}
+			}
+			m.Set(bin, py, px)
+		}
+	}
+	return m
+}
+
+// coordChannels32 is coordChannels with a float32 store: the coordinates are
+// computed in float64 and rounded once.
+func coordChannels32(py, px, ph, pw, th, tw, h, w int) *tensor.Tensor32 {
+	out := tensor.NewPooled32(1, th, tw, 2)
+	d := out.Data()
+	for yy := 0; yy < th; yy++ {
+		gy := (float64(py*ph) + (float64(yy)+0.5)*float64(ph)/float64(th)) / float64(h)
+		for xx := 0; xx < tw; xx++ {
+			gx := (float64(px*pw) + (float64(xx)+0.5)*float64(pw)/float64(tw)) / float64(w)
+			k := (yy*tw + xx) * 2
+			d[k] = float32(gx)
+			d[k+1] = float32(gy)
+		}
+	}
+	return out
+}
+
+// capLevels32 clamps a fast-path result's refinement levels to cap,
+// re-rendering finer decoded patches at the capped resolution.
+func capLevels32(res *forwardResult32, cap int) {
+	if cap >= res.levels.MaxLevelUsed() {
+		return
+	}
+	for i, l := range res.levels.Level {
+		if l > cap {
+			res.levels.Level[i] = cap
+		}
+	}
+	for i := range res.patches {
+		p := &res.patches[i]
+		if p.level > cap {
+			factor := 1 << uint(p.level-cap)
+			down := interp.Downsample32(interp.Bicubic, p.val, factor)
+			tensor.Recycle32(p.val)
+			p.val = down
+			p.level = cap
+		}
+	}
+}
+
+// assembleInvert renders the per-patch predictions onto the uniform grid at
+// the finest present level and maps them back to physical units, fusing the
+// de-normalization into the float32→float64 widening pass. The returned
+// field is a caller-owned float64 tensor.
+func (fm *Model32) assembleInvert(res *forwardResult32) *tensor.Tensor {
+	cfg := fm.Cfg
+	maxL := res.levels.MaxLevelUsed()
+	factor := 1 << uint(maxL)
+	h := res.levels.NPy * cfg.PatchH * factor
+	w := res.levels.NPx * cfg.PatchW * factor
+	out := tensor.NewPooled32(1, h, w, grid.NumChannels)
+	for _, p := range res.patches {
+		v := p.val
+		scale := 1 << uint(maxL-p.level)
+		prolonged := scale > 1
+		if prolonged {
+			v = interp.Resize32(interp.Bicubic, v, v.Dim(1)*scale, v.Dim(2)*scale)
+		}
+		tensor.InsertPatch32(out, v, 0, p.py*cfg.PatchH*factor, p.px*cfg.PatchW*factor)
+		if prolonged {
+			tensor.Recycle32(v)
+		}
+	}
+	field := tensor.New(1, h, w, grid.NumChannels)
+	fd, od := field.Data(), out.Data()
+	var scale, shift [grid.NumChannels]float64
+	for c := range scale {
+		scale[c] = fm.Norm.Max[c] - fm.Norm.Min[c]
+		shift[c] = fm.Norm.Min[c]
+	}
+	for p := 0; p < len(od); p += grid.NumChannels {
+		for c := 0; c < grid.NumChannels; c++ {
+			fd[p+c] = float64(od[p+c])*scale[c] + shift[c]
+		}
+	}
+	tensor.Recycle32(out)
+	return field
+}

@@ -1,0 +1,66 @@
+package interp
+
+import (
+	"fmt"
+
+	"adarnet/internal/tensor"
+)
+
+// Float32 resampling for the inference fast path. The tap tables are the
+// same float64 kernel1D weights the training path uses; only the pixel data
+// is single precision. Each output pixel accumulates its few taps in
+// float64, so the rounding story is one float32 store per output element —
+// the resize contributes no compounding error of its own (DESIGN.md §11).
+
+// Resize32 resamples x (N,H,W,C) to (N,outH,outW,C) with the given method.
+// The result is pool-backed; Recycle32 it when dead.
+func Resize32(m Method, x *tensor.Tensor32, outH, outW int) *tensor.Tensor32 {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("interp: Resize32 requires NHWC tensor, got %v", x.Shape()))
+	}
+	n, h, w, c := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if h == outH && w == outW {
+		return tensor.ClonePooled32(x)
+	}
+	rows := kernel1D(m, h, outH)
+	cols := kernel1D(m, w, outW)
+	out := tensor.NewPooled32(n, outH, outW, c)
+	xd, od := x.Data(), out.Data()
+	tensor.ParallelFor(n*outH, func(rs, re int) {
+		sum := make([]float64, c)
+		for r := rs; r < re; r++ {
+			ni := r / outH
+			oy := r % outH
+			for ox := 0; ox < outW; ox++ {
+				for cc := range sum {
+					sum[cc] = 0
+				}
+				for _, ty := range rows[oy] {
+					base := (ni*h + ty.idx) * w
+					for _, tx := range cols[ox] {
+						wgt := ty.w * tx.w
+						src := xd[(base+tx.idx)*c : (base+tx.idx+1)*c]
+						for cc, sv := range src {
+							sum[cc] += wgt * float64(sv)
+						}
+					}
+				}
+				dst := od[((ni*outH+oy)*outW+ox)*c : ((ni*outH+oy)*outW+ox+1)*c]
+				for cc, sv := range sum {
+					dst[cc] = float32(sv)
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Downsample32 resizes down by an integer factor per side. It panics if the
+// spatial dims are not divisible by factor.
+func Downsample32(m Method, x *tensor.Tensor32, factor int) *tensor.Tensor32 {
+	h, w := x.Dim(1), x.Dim(2)
+	if h%factor != 0 || w%factor != 0 {
+		panic(fmt.Sprintf("interp: Downsample32 %v by %d not divisible", x.Shape(), factor))
+	}
+	return Resize32(m, x, h/factor, w/factor)
+}

@@ -1,0 +1,297 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"adarnet/internal/tensor"
+)
+
+// Frozen float32 inference layers. An InferModel32 is a one-shot snapshot of
+// trained float64 layers: weights are converted to float32 ONCE at freeze
+// time and conv filters are pre-packed into the GEMM panel layout, so the
+// steady-state forward pass is im2col + one packed GEMM per layer with
+// bias+activation fused into the GEMM's cache-hot epilogue — no autodiff
+// tape, no Values, no per-layer dispatch, and no weight packing traffic.
+//
+// A frozen model is immutable and safe for concurrent use: every forward
+// call draws its scratch from the shared buffer pool and recycles it before
+// returning. Training continues to run in float64 through the tape; freezing
+// never mutates the source layers (see DESIGN.md §11 for the precision
+// contract).
+
+// InferLayer32 is one frozen layer of the float32 fast path.
+type InferLayer32 interface {
+	Forward32(x *tensor.Tensor32) *tensor.Tensor32
+}
+
+// InferModel32 chains frozen layers, recycling every intermediate tensor.
+type InferModel32 struct {
+	Layers []InferLayer32
+}
+
+// Freeze32 snapshots trained float64 layers into a frozen float32 model.
+// Sequential layers are flattened; an unsupported layer type is an error.
+func Freeze32(layers ...Layer) (*InferModel32, error) {
+	m := &InferModel32{}
+	for _, l := range layers {
+		if err := m.appendFrozen(l); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func (m *InferModel32) appendFrozen(l Layer) error {
+	switch v := l.(type) {
+	case *Sequential:
+		for _, inner := range v.Layers {
+			if err := m.appendFrozen(inner); err != nil {
+				return err
+			}
+		}
+	case *Conv2D:
+		m.Layers = append(m.Layers, FreezeConv32(v))
+	case *Deconv2D:
+		m.Layers = append(m.Layers, FreezeDeconv32(v))
+	case *MaxPool2D:
+		m.Layers = append(m.Layers, &PoolInfer32{PH: v.PH, PW: v.PW, Avg: false})
+	case *AvgPool2D:
+		m.Layers = append(m.Layers, &PoolInfer32{PH: v.PH, PW: v.PW, Avg: true})
+	case *SpatialSoftmax:
+		m.Layers = append(m.Layers, &SoftmaxInfer32{})
+	default:
+		return fmt.Errorf("nn: Freeze32 does not support layer type %T", l)
+	}
+	return nil
+}
+
+// Forward32 runs the frozen stack. The input is NOT recycled (the caller
+// owns it); every intermediate is recycled as soon as its consumer is done.
+func (m *InferModel32) Forward32(x *tensor.Tensor32) *tensor.Tensor32 {
+	cur := x
+	for _, l := range m.Layers {
+		next := l.Forward32(cur)
+		if cur != x {
+			tensor.Recycle32(cur)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// ConvInfer32 is a frozen SAME-padded stride-1 convolution: pre-packed
+// filter matrix, float32 bias, and the layer's activation fused into the
+// GEMM epilogue.
+type ConvInfer32 struct {
+	KH, KW, InC, OutC int
+	Act               Activation
+
+	W *tensor.PackedMat32 // packed (kh*kw*inC) × outC
+	B []float32
+}
+
+// FreezeConv32 snapshots a trained Conv2D. The float64 weights are read
+// once and not retained.
+func FreezeConv32(c *Conv2D) *ConvInfer32 {
+	return &ConvInfer32{
+		KH: c.KH, KW: c.KW, InC: c.InC, OutC: c.OutC, Act: c.Act,
+		W: tensor.PackMat32(toF32(c.W.Data.Data()), c.KH*c.KW*c.InC, c.OutC, c.OutC, false),
+		B: toF32(c.B.Data.Data()),
+	}
+}
+
+// Forward32 computes conv+bias+activation in one im2col + fused GEMM.
+func (l *ConvInfer32) Forward32(x *tensor.Tensor32) *tensor.Tensor32 {
+	n, h, w, ic := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if ic != l.InC {
+		panic(fmt.Sprintf("nn: ConvInfer32 expects %d input channels, got %v", l.InC, x.Shape()))
+	}
+	cols := tensor.Im2Col32(x, l.KH, l.KW) // (R, K)
+	rows := n * h * w
+	out := tensor.NewPooled32(rows, l.OutC)
+	od := out.Data()
+	bias, act, f := l.B, l.Act, l.OutC
+	// The epilogue sees each worker's rows exactly once, after their full
+	// depth reduction — the only point where bias+activation is sound.
+	tensor.Gemm32(od, rows, l.OutC, cols.Data(), l.W, func(rs, re int) {
+		biasAct32(od[rs*f:re*f], bias, act)
+	})
+	tensor.Recycle32(cols)
+	return out.ReshapeInPlace(n, h, w, l.OutC)
+}
+
+// DeconvInfer32 is a frozen SAME-padded stride-1 transposed convolution.
+// The transpose in y = col2im(x·Wᵀ) is absorbed into the packed layout at
+// freeze time; bias+activation run in Col2Im32's per-image epilogue while
+// each scattered image is cache-hot.
+type DeconvInfer32 struct {
+	KH, KW, InC, OutC int
+	Act               Activation
+
+	W *tensor.PackedMat32 // packed Wᵀ: inC × (kh*kw*outC)
+	B []float32
+}
+
+// FreezeDeconv32 snapshots a trained Deconv2D.
+func FreezeDeconv32(d *Deconv2D) *DeconvInfer32 {
+	spread := d.KH * d.KW * d.OutC
+	return &DeconvInfer32{
+		KH: d.KH, KW: d.KW, InC: d.InC, OutC: d.OutC, Act: d.Act,
+		// W is (kh*kw*outC) × inC row-major; pack its transpose.
+		W: tensor.PackMat32(toF32(d.W.Data.Data()), d.InC, spread, d.InC, true),
+		B: toF32(d.B.Data.Data()),
+	}
+}
+
+// Forward32 computes deconv+bias+activation: packed GEMM → fused col2im.
+func (l *DeconvInfer32) Forward32(x *tensor.Tensor32) *tensor.Tensor32 {
+	n, h, w, ic := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if ic != l.InC {
+		panic(fmt.Sprintf("nn: DeconvInfer32 expects %d input channels, got %v", l.InC, x.Shape()))
+	}
+	rows := n * h * w
+	spreadC := l.KH * l.KW * l.OutC
+	spread := tensor.NewPooled32(rows, spreadC)
+	tensor.Gemm32(spread.Data(), rows, spreadC, x.Data(), l.W, nil)
+	bias, act := l.B, l.Act
+	out := tensor.Col2Im32(spread, n, h, w, l.OutC, l.KH, l.KW, func(img []float32) {
+		biasAct32(img, bias, act)
+	})
+	tensor.Recycle32(spread)
+	return out
+}
+
+// PoolInfer32 is a frozen max/average pool with pool size == stride; no
+// argmax positions are recorded.
+type PoolInfer32 struct {
+	PH, PW int
+	Avg    bool
+}
+
+// Forward32 pools x (N,H,W,C) to (N,H/PH,W/PW,C).
+func (p *PoolInfer32) Forward32(x *tensor.Tensor32) *tensor.Tensor32 {
+	n, h, w, c := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if h%p.PH != 0 || w%p.PW != 0 {
+		panic(fmt.Sprintf("nn: PoolInfer32 (%d,%d) does not tile input %v", p.PH, p.PW, x.Shape()))
+	}
+	oh, ow := h/p.PH, w/p.PW
+	out := tensor.NewPooled32(n, oh, ow, c)
+	xd, od := x.Data(), out.Data()
+	ph, pw, avg := p.PH, p.PW, p.Avg
+	inv := 1.0 / float64(ph*pw)
+	tensor.ParallelFor(n*oh, func(rs, re int) {
+		for r := rs; r < re; r++ {
+			ni := r / oh
+			oy := r % oh
+			for ox := 0; ox < ow; ox++ {
+				for cc := 0; cc < c; cc++ {
+					if avg {
+						s := 0.0
+						for dy := 0; dy < ph; dy++ {
+							yy := oy*ph + dy
+							for dx := 0; dx < pw; dx++ {
+								xx := ox*pw + dx
+								s += float64(xd[((ni*h+yy)*w+xx)*c+cc])
+							}
+						}
+						od[((ni*oh+oy)*ow+ox)*c+cc] = float32(s * inv)
+						continue
+					}
+					first := true
+					var best float32
+					for dy := 0; dy < ph; dy++ {
+						yy := oy*ph + dy
+						for dx := 0; dx < pw; dx++ {
+							xx := ox*pw + dx
+							v := xd[((ni*h+yy)*w+xx)*c+cc]
+							if first || v > best {
+								best, first = v, false
+							}
+						}
+					}
+					od[((ni*oh+oy)*ow+ox)*c+cc] = best
+				}
+			}
+		}
+	})
+	return out
+}
+
+// SoftmaxInfer32 is the frozen spatial softmax: a per-image softmax over
+// all spatial positions, accumulated in float64 for the same numerical
+// stability as the training path (the scores feed the refinement ranking).
+type SoftmaxInfer32 struct{}
+
+// Forward32 applies the per-image softmax.
+func (s *SoftmaxInfer32) Forward32(x *tensor.Tensor32) *tensor.Tensor32 {
+	n := x.Dim(0)
+	per := x.Len() / maxInt(n, 1)
+	out := tensor.NewPooled32(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	for i := 0; i < n; i++ {
+		src := xd[i*per : (i+1)*per]
+		dst := od[i*per : (i+1)*per]
+		m := src[0]
+		for _, v := range src[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		sum := 0.0
+		for j, v := range src {
+			e := math.Exp(float64(v - m))
+			dst[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1.0 / sum)
+		for j := range dst {
+			dst[j] *= inv
+		}
+	}
+	return out
+}
+
+// biasAct32 adds a cyclic per-channel bias and applies the activation to d
+// in place, treating d as rows of len(bias). It runs inside GEMM/col2im
+// epilogues on cache-hot data; tanh goes through float64 math.Tanh (exact
+// float32 tanh does not exist in the stdlib, and the cast is one rounding).
+func biasAct32(d, bias []float32, act Activation) {
+	f := len(bias)
+	if f > 0 {
+		for r := 0; r+f <= len(d); r += f {
+			row := d[r : r+f]
+			for j := range row {
+				row[j] += bias[j]
+			}
+		}
+	}
+	switch act {
+	case ReLU:
+		for i, x := range d {
+			if x < 0 {
+				d[i] = 0
+			}
+		}
+	case LeakyReLU:
+		for i, x := range d {
+			if x < 0 {
+				d[i] = 0.1 * x
+			}
+		}
+	case Tanh:
+		for i, x := range d {
+			d[i] = float32(math.Tanh(float64(x)))
+		}
+	}
+}
+
+// toF32 converts a float64 slice to a fresh float32 slice (one rounding per
+// element).
+func toF32(src []float64) []float32 {
+	out := make([]float32, len(src))
+	for i, v := range src {
+		out[i] = float32(v)
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"adarnet/internal/autodiff"
+	"adarnet/internal/tensor"
+)
+
+// infer32RelTol is the documented per-element tolerance of the fused float32
+// kernels against the float64 reference (DESIGN.md §11): a k-deep reduction
+// in float32 carries O(k·2⁻²⁴) relative error; 1e-4·(1+|ref|) bounds every
+// layer geometry the networks use with an order of magnitude to spare.
+const infer32RelTol = 1e-4
+
+func assertClose32(t *testing.T, name string, got []float32, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", name, len(got), len(want))
+	}
+	for i := range want {
+		tol := infer32RelTol * (1 + math.Abs(want[i]))
+		if d := math.Abs(float64(got[i]) - want[i]); d > tol {
+			t.Fatalf("%s: |Δ|=%g > %g at %d (got %v, want %v)", name, d, tol, i, got[i], want[i])
+		}
+	}
+}
+
+// runRef runs a float64 layer on a gradient-free tape and returns the output
+// data (the same reference path the default serving engine uses).
+func runRef(l Layer, x *tensor.Tensor) []float64 {
+	tp := autodiff.NewInferTape()
+	defer tp.Free()
+	out := l.Forward(tp, tp.Const(x))
+	return append([]float64(nil), out.Data.Data()...)
+}
+
+func randInput32(rng *rand.Rand, shape ...int) (*tensor.Tensor32, *tensor.Tensor) {
+	x64 := tensor.NewPooled(shape...)
+	x32 := tensor.NewPooled32(shape...)
+	d64, d32 := x64.Data(), x32.Data()
+	for i := range d64 {
+		v := float32(rng.NormFloat64())
+		d32[i] = v
+		d64[i] = float64(v)
+	}
+	return x32, x64
+}
+
+// TestFusedConv32Property drives random layer geometries and shapes through
+// the fused float32 conv/deconv kernels and asserts the documented tolerance
+// against the float64 reference — every activation, odd spatial dims, and
+// channel counts from 1 to past one GEMM column tile boundary edge.
+func TestFusedConv32Property(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	acts := []Activation{Linear, ReLU, LeakyReLU, Tanh}
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(3)
+		h := 1 + rng.Intn(12)
+		w := 1 + rng.Intn(12)
+		inC := 1 + rng.Intn(8)
+		outC := 1 + rng.Intn(20)
+		k := 1 + 2*rng.Intn(2) // 1 or 3
+		act := acts[rng.Intn(len(acts))]
+
+		conv := NewConv2D("t.conv", rng, k, k, inC, outC, act)
+		for i := range conv.B.Data.Data() {
+			conv.B.Data.Data()[i] = 0.1 * rng.NormFloat64()
+		}
+		x32, x64 := randInput32(rng, n, h, w, inC)
+		frozen := FreezeConv32(conv)
+		got := frozen.Forward32(x32)
+		assertClose32(t, "conv", got.Data(), runRef(conv, x64))
+		tensor.Recycle32(got)
+
+		dec := NewDeconv2D("t.dec", rng, k, k, inC, outC, act)
+		for i := range dec.B.Data.Data() {
+			dec.B.Data.Data()[i] = 0.1 * rng.NormFloat64()
+		}
+		fdec := FreezeDeconv32(dec)
+		gotD := fdec.Forward32(x32)
+		assertClose32(t, "deconv", gotD.Data(), runRef(dec, x64))
+		tensor.Recycle32(gotD)
+		tensor.Recycle32(x32)
+		tensor.Recycle(x64)
+	}
+}
+
+func TestFrozenPoolSoftmax32(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	x32, x64 := randInput32(rng, 2, 6, 8, 3)
+	for _, tc := range []struct {
+		name   string
+		layer  Layer
+		frozen InferLayer32
+	}{
+		{"maxpool", NewMaxPool2D(2, 4), &PoolInfer32{PH: 2, PW: 4}},
+		{"avgpool", NewAvgPool2D(3, 2), &PoolInfer32{PH: 3, PW: 2, Avg: true}},
+		{"softmax", NewSpatialSoftmax(), &SoftmaxInfer32{}},
+	} {
+		got := tc.frozen.Forward32(x32)
+		assertClose32(t, tc.name, got.Data(), runRef(tc.layer, x64))
+		tensor.Recycle32(got)
+	}
+	tensor.Recycle32(x32)
+	tensor.Recycle(x64)
+}
+
+func TestFreeze32Sequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	seq := NewSequential(
+		NewConv2D("s.c1", rng, 3, 3, 4, 8, ReLU),
+		NewSequential(NewConv2D("s.c2", rng, 3, 3, 8, 6, Tanh)),
+		NewDeconv2D("s.d1", rng, 3, 3, 6, 4, Linear),
+	)
+	frozen, err := Freeze32(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frozen.Layers) != 3 {
+		t.Fatalf("expected nested Sequential to flatten to 3 layers, got %d", len(frozen.Layers))
+	}
+	x32, x64 := randInput32(rng, 1, 5, 5, 4)
+	got := frozen.Forward32(x32)
+	assertClose32(t, "sequential", got.Data(), runRef(seq, x64))
+	tensor.Recycle32(got)
+	tensor.Recycle32(x32)
+	tensor.Recycle(x64)
+}
+
+type unknownLayer struct{}
+
+func (unknownLayer) Forward(t *autodiff.Tape, x *autodiff.Value) *autodiff.Value { return x }
+func (unknownLayer) Params() []*Param                                            { return nil }
+
+func TestFreeze32RejectsUnknownLayer(t *testing.T) {
+	if _, err := Freeze32(unknownLayer{}); err == nil {
+		t.Fatal("expected an error for an unsupported layer type")
+	}
+}
+
+// TestWeightConversionRoundTripCheckpoint is the float64↔float32 weight
+// round-trip with a checkpoint load in the middle: weights saved to disk,
+// loaded into a fresh model, and frozen must drive the fused kernels to
+// bit-identical float32 outputs, because gob preserves float64 exactly and
+// freeze rounds each weight exactly once. It also pins the conversion
+// itself: float64(float32(w)) stays within one float32 ULP of w.
+func TestWeightConversionRoundTripCheckpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	mk := func() *Sequential {
+		r := rand.New(rand.NewSource(99))
+		return NewSequential(
+			NewConv2D("r.c1", r, 3, 3, 4, 8, ReLU),
+			NewDeconv2D("r.d1", r, 3, 3, 8, 4, Tanh),
+		)
+	}
+	orig := mk()
+	for _, p := range orig.Params() {
+		d := p.Data.Data()
+		for i := range d {
+			d[i] = rng.NormFloat64()
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "roundtrip.ckpt")
+	if err := SaveFile(path, orig.Params()); err != nil {
+		t.Fatal(err)
+	}
+	loaded := mk()
+	if _, err := LoadFile(path, loaded.Params()); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Remove(path)
+
+	for i, p := range orig.Params() {
+		ld := loaded.Params()[i].Data.Data()
+		for j, v := range p.Data.Data() {
+			if ld[j] != v {
+				t.Fatalf("param %s differs after checkpoint load at %d", p.Name, j)
+			}
+			back := float64(float32(v))
+			if ulp := math.Abs(back-v) / math.Max(math.Abs(v), math.SmallestNonzeroFloat64); v != 0 && ulp > 1.0/(1<<23) {
+				t.Fatalf("param %s element %d: float32 round trip off by %g relative", p.Name, j, ulp)
+			}
+		}
+	}
+
+	f1, err := Freeze32(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Freeze32(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x32, x64 := randInput32(rng, 2, 4, 6, 4)
+	tensor.Recycle(x64)
+	y1 := f1.Forward32(x32)
+	y2 := f2.Forward32(x32)
+	d1, d2 := y1.Data(), y2.Data()
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("frozen outputs diverge at %d: %v vs %v — checkpoint load perturbed a weight", i, d1[i], d2[i])
+		}
+	}
+	tensor.Recycle32(y1)
+	tensor.Recycle32(y2)
+	tensor.Recycle32(x32)
+}

@@ -67,10 +67,11 @@ func (e *Engine) logPanic(stage string, err error, reqs []*request) {
 	e.logger.Error("serve: contained panic", attrs...)
 }
 
-// forwardGroup coalesces bitwise-identical fields, stacks the unique
-// normalized fields of same-shape requests into one (B,H,W,4) tensor, runs
-// the batched forward pass on a gradient-free tape, and demultiplexes the
-// assembled per-sample predictions to their callers. A panic anywhere inside
+// forwardGroup coalesces bitwise-identical fields, runs the unique fields of
+// same-shape requests through one batched forward pass — the gradient-free
+// tape by default, the frozen float32 fast path under WithPrecision(Float32)
+// — and demultiplexes the assembled per-sample predictions to their callers.
+// A panic anywhere inside
 // is recovered into a *PanicError (wrapping ErrInternal) for runGroup to
 // handle; the tape's pooled buffers are abandoned to the GC on that path —
 // a panic is rare enough that leaking one tape's working set beats trying to
@@ -87,7 +88,6 @@ func (e *Engine) forwardGroup(reqs []*request) (err error) {
 		}
 	}()
 	start := time.Now()
-	m := e.model
 
 	// Single-flight coalescing: requests whose fields are bitwise-identical
 	// (concurrent clients polling the same flow state — the hot-request
@@ -113,6 +113,53 @@ coalesce:
 		members = append(members, reqs[:0:0])
 	}
 
+	var infs []*core.Inference
+	if e.model32 != nil {
+		infs = e.forwardGroup32(uniq, start)
+	} else {
+		infs = e.forwardGroup64(uniq, start)
+	}
+
+	for i, inf := range infs {
+		e.reply(uniq[i], inf)
+		for _, req := range members[i] {
+			e.reply(req, &core.Inference{
+				Levels:         inf.Levels.Clone(),
+				Field:          inf.Field.Clone(),
+				CompositeCells: inf.CompositeCells,
+				Elapsed:        inf.Elapsed,
+			})
+		}
+	}
+	return nil
+}
+
+// forwardGroup32 is the batched fast path: one frozen float32 pass over the
+// coalesced group. BeginBatch (normalize + network) is timed as the forward
+// stage and Finish (cap + assemble + invert) as the assemble stage, so the
+// stage histograms stay comparable across precisions.
+func (e *Engine) forwardGroup32(uniq []*request, start time.Time) []*core.Inference {
+	flows := make([]*grid.Flow, len(uniq))
+	for i, req := range uniq {
+		if e.inject != nil {
+			e.inject(req.flow)
+		}
+		flows[i] = req.flow
+	}
+	batch := e.model32.BeginBatch(flows)
+	forwardDone := time.Now()
+	e.stats.forward.ObserveDuration(forwardDone.Sub(start))
+	infs := batch.Finish(e.cfg.levelCap)
+	e.stats.assemble.ObserveDuration(time.Since(forwardDone))
+	for _, inf := range infs {
+		inf.Elapsed = time.Since(start)
+	}
+	return infs
+}
+
+// forwardGroup64 is the default full-precision tape path.
+func (e *Engine) forwardGroup64(uniq []*request, start time.Time) []*core.Inference {
+	m := e.model
 	b := len(uniq)
 	h, w := uniq[0].flow.H, uniq[0].flow.W
 	per := h * w * grid.NumChannels
@@ -151,19 +198,7 @@ coalesce:
 	}
 	t.Free()
 	e.stats.assemble.ObserveDuration(time.Since(forwardDone))
-
-	for i, inf := range infs {
-		e.reply(uniq[i], inf)
-		for _, req := range members[i] {
-			e.reply(req, &core.Inference{
-				Levels:         inf.Levels.Clone(),
-				Field:          inf.Field.Clone(),
-				CompositeCells: inf.CompositeCells,
-				Elapsed:        inf.Elapsed,
-			})
-		}
-	}
-	return nil
+	return infs
 }
 
 // reply delivers a result and fail delivers an error; both are no-ops for a

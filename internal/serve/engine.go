@@ -51,8 +51,33 @@ type config struct {
 	queueDepth int
 	solverOpt  solver.Options
 	levelCap   int
+	precision  Precision
 	metrics    *obs.Registry
 	logger     *slog.Logger
+}
+
+// Precision selects the numeric path of the engine's forward passes.
+type Precision int
+
+const (
+	// Float64 is the default: the full-precision tape path, bit-identical
+	// to direct core.Model inference.
+	Float64 Precision = iota
+	// Float32 opts into the frozen fast path (core.Model32): weights
+	// converted and packed once at engine construction, fused tape-free
+	// kernels at serve time. Outputs agree with Float64 within the
+	// tolerance documented in DESIGN.md §11; refinement decisions
+	// (the argmax over score bins) match in practice because softmax
+	// margins dwarf float32 rounding.
+	Float32
+)
+
+// String names the precision for stats, logs, and /metrics labels.
+func (p Precision) String() string {
+	if p == Float32 {
+		return "float32"
+	}
+	return "float64"
 }
 
 // Option configures an Engine at construction.
@@ -112,6 +137,17 @@ func WithLevelCap(n int) Option {
 	}
 }
 
+// WithPrecision selects the numeric path (default Float64). Float32 freezes
+// the model into the fused fast path at construction; the default remains
+// bit-identical to direct core.Model inference.
+func WithPrecision(p Precision) Option {
+	return func(c *config) {
+		if p == Float64 || p == Float32 {
+			c.precision = p
+		}
+	}
+}
+
 // WithMetrics attaches the engine's counters and per-stage latency
 // histograms to reg under the adarnet_serve_* names, so a /metrics endpoint
 // exports the same distributions Stats() reports. The engine records into
@@ -153,7 +189,10 @@ type response struct {
 // for concurrent use; create it with New and release it with Close.
 type Engine struct {
 	model *core.Model
-	cfg   config
+	// model32 is the frozen float32 snapshot, non-nil iff the engine was
+	// built with WithPrecision(Float32). Immutable and share-safe.
+	model32 *core.Model32
+	cfg     config
 
 	queue   chan *request   // bounded submission queue
 	batches chan []*request // unbuffered batcher→worker handoff
@@ -203,6 +242,13 @@ func New(m *core.Model, opts ...Option) (*Engine, error) {
 		queue:   make(chan *request, cfg.queueDepth),
 		batches: make(chan []*request),
 	}
+	if cfg.precision == Float32 {
+		fm, err := core.NewModel32(m)
+		if err != nil {
+			return nil, fmt.Errorf("serve: freeze float32 model: %w", err)
+		}
+		e.model32 = fm
+	}
 	if cfg.metrics != nil {
 		e.RegisterMetrics(cfg.metrics)
 	}
@@ -212,6 +258,14 @@ func New(m *core.Model, opts ...Option) (*Engine, error) {
 		go e.worker()
 	}
 	return e, nil
+}
+
+// Precision reports which numeric path the engine serves with.
+func (e *Engine) Precision() Precision {
+	if e.model32 != nil {
+		return Float32
+	}
+	return Float64
 }
 
 // Close drains the pipeline and stops the engine: in-flight requests finish,

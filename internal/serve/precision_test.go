@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"adarnet/internal/core"
+	"adarnet/internal/grid"
+)
+
+// TestFloat32EngineMatchesDirectFastPath pins the float32 serving contract:
+// an engine built with WithPrecision(Float32) must deliver results
+// bit-identical to direct core.Model32 inference (the fast path's own
+// batched-vs-single equivalence), and its refinement decisions — the argmax
+// over score bins that shapes the served mesh — must agree with the float64
+// reference on every patch.
+func TestFloat32EngineMatchesDirectFastPath(t *testing.T) {
+	const callers = 8
+	flows := testFlows(callers, 8, 16)
+	m := testModel(flows)
+	fm, err := core.NewModel32(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := make([]*core.Inference, callers)
+	for i, f := range flows {
+		want[i] = fm.InferFlow(f)
+	}
+
+	e, err := New(m, WithPrecision(Float32), WithMaxBatch(4), WithMaxDelay(10*time.Millisecond), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Precision() != Float32 {
+		t.Fatalf("Precision() = %v", e.Precision())
+	}
+	got := make([]*core.Inference, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = e.PredictFlow(context.Background(), flows[i])
+		}(i)
+	}
+	wg.Wait()
+	defer e.Close()
+
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if !got[i].Levels.Equal(want[i].Levels) {
+			t.Fatalf("request %d: served levels differ from direct fast path", i)
+		}
+		wd, gd := want[i].Field.Data(), got[i].Field.Data()
+		for k := range wd {
+			if wd[k] != gd[k] { // bit-identical, not approximately equal
+				t.Fatalf("request %d: field[%d] = %v, want %v", i, k, gd[k], wd[k])
+			}
+		}
+		// Refinement-map agreement with the float64 reference: the served
+		// mesh must be the one the full-precision model would choose.
+		ref := m.Infer(flows[i])
+		if !got[i].Levels.Equal(ref.Levels) {
+			t.Fatalf("request %d: float32 refinement map disagrees with float64 reference", i)
+		}
+	}
+	if s := e.Stats(); s.Precision != "float32" {
+		t.Fatalf("stats precision = %q", s.Precision)
+	}
+}
+
+// TestFloat64EngineStatsPrecision checks the default path reports float64.
+func TestFloat64EngineStatsPrecision(t *testing.T) {
+	flows := testFlows(1, 8, 16)
+	e, err := New(testModel(flows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if s := e.Stats(); s.Precision != "float64" {
+		t.Fatalf("stats precision = %q", s.Precision)
+	}
+}
+
+// TestFloat32EngineContainsPanics exercises the fault boundary on the fast
+// path: an injected panic in the batched float32 pass must fail only the
+// poisoned request while batch-mates succeed via individual retries.
+func TestFloat32EngineContainsPanics(t *testing.T) {
+	const callers = 4
+	const poisonedIdx = 2
+	flows := testFlows(callers, 8, 16)
+	m := testModel(flows)
+	e, err := New(m, WithPrecision(Float32), WithMaxBatch(callers), WithMaxDelay(50*time.Millisecond), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	poisoned := flows[poisonedIdx]
+	e.inject = func(f *grid.Flow) {
+		if f == poisoned {
+			panic("injected fault")
+		}
+	}
+
+	got := make([]*core.Inference, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = e.PredictFlow(context.Background(), flows[i])
+		}(i)
+	}
+	wg.Wait()
+
+	if !errors.Is(errs[poisonedIdx], ErrInternal) {
+		t.Fatalf("poisoned request: err = %v, want ErrInternal", errs[poisonedIdx])
+	}
+	fm, err := core.NewModel32(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < callers; i++ {
+		if i == poisonedIdx {
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("batch-mate %d: %v", i, errs[i])
+		}
+		want := fm.InferFlow(flows[i])
+		wd, gd := want.Field.Data(), got[i].Field.Data()
+		for k := range wd {
+			if wd[k] != gd[k] {
+				t.Fatalf("batch-mate %d: field[%d] = %v, want %v", i, k, gd[k], wd[k])
+			}
+		}
+	}
+	if s := e.Stats(); s.Panics < 2 {
+		t.Errorf("stats panics = %d, want >= 2 (batch pass + poisoned retry)", s.Panics)
+	}
+}

@@ -33,6 +33,10 @@ type counters struct {
 // EngineStats is a point-in-time snapshot of the engine's counters and
 // latency distributions.
 type EngineStats struct {
+	// Precision names the engine's numeric path: "float64" (default,
+	// bit-identical to direct inference) or "float32" (fused fast path).
+	Precision string
+
 	Requests  uint64 // submissions accepted into the queue
 	Completed uint64 // predictions delivered
 	Canceled  uint64 // requests dropped by context cancellation
@@ -93,6 +97,7 @@ func tailOf(s obs.Snapshot) Tail {
 // snapshots, the same data /metrics exports.
 func (e *Engine) Stats() EngineStats {
 	s := EngineStats{
+		Precision: e.Precision().String(),
 		Requests:  e.stats.requests.Load(),
 		Completed: e.stats.completed.Load(),
 		Canceled:  e.stats.canceled.Load(),
@@ -122,8 +127,8 @@ func (e *Engine) Stats() EngineStats {
 
 // String renders the snapshot for logs.
 func (s EngineStats) String() string {
-	return fmt.Sprintf("requests=%d completed=%d canceled=%d rejected=%d batches=%d coalesced=%d panics=%d retried=%d occupancy=%.2f queue_wait=%v forward=%v assemble=%v",
-		s.Requests, s.Completed, s.Canceled, s.Rejected, s.Batches, s.Coalesced, s.Panics, s.Retried,
+	return fmt.Sprintf("precision=%s requests=%d completed=%d canceled=%d rejected=%d batches=%d coalesced=%d panics=%d retried=%d occupancy=%.2f queue_wait=%v forward=%v assemble=%v",
+		s.Precision, s.Requests, s.Completed, s.Canceled, s.Rejected, s.Batches, s.Coalesced, s.Panics, s.Retried,
 		s.MeanBatchOccupancy, s.MeanQueueWait, s.MeanForward, s.MeanAssemble)
 }
 
@@ -152,6 +157,13 @@ func (e *Engine) RegisterMetrics(reg *obs.Registry) {
 		func() float64 { return float64(c.panics.Load()) })
 	reg.CounterFunc("adarnet_serve_retried_total", "Individual re-runs after a batch-level panic.",
 		func() float64 { return float64(c.retried.Load()) })
+	reg.GaugeFunc("adarnet_serve_precision_float32", "1 when the engine serves the float32 fast path, 0 for the float64 default.",
+		func() float64 {
+			if e.Precision() == Float32 {
+				return 1
+			}
+			return 0
+		})
 	reg.AttachHistogram("adarnet_serve_queue_wait_seconds", "Submit to batch-pickup wait per request.", 1e-9, &c.queueWait)
 	reg.AttachHistogram("adarnet_serve_forward_seconds", "Batched forward-pass time per batch group.", 1e-9, &c.forward)
 	reg.AttachHistogram("adarnet_serve_assemble_seconds", "Assembly/demux time per batch group.", 1e-9, &c.assemble)

@@ -1,0 +1,109 @@
+package tensor
+
+import "fmt"
+
+// Float32 im2col / col2im for the inference fast path — the same SAME-padded,
+// stride-1 NHWC geometry as the float64 transforms (im2col.go), at half the
+// memory traffic. Col2Im32 additionally takes a per-image epilogue so the
+// fused deconv kernel can apply bias+activation to each scattered image while
+// it is still cache-hot (sound there: an image's scatter is complete before
+// its epilogue runs, and images are disjoint across workers).
+
+// Im2Col32 expands x (N,H,W,C) into patch rows for a kh×kw stride-1 SAME
+// conv: a (N*H*W) × (KH*KW*C) matrix. The result is pool-backed.
+func Im2Col32(x *Tensor32, kh, kw int) *Tensor32 {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: Im2Col32 requires NHWC tensor, got %v", x.shape))
+	}
+	n, h, w, c := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	ph, pw := (kh-1)/2, (kw-1)/2
+	rows := n * h * w
+	cols := kh * kw * c
+	out := NewPooled32(rows, cols)
+	ParallelForCost(rows, cols, func(rs, re int) {
+		for r := rs; r < re; r++ {
+			wi := r % w
+			hi := (r / w) % h
+			ni := r / (w * h)
+			dst := out.data[r*cols : (r+1)*cols]
+			di := 0
+			for ki := 0; ki < kh; ki++ {
+				yy := hi + ki - ph
+				if yy < 0 || yy >= h {
+					for kj := 0; kj < kw; kj++ {
+						for cc := 0; cc < c; cc++ {
+							dst[di] = 0
+							di++
+						}
+					}
+					continue
+				}
+				rowBase := ((ni*h + yy) * w) * c
+				for kj := 0; kj < kw; kj++ {
+					xx := wi + kj - pw
+					if xx < 0 || xx >= w {
+						for cc := 0; cc < c; cc++ {
+							dst[di] = 0
+							di++
+						}
+						continue
+					}
+					src := x.data[rowBase+xx*c : rowBase+xx*c+c]
+					copy(dst[di:di+c], src)
+					di += c
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Col2Im32 scatters patch rows back to an NHWC tensor: the adjoint of
+// Im2Col32, used by the deconv forward. cols is (N*H*W) × (KH*KW*C); the
+// result has shape (N,H,W,C) and is pool-backed. If epi is non-nil it is
+// called with each image's completed (H*W*C-element) slice immediately
+// after that image's scatter finishes.
+func Col2Im32(cols *Tensor32, n, h, w, c, kh, kw int, epi func(img []float32)) *Tensor32 {
+	ph, pw := (kh-1)/2, (kw-1)/2
+	ncols := kh * kw * c
+	if cols.Dims() != 2 || cols.shape[0] != n*h*w || cols.shape[1] != ncols {
+		panic(fmt.Sprintf("tensor: Col2Im32 shape %v incompatible with (%d,%d,%d,%d) k=(%d,%d)", cols.shape, n, h, w, c, kh, kw))
+	}
+	out := NewPooled32(n, h, w, c)
+	per := h * w * c
+	ParallelForCost(n, h*w*ncols, func(ns, ne int) {
+		for ni := ns; ni < ne; ni++ {
+			for hi := 0; hi < h; hi++ {
+				for wi := 0; wi < w; wi++ {
+					r := (ni*h+hi)*w + wi
+					src := cols.data[r*ncols : (r+1)*ncols]
+					si := 0
+					for ki := 0; ki < kh; ki++ {
+						yy := hi + ki - ph
+						if yy < 0 || yy >= h {
+							si += kw * c
+							continue
+						}
+						rowBase := ((ni*h + yy) * w) * c
+						for kj := 0; kj < kw; kj++ {
+							xx := wi + kj - pw
+							if xx < 0 || xx >= w {
+								si += c
+								continue
+							}
+							dst := out.data[rowBase+xx*c : rowBase+xx*c+c]
+							for cc := 0; cc < c; cc++ {
+								dst[cc] += src[si]
+								si++
+							}
+						}
+					}
+				}
+			}
+			if epi != nil {
+				epi(out.data[ni*per : (ni+1)*per])
+			}
+		}
+	})
+	return out
+}

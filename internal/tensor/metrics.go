@@ -15,6 +15,10 @@ var (
 		"Pooled-buffer requests served from the free list.")
 	poolMisses = obs.Default.Counter("adarnet_tensor_pool_misses_total",
 		"Pooled-buffer requests that fell through to a fresh allocation.")
+	poolHits32 = obs.Default.Counter("adarnet_tensor_f32_pool_hits_total",
+		"Float32 pooled-buffer requests served from the free list.")
+	poolMisses32 = obs.Default.Counter("adarnet_tensor_f32_pool_misses_total",
+		"Float32 pooled-buffer requests that fell through to a fresh allocation.")
 )
 
 func init() {
@@ -27,10 +31,25 @@ func init() {
 	obs.Default.GaugeFunc("adarnet_tensor_pool_retained_bytes",
 		"Bytes currently parked in the buffer pool's free lists.",
 		func() float64 { _, b := PoolStats(); return float64(b) })
+	obs.Default.GaugeFunc("adarnet_tensor_f32_live_bytes",
+		"Live (allocated, not yet recycled) float32 tensor-storage bytes.",
+		func() float64 { return float64(LiveBytes32()) })
+	obs.Default.GaugeFunc("adarnet_tensor_f32_peak_bytes",
+		"High-water mark of live float32 tensor bytes since the last reset.",
+		func() float64 { return float64(PeakBytes32()) })
+	obs.Default.GaugeFunc("adarnet_tensor_f32_pool_retained_bytes",
+		"Bytes currently parked in the float32 buffer pool's free lists.",
+		func() float64 { _, b := PoolStats32(); return float64(b) })
 }
 
 // PoolHitMiss reports the cumulative pooled-buffer hit/miss counts, for
 // tests and diagnostics.
 func PoolHitMiss() (hits, misses uint64) {
 	return poolHits.Value(), poolMisses.Value()
+}
+
+// PoolHitMiss32 reports the cumulative float32 pooled-buffer hit/miss
+// counts, for tests and diagnostics.
+func PoolHitMiss32() (hits, misses uint64) {
+	return poolHits32.Value(), poolMisses32.Value()
 }

@@ -1,0 +1,225 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Float32 storage pool. The float64 pool (pool.go) keys its free lists by
+// element count; element-count classes would collide across element sizes, so
+// the float32 side of the pool is keyed by BYTES: an n-element float32 buffer
+// files under the class holding ceil-power-of-two of 4n bytes, the same byte
+// footprint a half-as-long float64 buffer occupies. The class range and the
+// per-class retention budget match the float64 pool exactly, so the two
+// element types share one memory policy even though their free lists are
+// distinct (Go slices cannot alias across element types without unsafe).
+//
+// Ownership rules are identical to the float64 pool: Recycle32 poisons the
+// tensor, the caller must be its last user, and accounting (4 bytes/elem,
+// tracked separately from the float64 counters so the fast path's working
+// set is observable on its own — see metrics.go) is logical, not physical.
+
+const (
+	bytesPerElem32 = 4
+	// Byte-class bounds equal to the float64 pool's: class minClassBits
+	// holds 64 float64s = 512 B, class maxClassBits 128 MiB.
+	minClassBytesBits = minClassBits + 3 // 512 B
+	maxClassBytesBits = maxClassBits + 3 // 128 MiB
+)
+
+type bufClass32 struct {
+	mu   sync.Mutex
+	bufs [][]float32
+	max  int // retention cap, in buffers
+}
+
+var classes32 [maxClassBytesBits + 1]bufClass32
+
+var (
+	headerMu32   sync.Mutex
+	headers32    []*Tensor32
+	maxHeaders32 = 4096
+)
+
+// Float32 allocation accounting, in the same spirit as alloc.go but kept on
+// separate counters: the fast path's live/peak bytes are a serving-side
+// signal and must not perturb the float64 training-memory comparisons.
+var (
+	allocBytes32 atomic.Int64
+	liveBytes32  atomic.Int64
+	peakBytes32  atomic.Int64
+)
+
+func account32(elems int) {
+	b := int64(elems) * bytesPerElem32
+	allocBytes32.Add(b)
+	live := liveBytes32.Add(b)
+	for {
+		p := peakBytes32.Load()
+		if live <= p || peakBytes32.CompareAndSwap(p, live) {
+			return
+		}
+	}
+}
+
+func release32(elems int) {
+	liveBytes32.Add(-int64(elems) * bytesPerElem32)
+}
+
+// ResetAlloc32 zeroes the float32 cumulative, live, and peak counters.
+func ResetAlloc32() {
+	allocBytes32.Store(0)
+	liveBytes32.Store(0)
+	peakBytes32.Store(0)
+}
+
+// AllocatedBytes32 returns cumulative float32 tensor bytes allocated since
+// the last ResetAlloc32.
+func AllocatedBytes32() int64 { return allocBytes32.Load() }
+
+// PeakBytes32 returns the high-water mark of live float32 tensor bytes.
+func PeakBytes32() int64 { return peakBytes32.Load() }
+
+// LiveBytes32 returns the currently live float32 tensor-storage bytes.
+func LiveBytes32() int64 { return liveBytes32.Load() }
+
+func init() {
+	for c := minClassBytesBits; c <= maxClassBytesBits; c++ {
+		max := classByteBudget / (1 << uint(c))
+		if max < 2 {
+			max = 2
+		}
+		if max > 1024 {
+			max = 1024
+		}
+		classes32[c].max = max
+	}
+}
+
+// classFor32 returns the byte class whose buffers can hold n float32
+// elements (rounding 4n bytes up to a power of two), or -1 if outside the
+// pooled range.
+func classFor32(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	c := bits.Len(uint(n*bytesPerElem32 - 1)) // ceil(log2(bytes))
+	if c < minClassBytesBits {
+		c = minClassBytesBits
+	}
+	if c > maxClassBytesBits {
+		return -1
+	}
+	return c
+}
+
+// getBuf32 returns a zeroed float32 buffer of length n, reusing pooled
+// storage when available. It does not touch the allocation accounting.
+func getBuf32(n int) []float32 {
+	c := classFor32(n)
+	if c < 0 {
+		poolMisses32.Inc()
+		return make([]float32, n)
+	}
+	cl := &classes32[c]
+	cl.mu.Lock()
+	if last := len(cl.bufs) - 1; last >= 0 {
+		buf := cl.bufs[last]
+		cl.bufs[last] = nil
+		cl.bufs = cl.bufs[:last]
+		cl.mu.Unlock()
+		poolHits32.Inc()
+		buf = buf[:n]
+		for i := range buf {
+			buf[i] = 0
+		}
+		return buf
+	}
+	cl.mu.Unlock()
+	poolMisses32.Inc()
+	return make([]float32, n, (1<<uint(c))/bytesPerElem32)
+}
+
+// putBuf32 files buf under the largest byte class its capacity covers.
+func putBuf32(buf []float32) {
+	cpBytes := cap(buf) * bytesPerElem32
+	if cpBytes < 1<<minClassBytesBits || cpBytes > 1<<maxClassBytesBits {
+		return // outside the pooled range: let the GC take it
+	}
+	c := bits.Len(uint(cpBytes)) - 1 // floor(log2(capacity bytes))
+	cl := &classes32[c]
+	cl.mu.Lock()
+	if len(cl.bufs) < cl.max {
+		cl.bufs = append(cl.bufs, buf[:0])
+	}
+	cl.mu.Unlock()
+}
+
+// newHeader32 builds a float32 tensor around data, reusing a recycled header
+// when one is available.
+func newHeader32(shape []int, data []float32) *Tensor32 {
+	headerMu32.Lock()
+	if n := len(headers32) - 1; n >= 0 {
+		t := headers32[n]
+		headers32[n] = nil
+		headers32 = headers32[:n]
+		headerMu32.Unlock()
+		t.shape = append(t.shape[:0], shape...)
+		t.data = data
+		return t
+	}
+	headerMu32.Unlock()
+	return &Tensor32{shape: append([]int(nil), shape...), data: data}
+}
+
+func putHeader32(t *Tensor32) {
+	t.data = nil
+	t.shape = t.shape[:0]
+	headerMu32.Lock()
+	if len(headers32) < maxHeaders32 {
+		headers32 = append(headers32, t)
+	}
+	headerMu32.Unlock()
+}
+
+// Recycle32 releases t's accounting and returns its storage and header to
+// the pool. Same ownership contract as Recycle: the caller must be the last
+// user, and the tensor is poisoned (nil storage) afterwards.
+func Recycle32(t *Tensor32) {
+	if t == nil || t.data == nil && len(t.shape) == 0 {
+		return
+	}
+	release32(len(t.data))
+	buf := t.data
+	putHeader32(t)
+	putBuf32(buf)
+}
+
+// PoolStats32 reports the float32 buffers and bytes currently retained by
+// the pool, for tests and diagnostics.
+func PoolStats32() (buffers int, bytes int64) {
+	for c := minClassBytesBits; c <= maxClassBytesBits; c++ {
+		cl := &classes32[c]
+		cl.mu.Lock()
+		for _, b := range cl.bufs {
+			buffers++
+			bytes += int64(cap(b)) * bytesPerElem32
+		}
+		cl.mu.Unlock()
+	}
+	return
+}
+
+// DrainPool32 drops every retained float32 buffer and header.
+func DrainPool32() {
+	for c := minClassBytesBits; c <= maxClassBytesBits; c++ {
+		cl := &classes32[c]
+		cl.mu.Lock()
+		cl.bufs = nil
+		cl.mu.Unlock()
+	}
+	headerMu32.Lock()
+	headers32 = nil
+	headerMu32.Unlock()
+}

@@ -1,0 +1,101 @@
+package tensor
+
+import "fmt"
+
+// Float32 data-movement primitives for the patch pipeline — the fast-path
+// counterparts of slicecat.go, restricted to the operations the frozen
+// forward pass actually performs.
+
+// ExtractPatch32 copies the (ph×pw) spatial window with top-left corner
+// (y0, x0) from image n of x (N,H,W,C) into a new (1,ph,pw,C) tensor.
+func ExtractPatch32(x *Tensor32, n, y0, x0, ph, pw int) *Tensor32 {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: ExtractPatch32 requires NHWC tensor, got %v", x.shape))
+	}
+	h, w, c := x.shape[1], x.shape[2], x.shape[3]
+	if y0 < 0 || x0 < 0 || y0+ph > h || x0+pw > w {
+		panic(fmt.Sprintf("tensor: patch (%d,%d)+(%d,%d) out of bounds for %v", y0, x0, ph, pw, x.shape))
+	}
+	out := NewPooled32(1, ph, pw, c)
+	for yy := 0; yy < ph; yy++ {
+		srcOff := ((n*h+y0+yy)*w + x0) * c
+		dstOff := yy * pw * c
+		copy(out.data[dstOff:dstOff+pw*c], x.data[srcOff:srcOff+pw*c])
+	}
+	return out
+}
+
+// InsertPatch32 copies patch (1,ph,pw,C) into image n of x at (y0, x0).
+func InsertPatch32(x, patch *Tensor32, n, y0, x0 int) {
+	h, w, c := x.shape[1], x.shape[2], x.shape[3]
+	ph, pw := patch.shape[1], patch.shape[2]
+	if patch.shape[3] != c {
+		panic(fmt.Sprintf("tensor: InsertPatch32 channel mismatch %d vs %d", patch.shape[3], c))
+	}
+	if y0 < 0 || x0 < 0 || y0+ph > h || x0+pw > w {
+		panic(fmt.Sprintf("tensor: patch (%d,%d)+(%d,%d) out of bounds for %v", y0, x0, ph, pw, x.shape))
+	}
+	for yy := 0; yy < ph; yy++ {
+		dstOff := ((n*h+y0+yy)*w + x0) * c
+		srcOff := yy * pw * c
+		copy(x.data[dstOff:dstOff+pw*c], patch.data[srcOff:srcOff+pw*c])
+	}
+}
+
+// ConcatChannels32 concatenates NHWC tensors along the channel axis. All
+// inputs must share N, H, W.
+func ConcatChannels32(ts ...*Tensor32) *Tensor32 {
+	if len(ts) == 0 {
+		panic("tensor: ConcatChannels32 of nothing")
+	}
+	n, h, w := ts[0].shape[0], ts[0].shape[1], ts[0].shape[2]
+	totalC := 0
+	for _, t := range ts {
+		if t.Dims() != 4 || t.shape[0] != n || t.shape[1] != h || t.shape[2] != w {
+			panic(fmt.Sprintf("tensor: ConcatChannels32 spatial mismatch %v vs %v", ts[0].shape, t.shape))
+		}
+		totalC += t.shape[3]
+	}
+	out := NewPooled32(n, h, w, totalC)
+	pixels := n * h * w
+	ParallelFor(pixels, func(ps, pe int) {
+		for p := ps; p < pe; p++ {
+			off := p * totalC
+			for _, t := range ts {
+				c := t.shape[3]
+				copy(out.data[off:off+c], t.data[p*c:(p+1)*c])
+				off += c
+			}
+		}
+	})
+	return out
+}
+
+// StackBatch32 concatenates (1,H,W,C) tensors into one (K,H,W,C) batch.
+func StackBatch32(ts []*Tensor32) *Tensor32 {
+	if len(ts) == 0 {
+		panic("tensor: StackBatch32 of nothing")
+	}
+	h, w, c := ts[0].shape[1], ts[0].shape[2], ts[0].shape[3]
+	out := NewPooled32(len(ts), h, w, c)
+	per := h * w * c
+	for i, t := range ts {
+		if t.shape[0] != 1 || t.shape[1] != h || t.shape[2] != w || t.shape[3] != c {
+			panic(fmt.Sprintf("tensor: StackBatch32 element %d shape %v incompatible", i, t.shape))
+		}
+		copy(out.data[i*per:(i+1)*per], t.data)
+	}
+	return out
+}
+
+// SliceBatch32 copies sample k of x (K,H,W,C) into a new (1,H,W,C) tensor.
+func SliceBatch32(x *Tensor32, k int) *Tensor32 {
+	kk, h, w, c := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	if k < 0 || k >= kk {
+		panic(fmt.Sprintf("tensor: SliceBatch32 index %d out of range for %v", k, x.shape))
+	}
+	per := h * w * c
+	out := NewPooled32(1, h, w, c)
+	copy(out.data, x.data[k*per:(k+1)*per])
+	return out
+}

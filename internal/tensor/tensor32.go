@@ -1,0 +1,128 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor32 is a dense row-major float32 tensor — the storage type of the
+// inference fast path. It mirrors Tensor's NHWC conventions but carries no
+// autodiff machinery: float32 tensors exist only on the frozen, tape-free
+// serving path (DESIGN.md §11), where halving the element size halves the
+// memory-bandwidth bill of the GEMM/im2col hot loop.
+type Tensor32 struct {
+	shape []int
+	data  []float32
+}
+
+// New32 returns a zero-filled float32 tensor with the given shape, backed by
+// plain (unpooled) storage.
+func New32(shape ...int) *Tensor32 {
+	n := checkShape(shape)
+	account32(n)
+	return newHeader32(shape, make([]float32, n))
+}
+
+// NewPooled32 returns a zero-filled float32 tensor drawing its storage from
+// the shared byte-classed buffer pool; release it with Recycle32 when dead.
+func NewPooled32(shape ...int) *Tensor32 {
+	n := checkShape(shape)
+	account32(n)
+	return newHeader32(shape, getBuf32(n))
+}
+
+// FromSlice32 wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); len(data) must equal the shape's element count.
+func FromSlice32(data []float32, shape ...int) *Tensor32 {
+	n := checkShape(shape)
+	if len(data) != n {
+		panicShape(fmt.Sprintf("tensor: data length %d does not match shape %%v (%d elems)", len(data), n), shape)
+	}
+	account32(n)
+	return newHeader32(shape, data)
+}
+
+// ClonePooled32 returns a deep copy of t backed by pooled storage.
+func ClonePooled32(t *Tensor32) *Tensor32 {
+	out := NewPooled32(t.shape...)
+	copy(out.data, t.data)
+	return out
+}
+
+// To32 converts a float64 tensor to a pooled float32 tensor, rounding each
+// element once. This is the only crossing from the training representation
+// into the fast path; it happens at model-freeze and input-pack time, never
+// inside a kernel.
+func To32(t *Tensor) *Tensor32 {
+	out := NewPooled32(t.shape...)
+	for i, v := range t.data {
+		out.data[i] = float32(v)
+	}
+	return out
+}
+
+// To64 converts t back to a pooled float64 tensor (exact: every float32 is
+// representable as a float64).
+func (t *Tensor32) To64() *Tensor {
+	out := NewPooled(t.shape...)
+	for i, v := range t.data {
+		out.data[i] = float64(v)
+	}
+	return out
+}
+
+// Shape returns the tensor's dimensions. The returned slice is a copy.
+func (t *Tensor32) Shape() []int { return append([]int(nil), t.shape...) }
+
+// Dims returns the number of dimensions.
+func (t *Tensor32) Dims() int { return len(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor32) Dim(i int) int { return t.shape[i] }
+
+// Len returns the total number of elements.
+func (t *Tensor32) Len() int { return len(t.data) }
+
+// Data returns the underlying storage. Mutations are visible to the tensor.
+func (t *Tensor32) Data() []float32 { return t.data }
+
+// ReshapeInPlace reinterprets t's storage under a new shape, mutating and
+// returning t itself.
+func (t *Tensor32) ReshapeInPlace(shape ...int) *Tensor32 {
+	n := checkShape(shape)
+	if n != len(t.data) {
+		panicShape(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %%v (%d elems)", t.shape, len(t.data), n), shape)
+	}
+	t.shape = append(t.shape[:0], shape...)
+	return t
+}
+
+// At4 is a fast-path accessor for 4D (NHWC) tensors.
+func (t *Tensor32) At4(n, h, w, c int) float32 {
+	return t.data[((n*t.shape[1]+h)*t.shape[2]+w)*t.shape[3]+c]
+}
+
+// Set4 is a fast-path setter for 4D (NHWC) tensors.
+func (t *Tensor32) Set4(v float32, n, h, w, c int) {
+	t.data[((n*t.shape[1]+h)*t.shape[2]+w)*t.shape[3]+c] = v
+}
+
+// IsFinite reports whether every element is finite (no NaN/Inf).
+func (t *Tensor32) IsFinite() bool {
+	for _, v := range t.data {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description (shape plus a few leading values).
+func (t *Tensor32) String() string {
+	k := len(t.data)
+	if k > 6 {
+		k = 6
+	}
+	return fmt.Sprintf("Tensor32%v%v…", t.shape, t.data[:k])
+}

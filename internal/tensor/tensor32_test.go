@@ -1,0 +1,296 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randT32 builds a float32 tensor and its exact float64 shadow from the same
+// random draw, so kernels can be compared against the float64 reference with
+// only rounding inside the kernel itself.
+func randT32(rng *rand.Rand, shape ...int) (*Tensor32, *Tensor) {
+	t32 := NewPooled32(shape...)
+	t64 := NewPooled(shape...)
+	for i := range t32.data {
+		v := float32(rng.NormFloat64())
+		t32.data[i] = v
+		t64.data[i] = float64(v)
+	}
+	return t32, t64
+}
+
+func TestPool32ByteClassReuse(t *testing.T) {
+	DrainPool32()
+	a := NewPooled32(1000) // 4000 B → 4096-B class
+	buf := a.data
+	Recycle32(a)
+	b := NewPooled32(900) // 3600 B → same 4096-B class
+	if &b.data[0] != &buf[0] {
+		t.Fatalf("expected byte-class reuse of the 4096-B buffer")
+	}
+	for i, v := range b.data {
+		if v != 0 {
+			t.Fatalf("reused buffer not zeroed at %d: %v", i, v)
+		}
+	}
+	Recycle32(b)
+}
+
+func TestPool32SeparateFromFloat64(t *testing.T) {
+	DrainPool()
+	DrainPool32()
+	a := NewPooled32(1000)
+	Recycle32(a)
+	// A float64 request of the same byte class must NOT receive the float32
+	// buffer; the free lists are typed.
+	f := NewPooled(512) // 4096 B
+	if n, _ := PoolStats32(); n != 1 {
+		t.Fatalf("float64 allocation consumed the float32 free list (retained=%d)", n)
+	}
+	Recycle(f)
+}
+
+func TestRecycle32Poisons(t *testing.T) {
+	a := NewPooled32(2, 3)
+	Recycle32(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected use-after-recycle to panic")
+		}
+	}()
+	_ = a.data[0]
+}
+
+func TestPool32Accounting(t *testing.T) {
+	ResetAlloc32()
+	a := NewPooled32(100)
+	if got := LiveBytes32(); got != 400 {
+		t.Fatalf("LiveBytes32 = %d, want 400", got)
+	}
+	Recycle32(a)
+	if got := LiveBytes32(); got != 0 {
+		t.Fatalf("LiveBytes32 after recycle = %d, want 0", got)
+	}
+	if got := PeakBytes32(); got != 400 {
+		t.Fatalf("PeakBytes32 = %d, want 400", got)
+	}
+}
+
+func TestPool32OversizedBypass(t *testing.T) {
+	DrainPool32()
+	n := (1<<maxClassBytesBits)/bytesPerElem32 + 1
+	a := NewPooled32(n)
+	Recycle32(a)
+	if got, _ := PoolStats32(); got != 0 {
+		t.Fatalf("oversized buffer was pooled (retained=%d)", got)
+	}
+}
+
+func TestTo32RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	t64 := NewPooled(3, 4)
+	for i := range t64.data {
+		t64.data[i] = rng.NormFloat64()
+	}
+	t32 := To32(t64)
+	back := t32.To64()
+	for i := range t64.data {
+		if back.data[i] != float64(float32(t64.data[i])) {
+			t.Fatalf("round trip at %d: %v != %v", i, back.data[i], t64.data[i])
+		}
+	}
+	Recycle(t64)
+	Recycle32(t32)
+	Recycle(back)
+}
+
+// gemm32Tol is the per-element comparison bound for float32 kernels against
+// the float64 reference: k rounding steps of relative size ~2⁻²⁴ each.
+func gemm32Tol(k int, scale float64) float64 {
+	return float64(k) * (1.0 / (1 << 23)) * math.Max(scale, 1)
+}
+
+func TestGemm32MatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	shapes := [][3]int{
+		{1, 1, 1}, {3, 5, 7}, {4, 4, 4}, {13, 9, 21},
+		{64, 36, 8}, {7, 100, 3}, {120, 17, 530}, {33, 600, 65},
+	}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a32, a64 := randT32(rng, m, k)
+		b32, b64 := randT32(rng, k, n)
+		c32 := MatMul32(a32, b32)
+		c64 := MatMul(a64, b64)
+		tol := gemm32Tol(k, 8)
+		for i := range c64.data {
+			if d := math.Abs(float64(c32.data[i]) - c64.data[i]); d > tol {
+				t.Fatalf("m=%d k=%d n=%d: |Δ|=%g > %g at %d", m, k, n, d, tol, i)
+			}
+		}
+		Recycle32(a32)
+		Recycle32(b32)
+		Recycle32(c32)
+		Recycle(a64)
+		Recycle(b64)
+		Recycle(c64)
+	}
+}
+
+func TestGemm32PackedTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, k, n := 11, 6, 19
+	a32, a64 := randT32(rng, m, k)
+	// bT is n×k; packing with trans=true must compute A·Bᵀᵀ = A·op(B).
+	bT32, bT64 := randT32(rng, n, k)
+	p := PackMat32(bT32.data, k, n, k, true)
+	c32 := NewPooled32(m, n)
+	Gemm32(c32.data, m, n, a32.data, p, nil)
+	c64 := MatMulT2(a64, bT64)
+	tol := gemm32Tol(k, 8)
+	for i := range c64.data {
+		if d := math.Abs(float64(c32.data[i]) - c64.data[i]); d > tol {
+			t.Fatalf("|Δ|=%g > %g at %d", d, tol, i)
+		}
+	}
+	Recycle32(a32)
+	Recycle32(bT32)
+	Recycle32(c32)
+	Recycle(a64)
+	Recycle(bT64)
+	Recycle(c64)
+}
+
+func TestGemm32EpilogueCoversAllRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, k, n := 37, 23, 15
+	a32, _ := randT32(rng, m, k)
+	b32, _ := randT32(rng, k, n)
+	p := PackMat32(b32.data, k, n, n, false)
+	c := NewPooled32(m, n)
+	covered := make([]int32, m) // per-row marks; worker row ranges are disjoint
+	Gemm32(c.data, m, n, a32.data, p, func(rs, re int) {
+		for i := rs; i < re; i++ {
+			covered[i]++
+		}
+		// The epilogue owns its rows: mutating them must be race-free.
+		for i := rs * n; i < re*n; i++ {
+			c.data[i] = -c.data[i]
+		}
+	})
+	for i, v := range covered {
+		if v != 1 {
+			t.Fatalf("row %d covered %d times, want exactly 1", i, v)
+		}
+	}
+	// Negating in the epilogue must equal negating afterwards.
+	ref := NewPooled32(m, n)
+	Gemm32(ref.data, m, n, a32.data, p, nil)
+	for i := range ref.data {
+		if c.data[i] != -ref.data[i] {
+			t.Fatalf("epilogue mutation lost at %d", i)
+		}
+	}
+	Recycle32(a32)
+	Recycle32(b32)
+	Recycle32(c)
+	Recycle32(ref)
+}
+
+func TestIm2Col32MatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x32, x64 := randT32(rng, 2, 5, 7, 3)
+	c32 := Im2Col32(x32, 3, 3)
+	c64 := Im2Col(x64, 3, 3)
+	for i := range c64.data {
+		if float64(c32.data[i]) != c64.data[i] {
+			t.Fatalf("im2col differs at %d (pure data movement must be exact)", i)
+		}
+	}
+	Recycle32(x32)
+	Recycle32(c32)
+	Recycle(x64)
+	Recycle(c64)
+}
+
+func TestCol2Im32MatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n, h, w, c, kh, kw := 2, 4, 6, 3, 3, 3
+	cols32, cols64 := randT32(rng, n*h*w, kh*kw*c)
+	imgs := 0
+	out32 := Col2Im32(cols32, n, h, w, c, kh, kw, func(img []float32) {
+		imgs++
+		if len(img) != h*w*c {
+			t.Errorf("epilogue image length %d, want %d", len(img), h*w*c)
+		}
+	})
+	if imgs != n {
+		t.Fatalf("epilogue ran for %d images, want %d", imgs, n)
+	}
+	out64 := Col2Im(cols64, n, h, w, c, kh, kw)
+	tol := gemm32Tol(kh*kw, 4) // scatter adds at most kh·kw terms per element
+	for i := range out64.data {
+		if d := math.Abs(float64(out32.data[i]) - out64.data[i]); d > tol {
+			t.Fatalf("|Δ|=%g > %g at %d", d, tol, i)
+		}
+	}
+	Recycle32(cols32)
+	Recycle32(out32)
+	Recycle(cols64)
+	Recycle(out64)
+}
+
+func TestSliceStack32(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	parts := make([]*Tensor32, 3)
+	for i := range parts {
+		p, shadow := randT32(rng, 1, 2, 2, 4)
+		Recycle(shadow)
+		parts[i] = p
+	}
+	batch := StackBatch32(parts)
+	for i := range parts {
+		got := SliceBatch32(batch, i)
+		for j := range got.data {
+			if got.data[j] != parts[i].data[j] {
+				t.Fatalf("slice %d differs at %d", i, j)
+			}
+		}
+		Recycle32(got)
+	}
+	for _, p := range parts {
+		Recycle32(p)
+	}
+	Recycle32(batch)
+}
+
+func BenchmarkGemm32(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	m, k, n := 512, 288, 64
+	a32, a64 := randT32(rng, m, k)
+	b32, b64 := randT32(rng, k, n)
+	p := PackMat32(b32.data, k, n, n, false)
+	c32 := NewPooled32(m, n)
+	b.Run("f32_packed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := range c32.data {
+				c32.data[j] = 0
+			}
+			Gemm32(c32.data, m, n, a32.data, p, nil)
+		}
+	})
+	b.Run("f64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := MatMul(a64, b64)
+			Recycle(c)
+		}
+	})
+	Recycle32(a32)
+	Recycle32(b32)
+	Recycle32(c32)
+	Recycle(a64)
+	Recycle(b64)
+}
