@@ -29,14 +29,17 @@ race:
 bench:
 	$(GO) test ./internal/obs ./internal/tensor ./internal/nn ./internal/serve/... ./internal/core/... -run '^$$' -bench . -benchmem
 
-# Machine-readable benchmark snapshots (BENCH_serve.json, BENCH_infer32.json)
-# for regression gating with benchdiff.
+# Machine-readable benchmark snapshots (BENCH_serve.json, BENCH_infer32.json,
+# BENCH_cache.json) for regression gating with benchdiff.
 bench-json:
-	$(GO) run ./cmd/adarnet-bench -exp micro,serve,infer32 -json-dir .
+	$(GO) run ./cmd/adarnet-bench -exp micro,serve,infer32,cache -json-dir .
 
 # Compare two benchmark snapshots; gate on a metric with e.g.
 #   make benchdiff OLD=BENCH_infer32.old.json NEW=BENCH_infer32.json \
 #     BENCHDIFF_FLAGS='-metric batches.1.speedup -max-regress 10'
+# or gate the prediction cache's skewed-replay win with
+#   make benchdiff OLD=BENCH_cache.old.json NEW=BENCH_cache.json \
+#     BENCHDIFF_FLAGS='-metric hit_ratio_0.9.speedup -max-regress 10'
 OLD ?= BENCH_infer32.old.json
 NEW ?= BENCH_infer32.json
 BENCHDIFF_FLAGS ?=

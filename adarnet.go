@@ -41,6 +41,14 @@
 // WithEngineLogger routes the engine's contained-panic reports to a
 // structured *slog.Logger with the request IDs of the affected calls.
 //
+// Caching (DESIGN.md §12): WithCache layers a content-addressed prediction
+// cache over the engine — a sharded, byte-budgeted LRU keyed by the exact
+// input field bytes plus the refinement parameters, with full-field equality
+// on every hit, so repeated inputs across time are answered from memory
+// bit-identically to recomputing them. Diverged solves are negative-cached
+// with a short TTL (WithNegativeTTL); hit/miss/evicted/bytes appear in both
+// EngineStats and the adarnet_serve_cache_* metrics.
+//
 // See examples/ for runnable end-to-end programs and DESIGN.md for the
 // system inventory.
 package adarnet
@@ -205,6 +213,15 @@ var (
 	WithLevelCap = serve.WithLevelCap
 	// WithPrecision selects the engine's numeric path (default Float64).
 	WithPrecision = serve.WithPrecision
+	// WithCache enables the content-addressed prediction cache with a byte
+	// budget: identical inputs recurring over time are answered from memory,
+	// bypassing the queue and the forward pass, bit-identical on both
+	// precision paths (default disabled; see DESIGN.md §12).
+	WithCache = serve.WithCache
+	// WithNegativeTTL sets the lifetime of negative cache entries — inputs
+	// whose LR solve diverged are answered with the cached ErrDiverged for
+	// this long instead of re-solving (default 10s; 0 disables).
+	WithNegativeTTL = serve.WithNegativeTTL
 	// WithEngineMetrics attaches the engine's counters and stage histograms
 	// to a metrics registry (adarnet_serve_* on /metrics).
 	WithEngineMetrics = serve.WithMetrics

@@ -8,7 +8,8 @@
 //	               → refinement map, composite cells, timing
 //	GET  /healthz  liveness probe
 //	GET  /stats    engine counters (requests, batches, occupancy, latency
-//	               means and p50/p95/p99 tails, contained panics)
+//	               means and p50/p95/p99 tails, contained panics, cache
+//	               hit/miss/evicted/bytes when -cache-bytes is set)
 //	GET  /metrics  Prometheus text exposition: engine stage histograms,
 //	               HTTP latency, tensor-pool gauges, process counters
 //
@@ -62,6 +63,8 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 64, "submission queue bound")
 	solverIter := flag.Int("solver-max-iter", 12000, "LR-solve iteration cap per request")
 	precision := flag.String("precision", "float64", "inference numeric path: float64 (bit-exact default) | float32 (fused fast path)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "content-addressed prediction-cache byte budget; 0 disables the cache")
+	cacheNegTTL := flag.Duration("cache-negative-ttl", 10*time.Second, "lifetime of negative (diverged-solve) cache entries; 0 disables negative caching")
 	maxDim := flag.Int("max-dim", 256, "largest accepted grid dimension (h or w)")
 	maxBody := flag.Int64("max-body", 1<<20, "request-body byte cap")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 disables)")
@@ -115,6 +118,8 @@ func main() {
 		serve.WithWorkers(*workers),
 		serve.WithQueueDepth(*queueDepth),
 		serve.WithSolverOptions(sopt),
+		serve.WithCache(*cacheBytes),
+		serve.WithNegativeTTL(*cacheNegTTL),
 		serve.WithMetrics(obs.Default),
 		serve.WithLogger(logger),
 	)
@@ -143,12 +148,25 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	// ListenAndServe returns ErrServerClosed as soon as Shutdown begins, so
+	// main must wait for this goroutine or the process exits before the
+	// drain completes and the summary below is ever logged.
+	shutdownDone := make(chan struct{})
 	go func() {
+		defer close(shutdownDone)
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		srv.Shutdown(shutdownCtx)
+		// Snapshot before Close: closing purges the cache, zeroing the
+		// resident-bytes gauge the summary reports.
+		st := engine.Stats()
 		engine.Close()
+		logger.Info("cache summary",
+			"enabled", *cacheBytes > 0,
+			"hits", st.CacheHits, "misses", st.CacheMisses,
+			"negative_hits", st.CacheNegativeHits,
+			"evicted", st.CacheEvicted, "bytes", st.CacheBytes)
 	}()
 
 	if *debugAddr != "" {
@@ -171,11 +189,12 @@ func main() {
 
 	logger.Info("listening", "addr", *addr, "params", m.ParamCount(),
 		"max_batch", *maxBatch, "workers", *workers, "precision", engine.Precision().String(),
-		"log_format", *logFormat)
+		"cache_bytes", *cacheBytes, "log_format", *logFormat)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("listener failed", "err", err.Error())
 		os.Exit(1)
 	}
+	<-shutdownDone
 }
 
 // newLogger builds the process logger for -log-format. Both handlers write

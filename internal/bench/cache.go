@@ -1,0 +1,297 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"adarnet/internal/core"
+	"adarnet/internal/geometry"
+	"adarnet/internal/grid"
+	"adarnet/internal/serve"
+)
+
+// Cache-replay benchmark: production CFD serving traffic is heavily skewed —
+// the same geometry at the same Re recurs across users and sessions — so the
+// replay draws its repeated requests from a Zipf(s≈1.1) distribution over a
+// hot set of flows built from the paper geometries, mixed with a stream of
+// unique cold flows that sets the target hit ratio. Each target ratio runs
+// the identical trace against the engine with the prediction cache off and
+// on, counting only responses verified bit-identical to direct inference,
+// so the speedups are for correct outputs.
+const (
+	cacheClients  = 8   // concurrent replay clients
+	cacheRequests = 640 // requests per replay
+	cacheHotFlows = 12  // distinct flows behind the Zipf skew
+	cacheZipfS    = 1.1 // Zipf exponent of the hot-set popularity
+	cacheLRH      = 8   // LR grid height of the replayed fields
+	cacheLRW      = 16  // LR grid width
+	cacheBudget   = 64 << 20
+)
+
+// CacheRun is one (target hit ratio) × (cache off/on) comparison.
+type CacheRun struct {
+	TargetHitRatio   float64 `json:"target_hit_ratio"`
+	MeasuredHitRatio float64 `json:"measured_hit_ratio"` // hits/(hits+misses) of the cache-on run
+	OffRPS           float64 `json:"off_rps"`
+	OnRPS            float64 `json:"on_rps"`
+	Speedup          float64 `json:"speedup"`
+	OffP95Ms         float64 `json:"off_p95_ms"` // client-observed, covers hits and misses alike
+	OnP95Ms          float64 `json:"on_p95_ms"`
+	CacheHits        uint64  `json:"cache_hits"`
+	CacheMisses      uint64  `json:"cache_misses"`
+	CacheBytes       int64   `json:"cache_bytes"`
+}
+
+// CacheResult is the machine-readable output of the cache benchmark. The
+// hit-ratio runs are named fields so benchdiff can gate on e.g.
+// hit_ratio_0.9.speedup.
+type CacheResult struct {
+	Clients  int     `json:"clients"`
+	Requests int     `json:"requests"`
+	HotFlows int     `json:"hot_flows"`
+	ZipfS    float64 `json:"zipf_s"`
+
+	Ratio00 CacheRun `json:"hit_ratio_0.0"`
+	Ratio05 CacheRun `json:"hit_ratio_0.5"`
+	Ratio09 CacheRun `json:"hit_ratio_0.9"`
+
+	// Float32 replay at the 0.9 ratio: every hot-flow response — cache hit
+	// or miss — verified bit-identical to the frozen fast path's direct
+	// inference.
+	Float32HitRatio     float64 `json:"float32_hit_ratio"`
+	Float32HitsVerified uint64  `json:"float32_hits_verified"`
+}
+
+// cacheReq is one replayed request; ref indexes the hot-set reference for
+// bit-identity verification, -1 for unverified cold flows.
+type cacheReq struct {
+	flow *grid.Flow
+	ref  int
+}
+
+// cacheHotSet builds the hot flows from the paper geometries: each case is
+// rasterized at the LR shape and deterministically perturbed so every hot
+// flow is a distinct field even when two cases share an initial state.
+func cacheHotSet() []*grid.Flow {
+	cases := geometry.PaperTestCases(cacheLRH, cacheLRW)
+	rng := rand.New(rand.NewSource(11))
+	flows := make([]*grid.Flow, cacheHotFlows)
+	for i := range flows {
+		f := cases[i%len(cases)].Build()
+		perturbFlow(f, rng)
+		flows[i] = f
+	}
+	return flows
+}
+
+// perturbFlow adds small deterministic noise to all four channels.
+func perturbFlow(f *grid.Flow, rng *rand.Rand) {
+	for k := 0; k < f.H*f.W; k++ {
+		f.U.Data[k] += 1 + 0.3*rng.Float64()
+		f.V.Data[k] += 0.1 * (rng.Float64() - 0.5)
+		f.P.Data[k] += 0.5 * rng.Float64()
+		f.Nut.Data[k] += 3e-3 * rng.Float64()
+	}
+}
+
+// cacheTrace builds one replay: with probability ratio the request repeats a
+// Zipf-popular hot flow, otherwise it is a fresh unique cold flow. Cold
+// flows are materialized here, before the clock starts, so off and on runs
+// replay byte-identical traffic.
+func cacheTrace(ratio float64, hot []*grid.Flow, seed int64) []cacheReq {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, cacheZipfS, 1, uint64(len(hot)-1))
+	trace := make([]cacheReq, cacheRequests)
+	for i := range trace {
+		if rng.Float64() < ratio {
+			k := int(zipf.Uint64())
+			trace[i] = cacheReq{flow: hot[k], ref: k}
+		} else {
+			f := grid.NewFlow(cacheLRH, cacheLRW, 0.1, 0.1)
+			f.UIn, f.Nu, f.NutIn = 1, 1e-3, 3e-3
+			perturbFlow(f, rng)
+			trace[i] = cacheReq{flow: f, ref: -1}
+		}
+	}
+	return trace
+}
+
+// replayTrace drives the trace through a fresh engine with cacheClients
+// concurrent clients (client i replays trace[i::clients] in order), verifies
+// every hot-flow response bit-identical to its reference, and reports
+// throughput, the client-observed p95, the run's engine stats, and the
+// number of verified hot responses.
+func replayTrace(m *core.Model, trace []cacheReq, refs []*core.Inference, opts ...serve.Option) (rps, p95ms float64, st serve.EngineStats, verified uint64, err error) {
+	e, nerr := serve.New(m, append([]serve.Option{
+		serve.WithMaxBatch(8),
+		serve.WithMaxDelay(time.Millisecond),
+		serve.WithWorkers(2),
+	}, opts...)...)
+	if nerr != nil {
+		return 0, 0, st, 0, nerr
+	}
+	defer e.Close()
+
+	lat := make([][]time.Duration, cacheClients)
+	verifiedBy := make([]uint64, cacheClients)
+	errs := make([]error, cacheClients)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for c := 0; c < cacheClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < len(trace); i += cacheClients {
+				req := trace[i]
+				s := time.Now()
+				inf, perr := e.PredictFlow(context.Background(), req.flow)
+				lat[c] = append(lat[c], time.Since(s))
+				if perr != nil {
+					errs[c] = fmt.Errorf("client %d request %d: %w", c, i, perr)
+					return
+				}
+				if req.ref >= 0 {
+					if verr := sameInference(refs[req.ref], inf); verr != nil {
+						errs[c] = fmt.Errorf("client %d request %d (hot %d): %w", c, i, req.ref, verr)
+						return
+					}
+					verifiedBy[c]++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	st = e.Stats()
+	for c, cerr := range errs {
+		if cerr != nil {
+			return 0, 0, st, 0, cerr
+		}
+		verified += verifiedBy[c]
+	}
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	p95 := all[int(0.95*float64(len(all)-1))]
+	return reqPerSec(len(trace), elapsed), float64(p95.Nanoseconds()) / 1e6, st, verified, nil
+}
+
+func measuredHitRatio(st serve.EngineStats) float64 {
+	total := st.CacheHits + st.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.CacheHits) / float64(total)
+}
+
+// Cache runs the Zipf-replay cache benchmark and prints the report.
+func Cache(w io.Writer) error {
+	_, err := CacheJSON(w, "")
+	return err
+}
+
+// CacheJSON runs the cache benchmark, prints the human-readable report to w,
+// and — when jsonPath is non-empty — writes the CacheResult as JSON for
+// regression gating with benchdiff (e.g. -metric hit_ratio_0.9.speedup).
+func CacheJSON(w io.Writer, jsonPath string) (*CacheResult, error) {
+	hot := cacheHotSet()
+	m := serveBenchModel(hot)
+	refs := make([]*core.Inference, len(hot))
+	for i, f := range hot {
+		refs[i] = m.Infer(f)
+	}
+
+	res := &CacheResult{
+		Clients: cacheClients, Requests: cacheRequests,
+		HotFlows: cacheHotFlows, ZipfS: cacheZipfS,
+	}
+	runs := []struct {
+		ratio float64
+		seed  int64
+		out   *CacheRun
+	}{
+		{0.0, 101, &res.Ratio00},
+		{0.5, 105, &res.Ratio05},
+		{0.9, 109, &res.Ratio09},
+	}
+
+	fmt.Fprintf(w, "## cache: Zipf(s=%.1f) replay over %d paper-geometry flows, %d requests, %d clients, outputs bit-identical\n",
+		cacheZipfS, cacheHotFlows, cacheRequests, cacheClients)
+	fmt.Fprintf(w, "%-12s %12s %12s %9s %12s %12s %10s\n",
+		"target", "off req/s", "on req/s", "speedup", "off p95 ms", "on p95 ms", "hit ratio")
+	for _, r := range runs {
+		trace := cacheTrace(r.ratio, hot, r.seed)
+		offRPS, offP95, _, _, err := replayTrace(m, trace, refs)
+		if err != nil {
+			return nil, fmt.Errorf("bench: cache off (ratio %.1f): %w", r.ratio, err)
+		}
+		onRPS, onP95, onStats, _, err := replayTrace(m, trace, refs,
+			serve.WithCache(cacheBudget))
+		if err != nil {
+			return nil, fmt.Errorf("bench: cache on (ratio %.1f): %w", r.ratio, err)
+		}
+		*r.out = CacheRun{
+			TargetHitRatio:   r.ratio,
+			MeasuredHitRatio: measuredHitRatio(onStats),
+			OffRPS:           offRPS,
+			OnRPS:            onRPS,
+			Speedup:          onRPS / offRPS,
+			OffP95Ms:         offP95,
+			OnP95Ms:          onP95,
+			CacheHits:        onStats.CacheHits,
+			CacheMisses:      onStats.CacheMisses,
+			CacheBytes:       onStats.CacheBytes,
+		}
+		fmt.Fprintf(w, "%-12s %12.1f %12.1f %8.2fx %12.3f %12.3f %10.2f\n",
+			fmt.Sprintf("ratio %.1f", r.ratio), offRPS, onRPS, onRPS/offRPS, offP95, onP95,
+			r.out.MeasuredHitRatio)
+	}
+
+	// Float32 replay: the cache must be exact on the fast path too — every
+	// hot response (hit or miss) bitwise equals Model32's direct inference.
+	fm, err := core.NewModel32(m)
+	if err != nil {
+		return nil, fmt.Errorf("bench: freeze float32 model: %w", err)
+	}
+	refs32 := make([]*core.Inference, len(hot))
+	for i, f := range hot {
+		refs32[i] = fm.InferFlow(f)
+	}
+	trace32 := cacheTrace(0.9, hot, 109)
+	_, _, st32, verified32, err := replayTrace(m, trace32, refs32,
+		serve.WithCache(cacheBudget), serve.WithPrecision(serve.Float32))
+	if err != nil {
+		return nil, fmt.Errorf("bench: cache float32 replay: %w", err)
+	}
+	res.Float32HitRatio = measuredHitRatio(st32)
+	res.Float32HitsVerified = verified32
+	fmt.Fprintf(w, "float32 replay at ratio 0.9: %d hot responses verified bit-identical, hit ratio %.2f\n",
+		verified32, res.Float32HitRatio)
+
+	if s := res.Ratio09.Speedup; s >= 3 {
+		fmt.Fprintf(w, "cache is %.2fx the uncached engine at 0.9 hit ratio (target: >= 3x)\n", s)
+	} else {
+		fmt.Fprintf(w, "warning: 0.9-hit-ratio speedup %.2fx is below the 3x target on this run\n", s)
+	}
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("bench: encode cache json: %w", err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("bench: write cache json: %w", err)
+		}
+		fmt.Fprintf(w, "json written to %s\n", jsonPath)
+	}
+	return res, nil
+}

@@ -95,21 +95,25 @@ func (e *Engine) forwardGroup(reqs []*request) (err error) {
 	// reads nothing but the four field channels (grid.ToTensor), so field
 	// equality is exact, and every caller past the first receives its own
 	// deep copy of the result.
+	// buckets maps each field hash to the uniq indices carrying it, so a
+	// batch of n distinct requests costs n map lookups instead of the
+	// n²/2 pairwise key compares of a linear scan; the full-field equality
+	// check on each bucket candidate still rules out hash collisions.
 	uniq := make([]*request, 0, len(reqs))
 	members := make([][]*request, 0, len(reqs))
-	keys := make([]uint64, 0, len(reqs))
+	buckets := make(map[uint64][]int, len(reqs))
 coalesce:
 	for _, req := range reqs {
 		key := flowKey(req.flow)
-		for i, u := range uniq {
-			if keys[i] == key && sameFields(u.flow, req.flow) {
+		for _, i := range buckets[key] {
+			if sameFields(uniq[i].flow, req.flow) {
 				members[i] = append(members[i], req)
 				e.stats.coalesced.Add(1)
 				continue coalesce
 			}
 		}
+		buckets[key] = append(buckets[key], len(uniq))
 		uniq = append(uniq, req)
-		keys = append(keys, key)
 		members = append(members, reqs[:0:0])
 	}
 
@@ -121,6 +125,11 @@ coalesce:
 	}
 
 	for i, inf := range infs {
+		// Populate the prediction cache on reply: the cache takes deep
+		// copies, so handing inf to the caller afterwards aliases nothing.
+		if e.cache != nil {
+			e.cache.put(e.cacheKey(uniq[i].flow), snapFlow(uniq[i].flow), inf)
+		}
 		e.reply(uniq[i], inf)
 		for _, req := range members[i] {
 			e.reply(req, &core.Inference{
@@ -222,15 +231,32 @@ func (e *Engine) fail(req *request, err error) {
 	req.done <- response{err: err}
 }
 
-// flowKey is an FNV-1a hash over the four field channels — the exact inputs
-// of inference. Collisions only gate the full comparison in sameFields.
-func flowKey(f *grid.Flow) uint64 {
-	const prime = 1099511628211
-	h := uint64(14695981039346656037)
+// FNV-1a parameters, shared by the coalescing keys and the cache keys.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnvMix(h, v uint64) uint64 {
+	h ^= v
+	h *= fnvPrime
+	return h
+}
+
+// flowKey is an FNV-1a hash over the grid shape and the four field channels
+// — the exact inputs of inference. Hashing H and W ahead of the payload
+// guarantees two different-shaped fields with identical flattened bytes can
+// never bucket together; collisions among same-shape fields only gate the
+// full comparison in sameFields.
+func flowKey(f *grid.Flow) uint64 { return flowKeySeeded(fnvOffset, f) }
+
+// flowKeySeeded is flowKey from an arbitrary seed; the prediction cache
+// seeds it with the engine's refinement parameters (see cacheSeed).
+func flowKeySeeded(seed uint64, f *grid.Flow) uint64 {
+	h := fnvMix(fnvMix(seed, uint64(f.H)), uint64(f.W))
 	for _, ch := range [][]float64{f.U.Data, f.V.Data, f.P.Data, f.Nut.Data} {
 		for _, v := range ch {
-			h ^= math.Float64bits(v)
-			h *= prime
+			h = fnvMix(h, math.Float64bits(v))
 		}
 	}
 	return h

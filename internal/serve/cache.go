@@ -1,0 +1,355 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adarnet/internal/core"
+	"adarnet/internal/grid"
+	"adarnet/internal/patch"
+	"adarnet/internal/tensor"
+)
+
+// flowCache is the content-addressed prediction cache (DESIGN.md §12): a
+// sharded, byte-budgeted LRU keyed by a hash of the exact input field bytes
+// plus the engine's refinement parameters. It extends the single-flight
+// coalescing in forwardGroup — which deduplicates identical requests that
+// are in flight *concurrently* — to identical requests separated in time:
+// the same geometry at the same Re recurs across users and sessions, and
+// the second identical request should cost a hash and a copy, not a queue
+// wait and a forward pass.
+//
+// Correctness rests on three properties:
+//
+//   - Exactness: the key is a hash of the raw float64 bit patterns of the
+//     four field channels (plus grid shape and refinement parameters), and
+//     every hit re-checks full-field bitwise equality against the stored
+//     input, so a hash collision can never serve the wrong prediction.
+//     Inference reads nothing but the field values, so bitwise-equal inputs
+//     produce bitwise-equal outputs on both precision paths.
+//   - Isolation: entries own deep copies of both the input fields and the
+//     result (copy-on-write at insert), and every hit hands the caller a
+//     fresh deep copy (copy-on-read). Pooled tensors are never aliased into
+//     the cache, and a caller mutating its result cannot poison later hits.
+//   - Bounded memory: the byte budget is split evenly across shards and each
+//     shard evicts from its own LRU tail, so the cache can never exceed the
+//     budget no matter the traffic mix. (A shard cannot borrow another
+//     shard's idle budget; with 16 shards and hash-spread keys the error is
+//     small, and the invariant stays one-lock-local.)
+//
+// Negative caching: an input whose LR solve diverged (solver.ErrDiverged)
+// is deterministic garbage-in — re-solving it burns thousands of iterations
+// to rediscover the same NaN. Those inputs are cached with a short TTL so
+// repeated hostile or buggy traffic is answered immediately, while the TTL
+// keeps a transient misconfiguration from being remembered forever.
+type flowCache struct {
+	perShard int64         // byte budget per shard (total budget / shard count)
+	negTTL   time.Duration // negative-entry lifetime; <= 0 disables negative caching
+	now      func() time.Time
+
+	shards [cacheShardCount]cacheShard
+
+	// Counters and gauges. These atomics are the single source of truth:
+	// EngineStats and the /metrics exposition both read them, so the two
+	// views can never disagree.
+	hits    atomic.Uint64 // positive hits served
+	misses  atomic.Uint64 // lookups that fell through to the pipeline
+	negHits atomic.Uint64 // negative (cached-error) hits served
+	evicted atomic.Uint64 // entries evicted at the byte budget
+	bytes   atomic.Int64  // resident cache bytes across all shards
+	entries atomic.Int64  // resident entry count across all shards
+}
+
+// cacheShardCount is a power of two so the shard index is a mask of the key.
+const cacheShardCount = 16
+
+// cacheEntryOverhead approximates the fixed per-entry cost (headers, list
+// links, bucket slot) charged against the byte budget in addition to the
+// payload slices.
+const cacheEntryOverhead = 256
+
+type cacheShard struct {
+	mu      sync.Mutex
+	buckets map[uint64][]*cacheEntry // hash → entries (collision chain)
+	head    *cacheEntry              // most recently used
+	tail    *cacheEntry              // next eviction candidate
+	bytes   int64
+}
+
+// flowSnap is a deep copy of the cache-relevant part of a flow: the grid
+// shape and the four field channels, exactly the bytes inference reads.
+type flowSnap struct {
+	h, w   int
+	fields [4][]float64
+}
+
+// snapFlow copies f's channels; the snapshot stays valid after the caller's
+// flow is mutated (the LR solve works in place) or recycled.
+func snapFlow(f *grid.Flow) flowSnap {
+	cp := func(s []float64) []float64 {
+		d := make([]float64, len(s))
+		copy(d, s)
+		return d
+	}
+	return flowSnap{
+		h: f.H, w: f.W,
+		fields: [4][]float64{cp(f.U.Data), cp(f.V.Data), cp(f.P.Data), cp(f.Nut.Data)},
+	}
+}
+
+// equalChannels reports bitwise equality against a shape and channel set.
+func (s *flowSnap) equalChannels(h, w int, ch [4][]float64) bool {
+	if s.h != h || s.w != w {
+		return false
+	}
+	for c := range s.fields {
+		a, b := s.fields[c], ch[c]
+		if len(a) != len(b) {
+			return false
+		}
+		for i, v := range a {
+			if math.Float64bits(v) != math.Float64bits(b[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (s *flowSnap) matchesFlow(f *grid.Flow) bool {
+	return s.equalChannels(f.H, f.W, [4][]float64{f.U.Data, f.V.Data, f.P.Data, f.Nut.Data})
+}
+
+func (s *flowSnap) matchesSnap(o *flowSnap) bool {
+	return s.equalChannels(o.h, o.w, o.fields)
+}
+
+func (s *flowSnap) byteSize() int64 {
+	n := 0
+	for _, f := range s.fields {
+		n += len(f)
+	}
+	return int64(n) * 8
+}
+
+// cacheEntry is one memoized prediction (or memoized divergence). All fields
+// are immutable after insert; only the LRU links mutate, under the shard
+// lock, so a reader that grabbed payload references under the lock can copy
+// them after releasing it even if the entry is evicted in between.
+type cacheEntry struct {
+	key uint64
+	in  flowSnap
+
+	// Positive payload: private copies of the inference result.
+	levels     *patch.Map
+	fieldShape []int
+	fieldData  []float64
+	composite  int
+
+	// Negative payload: the divergence error and its expiry. negErr non-nil
+	// marks the entry negative.
+	negErr    error
+	negExpiry time.Time
+
+	bytes      int64
+	prev, next *cacheEntry
+}
+
+func (e *cacheEntry) negative() bool { return e.negErr != nil }
+
+func newFlowCache(budget int64, negTTL time.Duration) *flowCache {
+	per := budget / cacheShardCount
+	if per < 1 {
+		per = 1
+	}
+	return &flowCache{perShard: per, negTTL: negTTL, now: time.Now}
+}
+
+func (c *flowCache) shard(key uint64) *cacheShard {
+	return &c.shards[key&(cacheShardCount-1)]
+}
+
+// get looks f up under key. On a positive hit it returns a fresh deep copy
+// of the stored inference (ok=true); on a live negative hit it returns the
+// stored error (ok=true); otherwise ok=false. countMiss controls whether a
+// fall-through increments the miss counter — the speculative negative-only
+// probe in Predict passes false so one logical request is not counted as
+// two misses.
+func (c *flowCache) get(key uint64, f *grid.Flow, countMiss bool) (*core.Inference, error, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	for _, e := range sh.buckets[key] {
+		if !e.in.matchesFlow(f) {
+			continue
+		}
+		if e.negative() {
+			if c.now().After(e.negExpiry) {
+				sh.removeLocked(c, e)
+				break // expired: a miss, and the pipeline will re-derive it
+			}
+			sh.touchLocked(e)
+			sh.mu.Unlock()
+			c.negHits.Add(1)
+			return nil, e.negErr, true
+		}
+		sh.touchLocked(e)
+		// Payload references are safe to copy outside the lock: entries are
+		// immutable after insert, eviction only unlinks.
+		levels, shape, data, composite := e.levels, e.fieldShape, e.fieldData, e.composite
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		field := tensor.New(shape...)
+		copy(field.Data(), data)
+		return &core.Inference{
+			Levels:         levels.Clone(),
+			Field:          field,
+			CompositeCells: composite,
+		}, nil, true
+	}
+	sh.mu.Unlock()
+	if countMiss {
+		c.misses.Add(1)
+	}
+	return nil, nil, false
+}
+
+// put memoizes a completed inference for the input snapshot. The entry takes
+// deep copies of the result, so the caller-owned Inference (and any pooled
+// storage behind it) is never aliased into the cache.
+func (c *flowCache) put(key uint64, in flowSnap, inf *core.Inference) {
+	e := &cacheEntry{
+		key:        key,
+		in:         in,
+		levels:     inf.Levels.Clone(),
+		fieldShape: inf.Field.Shape(),
+		fieldData:  append([]float64(nil), inf.Field.Data()...),
+		composite:  inf.CompositeCells,
+	}
+	e.bytes = in.byteSize() + int64(len(e.fieldData))*8 + int64(len(e.levels.Level))*8 + cacheEntryOverhead
+	c.insert(e)
+}
+
+// putNegative memoizes a diverged input for negTTL. No-op when negative
+// caching is disabled.
+func (c *flowCache) putNegative(key uint64, in flowSnap, err error) {
+	if c.negTTL <= 0 {
+		return
+	}
+	e := &cacheEntry{
+		key:       key,
+		in:        in,
+		negErr:    err,
+		negExpiry: c.now().Add(c.negTTL),
+	}
+	e.bytes = in.byteSize() + cacheEntryOverhead
+	c.insert(e)
+}
+
+func (c *flowCache) insert(e *cacheEntry) {
+	if e.bytes > c.perShard {
+		// Larger than a whole shard's budget: it would evict everything and
+		// then itself on the next insert. Not cacheable.
+		return
+	}
+	sh := c.shard(e.key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, o := range sh.buckets[e.key] {
+		if !o.in.matchesSnap(&e.in) {
+			continue
+		}
+		// A racing request already populated this input. Keep the resident
+		// entry — unless it is a stale negative being replaced by a real
+		// result (possible only across key spaces that happen to collide,
+		// but cheap to get right).
+		if o.negative() && !e.negative() {
+			sh.removeLocked(c, o)
+			break
+		}
+		return
+	}
+	if sh.buckets == nil {
+		sh.buckets = make(map[uint64][]*cacheEntry)
+	}
+	sh.buckets[e.key] = append(sh.buckets[e.key], e)
+	sh.pushFrontLocked(e)
+	sh.bytes += e.bytes
+	c.bytes.Add(e.bytes)
+	c.entries.Add(1)
+	for sh.bytes > c.perShard && sh.tail != nil && sh.tail != e {
+		victim := sh.tail
+		sh.removeLocked(c, victim)
+		c.evicted.Add(1)
+	}
+}
+
+// purge drops every entry — invalidation on engine close, so a closed
+// engine's results cannot outlive it in the cache.
+func (c *flowCache) purge() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for sh.tail != nil {
+			sh.removeLocked(c, sh.tail)
+		}
+		sh.buckets = nil
+		sh.mu.Unlock()
+	}
+}
+
+func (sh *cacheShard) pushFrontLocked(e *cacheEntry) {
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	} else {
+		sh.tail = e
+	}
+	sh.head = e
+}
+
+func (sh *cacheShard) unlinkLocked(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (sh *cacheShard) touchLocked(e *cacheEntry) {
+	if sh.head == e {
+		return
+	}
+	sh.unlinkLocked(e)
+	sh.pushFrontLocked(e)
+}
+
+// removeLocked unlinks e from the LRU list and its bucket and releases its
+// byte accounting. Caller holds the shard lock.
+func (sh *cacheShard) removeLocked(c *flowCache, e *cacheEntry) {
+	sh.unlinkLocked(e)
+	b := sh.buckets[e.key]
+	for i, o := range b {
+		if o == e {
+			b[i] = b[len(b)-1]
+			b = b[:len(b)-1]
+			break
+		}
+	}
+	if len(b) == 0 {
+		delete(sh.buckets, e.key)
+	} else {
+		sh.buckets[e.key] = b
+	}
+	sh.bytes -= e.bytes
+	c.bytes.Add(-e.bytes)
+	c.entries.Add(-1)
+}

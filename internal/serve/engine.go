@@ -28,6 +28,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"log/slog"
 	"time"
@@ -52,6 +53,8 @@ type config struct {
 	solverOpt  solver.Options
 	levelCap   int
 	precision  Precision
+	cacheBytes int64
+	negTTL     time.Duration
 	metrics    *obs.Registry
 	logger     *slog.Logger
 }
@@ -148,6 +151,32 @@ func WithPrecision(p Precision) Option {
 	}
 }
 
+// WithCache enables the content-addressed prediction cache with a total
+// byte budget (default disabled). Identical inputs recurring over time are
+// answered from memory — bypassing the queue and the forward pass entirely,
+// bit-identical on both precision paths — with LRU eviction keeping the
+// resident set under the budget. See DESIGN.md §12.
+func WithCache(bytes int64) Option {
+	return func(c *config) {
+		if bytes > 0 {
+			c.cacheBytes = bytes
+		}
+	}
+}
+
+// WithNegativeTTL sets the lifetime of negative cache entries — inputs
+// whose LR solve diverged (default 10s; 0 disables negative caching). Only
+// meaningful with WithCache: a repeated diverging input is answered with
+// the cached ErrDiverged instead of burning solver iterations, and the TTL
+// keeps a transient misconfiguration from being remembered forever.
+func WithNegativeTTL(d time.Duration) Option {
+	return func(c *config) {
+		if d >= 0 {
+			c.negTTL = d
+		}
+	}
+}
+
 // WithMetrics attaches the engine's counters and per-stage latency
 // histograms to reg under the adarnet_serve_* names, so a /metrics endpoint
 // exports the same distributions Stats() reports. The engine records into
@@ -194,6 +223,15 @@ type Engine struct {
 	model32 *core.Model32
 	cfg     config
 
+	// cache is the content-addressed prediction cache, non-nil iff the
+	// engine was built with WithCache. Hits bypass the queue and the
+	// forward pass; misses flow through the pipeline and populate it on
+	// reply. cacheSeed folds the refinement parameters (patch size, bins,
+	// level cap, precision) into every cache key so engines with different
+	// parameters can never be confused for one another.
+	cache     *flowCache
+	cacheSeed uint64
+
 	queue   chan *request   // bounded submission queue
 	batches chan []*request // unbuffered batcher→worker handoff
 
@@ -231,6 +269,7 @@ func New(m *core.Model, opts ...Option) (*Engine, error) {
 		queueDepth: 64,
 		solverOpt:  solver.DefaultOptions(),
 		levelCap:   patch.MaxLevel,
+		negTTL:     10 * time.Second,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -248,6 +287,10 @@ func New(m *core.Model, opts ...Option) (*Engine, error) {
 			return nil, fmt.Errorf("serve: freeze float32 model: %w", err)
 		}
 		e.model32 = fm
+	}
+	if cfg.cacheBytes > 0 {
+		e.cache = newFlowCache(cfg.cacheBytes, cfg.negTTL)
+		e.cacheSeed = cacheSeed(m.Cfg, &cfg)
 	}
 	if cfg.metrics != nil {
 		e.RegisterMetrics(cfg.metrics)
@@ -280,15 +323,39 @@ func (e *Engine) Close() error {
 	close(e.queue)
 	e.mu.Unlock()
 	e.wg.Wait()
+	// Invalidate the prediction cache: a closed engine's results must not
+	// outlive it, and the byte budget is released immediately.
+	if e.cache != nil {
+		e.cache.purge()
+	}
 	return nil
 }
 
 // Predict builds the case's LR grid, runs the physics solver to produce the
 // model input (in the caller's goroutine — the solve is per-request work),
-// then submits the field for batched inference.
+// then submits the field for batched inference. With the cache enabled, the
+// unsolved initial state is probed first: a previous identical case whose
+// LR solve diverged answers immediately from the negative cache instead of
+// burning solver iterations to rediscover the same NaN.
 func (e *Engine) Predict(ctx context.Context, c *geometry.Case) (*core.Inference, error) {
 	lr := c.Build()
+	if e.cache == nil {
+		if _, err := solver.Solve(ctx, lr, e.cfg.solverOpt); err != nil {
+			return nil, err
+		}
+		return e.PredictFlow(ctx, lr)
+	}
+	// countMiss=false: this probe and the post-solve PredictFlow lookup are
+	// one logical request; only the latter counts toward the miss ratio.
+	if inf, err, ok := e.cacheLookup(lr, false); ok {
+		return inf, err
+	}
+	key := e.cacheKey(lr)
+	snap := snapFlow(lr) // the solve mutates lr in place
 	if _, err := solver.Solve(ctx, lr, e.cfg.solverOpt); err != nil {
+		if errors.Is(err, solver.ErrDiverged) {
+			e.cache.putNegative(key, snap, err)
+		}
 		return nil, err
 	}
 	return e.PredictFlow(ctx, lr)
@@ -296,13 +363,20 @@ func (e *Engine) Predict(ctx context.Context, c *geometry.Case) (*core.Inference
 
 // PredictFlow submits a solved LR flow field for batched inference and
 // blocks until the result, a queue rejection, or ctx cancellation. The field
-// is read, not retained.
+// is read, not retained. With the cache enabled, a hit bypasses the queue
+// and the forward pass entirely and returns a private copy of the memoized
+// result (bit-identical to recomputing it); only misses enter the pipeline.
 func (e *Engine) PredictFlow(ctx context.Context, lr *grid.Flow) (*core.Inference, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if e.cache != nil {
+		if inf, err, ok := e.cacheLookup(lr, true); ok {
+			return inf, err
+		}
 	}
 	req := &request{ctx: ctx, flow: lr, enqueued: time.Now(), done: make(chan response, 1)}
 
@@ -337,6 +411,48 @@ func (e *Engine) PredictFlow(ctx context.Context, lr *grid.Flow) (*core.Inferenc
 // awaitDone exists so the select above reads naturally; done is buffered, so
 // the abandoned-request path leaks nothing.
 func (e *Engine) awaitDone(req *request) chan response { return req.done }
+
+// cacheSeed folds the engine's refinement parameters into the hash seed for
+// cache keys: two engines differing in patch size, bin count, level cap, or
+// precision produce different predictions for the same field, so their keys
+// must never coincide.
+func cacheSeed(mc core.Config, cfg *config) uint64 {
+	h := fnvOffset
+	for _, v := range [...]uint64{
+		uint64(mc.PatchH), uint64(mc.PatchW), uint64(mc.Bins),
+		uint64(cfg.levelCap), uint64(cfg.precision),
+	} {
+		h = fnvMix(h, v)
+	}
+	return h
+}
+
+// cacheKey is flowKey seeded with the engine's refinement parameters.
+func (e *Engine) cacheKey(f *grid.Flow) uint64 { return flowKeySeeded(e.cacheSeed, f) }
+
+// cacheLookup consults the prediction cache (caller guarantees it is
+// enabled). ok=true carries either a hit — a private copy of the memoized
+// inference, or the memoized divergence error — or ErrEngineClosed: a
+// closed engine must not serve from its cache any more than from its queue.
+func (e *Engine) cacheLookup(lr *grid.Flow, countMiss bool) (*core.Inference, error, bool) {
+	start := time.Now()
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		return nil, fmt.Errorf("serve: submit: %w", ErrEngineClosed), true
+	}
+	inf, cerr, ok := e.cache.get(e.cacheKey(lr), lr, countMiss)
+	if !ok {
+		return nil, nil, false
+	}
+	e.stats.cacheHit.ObserveDuration(time.Since(start))
+	if cerr != nil {
+		return nil, fmt.Errorf("serve: negative cache: %w", cerr), true
+	}
+	inf.Elapsed = time.Since(start)
+	return inf, nil, true
+}
 
 // batcher collects queued requests into batches, flushing when MaxBatch is
 // reached or MaxDelay after the first pending request.

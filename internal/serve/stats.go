@@ -28,6 +28,7 @@ type counters struct {
 	assemble  obs.Histogram // cap/assemble/invert + demux, ns, per batch group
 	e2e       obs.Histogram // submit → reply delivered, ns, per completed request
 	occupancy obs.Histogram // requests per flushed batch
+	cacheHit  obs.Histogram // cache lookup → copied reply, ns, per cache hit
 }
 
 // EngineStats is a point-in-time snapshot of the engine's counters and
@@ -54,6 +55,18 @@ type EngineStats struct {
 	// request succeeding).
 	Retried uint64
 
+	// Prediction-cache counters (DESIGN.md §12); all zero without
+	// WithCache. Cache hits bypass the queue, so they appear here and in
+	// the CacheHit histogram rather than in Requests/Completed/E2E. The
+	// same atomics feed the adarnet_serve_cache_* series on /metrics, so
+	// the two views can never disagree.
+	CacheHits         uint64 // predictions served from the cache
+	CacheMisses       uint64 // lookups that fell through to the pipeline
+	CacheNegativeHits uint64 // cached ErrDiverged answers
+	CacheEvicted      uint64 // entries evicted at the byte budget
+	CacheBytes        int64  // resident cache bytes
+	CacheEntries      int64  // resident cache entries
+
 	// MeanBatchOccupancy is requests per batch — the micro-batching win.
 	MeanBatchOccupancy float64
 
@@ -65,6 +78,9 @@ type EngineStats struct {
 	MeanAssemble time.Duration
 	// MeanE2E is the average submit → reply latency per completed request.
 	MeanE2E time.Duration
+	// MeanCacheHit is the average lookup → copied-reply latency per cache
+	// hit — the cost of serving a memoized prediction.
+	MeanCacheHit time.Duration
 
 	// Per-stage latency tails, from the same histograms that feed the means
 	// and the /metrics exposition. E2E covers submit → reply for completed
@@ -74,6 +90,7 @@ type EngineStats struct {
 	ForwardTail   Tail
 	AssembleTail  Tail
 	E2ETail       Tail
+	CacheHitTail  Tail
 }
 
 // Tail summarizes a latency distribution at the quantiles operators watch.
@@ -106,11 +123,20 @@ func (e *Engine) Stats() EngineStats {
 		Panics:    e.stats.panics.Load(),
 		Retried:   e.stats.retried.Load(),
 	}
+	if c := e.cache; c != nil {
+		s.CacheHits = c.hits.Load()
+		s.CacheMisses = c.misses.Load()
+		s.CacheNegativeHits = c.negHits.Load()
+		s.CacheEvicted = c.evicted.Load()
+		s.CacheBytes = c.bytes.Load()
+		s.CacheEntries = c.entries.Load()
+	}
 	qs := e.stats.queueWait.Snapshot()
 	fs := e.stats.forward.Snapshot()
 	as := e.stats.assemble.Snapshot()
 	es := e.stats.e2e.Snapshot()
 	os := e.stats.occupancy.Snapshot()
+	cs := e.stats.cacheHit.Snapshot()
 
 	s.Batches = os.Count
 	s.MeanBatchOccupancy = os.Mean()
@@ -118,18 +144,21 @@ func (e *Engine) Stats() EngineStats {
 	s.MeanForward = time.Duration(fs.Mean())
 	s.MeanAssemble = time.Duration(as.Mean())
 	s.MeanE2E = time.Duration(es.Mean())
+	s.MeanCacheHit = time.Duration(cs.Mean())
 	s.QueueWaitTail = tailOf(qs)
 	s.ForwardTail = tailOf(fs)
 	s.AssembleTail = tailOf(as)
 	s.E2ETail = tailOf(es)
+	s.CacheHitTail = tailOf(cs)
 	return s
 }
 
 // String renders the snapshot for logs.
 func (s EngineStats) String() string {
-	return fmt.Sprintf("precision=%s requests=%d completed=%d canceled=%d rejected=%d batches=%d coalesced=%d panics=%d retried=%d occupancy=%.2f queue_wait=%v forward=%v assemble=%v",
+	return fmt.Sprintf("precision=%s requests=%d completed=%d canceled=%d rejected=%d batches=%d coalesced=%d panics=%d retried=%d occupancy=%.2f queue_wait=%v forward=%v assemble=%v cache_hits=%d cache_misses=%d cache_evicted=%d cache_bytes=%d",
 		s.Precision, s.Requests, s.Completed, s.Canceled, s.Rejected, s.Batches, s.Coalesced, s.Panics, s.Retried,
-		s.MeanBatchOccupancy, s.MeanQueueWait, s.MeanForward, s.MeanAssemble)
+		s.MeanBatchOccupancy, s.MeanQueueWait, s.MeanForward, s.MeanAssemble,
+		s.CacheHits, s.CacheMisses, s.CacheEvicted, s.CacheBytes)
 }
 
 // RegisterMetrics attaches the engine's counters and stage histograms to a
@@ -164,9 +193,40 @@ func (e *Engine) RegisterMetrics(reg *obs.Registry) {
 			}
 			return 0
 		})
+	// Cache series read the flowCache atomics through a nil guard so the
+	// names are stable whether or not the engine was built with WithCache;
+	// EngineStats reads the same atomics, so the views always agree.
+	cacheVal := func(read func(*flowCache) float64) func() float64 {
+		return func() float64 {
+			if e.cache == nil {
+				return 0
+			}
+			return read(e.cache)
+		}
+	}
+	reg.CounterFunc("adarnet_serve_cache_hits_total", "Predictions served from the content-addressed cache.",
+		cacheVal(func(fc *flowCache) float64 { return float64(fc.hits.Load()) }))
+	reg.CounterFunc("adarnet_serve_cache_misses_total", "Cache lookups that fell through to the batched pipeline.",
+		cacheVal(func(fc *flowCache) float64 { return float64(fc.misses.Load()) }))
+	reg.CounterFunc("adarnet_serve_cache_negative_hits_total", "Cached ErrDiverged answers served without re-solving.",
+		cacheVal(func(fc *flowCache) float64 { return float64(fc.negHits.Load()) }))
+	reg.CounterFunc("adarnet_serve_cache_evicted_total", "Cache entries evicted at the byte budget.",
+		cacheVal(func(fc *flowCache) float64 { return float64(fc.evicted.Load()) }))
+	reg.GaugeFunc("adarnet_serve_cache_bytes", "Resident prediction-cache bytes.",
+		cacheVal(func(fc *flowCache) float64 { return float64(fc.bytes.Load()) }))
+	reg.GaugeFunc("adarnet_serve_cache_entries", "Resident prediction-cache entries.",
+		cacheVal(func(fc *flowCache) float64 { return float64(fc.entries.Load()) }))
+	reg.GaugeFunc("adarnet_serve_cache_enabled", "1 when the engine was built with WithCache, 0 otherwise.",
+		func() float64 {
+			if e.cache != nil {
+				return 1
+			}
+			return 0
+		})
 	reg.AttachHistogram("adarnet_serve_queue_wait_seconds", "Submit to batch-pickup wait per request.", 1e-9, &c.queueWait)
 	reg.AttachHistogram("adarnet_serve_forward_seconds", "Batched forward-pass time per batch group.", 1e-9, &c.forward)
 	reg.AttachHistogram("adarnet_serve_assemble_seconds", "Assembly/demux time per batch group.", 1e-9, &c.assemble)
 	reg.AttachHistogram("adarnet_serve_e2e_seconds", "Submit to reply latency per completed request.", 1e-9, &c.e2e)
 	reg.AttachHistogram("adarnet_serve_batch_occupancy", "Requests per flushed batch.", 1, &c.occupancy)
+	reg.AttachHistogram("adarnet_serve_cache_hit_seconds", "Lookup to copied-reply latency per cache hit.", 1e-9, &c.cacheHit)
 }
