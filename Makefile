@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race bench bench-json benchdiff verify
+.PHONY: all build fmt vet vet-deprecated test race bench bench-json benchdiff verify
 
 all: verify
 
@@ -13,6 +13,13 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# First-party callers must use the context-aware entry points; the
+# deprecated non-Context wrappers stay only as compatibility shims for
+# external importers. Fails (with the offending lines) on any hit.
+vet-deprecated:
+	@out=$$(grep -rnE 'adarnet\.(RunE2E|Solve|RunAMR|GenerateDataset)\(' cmd examples 2>/dev/null); \
+	if [ -n "$$out" ]; then echo "deprecated non-Context entry points in first-party code:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -30,9 +37,9 @@ bench:
 	$(GO) test ./internal/obs ./internal/tensor ./internal/nn ./internal/serve/... ./internal/core/... -run '^$$' -bench . -benchmem
 
 # Machine-readable benchmark snapshots (BENCH_serve.json, BENCH_infer32.json,
-# BENCH_cache.json) for regression gating with benchdiff.
+# BENCH_cache.json, BENCH_cluster.json) for regression gating with benchdiff.
 bench-json:
-	$(GO) run ./cmd/adarnet-bench -exp micro,serve,infer32,cache -json-dir .
+	$(GO) run ./cmd/adarnet-bench -exp micro,serve,infer32,cache,cluster -json-dir .
 
 # Compare two benchmark snapshots; gate on a metric with e.g.
 #   make benchdiff OLD=BENCH_infer32.old.json NEW=BENCH_infer32.json \
@@ -40,11 +47,14 @@ bench-json:
 # or gate the prediction cache's skewed-replay win with
 #   make benchdiff OLD=BENCH_cache.old.json NEW=BENCH_cache.json \
 #     BENCHDIFF_FLAGS='-metric hit_ratio_0.9.speedup -max-regress 10'
+# or gate the cluster scale-out win (4 replicas vs 1 on the hot mix) with
+#   make benchdiff OLD=BENCH_cluster.old.json NEW=BENCH_cluster.json \
+#     BENCHDIFF_FLAGS='-metric replicas_4.speedup -max-regress 10'
 OLD ?= BENCH_infer32.old.json
 NEW ?= BENCH_infer32.json
 BENCHDIFF_FLAGS ?=
 benchdiff:
 	$(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS) $(OLD) $(NEW)
 
-verify: fmt vet build test race
+verify: fmt vet vet-deprecated build test race
 	@echo verify OK

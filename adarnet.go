@@ -12,7 +12,8 @@
 // The façade re-exports the user-facing pieces of the internal packages:
 //
 //   - model construction, training, inference: Model, New, Trainer
-//   - batched serving: Predictor, Engine, NewEngine, engine options
+//   - batched serving: Predictor, Engine, NewEngine, Cluster, NewCluster,
+//     and one shared functional-options vocabulary for both
 //   - the physics substrate: Case constructors, Solve
 //   - the baselines: AMRRun (feature-based AMR), SURFNet (uniform SR)
 //   - the evaluation harness: experiment runners for every paper figure/table
@@ -35,11 +36,19 @@
 // Observability (DESIGN.md §10): every engine records per-stage latency
 // histograms (queue wait, forward, assemble, end-to-end) and batch
 // occupancy; EngineStats reports means and p50/p95/p99 tails derived from
-// those histograms. WithEngineMetrics attaches the engine's instruments to
-// a MetricsRegistry — DefaultMetrics is the process-wide registry exposed
-// by the cmd binaries on /metrics in Prometheus text format — and
-// WithEngineLogger routes the engine's contained-panic reports to a
-// structured *slog.Logger with the request IDs of the affected calls.
+// those histograms. WithMetrics attaches the serving instruments to a
+// MetricsRegistry — DefaultMetrics is the process-wide registry exposed by
+// the cmd binaries on /metrics in Prometheus text format; a Cluster labels
+// each replica's series replica="i" — and WithLogger routes contained-panic
+// reports and ejection events to a structured *slog.Logger with the request
+// IDs of the affected calls.
+//
+// Scale-out (DESIGN.md §13): NewCluster runs WithReplicas(n) engine replicas
+// behind a shard-aware router — consistent-hash routing on the request's
+// content key keeps repeats on the replica whose cache is warm, unhealthy
+// replicas are ejected and replaced from the same frozen model, and
+// WithHedge races a second attempt against the tail. Cluster satisfies the
+// same Predictor contract as Engine.
 //
 // Caching (DESIGN.md §12): WithCache layers a content-addressed prediction
 // cache over the engine — a sharded, byte-budgeted LRU keyed by the exact
@@ -113,7 +122,39 @@ type SURFNet = surfnet.Model
 // results to each caller.
 type Engine = serve.Engine
 
+// Cluster fans requests across N in-process engine replicas behind the same
+// Predictor contract as Engine: consistent-hash routing on the request's
+// content key (cache-affine), load-aware fallback, router-level single-flight
+// coalescing, health-based ejection and replacement, optional hedged retries,
+// and graceful drain on Close (DESIGN.md §13).
+type Cluster = serve.Cluster
+
+// ClusterStats is the fleet view: the exact cross-replica aggregate, each
+// replica's own counters, and the router's counters.
+type ClusterStats = serve.ClusterStats
+
+// ReplicaStats is one replica slot's snapshot inside ClusterStats.
+type ReplicaStats = serve.ReplicaStats
+
+// Health is a point-in-time per-replica readiness report (the /healthz JSON
+// body); Ready is false only when zero replicas are routable.
+type Health = serve.Health
+
+// ReplicaHealth describes one replica slot's routability and health signals.
+type ReplicaHealth = serve.ReplicaHealth
+
+// Option configures an Engine or a Cluster at construction. Engine and
+// Cluster share one functional-options vocabulary: per-replica options
+// (WithMaxBatch, WithWorkers, WithCache, ...) apply to each engine a Cluster
+// builds, while cluster-level options (WithReplicas, WithHedge,
+// WithHealthInterval, WithEjectPanics, WithEjectP99) are read by NewCluster
+// and ignored by NewEngine.
+type Option = serve.Option
+
 // EngineOption configures an Engine at construction.
+//
+// Deprecated: use Option, the shared Engine/Cluster options vocabulary.
+// EngineOption is an alias of it.
 type EngineOption = serve.Option
 
 // EngineStats is a point-in-time snapshot of an engine's counters and
@@ -163,10 +204,12 @@ type Predictor interface {
 	PredictFlow(ctx context.Context, lr *Flow) (*Inference, error)
 }
 
-// Both implementations are checked at compile time.
+// All implementations are checked at compile time; Engine and Cluster are
+// interchangeable behind the serving contract.
 var (
 	_ Predictor = (*Model)(nil)
 	_ Predictor = (*Engine)(nil)
+	_ Predictor = (*Cluster)(nil)
 )
 
 // Typed sentinel errors; matched with errors.Is against wrapped returns.
@@ -193,11 +236,19 @@ var (
 type PanicError = serve.PanicError
 
 // NewEngine starts a batched inference engine for a trained model.
-func NewEngine(m *Model, opts ...EngineOption) (*Engine, error) {
+func NewEngine(m *Model, opts ...Option) (*Engine, error) {
 	return serve.New(m, opts...)
 }
 
-// Engine construction options.
+// NewCluster starts WithReplicas(n) engine replicas for a trained model
+// behind a shard-aware router. Per-replica options apply to every replica;
+// with WithPrecision(Float32) the model is frozen once and shared.
+func NewCluster(m *Model, opts ...Option) (*Cluster, error) {
+	return serve.NewCluster(m, opts...)
+}
+
+// Engine and Cluster construction options (one shared vocabulary; see
+// Option for which apply per replica and which are cluster-level).
 var (
 	// WithMaxBatch sets the batch flush size (default 8).
 	WithMaxBatch = serve.WithMaxBatch
@@ -222,11 +273,40 @@ var (
 	// whose LR solve diverged are answered with the cached ErrDiverged for
 	// this long instead of re-solving (default 10s; 0 disables).
 	WithNegativeTTL = serve.WithNegativeTTL
+	// WithMetrics attaches the serving counters and stage histograms to a
+	// metrics registry (adarnet_serve_* on /metrics; a Cluster labels each
+	// replica's series replica="i" and adds the adarnet_cluster_* router
+	// counters).
+	WithMetrics = serve.WithMetrics
+	// WithLogger routes contained-panic reports and cluster ejection events
+	// to a structured logger.
+	WithLogger = serve.WithLogger
+
+	// Cluster-level options, read by NewCluster and ignored by NewEngine.
+
+	// WithReplicas sets the replica count (default 1).
+	WithReplicas = serve.WithReplicas
+	// WithHedge enables hedged retries: a second attempt on another replica
+	// after the larger of this floor and the observed p99 latency; the first
+	// response wins and the loser is cancelled (default disabled).
+	WithHedge = serve.WithHedge
+	// WithHealthInterval sets the health-monitor cadence (default 250ms).
+	WithHealthInterval = serve.WithHealthInterval
+	// WithEjectPanics sets the contained-panic budget per health window
+	// before a replica is ejected and replaced (default 3; 0 disables).
+	WithEjectPanics = serve.WithEjectPanics
+	// WithEjectP99 bounds a replica's windowed p99 end-to-end latency before
+	// ejection (default 0 = disabled).
+	WithEjectP99 = serve.WithEjectP99
+
 	// WithEngineMetrics attaches the engine's counters and stage histograms
-	// to a metrics registry (adarnet_serve_* on /metrics).
+	// to a metrics registry.
+	//
+	// Deprecated: use WithMetrics, which covers Engine and Cluster alike.
 	WithEngineMetrics = serve.WithMetrics
-	// WithEngineLogger routes contained-panic reports (stage, request IDs,
-	// panic value, truncated stack) to a structured logger.
+	// WithEngineLogger routes contained-panic reports to a structured logger.
+	//
+	// Deprecated: use WithLogger, which covers Engine and Cluster alike.
 	WithEngineLogger = serve.WithLogger
 )
 

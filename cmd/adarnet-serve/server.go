@@ -18,12 +18,18 @@ import (
 	"adarnet/internal/serve"
 )
 
-// predictor is the slice of *serve.Engine the HTTP layer uses; tests stub it
-// to exercise request validation and error mapping without a trained model.
+// predictor is the slice of serve.Predictor the HTTP layer uses — Engine and
+// Cluster both satisfy it; tests stub it to exercise request validation and
+// error mapping without a trained model.
 type predictor interface {
 	Predict(ctx context.Context, c *geometry.Case) (*core.Inference, error)
 	Stats() serve.EngineStats
+	Health() serve.Health
 }
+
+// The HTTP layer's contract is a subset of serve.Predictor, so any serving
+// shape plugs in unchanged.
+var _ predictor = (serve.Predictor)(nil)
 
 // HTTP-boundary metrics, registered once on the process registry: every
 // request through the middleware lands in the latency histogram, and 5xx
@@ -229,8 +235,16 @@ func newMux(p predictor, cfg serverConfig) http.Handler {
 			http.Error(w, "GET only", http.StatusMethodNotAllowed)
 			return
 		}
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
+		// Readiness, not just liveness: per-replica detail in the body, 503
+		// when zero replicas are routable so load balancers stop sending.
+		h := p.Health()
+		w.Header().Set("Content-Type", "application/json")
+		if !h.Ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		if err := json.NewEncoder(w).Encode(h); err != nil {
+			logger.Warn("healthz encode failed", "request_id", obs.RequestIDFrom(r.Context()), "err", err.Error())
+		}
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -238,7 +252,13 @@ func newMux(p predictor, cfg serverConfig) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(p.Stats()); err != nil {
+		// A cluster reports the full fleet view — aggregate, per-replica
+		// snapshots, router counters; an engine reports its EngineStats.
+		var body any = p.Stats()
+		if cs, ok := p.(interface{ ClusterStats() serve.ClusterStats }); ok {
+			body = cs.ClusterStats()
+		}
+		if err := json.NewEncoder(w).Encode(body); err != nil {
 			logger.Warn("stats encode failed", "request_id", obs.RequestIDFrom(r.Context()), "err", err.Error())
 		}
 	})

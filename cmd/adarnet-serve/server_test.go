@@ -24,6 +24,7 @@ type stubPredictor struct {
 	inf     *core.Inference
 	err     error
 	block   bool // wait for ctx cancellation instead of answering
+	unready bool // report zero routable replicas from Health
 	gotCase *geometry.Case
 }
 
@@ -40,6 +41,13 @@ func (s *stubPredictor) Predict(ctx context.Context, c *geometry.Case) (*core.In
 }
 
 func (s *stubPredictor) Stats() serve.EngineStats { return serve.EngineStats{Panics: 2} }
+
+func (s *stubPredictor) Health() serve.Health {
+	if s.unready {
+		return serve.Health{Replicas: []serve.ReplicaHealth{{State: serve.StateClosed}}}
+	}
+	return serve.Health{Ready: true, Replicas: []serve.ReplicaHealth{{State: serve.StateReady}}}
+}
 
 func stubInference() *core.Inference {
 	return &core.Inference{Levels: patch.NewMap(8, 16, 4, 4), CompositeCells: 123}
@@ -202,6 +210,41 @@ func TestRequestDeadline(t *testing.T) {
 	}
 	if time.Since(start) > 2*time.Second {
 		t.Fatal("deadline did not cut the request off promptly")
+	}
+}
+
+// TestHealthzReadiness checks that /healthz reports per-replica state as
+// JSON and flips to 503 the moment no replica is routable, so load
+// balancers stop sending traffic to a draining or dead process.
+func TestHealthzReadiness(t *testing.T) {
+	getHealthz := func(stub *stubPredictor) *httptest.ResponseRecorder {
+		mux := newMux(stub, testConfig())
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+		return rec
+	}
+
+	rec := getHealthz(&stubPredictor{inf: stubInference()})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ready predictor: status = %d, want 200 (body %q)", rec.Code, rec.Body)
+	}
+	var h serve.Health
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatalf("healthz body is not JSON: %v (body %q)", err, rec.Body)
+	}
+	if !h.Ready || len(h.Replicas) != 1 || h.Replicas[0].State != serve.StateReady {
+		t.Errorf("healthz body = %+v, want ready with one ready replica", h)
+	}
+
+	rec = getHealthz(&stubPredictor{inf: stubInference(), unready: true})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("unready predictor: status = %d, want 503 (body %q)", rec.Code, rec.Body)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatalf("unready healthz body is not JSON: %v (body %q)", err, rec.Body)
+	}
+	if h.Ready || len(h.Replicas) != 1 || h.Replicas[0].State != serve.StateClosed {
+		t.Errorf("unready healthz body = %+v, want not-ready with one closed replica", h)
 	}
 }
 

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +21,7 @@ func main() {
 	const h, w, patchSize = 16, 32, 4
 
 	fmt.Println("training on ellipse sweeps (airfoils are unseen)...")
-	samples, err := adarnet.GenerateDataset(2, h, w)
+	samples, err := adarnet.GenerateDatasetContext(context.Background(), 2, h, w)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func main() {
 	for _, code := range []string{"0012", "1412"} {
 		c := adarnet.AirfoilCase(code, 2.5e4, h, w)
 		lr := c.Build()
-		if _, err := adarnet.Solve(lr, sopt); err != nil {
+		if _, err := adarnet.SolveContext(context.Background(), lr, sopt); err != nil {
 			log.Fatal(err)
 		}
 		inf := model.Infer(lr)

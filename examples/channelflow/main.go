@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -23,7 +24,7 @@ func main() {
 	// Train a small model on channel sweeps only (fast); the paper trains
 	// one model on all three families.
 	fmt.Println("preparing model...")
-	samples, err := adarnet.GenerateDataset(3, h, w)
+	samples, err := adarnet.GenerateDatasetContext(context.Background(), 3, h, w)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func main() {
 
 	// ADARNet path.
 	fmt.Printf("\nADARNet end-to-end on %s...\n", c.Name)
-	e2e, err := adarnet.RunE2E(model, c, sopt)
+	e2e, err := adarnet.RunE2EContext(context.Background(), model, c, sopt)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func main() {
 	fmt.Println("feature-based AMR baseline...")
 	cfg := adarnet.DefaultAMRConfig(patchSize, patchSize)
 	cfg.Solver = sopt
-	amrRes, err := adarnet.RunAMR(c, cfg)
+	amrRes, err := adarnet.RunAMRContext(context.Background(), c, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -22,7 +23,7 @@ func main() {
 
 	// Train on the ellipse family only (the paper's external-flow corpus).
 	fmt.Println("training on ellipse sweeps (cylinder is unseen)...")
-	samples, err := adarnet.GenerateDataset(2, h, w)
+	samples, err := adarnet.GenerateDatasetContext(context.Background(), 2, h, w)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func main() {
 	}
 
 	c := adarnet.CylinderCase(1e5, h, w)
-	e2e, err := adarnet.RunE2E(model, c, adarnet.DefaultSolverOptions())
+	e2e, err := adarnet.RunE2EContext(context.Background(), model, c, adarnet.DefaultSolverOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

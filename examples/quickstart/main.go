@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -18,7 +19,7 @@ func main() {
 	// 1. Generate a small LR corpus by running the RANS-SA solver over the
 	//    paper's training sweeps (channel, flat plate, ellipses).
 	fmt.Println("generating corpus (this runs the CFD solver)...")
-	samples, err := adarnet.GenerateDataset(2, 8, 32)
+	samples, err := adarnet.GenerateDatasetContext(context.Background(), 2, 8, 32)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func main() {
 	// 3. One-shot inference on a boundary condition unseen in the corpus.
 	testCase := adarnet.ChannelCase(2.5e3, 8, 32)
 	lr := testCase.Build()
-	if _, err := adarnet.Solve(lr, adarnet.DefaultSolverOptions()); err != nil {
+	if _, err := adarnet.SolveContext(context.Background(), lr, adarnet.DefaultSolverOptions()); err != nil {
 		log.Fatal(err)
 	}
 	inf := model.Infer(lr)

@@ -1,0 +1,313 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adarnet/internal/core"
+	"adarnet/internal/geometry"
+	"adarnet/internal/grid"
+	"adarnet/internal/serve"
+)
+
+// Cluster scale-out benchmark: the PR 6 Zipf trace generator drives
+// serve.Cluster at 1, 2 and 4 replicas on the hot mix — every request
+// repeats a Zipf(s=1.1)-popular flow from a 48-flow paper-geometry hot set
+// (PR 2's "hot" workload, PR 6's skew). The per-replica cache budget is
+// deliberately tight — 32 entries, two per shard, against 48 hot flows — so
+// a single replica's LRU keeps evicting the Zipf tail, while four replicas,
+// with the router sharding hot flows by the same content hash the caches
+// key on, hold the entire hot set in aggregate (~12 flows each). On a
+// single-core box the speedup therefore measures partitioned cache
+// capacity, not parallelism. A final kill-replay at the PR 6 mixed ratio
+// arms a panic fault on one replica mid-trace and proves the router
+// reroutes every request: zero failures, at least one ejection, outputs
+// still bit-identical.
+const (
+	clusterHotFlows = 48 // hot set: 3x one replica's cache, 0.75x the 4-replica aggregate
+	clusterKillAt   = 3  // arm the fault after 1/killAt of the trace
+
+	// clusterShardEntries sizes the per-replica budget in entries per cache
+	// shard. The prediction cache splits its byte budget evenly across 16
+	// shards and refuses entries larger than one shard's slice, so budgets
+	// only act in whole-shard-slot steps: two slots per shard gives each
+	// replica an effective capacity of 32 entries spread by content hash.
+	clusterShardEntries = 2
+	clusterCacheShards  = 16 // serve's cacheShardCount (internal constant)
+)
+
+// ClusterRun is one replica-count replay over the shared trace.
+type ClusterRun struct {
+	Replicas    int     `json:"replicas"`
+	RPS         float64 `json:"rps"`
+	Speedup     float64 `json:"speedup"` // vs the 1-replica run
+	P95Ms       float64 `json:"p95_ms"`
+	HitRatio    float64 `json:"hit_ratio"` // aggregate across replicas
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
+	Coalesced   uint64  `json:"coalesced"`
+	Verified    uint64  `json:"verified"`
+}
+
+// ClusterKill reports the fault-injection replay: a replica starts
+// panicking mid-trace, the health monitor ejects and replaces it, and the
+// router's retriable-error rerouting keeps the failure count at zero.
+type ClusterKill struct {
+	Replicas  int    `json:"replicas"`
+	Requests  int    `json:"requests"`
+	Failed    uint64 `json:"failed"`
+	Verified  uint64 `json:"verified"`
+	Ejections uint64 `json:"ejections"`
+	Retries   uint64 `json:"retries"`
+}
+
+// ClusterResult is the machine-readable output; benchdiff gates on e.g.
+// replicas_4.speedup.
+type ClusterResult struct {
+	Clients              int     `json:"clients"`
+	Requests             int     `json:"requests"`
+	HotFlows             int     `json:"hot_flows"`
+	ZipfS                float64 `json:"zipf_s"`
+	PerReplicaCacheBytes int64   `json:"per_replica_cache_bytes"`
+
+	Replicas1 ClusterRun  `json:"replicas_1"`
+	Replicas2 ClusterRun  `json:"replicas_2"`
+	Replicas4 ClusterRun  `json:"replicas_4"`
+	Kill      ClusterKill `json:"kill_replay"`
+}
+
+// probeEntryBytes measures one cached inference's resident size at the
+// benchmark's LR shape, so the per-replica budget can be expressed in
+// entries rather than a magic byte count that silently drifts when the
+// inference payload changes.
+func probeEntryBytes(m *core.Model, f *grid.Flow) (int64, error) {
+	e, err := serve.New(m, serve.WithCache(cacheBudget))
+	if err != nil {
+		return 0, err
+	}
+	defer e.Close()
+	if _, err := e.PredictFlow(context.Background(), f); err != nil {
+		return 0, err
+	}
+	b := e.Stats().CacheBytes
+	if b <= 0 {
+		return 0, fmt.Errorf("bench: cache entry probe reported %d bytes", b)
+	}
+	return b, nil
+}
+
+// replayCluster drives the trace through c with cacheClients concurrent
+// clients (client i replays trace[i::clients] in order), verifying every
+// hot-flow response bit-identical to its reference. When arm is non-nil it
+// fires once, as the armAfter-th request completes — mid-traffic, the way a
+// real replica dies. Request errors are counted, not fatal, so the kill
+// replay can assert failed == 0; a bit-identity mismatch aborts.
+func replayCluster(c *serve.Cluster, trace []cacheReq, refs []*core.Inference, armAfter int, arm func()) (rps, p95ms float64, verified, failed uint64, err error) {
+	lat := make([][]time.Duration, cacheClients)
+	errs := make([]error, cacheClients)
+	var vOK, vFail, done atomic.Uint64
+	var armOnce sync.Once
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for cl := 0; cl < cacheClients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			for i := cl; i < len(trace); i += cacheClients {
+				req := trace[i]
+				s := time.Now()
+				inf, perr := c.PredictFlow(context.Background(), req.flow)
+				lat[cl] = append(lat[cl], time.Since(s))
+				if n := done.Add(1); arm != nil && n == uint64(armAfter) {
+					armOnce.Do(arm)
+				}
+				if perr != nil {
+					vFail.Add(1)
+					continue
+				}
+				if req.ref >= 0 {
+					if verr := sameInference(refs[req.ref], inf); verr != nil {
+						errs[cl] = fmt.Errorf("client %d request %d (hot %d): %w", cl, i, req.ref, verr)
+						return
+					}
+					vOK.Add(1)
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	for _, cerr := range errs {
+		if cerr != nil {
+			return 0, 0, 0, 0, cerr
+		}
+	}
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	p95 := all[int(0.95*float64(len(all)-1))]
+	return reqPerSec(len(trace), elapsed), float64(p95.Nanoseconds()) / 1e6,
+		vOK.Load(), vFail.Load(), nil
+}
+
+// Cluster runs the scale-out benchmark and prints the report.
+func Cluster(w io.Writer) error {
+	_, err := ClusterJSON(w, "")
+	return err
+}
+
+// ClusterJSON runs the cluster benchmark, prints the human-readable report
+// to w, and — when jsonPath is non-empty — writes the ClusterResult as JSON
+// for regression gating with benchdiff (e.g. -metric replicas_4.speedup).
+func ClusterJSON(w io.Writer, jsonPath string) (*ClusterResult, error) {
+	hot := clusterHotSet(clusterHotFlows)
+	m := serveBenchModel(hot)
+	refs := make([]*core.Inference, len(hot))
+	for i, f := range hot {
+		refs[i] = m.Infer(f)
+	}
+
+	entry, err := probeEntryBytes(m, hot[0])
+	if err != nil {
+		return nil, fmt.Errorf("bench: cluster cache probe: %w", err)
+	}
+	// Half an entry of headroom per shard: each shard holds exactly
+	// clusterShardEntries resident entries (the next insert evicts the
+	// LRU one), so a replica's effective capacity is 32 entries — enough
+	// for its share of a 4-way-split hot set, not for the whole set.
+	budget := entry * int64(2*clusterShardEntries+1) / 2 * clusterCacheShards
+	// Two PR 6 trace segments at ratio 1.0 — the pure hot mix — so the
+	// steady state dominates the compulsory first-touch misses.
+	trace := cacheTrace(1.0, hot, 209)
+	trace = append(trace, cacheTrace(1.0, hot, 211)...)
+
+	res := &ClusterResult{
+		Clients: cacheClients, Requests: len(trace),
+		HotFlows: clusterHotFlows, ZipfS: cacheZipfS,
+		PerReplicaCacheBytes: budget,
+	}
+
+	baseOpts := []serve.Option{
+		serve.WithMaxBatch(8),
+		serve.WithMaxDelay(time.Millisecond),
+		serve.WithWorkers(2),
+		serve.WithCache(budget),
+	}
+
+	fmt.Fprintf(w, "## cluster: hot-mix Zipf(s=%.1f) replay over %d flows, %d requests, %d clients, %d-entry cache per replica, outputs bit-identical\n",
+		cacheZipfS, clusterHotFlows, len(trace), cacheClients, clusterShardEntries*clusterCacheShards)
+	fmt.Fprintf(w, "%-12s %12s %9s %12s %10s %10s\n",
+		"replicas", "req/s", "speedup", "p95 ms", "hit ratio", "coalesced")
+	for _, run := range []struct {
+		n   int
+		out *ClusterRun
+	}{
+		{1, &res.Replicas1}, {2, &res.Replicas2}, {4, &res.Replicas4},
+	} {
+		c, err := serve.NewCluster(m, append([]serve.Option{
+			serve.WithReplicas(run.n),
+		}, baseOpts...)...)
+		if err != nil {
+			return nil, fmt.Errorf("bench: cluster replicas=%d: %w", run.n, err)
+		}
+		rps, p95, verified, failed, rerr := replayCluster(c, trace, refs, -1, nil)
+		cs := c.ClusterStats()
+		c.Close()
+		if rerr != nil {
+			return nil, fmt.Errorf("bench: cluster replicas=%d: %w", run.n, rerr)
+		}
+		if failed > 0 {
+			return nil, fmt.Errorf("bench: cluster replicas=%d: %d requests failed", run.n, failed)
+		}
+		*run.out = ClusterRun{
+			Replicas: run.n, RPS: rps, P95Ms: p95,
+			HitRatio:  measuredHitRatio(cs.Aggregate),
+			CacheHits: cs.Aggregate.CacheHits, CacheMisses: cs.Aggregate.CacheMisses,
+			Coalesced: cs.Coalesced, Verified: verified,
+		}
+		run.out.Speedup = 1
+		if base := res.Replicas1.RPS; base > 0 {
+			run.out.Speedup = rps / base
+		}
+		fmt.Fprintf(w, "%-12d %12.1f %8.2fx %12.3f %10.2f %10d\n",
+			run.n, rps, run.out.Speedup, p95, run.out.HitRatio, cs.Coalesced)
+	}
+	if s := res.Replicas4.Speedup; s >= 2.5 {
+		fmt.Fprintf(w, "4 replicas are %.2fx the 1-replica cluster on the hot mix (target: >= 2.5x)\n", s)
+	} else {
+		fmt.Fprintf(w, "warning: 4-replica speedup %.2fx is below the 2.5x target on this run\n", s)
+	}
+
+	// Kill replay, at the PR 6 mixed ratio (0.9 hot, 0.1 cold): after a
+	// third of the trace, replica 0 starts panicking on every forward pass.
+	// Retriable-error rerouting must absorb the blast (failed == 0) while
+	// the health monitor ejects the replica and replaces it from the frozen
+	// model (ejections >= 1).
+	kc, err := serve.NewCluster(m, append([]serve.Option{
+		serve.WithReplicas(2),
+		serve.WithHealthInterval(50 * time.Millisecond),
+		serve.WithEjectPanics(2),
+	}, baseOpts...)...)
+	if err != nil {
+		return nil, fmt.Errorf("bench: cluster kill replay: %w", err)
+	}
+	killTrace := cacheTrace(0.9, hot, 223)
+	_, _, kVerified, kFailed, kerr := replayCluster(kc, killTrace, refs, len(killTrace)/clusterKillAt, func() {
+		kc.InjectReplicaFault(0, func(*grid.Flow) { panic("bench: injected replica fault") })
+	})
+	ks := kc.ClusterStats()
+	kc.Close()
+	if kerr != nil {
+		return nil, fmt.Errorf("bench: cluster kill replay: %w", kerr)
+	}
+	res.Kill = ClusterKill{
+		Replicas: 2, Requests: len(killTrace),
+		Failed: kFailed, Verified: kVerified,
+		Ejections: ks.Ejections, Retries: ks.Retries,
+	}
+	fmt.Fprintf(w, "kill replay (2 replicas, 0.9 hot ratio, fault armed at request %d): failed=%d verified=%d ejections=%d retries=%d\n",
+		len(killTrace)/clusterKillAt, kFailed, kVerified, ks.Ejections, ks.Retries)
+	if kFailed > 0 {
+		return nil, fmt.Errorf("bench: cluster kill replay: %d requests failed (want 0)", kFailed)
+	}
+	if ks.Ejections == 0 {
+		fmt.Fprintln(w, "warning: the faulty replica was not ejected during the replay window on this run")
+	}
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("bench: encode cluster json: %w", err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("bench: write cluster json: %w", err)
+		}
+		fmt.Fprintf(w, "json written to %s\n", jsonPath)
+	}
+	return res, nil
+}
+
+// clusterHotSet builds an n-flow hot set with the PR 6 construction —
+// paper geometries, deterministic perturbation — sized for the scale-out
+// replay instead of the fixed cacheHotFlows.
+func clusterHotSet(n int) []*grid.Flow {
+	cases := geometry.PaperTestCases(cacheLRH, cacheLRW)
+	rng := rand.New(rand.NewSource(11))
+	flows := make([]*grid.Flow, n)
+	for i := range flows {
+		f := cases[i%len(cases)].Build()
+		perturbFlow(f, rng)
+		flows[i] = f
+	}
+	return flows
+}

@@ -47,14 +47,18 @@ func (k metricKind) String() string {
 
 // entry is one registered metric. Counters and gauges reduce to a value
 // function; histograms keep the *Histogram so exposition can snapshot it.
+// base/labels split a labeled name like `x_total{replica="0"}`: base carries
+// the metric family, labels the brace-less label pairs ("" when unlabeled).
 type entry struct {
-	name  string
-	help  string
-	kind  metricKind
-	value func() float64 // counter, gauge
-	hist  *Histogram
-	scale float64 // histogram: recorded units → exported units (e.g. 1e-9 ns→s)
-	inst  any     // the instrument handed out by get-or-create
+	name   string
+	base   string
+	labels string
+	help   string
+	kind   metricKind
+	value  func() float64 // counter, gauge
+	hist   *Histogram
+	scale  float64 // histogram: recorded units → exported units (e.g. 1e-9 ns→s)
+	inst   any     // the instrument handed out by get-or-create
 }
 
 // NewRegistry returns an empty registry.
@@ -92,9 +96,62 @@ func validName(name string) bool {
 	return true
 }
 
+// Labeled builds a labeled series name from a metric family and key/value
+// pairs: Labeled("x_total", "replica", "0") → `x_total{replica="0"}`. Every
+// registration function accepts such names; series sharing a family render
+// under one HELP/TYPE header. Panics on an odd pair count — a programmer
+// error, like an invalid name.
+func Labeled(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: Labeled(%q): odd key/value count %d", base, len(kv)))
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// splitLabels decomposes a registered name into its family and label pairs.
+// ok=false rejects malformed names: the base must satisfy validName and a
+// label suffix, when present, must be a brace-wrapped k="v" list with
+// valid-name keys and values free of quotes, backslashes, and newlines.
+func splitLabels(name string) (base, labels string, ok bool) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, "", validName(name)
+	}
+	base = name[:i]
+	rest := name[i:]
+	if !validName(base) || len(rest) < 2 || rest[len(rest)-1] != '}' {
+		return "", "", false
+	}
+	labels = rest[1 : len(rest)-1]
+	for _, pair := range strings.Split(labels, ",") {
+		eq := strings.Index(pair, `="`)
+		if eq <= 0 || !validName(pair[:eq]) || len(pair) < eq+3 || pair[len(pair)-1] != '"' {
+			return "", "", false
+		}
+		if strings.ContainsAny(pair[eq+2:len(pair)-1], "\"\\\n") {
+			return "", "", false
+		}
+	}
+	return base, labels, true
+}
+
 // register get-or-creates an entry. make builds the entry only when needed.
 func (r *Registry) register(name string, kind metricKind, make func() *entry) *entry {
-	if !validName(name) {
+	base, labels, ok := splitLabels(name)
+	if !ok {
 		panic(fmt.Sprintf("obs: invalid metric name %q", name))
 	}
 	r.mu.Lock()
@@ -103,6 +160,7 @@ func (r *Registry) register(name string, kind metricKind, make func() *entry) *e
 		return e
 	}
 	e := make()
+	e.base, e.labels = base, labels
 	if old, ok := r.index[name]; ok {
 		// Kind conflict: replace in place, keeping exposition order stable.
 		for i, x := range r.entries {
@@ -186,35 +244,65 @@ func fmtFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// WriteTo renders every registered metric in Prometheus text format, in
-// registration order. It implements io.WriterTo.
+// WriteTo renders every registered metric in Prometheus text format. Metric
+// families appear in first-registration order; labeled series of one family
+// (e.g. per-replica engine counters) are grouped under a single HELP/TYPE
+// header, in their own registration order, as the text format requires. It
+// implements io.WriterTo.
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	entries := r.snapshotEntries()
 	var b strings.Builder
-	for _, e := range r.snapshotEntries() {
-		if e.help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", e.name, strings.ReplaceAll(e.help, "\n", " "))
+	emitted := make(map[string]bool, len(entries))
+	for _, first := range entries {
+		if emitted[first.base] {
+			continue
 		}
-		fmt.Fprintf(&b, "# TYPE %s %s\n", e.name, e.kind)
-		switch e.kind {
-		case kindCounter, kindGauge:
-			fmt.Fprintf(&b, "%s %s\n", e.name, fmtFloat(e.value()))
-		case kindHistogram:
-			s := e.hist.Snapshot()
-			var cum uint64
-			for i, c := range s.Buckets {
-				cum += c
-				// le is the bucket's inclusive upper bound: recorded values
-				// are integers, so that is the exclusive edge minus one.
-				le := (BucketUpper(i) - 1) * e.scale
-				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", e.name, fmtFloat(le), cum)
+		emitted[first.base] = true
+		if first.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", first.base, strings.ReplaceAll(first.help, "\n", " "))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", first.base, first.kind)
+		for _, e := range entries {
+			if e.base != first.base {
+				continue
 			}
-			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", e.name, s.Count)
-			fmt.Fprintf(&b, "%s_sum %s\n", e.name, fmtFloat(float64(s.Sum)*e.scale))
-			fmt.Fprintf(&b, "%s_count %d\n", e.name, s.Count)
+			switch e.kind {
+			case kindCounter, kindGauge:
+				fmt.Fprintf(&b, "%s %s\n", e.name, fmtFloat(e.value()))
+			case kindHistogram:
+				s := e.hist.Snapshot()
+				var cum uint64
+				for i, c := range s.Buckets {
+					cum += c
+					// le is the bucket's inclusive upper bound: recorded values
+					// are integers, so that is the exclusive edge minus one.
+					le := (BucketUpper(i) - 1) * e.scale
+					fmt.Fprintf(&b, "%s %d\n", e.sampleName("_bucket", `le=`+strconv.Quote(fmtFloat(le))), cum)
+				}
+				fmt.Fprintf(&b, "%s %d\n", e.sampleName("_bucket", `le="+Inf"`), s.Count)
+				fmt.Fprintf(&b, "%s %s\n", e.sampleName("_sum", ""), fmtFloat(float64(s.Sum)*e.scale))
+				fmt.Fprintf(&b, "%s %d\n", e.sampleName("_count", ""), s.Count)
+			}
 		}
 	}
 	n, err := io.WriteString(w, b.String())
 	return int64(n), err
+}
+
+// sampleName builds a histogram sample line name: the family plus a suffix,
+// with the entry's labels and any extra label (le) merged into one brace set.
+func (e *entry) sampleName(suffix, extra string) string {
+	name := e.base + suffix
+	switch {
+	case e.labels == "" && extra == "":
+		return name
+	case e.labels == "":
+		return name + "{" + extra + "}"
+	case extra == "":
+		return name + "{" + e.labels + "}"
+	default:
+		return name + "{" + extra + "," + e.labels + "}"
+	}
 }
 
 // Handler serves the registry as a Prometheus scrape endpoint.

@@ -190,3 +190,51 @@ func TestExpvarMap(t *testing.T) {
 		t.Errorf("sum = %v, want 1 (scaled to seconds)", hm["sum"])
 	}
 }
+
+// TestLabeledSeries checks labeled-name registration end to end: Labeled
+// builds `base{k="v"}` names, series sharing a family render under one
+// HELP/TYPE header (grouped even when registrations interleave), labeled
+// histograms merge their labels with le, and malformed label suffixes panic.
+func TestLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	if got := Labeled("x_total", "replica", "3"); got != `x_total{replica="3"}` {
+		t.Fatalf("Labeled = %q", got)
+	}
+	r.CounterFunc(Labeled("lab_total", "replica", "0"), "Labeled family.", func() float64 { return 1 })
+	r.Counter("other_total", "Interleaved family.").Add(5)
+	r.CounterFunc(Labeled("lab_total", "replica", "1"), "Labeled family.", func() float64 { return 2 })
+	h := r.Histogram(Labeled("lab_seconds", "replica", "0"), "Labeled histogram.", 1)
+	h.Observe(2)
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lab_total counter\nlab_total{replica=\"0\"} 1\nlab_total{replica=\"1\"} 2\n",
+		"# TYPE other_total counter\nother_total 5\n",
+		"lab_seconds_bucket{le=\"2\",replica=\"0\"} 1\n",
+		"lab_seconds_bucket{le=\"+Inf\",replica=\"0\"} 1\n",
+		"lab_seconds_sum{replica=\"0\"} 2\n",
+		"lab_seconds_count{replica=\"0\"} 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE lab_total") != 1 {
+		t.Errorf("family header emitted more than once:\n%s", out)
+	}
+
+	for _, bad := range []string{`x{replica=}`, `x{replica="a`, `x{="v"}`, `x{a="b"c}`, `x{a="q"e"}`, `x{}`} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q: expected panic at registration", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+}

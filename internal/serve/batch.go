@@ -149,9 +149,10 @@ coalesce:
 // stage histograms stay comparable across precisions.
 func (e *Engine) forwardGroup32(uniq []*request, start time.Time) []*core.Inference {
 	flows := make([]*grid.Flow, len(uniq))
+	inject := e.inject.Load()
 	for i, req := range uniq {
-		if e.inject != nil {
-			e.inject(req.flow)
+		if inject != nil {
+			(*inject)(req.flow)
 		}
 		flows[i] = req.flow
 	}
@@ -176,9 +177,10 @@ func (e *Engine) forwardGroup64(uniq []*request, start time.Time) []*core.Infere
 	t := autodiff.NewInferTape()
 	stacked := tensor.NewPooled(b, h, w, grid.NumChannels)
 	sd := stacked.Data()
+	inject := e.inject.Load()
 	for i, req := range uniq {
-		if e.inject != nil {
-			e.inject(req.flow)
+		if inject != nil {
+			(*inject)(req.flow)
 		}
 		raw := grid.ToTensor(req.flow)
 		norm := m.Norm.Apply(raw)

@@ -36,11 +36,11 @@ func TestWorkerPanicContainment(t *testing.T) {
 		t.Fatal(err)
 	}
 	poisoned := flows[poisonedIdx]
-	e.inject = func(f *grid.Flow) {
+	e.setInject(func(f *grid.Flow) {
 		if f == poisoned {
 			panic("injected fault")
 		}
-	}
+	})
 
 	got := make([]*core.Inference, callers)
 	errs := make([]error, callers)
@@ -108,9 +108,8 @@ func TestWorkerPanicContainment(t *testing.T) {
 	}
 
 	// The engine keeps serving: with the fault cleared, the formerly
-	// poisoned flow now succeeds. (The write to inject is ordered before the
-	// worker's next read by the queue/batch channel handoffs.)
-	e.inject = nil
+	// poisoned flow now succeeds.
+	e.setInject(nil)
 	inf, err := e.PredictFlow(context.Background(), poisoned)
 	if err != nil {
 		t.Fatalf("predict after contained panic: %v", err)
@@ -145,7 +144,7 @@ func TestSingleRequestPanic(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer e.Close()
-	e.inject = func(*grid.Flow) { panic("always") }
+	e.setInject(func(*grid.Flow) { panic("always") })
 
 	if _, err := e.PredictFlow(context.Background(), flows[0]); !errors.Is(err, ErrInternal) {
 		t.Fatalf("err = %v, want ErrInternal", err)
@@ -174,11 +173,11 @@ func TestCoalescedPanicContainment(t *testing.T) {
 	}
 	// All clones of base[0] are poisoned; base[1] is healthy.
 	poison := base[0]
-	e.inject = func(f *grid.Flow) {
+	e.setInject(func(f *grid.Flow) {
 		if sameFields(f, poison) {
 			panic("poisoned field")
 		}
-	}
+	})
 
 	flows := make([]*grid.Flow, callers+1)
 	for i := 0; i < callers; i++ {

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"time"
+
+	"adarnet/internal/obs"
+)
+
+// healthLoop is the cluster's background monitor: every healthEvery it
+// re-derives each replica's health from the same obs histograms and counters
+// that /metrics exports, and ejects-and-replaces replicas that breach the
+// configured bounds.
+func (c *Cluster) healthLoop() {
+	defer c.healthWG.Done()
+	ticker := time.NewTicker(c.cfg.healthEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.healthDone:
+			return
+		case <-ticker.C:
+			c.checkHealth()
+		}
+	}
+}
+
+// checkHealth evaluates every ready slot over the window since the previous
+// check: the contained-panic delta against WithEjectPanics, and the window's
+// p99 end-to-end latency against WithEjectP99. Deltas — not lifetime totals
+// — so a replaced replica starts a clean window even though the slot's
+// counters (deliberately) keep accumulating across generations.
+func (c *Cluster) checkHealth() {
+	for _, s := range c.slots {
+		if !s.ready() {
+			continue
+		}
+		panics := s.stats.panics.Load()
+		panicDelta := panics - s.lastPanics
+		s.lastPanics = panics
+		e2e := s.stats.e2e.Snapshot()
+		window := deltaSnapshot(e2e, s.lastE2E)
+		s.lastE2E = e2e
+
+		unhealthy := c.cfg.ejectPanics > 0 && panicDelta >= c.cfg.ejectPanics
+		// Latency ejection needs enough window samples for a meaningful p99.
+		if !unhealthy && c.cfg.ejectP99 > 0 && window.Count >= 8 {
+			if p99 := time.Duration(window.Quantile(0.99)); p99 > c.cfg.ejectP99 {
+				unhealthy = true
+			}
+		}
+		if unhealthy {
+			c.replace(s)
+		}
+	}
+}
+
+// replace ejects a slot from routing, spins up a fresh replica from the same
+// (pre-frozen) model onto the slot's generation-stable counters, re-admits
+// the slot, and drains the old engine in the background — its already-queued
+// requests finish, and any request that races its closure gets
+// ErrEngineClosed, which the router retries on another replica. The ring is
+// keyed by slot index, so routing for every other replica is untouched.
+func (c *Cluster) replace(s *slot) {
+	if !s.state.CompareAndSwap(slotReady, slotDraining) {
+		return
+	}
+	c.ejections.Add(1)
+	old := s.engine()
+	if c.logger != nil {
+		c.logger.Warn("serve: ejecting replica",
+			"replica", s.index, "generation", s.generation.Load(),
+			"panics", s.stats.panics.Load())
+	}
+	fresh, err := newEngine(c.model, c.replicaConfig(s))
+	if err != nil {
+		// The model built N replicas at startup; a failure here is config
+		// drift we cannot repair. Re-admit the old engine — degraded beats
+		// absent.
+		if c.logger != nil {
+			c.logger.Error("serve: replica replacement failed", "replica", s.index, "err", err.Error())
+		}
+		s.state.Store(slotReady)
+		return
+	}
+	s.eng.Store(fresh)
+	s.generation.Add(1)
+	s.state.Store(slotReady)
+	if old != nil {
+		go old.Close()
+	}
+}
+
+// deltaSnapshot is the histogram activity between two cumulative snapshots
+// (cur taken after prev): bucket counts, count, and sum subtract, making
+// windowed quantiles possible on monotone histograms.
+func deltaSnapshot(cur, prev obs.Snapshot) obs.Snapshot {
+	var d obs.Snapshot
+	for i := range cur.Buckets {
+		d.Buckets[i] = cur.Buckets[i] - prev.Buckets[i]
+	}
+	d.Count = cur.Count - prev.Count
+	d.Sum = cur.Sum - prev.Sum
+	return d
+}
+
+// Health reports per-replica readiness. Ready is false only when zero
+// replicas are routable — the /healthz 503 condition.
+func (c *Cluster) Health() Health {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	h := Health{}
+	for _, s := range c.slots {
+		rh := ReplicaHealth{
+			Replica:    s.index,
+			State:      s.stateName(),
+			Generation: int(s.generation.Load()),
+			Panics:     s.stats.panics.Load(),
+			P99E2EMs:   s.stats.e2e.Snapshot().Quantile(0.99) / 1e6,
+		}
+		if closed {
+			rh.State = StateClosed
+		}
+		if e := s.engine(); e != nil {
+			rh.QueueLen = e.queueLen()
+		}
+		if rh.State == StateReady {
+			h.Ready = true
+		}
+		h.Replicas = append(h.Replicas, rh)
+	}
+	return h
+}

@@ -103,11 +103,11 @@ func TestFloat32EngineContainsPanics(t *testing.T) {
 	}
 	defer e.Close()
 	poisoned := flows[poisonedIdx]
-	e.inject = func(f *grid.Flow) {
+	e.setInject(func(f *grid.Flow) {
 		if f == poisoned {
 			panic("injected fault")
 		}
-	}
+	})
 
 	got := make([]*core.Inference, callers)
 	errs := make([]error, callers)
