@@ -18,7 +18,7 @@ vet:
 # deprecated non-Context wrappers stay only as compatibility shims for
 # external importers. Fails (with the offending lines) on any hit.
 vet-deprecated:
-	@out=$$(grep -rnE 'adarnet\.(RunE2E|Solve|RunAMR|GenerateDataset)\(' cmd examples 2>/dev/null); \
+	@out=$$(grep -rnE 'adarnet\.(RunE2E|Solve|RunAMR|GenerateDataset)\(' cmd examples internal/jobs 2>/dev/null); \
 	if [ -n "$$out" ]; then echo "deprecated non-Context entry points in first-party code:"; echo "$$out"; exit 1; fi
 
 test:
@@ -28,7 +28,7 @@ test:
 # full tree under -race is slow on small CI boxes. cmd/adarnet-serve rides
 # along for the HTTP-boundary and fault-injection tests.
 race:
-	$(GO) test -race ./internal/obs ./internal/tensor ./internal/autodiff ./internal/nn ./internal/interp ./internal/serve/... ./internal/core/... ./cmd/adarnet-serve
+	$(GO) test -race ./internal/obs ./internal/tensor ./internal/autodiff ./internal/nn ./internal/interp ./internal/serve/... ./internal/core/... ./internal/jobs ./cmd/adarnet-serve
 
 # Kernel microbenchmarks (also available as `adarnet-bench -exp micro`).
 # BenchmarkHistogramRecord guards the telemetry hot path: the bar is
@@ -37,9 +37,10 @@ bench:
 	$(GO) test ./internal/obs ./internal/tensor ./internal/nn ./internal/serve/... ./internal/core/... -run '^$$' -bench . -benchmem
 
 # Machine-readable benchmark snapshots (BENCH_serve.json, BENCH_infer32.json,
-# BENCH_cache.json, BENCH_cluster.json) for regression gating with benchdiff.
+# BENCH_cache.json, BENCH_cluster.json, BENCH_jobs.json) for regression
+# gating with benchdiff.
 bench-json:
-	$(GO) run ./cmd/adarnet-bench -exp micro,serve,infer32,cache,cluster -json-dir .
+	$(GO) run ./cmd/adarnet-bench -exp micro,serve,infer32,cache,cluster,jobs -json-dir .
 
 # Compare two benchmark snapshots; gate on a metric with e.g.
 #   make benchdiff OLD=BENCH_infer32.old.json NEW=BENCH_infer32.json \
@@ -50,6 +51,9 @@ bench-json:
 # or gate the cluster scale-out win (4 replicas vs 1 on the hot mix) with
 #   make benchdiff OLD=BENCH_cluster.old.json NEW=BENCH_cluster.json \
 #     BENCHDIFF_FLAGS='-metric replicas_4.speedup -max-regress 10'
+# or gate the job service's submit-to-done and crash-resume overheads with
+#   make benchdiff OLD=BENCH_jobs.old.json NEW=BENCH_jobs.json \
+#     BENCHDIFF_FLAGS='-metric job.overhead_pct -lower-better -max-regress 10'
 OLD ?= BENCH_infer32.old.json
 NEW ?= BENCH_infer32.json
 BENCHDIFF_FLAGS ?=

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"adarnet/internal/jobs"
+	"adarnet/internal/obs"
+)
+
+// jobSubmitRequest mirrors predictRequest's pointer-field convention so an
+// explicit zero is rejected rather than silently defaulted, plus the
+// job-only refinement cap.
+type jobSubmitRequest struct {
+	Case     string   `json:"case"`
+	Re       *float64 `json:"re"`
+	H        *int     `json:"h"`
+	W        *int     `json:"w"`
+	MaxLevel *int     `json:"max_level"`
+}
+
+// jobSpec validates the request against the same boundary bounds /predict
+// enforces and converts it to the service's spec vocabulary.
+func jobSpec(r jobSubmitRequest, cfg serverConfig) (jobs.Spec, error) {
+	pr := predictRequest{Case: r.Case, Re: r.Re, H: r.H, W: r.W}
+	if _, err := buildCase(pr, cfg); err != nil {
+		return jobs.Spec{}, err
+	}
+	sp := jobs.Spec{Case: r.Case}
+	if r.Re != nil {
+		sp.Re = *r.Re
+	}
+	if r.H != nil {
+		sp.H = *r.H
+	}
+	if r.W != nil {
+		sp.W = *r.W
+	}
+	if r.MaxLevel != nil {
+		if *r.MaxLevel < 0 || *r.MaxLevel > 8 {
+			return jobs.Spec{}, fmt.Errorf("max_level=%d out of range [0, 8]", *r.MaxLevel)
+		}
+		sp.MaxLevel = *r.MaxLevel
+	}
+	return sp, nil
+}
+
+// registerJobRoutes wires the async job API onto the mux. The handlers map
+// service errors the same way the predict path does: validation → 400,
+// backlog full → 429, draining → 503, unknown ID → 404.
+func registerJobRoutes(mux *http.ServeMux, svc *jobs.Service, cfg serverConfig, logger *slog.Logger) {
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		reqID := obs.RequestIDFrom(r.Context())
+		r.Body = http.MaxBytesReader(w, r.Body, cfg.maxBody)
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		var req jobSubmitRequest
+		if err := dec.Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				http.Error(w, fmt.Sprintf("request body exceeds %d bytes", cfg.maxBody), http.StatusRequestEntityTooLarge)
+				return
+			}
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		sp, err := jobSpec(req, cfg)
+		if err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		v, err := svc.Submit(sp)
+		switch {
+		case err == nil:
+		case errors.Is(err, jobs.ErrQueueFull):
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		case errors.Is(err, jobs.ErrClosed):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		default:
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		logger.Info("job accepted", "request_id", reqID, "job_id", v.ID, "case", v.Spec.Case)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		if err := json.NewEncoder(w).Encode(v); err != nil {
+			logger.Warn("job encode failed", "request_id", reqID, "err", err.Error())
+		}
+	})
+
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(svc.List()); err != nil {
+			logger.Warn("jobs list encode failed", "request_id", obs.RequestIDFrom(r.Context()), "err", err.Error())
+		}
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		tail := 64 // default residual-history tail; ?tail=0 returns all
+		if q := r.URL.Query().Get("tail"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 0 {
+				http.Error(w, "bad request: tail must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			tail = n
+		}
+		v, err := svc.Get(r.PathValue("id"), tail)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(v); err != nil {
+			logger.Warn("job encode failed", "request_id", obs.RequestIDFrom(r.Context()), "err", err.Error())
+		}
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		reqID := obs.RequestIDFrom(r.Context())
+		ch, unsub, err := svc.Watch(r.PathValue("id"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		defer unsub()
+
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-store")
+		w.WriteHeader(http.StatusOK)
+		// A progress stream legitimately outlives both the per-request
+		// deadline and the server's write timeout: the deadline is pushed
+		// forward on every event instead, so only a stalled client — not a
+		// long solve — tears the stream down.
+		rc := http.NewResponseController(w)
+		rc.Flush()
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case e, ok := <-ch:
+				if !ok {
+					return
+				}
+				rc.SetWriteDeadline(time.Now().Add(30 * time.Second))
+				data, err := json.Marshal(e)
+				if err != nil {
+					logger.Warn("event encode failed", "request_id", reqID, "err", err.Error())
+					continue
+				}
+				if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data); err != nil {
+					return
+				}
+				rc.Flush()
+				if e.Terminal {
+					return
+				}
+			}
+		}
+	})
+
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		canceled, err := svc.Cancel(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		logger.Info("job cancel requested", "request_id", obs.RequestIDFrom(r.Context()), "job_id", id, "effective", canceled)
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(map[string]any{"id": id, "canceled": canceled}); err != nil {
+			logger.Warn("cancel encode failed", "err", err.Error())
+		}
+	})
+}

@@ -1,0 +1,276 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"adarnet/internal/core"
+	"adarnet/internal/geometry"
+	"adarnet/internal/grid"
+	"adarnet/internal/jobs"
+	"adarnet/internal/obs"
+	"adarnet/internal/solver"
+	"adarnet/internal/tensor"
+)
+
+// jobTestService opens a real job service on a temp journal with a small
+// deterministic model — the HTTP job tests exercise the full path, not a
+// stub, because the contract under test is asynchronous state.
+func jobTestService(t *testing.T, maxIter int) *jobs.Service {
+	t.Helper()
+	cfg := core.DefaultConfig(2, 2)
+	cfg.Bins = 2
+	cfg.Seed = 7
+	m := core.New(cfg)
+	c := geometry.ChannelCase(2.5e3, 8, 32)
+	m.Norm = core.FitNorm([]*tensor.Tensor{grid.ToTensor(c.Build())})
+	opt := solver.DefaultOptions()
+	opt.MaxIter = maxIter
+	svc, err := jobs.Open(jobs.Config{
+		Dir:     t.TempDir(),
+		Model:   m,
+		Solver:  opt,
+		Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatalf("open job service: %v", err)
+	}
+	t.Cleanup(func() { svc.Close(context.Background()) })
+	return svc
+}
+
+func jobTestMux(svc *jobs.Service) http.Handler {
+	cfg := testConfig()
+	cfg.jobs = svc
+	cfg.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	return newMux(&stubPredictor{inf: stubInference()}, cfg)
+}
+
+func TestJobsRoutesAbsentWhenDisabled(t *testing.T) {
+	mux := newMux(&stubPredictor{inf: stubInference()}, testConfig())
+	for _, r := range []*http.Request{
+		httptest.NewRequest(http.MethodPost, "/jobs", strings.NewReader("{}")),
+		httptest.NewRequest(http.MethodGet, "/jobs/abc", nil),
+	} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, r)
+		if rec.Code != http.StatusNotFound {
+			t.Fatalf("%s %s = %d without -jobs-dir, want 404", r.Method, r.URL.Path, rec.Code)
+		}
+	}
+}
+
+func TestJobSubmitValidation(t *testing.T) {
+	mux := jobTestMux(jobTestService(t, 600))
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{"case":"channel","bogus":1}`, http.StatusBadRequest},
+		{`{"case":"wormhole"}`, http.StatusBadRequest},
+		{`{"case":"channel","h":1000}`, http.StatusBadRequest},
+		{`{"case":"channel","h":7}`, http.StatusBadRequest}, // not a patch multiple
+		{`{"case":"channel","max_level":99}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+	} {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/jobs", strings.NewReader(tc.body))
+		mux.ServeHTTP(rec, req)
+		if rec.Code != tc.want {
+			t.Fatalf("POST /jobs %q = %d, want %d (%s)", tc.body, rec.Code, tc.want, rec.Body.String())
+		}
+	}
+}
+
+func TestJobUnknownID(t *testing.T) {
+	mux := jobTestMux(jobTestService(t, 600))
+	for _, r := range []*http.Request{
+		httptest.NewRequest(http.MethodGet, "/jobs/job-nope", nil),
+		httptest.NewRequest(http.MethodGet, "/jobs/job-nope/events", nil),
+		httptest.NewRequest(http.MethodDelete, "/jobs/job-nope", nil),
+	} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, r)
+		if rec.Code != http.StatusNotFound {
+			t.Fatalf("%s %s = %d, want 404", r.Method, r.URL.Path, rec.Code)
+		}
+	}
+}
+
+// TestJobLifecycleHTTP drives one job through the full API: accept, observe
+// the SSE stream to the terminal event, then read back the final view.
+func TestJobLifecycleHTTP(t *testing.T) {
+	mux := jobTestMux(jobTestService(t, 600))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"case":"channel","re":2500,"h":8,"w":32,"max_level":1}`))
+	if err != nil {
+		t.Fatalf("POST /jobs: %v", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d, want 202", resp.StatusCode)
+	}
+	var v jobs.View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode accept body: %v", err)
+	}
+	resp.Body.Close()
+	if v.ID == "" {
+		t.Fatal("202 body carries no job ID")
+	}
+
+	// The event stream must deliver stage transitions and end on a
+	// terminal state event.
+	es, err := http.Get(srv.URL + "/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer es.Body.Close()
+	if ct := es.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(es.Body)
+	var last jobs.Event
+	stages := map[string]bool{}
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var e jobs.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+			t.Fatalf("bad event payload %q: %v", line, err)
+		}
+		if e.Type == jobs.EventStage {
+			stages[string(e.Stage)] = true
+		}
+		last = e
+	}
+	if !last.Terminal || last.State != jobs.StateDone {
+		t.Fatalf("stream ended on %+v, want terminal done", last)
+	}
+	for _, want := range []string{"lr-solve", "infer", "correct"} {
+		if !stages[want] {
+			t.Fatalf("stage %q never reported (got %v)", want, stages)
+		}
+	}
+
+	// Final view: done with a summary, residual tail honored.
+	get := func(url string) jobs.View {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", url, resp.StatusCode)
+		}
+		var v jobs.View
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatalf("decode view: %v", err)
+		}
+		return v
+	}
+	fin := get(srv.URL + "/jobs/" + v.ID)
+	if fin.State != jobs.StateDone || fin.Result == nil || fin.Result.PSIterations == 0 {
+		t.Fatalf("final view = %+v", fin)
+	}
+	if tailed := get(srv.URL + "/jobs/" + v.ID + "?tail=1"); len(tailed.Residuals) != 1 {
+		t.Fatalf("?tail=1 returned %d residual points", len(tailed.Residuals))
+	}
+
+	// The list view includes the job.
+	lresp, err := http.Get(srv.URL + "/jobs")
+	if err != nil {
+		t.Fatalf("GET /jobs: %v", err)
+	}
+	defer lresp.Body.Close()
+	var list []jobs.View
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatalf("decode list: %v", err)
+	}
+	if len(list) != 1 || list[0].ID != v.ID {
+		t.Fatalf("list = %+v, want the one job", list)
+	}
+}
+
+func TestJobCancelHTTP(t *testing.T) {
+	mux := jobTestMux(jobTestService(t, 30000)) // long enough to be running
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(`{"case":"channel"}`))
+	if err != nil {
+		t.Fatalf("POST /jobs: %v", err)
+	}
+	var v jobs.View
+	json.NewDecoder(resp.Body).Decode(&v)
+	resp.Body.Close()
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+v.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	var body struct {
+		Canceled bool `json:"canceled"`
+	}
+	json.NewDecoder(dresp.Body).Decode(&body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK || !body.Canceled {
+		t.Fatalf("DELETE = %d canceled=%v, want 200 true", dresp.StatusCode, body.Canceled)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		gresp, err := http.Get(srv.URL + "/jobs/" + v.ID)
+		if err != nil {
+			t.Fatalf("GET: %v", err)
+		}
+		var gv jobs.View
+		json.NewDecoder(gresp.Body).Decode(&gv)
+		gresp.Body.Close()
+		if gv.State == jobs.StateCanceled {
+			break
+		}
+		if gv.State.Terminal() {
+			t.Fatalf("job ended %s, want canceled", gv.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %s after cancel", gv.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestValidateTimeouts is the fail-fast satellite: a write timeout at or
+// below the request timeout must be rejected at startup.
+func TestValidateTimeouts(t *testing.T) {
+	for _, tc := range []struct {
+		write, req time.Duration
+		ok         bool
+	}{
+		{60 * time.Second, 30 * time.Second, true},
+		{30 * time.Second, 30 * time.Second, false},
+		{10 * time.Second, 30 * time.Second, false},
+		{0, 30 * time.Second, true}, // no connection write deadline
+		{10 * time.Second, 0, true}, // no per-request deadline
+		{0, 0, true},
+	} {
+		err := validateTimeouts(tc.write, tc.req)
+		if (err == nil) != tc.ok {
+			t.Fatalf("validateTimeouts(%v, %v) = %v, want ok=%v", tc.write, tc.req, err, tc.ok)
+		}
+	}
+}

@@ -14,6 +14,16 @@
 //	GET  /metrics  Prometheus text exposition: engine stage histograms,
 //	               HTTP latency, tensor-pool gauges, process counters
 //
+// With -jobs-dir set, the async end-to-end solve API is served too (see
+// DESIGN.md §14 and the README's "Long-running solves"):
+//
+//	POST   /jobs              accept a full LR-solve → infer → correct job,
+//	                          journaled before the 202 so it survives a crash
+//	GET    /jobs              list all known jobs
+//	GET    /jobs/{id}         state, stage, residual history (?tail=N)
+//	GET    /jobs/{id}/events  live progress stream (server-sent events)
+//	DELETE /jobs/{id}         cancel (pending: immediate; running: via ctx)
+//
 // Every request carries an ID (generated, or adopted from a well-formed
 // X-Request-Id header), echoed in the response header, stamped on each
 // structured log line (-log-format text|json), and retained in an
@@ -48,6 +58,7 @@ import (
 	"time"
 
 	"adarnet/internal/core"
+	"adarnet/internal/jobs"
 	"adarnet/internal/obs"
 	"adarnet/internal/serve"
 	"adarnet/internal/solver"
@@ -77,6 +88,10 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 10*time.Second, "HTTP request read deadline")
 	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "HTTP response write deadline (keep > request-timeout)")
 	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "keep-alive idle deadline")
+	jobsDir := flag.String("jobs-dir", "", "journal directory for the async /jobs API; empty disables it")
+	jobWorkers := flag.Int("job-workers", 1, "concurrent end-to-end solve jobs")
+	jobQueue := flag.Int("job-queue-depth", 64, "accepted-but-unfinished job bound")
+	jobCkptEvery := flag.Int("job-checkpoint-every", 2000, "solver iterations between mid-solve job checkpoints")
 	logFormat := flag.String("log-format", "text", "structured log format: text | json")
 	debugAddr := flag.String("debug-addr", "", "diagnostics listen address (pprof, /debug/requests, /metrics); empty disables")
 	traceRequests := flag.Int("trace-requests", 128, "completed requests retained in the in-process trace ring")
@@ -89,6 +104,13 @@ func main() {
 	}
 	if *model == "" {
 		fmt.Fprintln(os.Stderr, "adarnet-serve: -model is required (train one with adarnet-train)")
+		os.Exit(2)
+	}
+	// Fail fast on a misconfiguration that otherwise only surfaces as
+	// mysteriously aborted responses under load: the connection's write
+	// deadline firing before the handler's request deadline.
+	if err := validateTimeouts(*writeTimeout, *reqTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "adarnet-serve:", err)
 		os.Exit(2)
 	}
 	cfg := core.DefaultConfig(*patch, *patch)
@@ -145,6 +167,25 @@ func main() {
 		os.Exit(1)
 	}
 
+	var jobSvc *jobs.Service
+	if *jobsDir != "" {
+		jobSvc, err = jobs.Open(jobs.Config{
+			Dir:             *jobsDir,
+			Model:           m,
+			Workers:         *jobWorkers,
+			QueueDepth:      *jobQueue,
+			Solver:          sopt,
+			CheckpointEvery: *jobCkptEvery,
+			Logger:          logger,
+			Metrics:         obs.Default,
+		})
+		if err != nil {
+			logger.Error("job service start failed", "err", err.Error())
+			os.Exit(1)
+		}
+		logger.Info("job service up", "dir", *jobsDir, "workers", *jobWorkers)
+	}
+
 	ring := obs.NewTraceRing(*traceRequests)
 	mux := newMux(engine, serverConfig{
 		maxDim:         *maxDim,
@@ -153,6 +194,7 @@ func main() {
 		requestTimeout: *reqTimeout,
 		logger:         logger,
 		ring:           ring,
+		jobs:           jobSvc,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -175,6 +217,12 @@ func main() {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		srv.Shutdown(shutdownCtx)
+		if jobSvc != nil {
+			// Graceful drain: running jobs get the same shutdown window to
+			// finish; past it they are interrupted at a checkpoint and the
+			// next start resumes them from the journal — nothing is lost.
+			jobSvc.Close(shutdownCtx)
+		}
 		// Snapshot before Close: closing purges the cache, zeroing the
 		// resident-bytes gauge the summary reports.
 		st := engine.Stats()

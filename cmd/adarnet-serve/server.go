@@ -14,6 +14,7 @@ import (
 
 	"adarnet/internal/core"
 	"adarnet/internal/geometry"
+	"adarnet/internal/jobs"
 	"adarnet/internal/obs"
 	"adarnet/internal/serve"
 )
@@ -53,6 +54,18 @@ type serverConfig struct {
 	requestTimeout time.Duration  // per-request deadline (0 = client's only)
 	logger         *slog.Logger   // structured access + error log (nil: silent)
 	ring           *obs.TraceRing // last-N completed requests (nil: no tracing)
+	jobs           *jobs.Service  // async E2E job service (nil: /jobs not served)
+}
+
+// validateTimeouts rejects a server configuration whose connection write
+// deadline would fire before the per-request deadline: the handler's own
+// timeout (a clean 408) must always win over the TCP-level cutoff (an
+// aborted connection the client cannot distinguish from a crash).
+func validateTimeouts(writeTimeout, requestTimeout time.Duration) error {
+	if writeTimeout > 0 && requestTimeout > 0 && writeTimeout <= requestTimeout {
+		return fmt.Errorf("-write-timeout (%v) must exceed -request-timeout (%v)", writeTimeout, requestTimeout)
+	}
+	return nil
 }
 
 type predictRequest struct {
@@ -136,6 +149,10 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	}
 	return w.ResponseWriter.Write(b)
 }
+
+// Unwrap lets http.ResponseController reach through to the underlying
+// writer, so the SSE handler can flush and extend write deadlines.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // validRequestID reports whether a client-supplied X-Request-Id is safe to
 // adopt: short and plain so it cannot smuggle log-injection payloads.
@@ -230,6 +247,9 @@ func newMux(p predictor, cfg serverConfig) http.Handler {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Default.Handler())
+	if cfg.jobs != nil {
+		registerJobRoutes(mux, cfg.jobs, cfg, logger)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
 			http.Error(w, "GET only", http.StatusMethodNotAllowed)

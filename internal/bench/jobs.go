@@ -1,0 +1,307 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"adarnet/internal/core"
+	"adarnet/internal/geometry"
+	"adarnet/internal/grid"
+	"adarnet/internal/jobs"
+	"adarnet/internal/obs"
+	"adarnet/internal/solver"
+	"adarnet/internal/tensor"
+)
+
+// The jobs benchmark quantifies what the async job service costs on top of
+// the direct library call (journal writes, event fan-out, worker hand-off)
+// and what an interrupt-plus-resume costs on top of an uninterrupted job —
+// the two numbers an operator needs before putting long solves behind the
+// /jobs API. Results are verified bit-identical to the direct run before
+// any timing is reported.
+
+// JobsRun is one measured execution path.
+type JobsRun struct {
+	WallMs float64 `json:"wall_ms"`
+	// OverheadPct is the wall-time premium over this run's baseline:
+	// the direct call for "job", the uninterrupted job for "resume".
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// JobsResult is the machine-readable benchmark output (BENCH_jobs.json).
+type JobsResult struct {
+	Case    string `json:"case"`
+	H       int    `json:"h"`
+	W       int    `json:"w"`
+	MaxIter int    `json:"max_iter"`
+
+	DirectMs float64 `json:"direct_ms"` // RunE2ECap, no service
+	Job      JobsRun `json:"job"`       // submit → done through the service
+	Resume   JobsRun `json:"resume"`    // interrupt mid-correct + reopen + resume
+	Resumes  int     `json:"resumes"`   // journal resume count of the resumed job
+	// BitIdentical records that every path produced the same flow bits.
+	BitIdentical bool `json:"bit_identical"`
+}
+
+const (
+	jobsBenchIter  = 600
+	jobsBenchReps  = 3 // best-of, to damp scheduler noise
+	jobsBenchH     = 8
+	jobsBenchW     = 32
+	jobsBenchLevel = 1
+)
+
+func jobsBenchModel(c *geometry.Case) *core.Model {
+	cfg := core.DefaultConfig(2, 2)
+	cfg.Bins = 2
+	cfg.Seed = 7
+	m := core.New(cfg)
+	m.Norm = core.FitNorm([]*tensor.Tensor{grid.ToTensor(c.Build())})
+	return m
+}
+
+func jobsBenchOptions() solver.Options {
+	opt := solver.DefaultOptions()
+	opt.MaxIter = jobsBenchIter
+	return opt
+}
+
+// Jobs runs the job-service benchmark and prints the report.
+func Jobs(w io.Writer) error {
+	_, err := JobsJSON(w, "")
+	return err
+}
+
+// JobsJSON runs the job-service benchmark, prints the human-readable report
+// to w, and — when jsonPath is non-empty — writes the JobsResult as JSON for
+// regression gating with benchdiff (e.g. -metric job.overhead_pct or
+// -metric resume.overhead_pct).
+func JobsJSON(w io.Writer, jsonPath string) (*JobsResult, error) {
+	spec := jobs.Spec{Case: "channel", Re: 2.5e3, H: jobsBenchH, W: jobsBenchW, MaxLevel: jobsBenchLevel}
+	c, err := spec.BuildCase()
+	if err != nil {
+		return nil, fmt.Errorf("bench: jobs spec: %w", err)
+	}
+	m := jobsBenchModel(c)
+
+	// Baseline: the direct library call, best of jobsBenchReps.
+	var ref *core.E2EResult
+	directMs := 0.0
+	for i := 0; i < jobsBenchReps; i++ {
+		cc, _ := spec.BuildCase()
+		start := time.Now()
+		r, err := core.RunE2ECap(context.Background(), m, cc, jobsBenchOptions(), spec.MaxLevel)
+		if err != nil {
+			return nil, fmt.Errorf("bench: jobs direct run: %w", err)
+		}
+		if ms := msSince(start); i == 0 || ms < directMs {
+			directMs = ms
+		}
+		ref = r
+	}
+
+	// Uninterrupted job: submit → terminal through the service, best of reps.
+	jobMs := 0.0
+	var jobFlow *grid.Flow
+	for i := 0; i < jobsBenchReps; i++ {
+		flow, ms, _, err := jobsBenchOnce(m, spec, false)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 || ms < jobMs {
+			jobMs = ms
+		}
+		jobFlow = flow
+	}
+
+	// Interrupted job: pull the plug mid-correct, reopen, resume to done.
+	// One measured run — the interrupt point dominates any rep-to-rep noise.
+	resumeFlow, resumeMs, resumes, err := jobsBenchOnce(m, spec, true)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &JobsResult{
+		Case: spec.Case, H: jobsBenchH, W: jobsBenchW, MaxIter: jobsBenchIter,
+		DirectMs: directMs,
+		Job:      JobsRun{WallMs: jobMs, OverheadPct: overheadPct(jobMs, directMs)},
+		Resume:   JobsRun{WallMs: resumeMs, OverheadPct: overheadPct(resumeMs, jobMs)},
+		Resumes:  resumes,
+	}
+	if err := sameFlowBits(ref.Flow, jobFlow); err != nil {
+		return nil, fmt.Errorf("bench: job flow diverged from direct run: %w", err)
+	}
+	if err := sameFlowBits(ref.Flow, resumeFlow); err != nil {
+		return nil, fmt.Errorf("bench: resumed flow diverged from direct run: %w", err)
+	}
+	res.BitIdentical = true
+
+	fmt.Fprintf(w, "## jobs: async E2E service vs direct call (channel %dx%d, %d iters, outputs bit-identical)\n",
+		jobsBenchH, jobsBenchW, jobsBenchIter)
+	fmt.Fprintf(w, "%-22s %12s %12s\n", "path", "wall ms", "overhead %")
+	fmt.Fprintf(w, "%-22s %12.1f %12s\n", "direct RunE2E", res.DirectMs, "-")
+	fmt.Fprintf(w, "%-22s %12.1f %12.1f\n", "job submit→done", res.Job.WallMs, res.Job.OverheadPct)
+	fmt.Fprintf(w, "%-22s %12.1f %12.1f\n", "interrupt+resume", res.Resume.WallMs, res.Resume.OverheadPct)
+	fmt.Fprintf(w, "resumes=%d\n", res.Resumes)
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("bench: encode jobs json: %w", err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("bench: write jobs json: %w", err)
+		}
+		fmt.Fprintf(w, "json written to %s\n", jsonPath)
+	}
+	return res, nil
+}
+
+// jobsBenchOnce runs one job through a fresh service and returns its flow,
+// the submit-to-done wall time, and the journal resume count. With
+// interrupt set, the service is killed mid-correct (zero-deadline drain,
+// journal identical to a crash site) and reopened to resume; the reported
+// wall time then spans both service lifetimes, submission to terminal.
+func jobsBenchOnce(m *core.Model, spec jobs.Spec, interrupt bool) (*grid.Flow, float64, int, error) {
+	dir, err := os.MkdirTemp("", "adarnet-bench-jobs-*")
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("bench: jobs temp dir: %w", err)
+	}
+	defer os.RemoveAll(dir)
+	cfg := jobs.Config{
+		Dir:             dir,
+		Model:           m,
+		Solver:          jobsBenchOptions(),
+		CheckpointEvery: 50,
+		Metrics:         obs.NewRegistry(),
+	}
+	svc, err := jobs.Open(cfg)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("bench: jobs open: %w", err)
+	}
+
+	start := time.Now()
+	v, err := svc.Submit(spec)
+	if err != nil {
+		svc.Close(context.Background())
+		return nil, 0, 0, fmt.Errorf("bench: jobs submit: %w", err)
+	}
+	id := v.ID
+
+	if interrupt {
+		interrupted, err := jobsBenchInterrupt(svc, id)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if interrupted {
+			// Reopen on the same journal; replay re-queues and resumes.
+			svc, err = jobs.Open(cfg)
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("bench: jobs reopen: %w", err)
+			}
+		}
+	}
+	defer svc.Close(context.Background())
+
+	if err := jobsBenchWait(svc, id); err != nil {
+		return nil, 0, 0, err
+	}
+	ms := msSince(start)
+	fin, err := svc.Get(id, 0)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("bench: jobs get: %w", err)
+	}
+	if fin.State != jobs.StateDone {
+		return nil, 0, 0, fmt.Errorf("bench: job ended %s (%s), want done", fin.State, fin.Error)
+	}
+	_, flow, err := svc.Result(id)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("bench: jobs result: %w", err)
+	}
+	return flow, ms, fin.Resumes, nil
+}
+
+// jobsBenchInterrupt waits for the correction solve to report progress, then
+// drains the service with an expired deadline — the same interrupt a kill
+// signal produces. Reports false if the job finished first (the measured
+// run then degrades to an uninterrupted one).
+func jobsBenchInterrupt(svc *jobs.Service, id string) (bool, error) {
+	ch, unsub, err := svc.Watch(id)
+	if err != nil {
+		return false, fmt.Errorf("bench: jobs watch: %w", err)
+	}
+	defer unsub()
+	timeout := time.After(2 * time.Minute)
+	for {
+		select {
+		case e := <-ch:
+			if e.Terminal {
+				return false, nil
+			}
+			if e.Type == jobs.EventProgress && e.Stage == core.StageCorrect {
+				expired, cancel := context.WithCancel(context.Background())
+				cancel()
+				svc.Close(expired)
+				return true, nil
+			}
+		case <-timeout:
+			return false, fmt.Errorf("bench: job %s never reached the correction stage", id)
+		}
+	}
+}
+
+// jobsBenchWait blocks until the job reaches a terminal state.
+func jobsBenchWait(svc *jobs.Service, id string) error {
+	ch, unsub, err := svc.Watch(id)
+	if err != nil {
+		return fmt.Errorf("bench: jobs watch: %w", err)
+	}
+	defer unsub()
+	timeout := time.After(2 * time.Minute)
+	for {
+		select {
+		case e := <-ch:
+			if e.Terminal {
+				return nil
+			}
+		case <-timeout:
+			return fmt.Errorf("bench: job %s did not finish", id)
+		}
+	}
+}
+
+// sameFlowBits demands bitwise equality across all four flow variables.
+func sameFlowBits(want, got *grid.Flow) error {
+	if want == nil || got == nil {
+		return fmt.Errorf("nil flow (want %v, got %v)", want != nil, got != nil)
+	}
+	for name, pair := range map[string][2][]float64{
+		"u": {want.U.Data, got.U.Data}, "v": {want.V.Data, got.V.Data},
+		"p": {want.P.Data, got.P.Data}, "nut": {want.Nut.Data, got.Nut.Data},
+	} {
+		if len(pair[0]) != len(pair[1]) {
+			return fmt.Errorf("%s: %d cells, want %d", name, len(pair[1]), len(pair[0]))
+		}
+		for i := range pair[0] {
+			if pair[0][i] != pair[1][i] {
+				return fmt.Errorf("%s[%d] = %v, want %v", name, i, pair[1][i], pair[0][i])
+			}
+		}
+	}
+	return nil
+}
+
+func msSince(t0 time.Time) float64 {
+	return float64(time.Since(t0).Microseconds()) / 1000
+}
+
+func overheadPct(v, base float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (v - base) / base * 100
+}

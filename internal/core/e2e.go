@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"adarnet/internal/geometry"
@@ -44,6 +45,76 @@ type E2EResult struct {
 	TotalWork int
 }
 
+// E2EStage identifies one resumable stage of the end-to-end pipeline. The
+// stages match the paper's cost decomposition (Table 1): the LR collection
+// solve, the one-shot inference, and the physics-solver correction.
+type E2EStage string
+
+const (
+	StageLRSolve E2EStage = "lr-solve"
+	StageInfer   E2EStage = "infer"
+	StageCorrect E2EStage = "correct"
+	// StageDone marks a state whose pipeline has completed every stage.
+	StageDone E2EStage = "done"
+)
+
+// ValidStage reports whether s names a runnable pipeline stage.
+func ValidStage(s E2EStage) bool {
+	switch s {
+	case StageLRSolve, StageInfer, StageCorrect:
+		return true
+	}
+	return false
+}
+
+// E2EState is the between-stage state of a staged end-to-end run: every
+// field the next stage needs, in plainly serializable form (the job service
+// persists it with encoding/gob behind a CRC frame). A state with
+// Next == StageCorrect, for example, restarts the pipeline at the
+// correction solve without re-running the LR solve or the inference.
+type E2EState struct {
+	// Next is the first stage RunE2EStaged will execute.
+	Next E2EStage
+
+	// LR is the solved low-resolution field (set once lr-solve completes).
+	LR *grid.Flow
+	// Fine is the inferred field on the composite mesh, solver-ready (set
+	// once infer completes).
+	Fine *grid.Flow
+
+	// Accounting carried across stages so a resumed run reports the same
+	// totals an uninterrupted one would.
+	LRIterations   int
+	LRWall         time.Duration
+	InferElapsed   time.Duration
+	InferMemory    int64
+	CompositeCells int
+	// PriorWall is the wall time accumulated by completed stages, including
+	// inter-stage glue; a resumed run's TotalWall adds its own elapsed time
+	// on top.
+	PriorWall time.Duration
+}
+
+// E2EHooks observes and checkpoints a staged run. All fields are optional.
+type E2EHooks struct {
+	// Monitor receives the per-check solver residuals of the running stage
+	// (lr-solve and correct; infer has no iteration loop).
+	Monitor func(stage E2EStage, iter int, res float64)
+	// OnStage is called after each stage completes, with the updated state
+	// (st.Next already names the following stage). Returning an error
+	// aborts the run — the job service uses this to persist the stage
+	// checkpoint before the next stage may consume it.
+	OnStage func(stage E2EStage, st *E2EState) error
+	// CheckpointEvery and CheckpointSink forward to solver.Options for the
+	// solve stages, tagging each snapshot with its stage.
+	CheckpointEvery int
+	CheckpointSink  func(stage E2EStage, ck *solver.Checkpoint)
+	// ResumeSolver, when non-nil, resumes the first executed solve stage
+	// mid-iteration from a snapshot previously emitted by CheckpointSink
+	// for that stage. Later stages always start from their beginning.
+	ResumeSolver *solver.Checkpoint
+}
+
 // RunE2E executes the full ADARNet pipeline for a case: LR solve → one-shot
 // inference → physics-solver correction to the same convergence criteria
 // the AMR baseline uses. ctx cancels between stages and inside each solve.
@@ -51,39 +122,127 @@ func RunE2E(ctx context.Context, m *Model, c *geometry.Case, opt solver.Options)
 	return RunE2ECap(ctx, m, c, opt, patchMaxLevel)
 }
 
-// RunE2ECap is RunE2E with the inferred refinement levels clamped to cap,
-// for the grid-convergence study (Fig. 11).
-func RunE2ECap(ctx context.Context, m *Model, c *geometry.Case, opt solver.Options, cap int) (*E2EResult, error) {
+// RunE2ECap is RunE2E with the inferred refinement levels clamped to
+// maxLevel, for the grid-convergence study (Fig. 11).
+func RunE2ECap(ctx context.Context, m *Model, c *geometry.Case, opt solver.Options, maxLevel int) (*E2EResult, error) {
+	return RunE2EStaged(ctx, m, c, opt, maxLevel, nil, nil)
+}
+
+// RunE2EStaged is the resumable core of RunE2E: it executes the pipeline
+// stage by stage, starting from st (nil means a fresh run), reporting each
+// completed stage through hooks. On error the partial result is returned
+// alongside it, with timings stamped — TotalWall is valid on every return
+// path, so callers account wall time correctly even for failed or canceled
+// runs. A run resumed from a persisted E2EState is bit-identical to an
+// uninterrupted one: stages are deterministic, and mid-solve resume uses
+// the solver's lossless snapshots.
+//
+// Results of resumed runs carry the accounting of completed stages from st
+// but no Inference object when the infer stage ran in an earlier process
+// (the refinement map lives in st.Fine's discretization, not re-derivable).
+func RunE2EStaged(ctx context.Context, m *Model, c *geometry.Case, opt solver.Options, maxLevel int, st *E2EState, hooks *E2EHooks) (*E2EResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if m == nil || len(m.Params()) == 0 {
 		return nil, ErrUntrained
 	}
+	if hooks == nil {
+		hooks = &E2EHooks{}
+	}
+	if st == nil {
+		st = &E2EState{Next: StageLRSolve}
+	}
+	if !ValidStage(st.Next) {
+		return nil, fmt.Errorf("core: e2e state resumes at unknown stage %q", st.Next)
+	}
+
 	start := time.Now()
 	res := &E2EResult{Case: c}
+	// Timings are stamped on every return path (including solve errors and
+	// cancellations) so callers never mis-account wall time.
+	defer func() { res.TotalWall = st.PriorWall + time.Since(start) }()
+
+	// Carry accounting from completed stages into the result.
+	res.LRIterations = st.LRIterations
+	res.LRWall = st.LRWall
+
+	// The mid-solve resume snapshot applies only to the stage the run
+	// enters on; once that stage completes, later solves start fresh.
+	resume := hooks.ResumeSolver
+
+	stageOpt := func(stage E2EStage) solver.Options {
+		o := opt
+		if hooks.Monitor != nil {
+			o.Monitor = func(iter int, r float64) { hooks.Monitor(stage, iter, r) }
+		}
+		if hooks.CheckpointSink != nil && hooks.CheckpointEvery > 0 {
+			o.CheckpointEvery = hooks.CheckpointEvery
+			o.CheckpointSink = func(ck *solver.Checkpoint) { hooks.CheckpointSink(stage, ck) }
+		}
+		o.Resume = resume
+		resume = nil
+		return o
+	}
+	commit := func(stage E2EStage, next E2EStage) error {
+		st.Next = next
+		st.PriorWall += time.Since(start)
+		start = time.Now()
+		if hooks.OnStage != nil {
+			return hooks.OnStage(stage, st)
+		}
+		return nil
+	}
 
 	// (lr) obtain the low-resolution input field.
-	lrFlow := c.Build()
-	lrStart := time.Now()
-	lrRes, err := solver.Solve(ctx, lrFlow, opt)
-	if err != nil {
-		return res, err
+	if st.Next == StageLRSolve {
+		lrFlow := c.Build()
+		lrStart := time.Now()
+		lrRes, err := solver.Solve(ctx, lrFlow, stageOpt(StageLRSolve))
+		if err != nil {
+			return res, err
+		}
+		res.LRIterations = lrRes.Iterations
+		res.LRWall = time.Since(lrStart)
+		st.LR = lrFlow
+		st.LRIterations = lrRes.Iterations
+		st.LRWall = res.LRWall
+		if err := commit(StageLRSolve, StageInfer); err != nil {
+			return res, err
+		}
 	}
-	res.LRIterations = lrRes.Iterations
-	res.LRWall = time.Since(lrStart)
 
 	// (inf) one-shot non-uniform super-resolution.
+	if st.Next == StageInfer {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		if st.LR == nil {
+			return res, fmt.Errorf("core: e2e state at %q has no LR field", StageInfer)
+		}
+		inf := m.InferCap(st.LR, maxLevel)
+		res.Inference = inf
+		st.Fine = inf.ToFlow(st.LR, c.BuildAt)
+		st.InferElapsed = inf.Elapsed
+		st.InferMemory = inf.MemoryBytes
+		st.CompositeCells = inf.CompositeCells
+		if err := commit(StageInfer, StageCorrect); err != nil {
+			return res, err
+		}
+	}
+
+	// (ps) drive the inference to convergence on the DNN's discretization.
+	// A cancellation that landed during inference must not launch the
+	// expensive correction solve.
 	if err := ctx.Err(); err != nil {
 		return res, err
 	}
-	inf := m.InferCap(lrFlow, cap)
-	res.Inference = inf
-
-	// (ps) drive the inference to convergence on the DNN's discretization.
-	fine := inf.ToFlow(lrFlow, c.BuildAt)
+	if st.Fine == nil {
+		return res, fmt.Errorf("core: e2e state at %q has no inferred field", StageCorrect)
+	}
+	fine := st.Fine
 	psStart := time.Now()
-	psRes, err := solver.Solve(ctx, fine, opt)
+	psRes, err := solver.Solve(ctx, fine, stageOpt(StageCorrect))
 	if err != nil {
 		return res, err
 	}
@@ -92,8 +251,10 @@ func RunE2ECap(ctx context.Context, m *Model, c *geometry.Case, opt solver.Optio
 	res.PSResult = psRes
 	res.Flow = fine
 
-	res.TotalWall = time.Since(start)
 	lrCells := c.H * c.W
-	res.TotalWork = lrRes.Iterations*lrCells + psRes.Iterations*inf.CompositeCells
+	res.TotalWork = st.LRIterations*lrCells + psRes.Iterations*st.CompositeCells
+	if err := commit(StageCorrect, StageDone); err != nil {
+		return res, err
+	}
 	return res, nil
 }

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"adarnet/internal/geometry"
+	"adarnet/internal/grid"
+	"adarnet/internal/solver"
+	"adarnet/internal/tensor"
+)
+
+// e2eModel builds a deterministic untrained-but-usable model whose
+// normalization is fitted to the case's LR field; bit-identity across runs
+// is what the staged tests need, not accuracy.
+func e2eModel(c *geometry.Case) *Model {
+	m := tinyModel()
+	m.Norm = FitNorm([]*tensor.Tensor{grid.ToTensor(c.Build())})
+	return m
+}
+
+func e2eOpt() solver.Options {
+	opt := solver.DefaultOptions()
+	opt.MaxIter = 600
+	return opt
+}
+
+func sameFlow(t *testing.T, want, got *grid.Flow) {
+	t.Helper()
+	if want == nil || got == nil {
+		t.Fatalf("nil flow (want %v, got %v)", want != nil, got != nil)
+	}
+	for name, pair := range map[string][2][]float64{
+		"u":   {want.U.Data, got.U.Data},
+		"v":   {want.V.Data, got.V.Data},
+		"p":   {want.P.Data, got.P.Data},
+		"nut": {want.Nut.Data, got.Nut.Data},
+	} {
+		if len(pair[0]) != len(pair[1]) {
+			t.Fatalf("%s: %d cells, want %d", name, len(pair[1]), len(pair[0]))
+		}
+		for i := range pair[0] {
+			if pair[0][i] != pair[1][i] {
+				t.Fatalf("%s[%d] = %v, want %v (bit-identity broken)", name, i, pair[1][i], pair[0][i])
+			}
+		}
+	}
+}
+
+// TestRunE2EStagedMatchesMonolithic: the staged runner with hooks must
+// visit lr-solve → infer → correct in order and produce the same flow as
+// the plain RunE2ECap call.
+func TestRunE2EStagedMatchesMonolithic(t *testing.T) {
+	c := geometry.ChannelCase(2.5e3, 8, 32)
+	m := e2eModel(c)
+
+	ref, err := RunE2ECap(context.Background(), m, c, e2eOpt(), 1)
+	if err != nil {
+		t.Fatalf("monolithic run: %v", err)
+	}
+
+	var stages []E2EStage
+	hooks := &E2EHooks{
+		OnStage: func(stage E2EStage, st *E2EState) error {
+			stages = append(stages, stage)
+			return nil
+		},
+	}
+	got, err := RunE2EStaged(context.Background(), m, c, e2eOpt(), 1, nil, hooks)
+	if err != nil {
+		t.Fatalf("staged run: %v", err)
+	}
+	want := []E2EStage{StageLRSolve, StageInfer, StageCorrect}
+	if len(stages) != len(want) {
+		t.Fatalf("stages = %v, want %v", stages, want)
+	}
+	for i := range want {
+		if stages[i] != want[i] {
+			t.Fatalf("stages = %v, want %v", stages, want)
+		}
+	}
+	sameFlow(t, ref.Flow, got.Flow)
+	if got.TotalWork != ref.TotalWork {
+		t.Fatalf("TotalWork = %d, want %d", got.TotalWork, ref.TotalWork)
+	}
+	if got.TotalWall <= 0 {
+		t.Fatal("TotalWall not stamped")
+	}
+}
+
+// TestRunE2EStagedResumeFromCorrect: a run restarted from the persisted
+// post-infer state (the stage checkpoint a killed-mid-correct job resumes
+// from) must produce a flow bit-identical to the uninterrupted run and the
+// same work accounting.
+func TestRunE2EStagedResumeFromCorrect(t *testing.T) {
+	c := geometry.ChannelCase(2.5e3, 8, 32)
+	m := e2eModel(c)
+
+	var resumeState *E2EState
+	hooks := &E2EHooks{
+		OnStage: func(stage E2EStage, st *E2EState) error {
+			if stage == StageInfer {
+				cp := *st
+				cp.LR = st.LR.Clone()
+				cp.Fine = st.Fine.Clone()
+				resumeState = &cp
+			}
+			return nil
+		},
+	}
+	ref, err := RunE2EStaged(context.Background(), m, c, e2eOpt(), 1, nil, hooks)
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+	if resumeState == nil {
+		t.Fatal("infer stage checkpoint not captured")
+	}
+	if resumeState.Next != StageCorrect {
+		t.Fatalf("state.Next = %q, want %q", resumeState.Next, StageCorrect)
+	}
+
+	got, err := RunE2EStaged(context.Background(), m, c, e2eOpt(), 1, resumeState, nil)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	sameFlow(t, ref.Flow, got.Flow)
+	if got.TotalWork != ref.TotalWork {
+		t.Fatalf("resumed TotalWork = %d, want %d", got.TotalWork, ref.TotalWork)
+	}
+	if got.Inference != nil {
+		t.Fatal("resumed-past-infer run should carry no Inference object")
+	}
+	if got.LRIterations != ref.LRIterations || got.LRWall != resumeState.LRWall {
+		t.Fatalf("resumed run lost LR accounting: iters %d (want %d)", got.LRIterations, ref.LRIterations)
+	}
+}
+
+// TestRunE2ETimingsStampedOnError: a canceled run still returns a partial
+// result with TotalWall stamped (the satellite bugfix — callers used to
+// see a zero TotalWall on every error path).
+func TestRunE2ETimingsStampedOnError(t *testing.T) {
+	c := geometry.ChannelCase(2.5e3, 8, 32)
+	m := e2eModel(c)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunE2ECap(ctx, m, c, e2eOpt(), 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("no partial result returned")
+	}
+	if res.TotalWall <= 0 {
+		t.Fatalf("TotalWall = %v on the error path, want > 0", res.TotalWall)
+	}
+}
+
+// TestRunE2ECancelBeforeCorrectSkipsSolve: a cancellation landing during
+// inference must be seen before the correction solve launches (the
+// satellite bugfix — the only ctx check used to sit between LR solve and
+// inference).
+func TestRunE2ECancelBeforeCorrectSkipsSolve(t *testing.T) {
+	c := geometry.ChannelCase(2.5e3, 8, 32)
+	m := e2eModel(c)
+	ctx, cancel := context.WithCancel(context.Background())
+	hooks := &E2EHooks{
+		OnStage: func(stage E2EStage, st *E2EState) error {
+			if stage == StageInfer {
+				cancel() // the cancellation lands "during" inference
+			}
+			return nil
+		},
+	}
+	res, err := RunE2EStaged(ctx, m, c, e2eOpt(), 1, nil, hooks)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The pre-stage check must fire — not the solver's in-loop poll, which
+	// would mean the correction solve was launched.
+	if strings.Contains(err.Error(), "solver:") {
+		t.Fatalf("correction solve was launched despite prior cancellation: %v", err)
+	}
+	if res.PSIterations != 0 {
+		t.Fatalf("PSIterations = %d after cancellation, want 0", res.PSIterations)
+	}
+	if res.TotalWall <= 0 {
+		t.Fatal("TotalWall not stamped on the cancellation path")
+	}
+}

@@ -1,0 +1,270 @@
+// Package jobs turns the end-to-end ADARNet pipeline (LR solve → one-shot
+// non-uniform SR → physics-solver correction) from a blocking library call
+// into schedulable, survivable work: a worker pool drains a crash-safe
+// on-disk queue of accepted jobs, each job runs core.RunE2EStaged with
+// stage checkpoints and periodic mid-solve solver snapshots journaled via
+// the same atomic temp+fsync+rename discipline model checkpoints use
+// (internal/nn), and a service restart replays the journal — every
+// accepted job is either finished or resumed from its last checkpoint,
+// never lost, and a resumed run's result is bit-identical to an
+// uninterrupted one.
+//
+// Lifecycle: pending → running → done | failed | canceled. A job
+// interrupted by a crash or a drain deadline stays "running" on disk and
+// is re-queued on the next Open (its resume counter increments); a job
+// canceled through Cancel is terminal. See DESIGN.md §14.
+package jobs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"adarnet/internal/core"
+	"adarnet/internal/geometry"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	StatePending  State = "pending"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether a state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Spec is the client-facing description of an end-to-end solve: the same
+// vocabulary POST /predict accepts, plus an optional refinement-level cap.
+// The zero value of each field selects the server default.
+type Spec struct {
+	Case string  `json:"case"` // channel | flatplate | cylinder | naca0012 | naca1412
+	Re   float64 `json:"re,omitempty"`
+	H    int     `json:"h,omitempty"`
+	W    int     `json:"w,omitempty"`
+	// MaxLevel caps the inferred refinement levels (the Fig. 11 truncation);
+	// 0 means the model's full depth.
+	MaxLevel int `json:"max_level,omitempty"`
+}
+
+// BuildCase validates the spec and constructs its geometry. Dimension and
+// body-size bounds are the HTTP boundary's job; this guards the invariants
+// the pipeline itself needs.
+func (sp Spec) BuildCase() (*geometry.Case, error) {
+	h, w, re := sp.H, sp.W, sp.Re
+	if h == 0 {
+		h = 16
+	}
+	if w == 0 {
+		w = 64
+	}
+	if re == 0 {
+		re = 2.5e3
+	}
+	if h < 4 || w < 4 {
+		return nil, fmt.Errorf("jobs: resolution %dx%d too small (min 4x4)", h, w)
+	}
+	if math.IsNaN(re) || math.IsInf(re, 0) || re <= 0 {
+		return nil, fmt.Errorf("jobs: re=%v out of range (0, +Inf)", re)
+	}
+	switch sp.Case {
+	case "channel", "":
+		return geometry.ChannelCase(re, h, w), nil
+	case "flatplate":
+		return geometry.FlatPlateCase(re, h, w), nil
+	case "cylinder":
+		return geometry.CylinderCase(re, h, w), nil
+	case "naca0012":
+		return geometry.AirfoilCase("0012", re, h, w), nil
+	case "naca1412":
+		return geometry.AirfoilCase("1412", re, h, w), nil
+	default:
+		return nil, fmt.Errorf("jobs: unknown case %q", sp.Case)
+	}
+}
+
+// Summary is the JSON-able outcome of a completed job: the paper's Table 1
+// cost decomposition for this solve.
+type Summary struct {
+	LRIterations   int     `json:"lr_iterations"`
+	LRWallMs       float64 `json:"lr_wall_ms"`
+	InferMs        float64 `json:"infer_ms"`
+	CompositeCells int     `json:"composite_cells"`
+	PSIterations   int     `json:"ps_iterations"`
+	PSResidual     float64 `json:"ps_residual"`
+	PSConverged    bool    `json:"ps_converged"`
+	PSWallMs       float64 `json:"ps_wall_ms"`
+	TotalWallMs    float64 `json:"total_wall_ms"`
+	TotalWork      int     `json:"total_work"`
+}
+
+// ResidualPoint is one convergence-monitor sample of a solve stage.
+type ResidualPoint struct {
+	Stage    core.E2EStage `json:"stage"`
+	Iter     int           `json:"iter"`
+	Residual float64       `json:"residual"`
+}
+
+// EventType tags a job event.
+type EventType string
+
+const (
+	// EventState marks a lifecycle transition (pending/running/terminal).
+	EventState EventType = "state"
+	// EventStage marks a pipeline stage completing.
+	EventStage EventType = "stage"
+	// EventProgress carries a residual-convergence sample. Progress events
+	// are droppable: a slow consumer loses samples, never transitions.
+	EventProgress EventType = "progress"
+)
+
+// Event is one entry of a job's event stream.
+type Event struct {
+	Type     EventType     `json:"type"`
+	JobID    string        `json:"job_id"`
+	State    State         `json:"state"`
+	Stage    core.E2EStage `json:"stage,omitempty"`
+	Iter     int           `json:"iter,omitempty"`
+	Residual float64       `json:"residual,omitempty"`
+	Error    string        `json:"error,omitempty"`
+	Terminal bool          `json:"terminal,omitempty"`
+}
+
+// View is the read-model of a job for the HTTP layer: a consistent
+// snapshot taken under the job's lock.
+type View struct {
+	ID       string        `json:"id"`
+	Spec     Spec          `json:"spec"`
+	State    State         `json:"state"`
+	Stage    core.E2EStage `json:"stage,omitempty"`
+	Error    string        `json:"error,omitempty"`
+	Resumes  int           `json:"resumes"`
+	Created  time.Time     `json:"created"`
+	Started  *time.Time    `json:"started,omitempty"`
+	Finished *time.Time    `json:"finished,omitempty"`
+	// Residuals is the tail of the convergence history (most recent last).
+	Residuals []ResidualPoint `json:"residuals,omitempty"`
+	Result    *Summary        `json:"result,omitempty"`
+}
+
+// Job is one accepted end-to-end solve. All mutable fields are guarded by
+// mu; the service publishes changes to subscribers as Events.
+type Job struct {
+	ID      string
+	Spec    Spec
+	dir     string
+	created time.Time
+
+	mu        sync.Mutex
+	state     State
+	stage     core.E2EStage
+	errMsg    string
+	resumes   int
+	started   time.Time
+	finished  time.Time
+	result    *Summary
+	residuals []ResidualPoint // ring, capped at historyDepth
+	histDepth int
+	cancel    func(cause error) // non-nil while running
+	subs      map[int]chan Event
+	nextSub   int
+}
+
+// View snapshots the job, including at most tail residual points.
+func (j *Job) View(tail int) View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := View{
+		ID: j.ID, Spec: j.Spec, State: j.state, Stage: j.stage,
+		Error: j.errMsg, Resumes: j.resumes, Created: j.created,
+		Result: j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if n := len(j.residuals); n > 0 {
+		if tail <= 0 || tail > n {
+			tail = n
+		}
+		v.Residuals = append([]ResidualPoint(nil), j.residuals[n-tail:]...)
+	}
+	return v
+}
+
+// subscribe registers an event channel; the returned func unsubscribes.
+func (j *Job) subscribe(buf int) (<-chan Event, func()) {
+	if buf <= 0 {
+		buf = 64
+	}
+	ch := make(chan Event, buf)
+	j.mu.Lock()
+	if j.subs == nil {
+		j.subs = make(map[int]chan Event)
+	}
+	id := j.nextSub
+	j.nextSub++
+	j.subs[id] = ch
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		delete(j.subs, id)
+		j.mu.Unlock()
+	}
+}
+
+// publish fans an event out to subscribers. Progress events are dropped
+// when a subscriber's buffer is full; state and stage events evict the
+// oldest buffered event instead, so a live consumer always eventually sees
+// every transition (in particular the terminal one).
+func (j *Job) publish(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, ch := range j.subs {
+		select {
+		case ch <- e:
+			continue
+		default:
+		}
+		if e.Type == EventProgress {
+			continue
+		}
+		// Make room: drop the oldest event, then retry once. A concurrent
+		// reader may have drained the channel in between; either way the
+		// second send succeeds unless another producer refilled it, which
+		// cannot happen while we hold j.mu.
+		select {
+		case <-ch:
+		default:
+		}
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+}
+
+// addResidual appends a monitor sample, keeping the ring bounded.
+func (j *Job) addResidual(p ResidualPoint) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	depth := j.histDepth
+	if depth <= 0 {
+		depth = 512
+	}
+	j.residuals = append(j.residuals, p)
+	if len(j.residuals) > depth {
+		j.residuals = j.residuals[len(j.residuals)-depth:]
+	}
+}

@@ -1,0 +1,427 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"adarnet/internal/core"
+	"adarnet/internal/geometry"
+	"adarnet/internal/grid"
+	"adarnet/internal/obs"
+	"adarnet/internal/solver"
+	"adarnet/internal/tensor"
+)
+
+// testModel builds a small deterministic model; bit-identity across runs is
+// what the resume tests need, not accuracy.
+func testModel(c *geometry.Case) *core.Model {
+	cfg := core.DefaultConfig(2, 2)
+	cfg.Bins = 2
+	cfg.Seed = 7
+	m := core.New(cfg)
+	m.Norm = core.FitNorm([]*tensor.Tensor{grid.ToTensor(c.Build())})
+	return m
+}
+
+func testOptions() solver.Options {
+	opt := solver.DefaultOptions()
+	opt.MaxIter = 600
+	return opt
+}
+
+var testSpec = Spec{Case: "channel", Re: 2.5e3, H: 8, W: 32, MaxLevel: 1}
+
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	c, err := testSpec.BuildCase()
+	if err != nil {
+		t.Fatalf("test spec: %v", err)
+	}
+	return Config{
+		Dir:             t.TempDir(),
+		Model:           testModel(c),
+		Workers:         1,
+		Solver:          testOptions(),
+		CheckpointEvery: 50,
+		Metrics:         obs.NewRegistry(),
+	}
+}
+
+// waitTerminal drains a Watch stream until the job reaches a terminal state.
+func waitTerminal(t *testing.T, s *Service, id string, timeout time.Duration) View {
+	t.Helper()
+	ch, unsub, err := s.Watch(id)
+	if err != nil {
+		t.Fatalf("watch %s: %v", id, err)
+	}
+	defer unsub()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case e := <-ch:
+			if e.Terminal {
+				v, err := s.Get(id, 0)
+				if err != nil {
+					t.Fatalf("get %s: %v", id, err)
+				}
+				return v
+			}
+		case <-deadline:
+			v, _ := s.Get(id, 0)
+			t.Fatalf("job %s not terminal after %v (state %s, stage %s)", id, timeout, v.State, v.Stage)
+		}
+	}
+}
+
+func TestSubmitRunsToCompletion(t *testing.T) {
+	cfg := testConfig(t)
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer s.Close(context.Background())
+
+	v, err := s.Submit(testSpec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if v.State != StatePending && v.State != StateRunning {
+		t.Fatalf("fresh job state = %s", v.State)
+	}
+
+	v = waitTerminal(t, s, v.ID, 60*time.Second)
+	if v.State != StateDone {
+		t.Fatalf("state = %s (%s), want done", v.State, v.Error)
+	}
+	if v.Result == nil || v.Result.PSIterations == 0 || v.Result.TotalWallMs <= 0 {
+		t.Fatalf("done job has no usable summary: %+v", v.Result)
+	}
+
+	// History was collected, and Get's tail parameter bounds it.
+	full, _ := s.Get(v.ID, 0)
+	if len(full.Residuals) == 0 {
+		t.Fatal("no residual history recorded")
+	}
+	two, _ := s.Get(v.ID, 2)
+	if len(two.Residuals) != 2 {
+		t.Fatalf("tail=2 returned %d points", len(two.Residuals))
+	}
+
+	// The result is loadable from the journal and stage checkpoints were
+	// compacted away.
+	sum, flow, err := s.Result(v.ID)
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	if flow == nil || sum.PSIterations != v.Result.PSIterations {
+		t.Fatal("journaled result does not match the view")
+	}
+	for _, name := range []string{stageFileName(core.StageLRSolve), stageFileName(core.StageInfer), solverFile} {
+		if _, err := os.Stat(filepath.Join(cfg.Dir, v.ID, name)); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("transient %s survived completion", name)
+		}
+	}
+
+	// A done job matches the direct library call bit for bit.
+	c, _ := testSpec.BuildCase()
+	ref, err := core.RunE2ECap(context.Background(), cfg.Model, c, testOptions(), testSpec.MaxLevel)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	assertSameFlow(t, ref.Flow, flow)
+}
+
+func assertSameFlow(t *testing.T, want, got *grid.Flow) {
+	t.Helper()
+	if want == nil || got == nil {
+		t.Fatalf("nil flow (want %v, got %v)", want != nil, got != nil)
+	}
+	for name, pair := range map[string][2][]float64{
+		"u": {want.U.Data, got.U.Data}, "v": {want.V.Data, got.V.Data},
+		"p": {want.P.Data, got.P.Data}, "nut": {want.Nut.Data, got.Nut.Data},
+	} {
+		if len(pair[0]) != len(pair[1]) {
+			t.Fatalf("%s: %d cells, want %d", name, len(pair[1]), len(pair[0]))
+		}
+		for i := range pair[0] {
+			if pair[0][i] != pair[1][i] {
+				t.Fatalf("%s[%d] = %v, want %v (bit-identity broken)", name, i, pair[1][i], pair[0][i])
+			}
+		}
+	}
+}
+
+func TestSubmitValidatesSpec(t *testing.T) {
+	s, err := Open(testConfig(t))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer s.Close(context.Background())
+	for _, spec := range []Spec{
+		{Case: "wormhole"},
+		{Case: "channel", H: 2, W: 32},
+		{Case: "channel", Re: -5},
+	} {
+		if _, err := s.Submit(spec); err == nil {
+			t.Fatalf("spec %+v accepted", spec)
+		}
+	}
+	if len(s.List()) != 0 {
+		t.Fatal("rejected specs left residue in the job table")
+	}
+}
+
+func TestQueueFullAndCancel(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.QueueDepth = 2
+	// Make the running job slow enough to hold its admission slot.
+	cfg.Solver.MaxIter = 30000
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer s.Close(context.Background())
+
+	running, err := s.Submit(testSpec)
+	if err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	pending, err := s.Submit(testSpec)
+	if err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	if _, err := s.Submit(testSpec); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit 3 err = %v, want ErrQueueFull", err)
+	}
+
+	// Canceling the queued job is immediate and frees a slot.
+	if ok, err := s.Cancel(pending.ID); err != nil || !ok {
+		t.Fatalf("cancel pending: ok=%v err=%v", ok, err)
+	}
+	if v, _ := s.Get(pending.ID, 0); v.State != StateCanceled {
+		t.Fatalf("pending job state = %s, want canceled", v.State)
+	}
+	if _, err := s.Submit(testSpec); err != nil {
+		t.Fatalf("slot not freed after cancel: %v", err)
+	}
+
+	// Canceling the running job interrupts its solve.
+	if ok, err := s.Cancel(running.ID); err != nil || !ok {
+		t.Fatalf("cancel running: ok=%v err=%v", ok, err)
+	}
+	v := waitTerminal(t, s, running.ID, 30*time.Second)
+	if v.State != StateCanceled {
+		t.Fatalf("running job state = %s, want canceled", v.State)
+	}
+	// The terminal state is durable.
+	var st statusRecord
+	if err := readJSON(filepath.Join(cfg.Dir, running.ID, statusFile), &st); err != nil {
+		t.Fatalf("read status: %v", err)
+	}
+	if st.State != StateCanceled {
+		t.Fatalf("durable state = %s, want canceled", st.State)
+	}
+	// Canceling a terminal job is a no-op.
+	if ok, _ := s.Cancel(running.ID); ok {
+		t.Fatal("cancel of terminal job reported true")
+	}
+	if _, _, err := s.Result(running.ID); !errors.Is(err, ErrNotDone) {
+		t.Fatalf("Result of canceled job err = %v, want ErrNotDone", err)
+	}
+}
+
+// TestCrashSurvivalMidCorrect is the ISSUE's acceptance test: a job killed
+// mid-correction is resumed from its stage checkpoint by the next Open, no
+// accepted job is lost, and the final flow is bit-identical to an
+// uninterrupted run.
+func TestCrashSurvivalMidCorrect(t *testing.T) {
+	cfg := testConfig(t)
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+
+	v, err := s.Submit(testSpec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	id := v.ID
+
+	// Wait until the correction solve is demonstrably underway (progress
+	// events from the correct stage), then pull the plug: a zero-deadline
+	// drain interrupts the worker exactly like a kill would — the durable
+	// state is still "running".
+	ch, unsub, err := s.Watch(id)
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	correctProgress := 0
+	deadline := time.After(60 * time.Second)
+observe:
+	for {
+		select {
+		case e := <-ch:
+			if e.Terminal {
+				t.Fatalf("job finished before it could be interrupted (state %s)", e.State)
+			}
+			if e.Type == EventProgress && e.Stage == core.StageCorrect {
+				if correctProgress++; correctProgress >= 3 {
+					break observe
+				}
+			}
+		case <-deadline:
+			t.Fatal("correction stage never reported progress")
+		}
+	}
+	unsub()
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Close(expired); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// The journal must look exactly like a crash site: status running at
+	// stage correct, with the infer-stage checkpoint present.
+	var st statusRecord
+	if err := readJSON(filepath.Join(cfg.Dir, id, statusFile), &st); err != nil {
+		t.Fatalf("read status: %v", err)
+	}
+	if st.State != StateRunning || st.Stage != core.StageCorrect {
+		t.Fatalf("durable state after interrupt = %s/%s, want running/correct", st.State, st.Stage)
+	}
+	if _, err := os.Stat(filepath.Join(cfg.Dir, id, stageFileName(core.StageInfer))); err != nil {
+		t.Fatalf("infer stage checkpoint missing: %v", err)
+	}
+
+	// Restart on the same journal: the job is replayed, resumed, and runs
+	// to done.
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close(context.Background())
+	if got := len(s2.List()); got != 1 {
+		t.Fatalf("replayed job table has %d jobs, want 1 (zero lost accepted jobs)", got)
+	}
+	v = waitTerminal(t, s2, id, 60*time.Second)
+	if v.State != StateDone {
+		t.Fatalf("resumed job state = %s (%s), want done", v.State, v.Error)
+	}
+	if v.Resumes != 1 {
+		t.Fatalf("resumes = %d, want 1", v.Resumes)
+	}
+	// Stage accounting from before the crash survives into the summary even
+	// though the infer stage ran in the killed process.
+	if v.Result == nil || v.Result.CompositeCells == 0 || v.Result.InferMs <= 0 {
+		t.Fatalf("resumed summary lost infer accounting: %+v", v.Result)
+	}
+
+	// The resumed result is bit-identical to an uninterrupted direct run.
+	_, flow, err := s2.Result(id)
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	c, _ := testSpec.BuildCase()
+	ref, err := core.RunE2ECap(context.Background(), cfg.Model, c, testOptions(), testSpec.MaxLevel)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	assertSameFlow(t, ref.Flow, flow)
+}
+
+// TestReplayCorruptCheckpointDegrades: a torn or corrupted stage checkpoint
+// must not poison the resume — the job falls back to the previous intact
+// stage and still completes correctly.
+func TestReplayCorruptCheckpointDegrades(t *testing.T) {
+	dir := t.TempDir()
+
+	// Synthesize a journal: an intact lr-solve checkpoint and a corrupted
+	// infer checkpoint.
+	c, _ := testSpec.BuildCase()
+	lr := c.Build()
+	st := &core.E2EState{Next: core.StageInfer, LR: lr, LRIterations: 42, LRWall: time.Second}
+	if err := writeFramedGob(filepath.Join(dir, stageFileName(core.StageLRSolve)), st); err != nil {
+		t.Fatalf("write lr ckpt: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, stageFileName(core.StageInfer)), []byte("ADARJOB1 garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, solverCk, degraded := loadResume(dir)
+	if got == nil || got.Next != core.StageInfer || got.LRIterations != 42 {
+		t.Fatalf("loadResume fell through the intact checkpoint: %+v", got)
+	}
+	if solverCk != nil {
+		t.Fatal("no solver checkpoint exists, yet one was returned")
+	}
+	if len(degraded) != 1 {
+		t.Fatalf("degraded = %v, want exactly the corrupt infer record", degraded)
+	}
+}
+
+// TestLoadResumeRejectsStaleSolverSnapshot: a mid-solve snapshot from a
+// superseded stage must never be resumed into a later stage.
+func TestLoadResumeRejectsStaleSolverSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := testSpec.BuildCase()
+	lr := c.Build()
+	st := &core.E2EState{Next: core.StageCorrect, LR: lr, Fine: lr.Clone()}
+	if err := writeFramedGob(filepath.Join(dir, stageFileName(core.StageInfer)), st); err != nil {
+		t.Fatal(err)
+	}
+	// A snapshot tagged with the *lr-solve* stage is stale once the state
+	// says the next stage is correct.
+	rec := &solverRecord{Stage: core.StageLRSolve, Ck: solver.Checkpoint{H: 8, W: 32}}
+	if err := writeFramedGob(filepath.Join(dir, solverFile), rec); err != nil {
+		t.Fatal(err)
+	}
+	got, solverCk, _ := loadResume(dir)
+	if got == nil || got.Next != core.StageCorrect {
+		t.Fatalf("stage state not loaded: %+v", got)
+	}
+	if solverCk != nil {
+		t.Fatal("stale solver snapshot was accepted for the wrong stage")
+	}
+}
+
+func TestFramedGobRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rec.ckpt")
+	in := &solverRecord{Stage: core.StageCorrect, Ck: solver.Checkpoint{H: 4, W: 8, Iteration: 100, Res: 0.5}}
+	if err := writeFramedGob(path, in); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var out solverRecord
+	if err := readFramedGob(path, &out); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if out.Stage != in.Stage || out.Ck.Iteration != in.Ck.Iteration {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+
+	// Flip a payload byte: the CRC frame must reject it.
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := readFramedGob(path, &out); err == nil {
+		t.Fatal("corrupted record read back without error")
+	}
+}
+
+func TestCloseRejectsNewWork(t *testing.T) {
+	s, err := Open(testConfig(t))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := s.Submit(testSpec); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close err = %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,178 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"adarnet/internal/core"
+	"adarnet/internal/grid"
+	"adarnet/internal/nn"
+	"adarnet/internal/solver"
+)
+
+// On-disk journal layout — one directory per job under the service dir:
+//
+//	<dir>/<job-id>/
+//	    spec.json               the accepted job (immutable after Submit)
+//	    status.json             lifecycle record, atomically rewritten on
+//	                            every transition (done carries the Summary)
+//	    stage-lr-solve.ckpt     core.E2EState after the lr-solve stage
+//	    stage-infer.ckpt        core.E2EState after the infer stage
+//	    solver.ckpt             latest periodic mid-solve snapshot, tagged
+//	                            with the stage it belongs to
+//	    result.ckpt             final flow + summary of a done job
+//
+// Every file is committed with nn.AtomicWriteFile — temp file in the job
+// directory, fsync, rename, directory sync — so a crash at any instant
+// leaves each record either wholly the previous version or wholly the new
+// one. Binary records ride inside an nn.WriteFramed CRC-32 frame; a
+// corrupted checkpoint is detected at replay and the job falls back to the
+// previous stage (ultimately a fresh run) instead of consuming garbage.
+// Once Submit has returned an ID, the spec is durable: replay re-queues
+// the job no matter where execution stopped — zero lost accepted jobs.
+
+const (
+	jobMagic   = "ADARJOB1"
+	jobVersion = 1
+
+	specFile   = "spec.json"
+	statusFile = "status.json"
+	solverFile = "solver.ckpt"
+	resultFile = "result.ckpt"
+)
+
+// stageFileName maps a completed stage to its checkpoint file.
+func stageFileName(stage core.E2EStage) string {
+	return "stage-" + string(stage) + ".ckpt"
+}
+
+// specRecord is the durable form of an accepted job.
+type specRecord struct {
+	ID      string    `json:"id"`
+	Spec    Spec      `json:"spec"`
+	Created time.Time `json:"created"`
+}
+
+// statusRecord is the durable lifecycle state. Stage is the *next* stage a
+// resumed run would execute (mirroring core.E2EState.Next) while running,
+// and the final stage reached otherwise.
+type statusRecord struct {
+	State   State         `json:"state"`
+	Stage   core.E2EStage `json:"stage,omitempty"`
+	Error   string        `json:"error,omitempty"`
+	Resumes int           `json:"resumes"`
+	Summary *Summary      `json:"summary,omitempty"`
+	Updated time.Time     `json:"updated"`
+}
+
+// solverRecord tags a mid-solve snapshot with the stage that produced it,
+// so a snapshot from a superseded stage is never resumed into a later one.
+type solverRecord struct {
+	Stage core.E2EStage
+	Ck    solver.Checkpoint
+}
+
+// resultRecord holds a finished job's converged flow and summary.
+type resultRecord struct {
+	Summary Summary
+	Flow    *grid.Flow
+}
+
+// writeJSON commits v to path atomically.
+func writeJSON(path string, v any) error {
+	return nn.AtomicWriteFile(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	})
+}
+
+// readJSON loads path into v.
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+// writeFramedGob commits a gob-encoded value inside a CRC frame, atomically.
+func writeFramedGob(path string, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("jobs: encode %s: %w", filepath.Base(path), err)
+	}
+	return nn.AtomicWriteFile(path, func(w io.Writer) error {
+		return nn.WriteFramed(w, jobMagic, jobVersion, buf.Bytes())
+	})
+}
+
+// readFramedGob loads and verifies a framed gob record. Missing files
+// return os.ErrNotExist; integrity failures wrap nn.ErrCheckpointCorrupt.
+func readFramedGob(path string, v any) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	payload, err := nn.ReadFramed(raw, jobMagic, jobVersion)
+	if err != nil {
+		return fmt.Errorf("jobs: %s: %w", filepath.Base(path), err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("jobs: decode %s: %v: %w", filepath.Base(path), err, nn.ErrCheckpointCorrupt)
+	}
+	return nil
+}
+
+// loadResume reconstructs the most advanced valid resume point from a job
+// directory: the latest intact stage checkpoint, plus — when it matches
+// that stage — the latest mid-solve solver snapshot. A corrupt or missing
+// record degrades to the previous stage; (nil, nil) means start fresh.
+func loadResume(dir string) (st *core.E2EState, solverCk *solver.Checkpoint, degraded []string) {
+	for _, stage := range []core.E2EStage{core.StageInfer, core.StageLRSolve} {
+		path := filepath.Join(dir, stageFileName(stage))
+		var cand core.E2EState
+		err := readFramedGob(path, &cand)
+		if err == nil && core.ValidStage(cand.Next) {
+			st = &cand
+			break
+		}
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			degraded = append(degraded, fmt.Sprintf("%s: %v", stageFileName(stage), err))
+		}
+	}
+	var rec solverRecord
+	err := readFramedGob(filepath.Join(dir, solverFile), &rec)
+	switch {
+	case err == nil:
+		next := core.StageLRSolve
+		if st != nil {
+			next = st.Next
+		}
+		if rec.Stage == next {
+			solverCk = &rec.Ck
+		}
+	case !errors.Is(err, os.ErrNotExist):
+		degraded = append(degraded, fmt.Sprintf("%s: %v", solverFile, err))
+	}
+	return st, solverCk, degraded
+}
+
+// clearTransients removes the stage and solver checkpoints of a job that
+// reached a terminal state — journal compaction, best effort.
+func clearTransients(dir string) {
+	for _, name := range []string{
+		stageFileName(core.StageLRSolve),
+		stageFileName(core.StageInfer),
+		solverFile,
+	} {
+		os.Remove(filepath.Join(dir, name))
+	}
+}

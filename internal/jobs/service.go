@@ -1,0 +1,735 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"adarnet/internal/core"
+	"adarnet/internal/grid"
+	"adarnet/internal/obs"
+	"adarnet/internal/patch"
+	"adarnet/internal/solver"
+)
+
+// Sentinel errors of the job API.
+var (
+	// ErrQueueFull rejects a submission when the accepted-but-unfinished
+	// backlog is at capacity (the HTTP layer maps it to 429).
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrClosed rejects operations on a service that has begun draining.
+	ErrClosed = errors.New("jobs: service closed")
+	// ErrNotFound reports an unknown job ID.
+	ErrNotFound = errors.New("jobs: job not found")
+	// ErrNotDone reports a Result call on a job that has not completed.
+	ErrNotDone = errors.New("jobs: job not done")
+
+	// errShutdown is the cancel cause of a drain-deadline interrupt: the
+	// job is NOT terminal — its durable state stays "running" and the next
+	// Open resumes it from its last checkpoint.
+	errShutdown = errors.New("jobs: interrupted by shutdown")
+	// errCanceled is the cancel cause of a user Cancel: terminal.
+	errCanceled = errors.New("jobs: canceled by request")
+)
+
+// Config configures a Service.
+type Config struct {
+	// Dir is the journal directory (required; created if absent).
+	Dir string
+	// Model runs the inference stage (required, trained).
+	Model *core.Model
+	// Workers is the number of concurrent job runners (default 1 — each
+	// job already parallelizes its solver sweeps across cores).
+	Workers int
+	// QueueDepth bounds accepted-but-unfinished jobs (default 64).
+	QueueDepth int
+	// Solver configures both solve stages.
+	Solver solver.Options
+	// CheckpointEvery is the solver-iteration cadence of mid-solve
+	// snapshots (default 2000; rounded up to the solver's check cadence).
+	CheckpointEvery int
+	// HistoryDepth bounds the in-memory residual history per job
+	// (default 512).
+	HistoryDepth int
+	// Logger receives service logs (nil: silent).
+	Logger *slog.Logger
+	// Metrics is the registry job metrics register on (nil: obs.Default).
+	Metrics *obs.Registry
+}
+
+// Service is the persistent job runner. Open replays the journal and
+// starts the workers; Close drains gracefully.
+type Service struct {
+	cfg Config
+	log *slog.Logger
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission/replay order, for List
+	accepted int      // pending + running jobs, for admission control
+	closed   bool
+
+	queue chan *Job
+	stop  chan struct{}
+	wg    sync.WaitGroup // workers
+
+	met serviceMetrics
+}
+
+// serviceMetrics are the per-stage job metrics (ISSUE: residual-convergence
+// progress and stage costs flow into internal/obs alongside the serve-path
+// telemetry).
+type serviceMetrics struct {
+	submitted, completed, failed, canceled, resumed, replayed *obs.Counter
+	running, queued                                           *obs.Gauge
+	journalWrites                                             *obs.Counter
+	journalSeconds                                            *obs.Histogram
+	jobSeconds                                                *obs.Histogram
+	stageSeconds                                              map[core.E2EStage]*obs.Histogram
+	stageResidual                                             map[core.E2EStage]*obs.Gauge
+}
+
+func newServiceMetrics(r *obs.Registry) serviceMetrics {
+	m := serviceMetrics{
+		submitted: r.Counter("adarnet_jobs_submitted_total", "Jobs accepted (durable once counted)."),
+		completed: r.Counter("adarnet_jobs_completed_total", "Jobs finished successfully."),
+		failed:    r.Counter("adarnet_jobs_failed_total", "Jobs that ended in an error."),
+		canceled:  r.Counter("adarnet_jobs_canceled_total", "Jobs canceled by request."),
+		resumed:   r.Counter("adarnet_jobs_resumed_total", "Job runs resumed from a journal checkpoint."),
+		replayed:  r.Counter("adarnet_jobs_replayed_total", "Unfinished jobs re-queued by journal replay at startup."),
+		running:   r.Gauge("adarnet_jobs_running", "Jobs currently executing a stage."),
+		queued:    r.Gauge("adarnet_jobs_queued", "Jobs accepted and waiting for a worker."),
+		journalWrites: r.Counter("adarnet_jobs_journal_writes_total",
+			"Journal records committed (atomic temp+fsync+rename)."),
+		journalSeconds: r.Histogram("adarnet_jobs_journal_write_seconds",
+			"Journal record commit duration.", 1e-9),
+		jobSeconds: r.Histogram("adarnet_jobs_e2e_seconds",
+			"Submit-to-terminal latency of finished jobs.", 1e-9),
+		stageSeconds:  make(map[core.E2EStage]*obs.Histogram),
+		stageResidual: make(map[core.E2EStage]*obs.Gauge),
+	}
+	for _, st := range []core.E2EStage{core.StageLRSolve, core.StageInfer, core.StageCorrect} {
+		m.stageSeconds[st] = r.Histogram(
+			obs.Labeled("adarnet_job_stage_seconds", "stage", string(st)),
+			"Wall time of one pipeline stage.", 1e-9)
+		m.stageResidual[st] = r.Gauge(
+			obs.Labeled("adarnet_job_stage_residual", "stage", string(st)),
+			"Latest residual reported by a running stage.")
+	}
+	return m
+}
+
+// Open loads the journal in cfg.Dir, re-queues every unfinished job, and
+// starts the worker pool.
+func Open(cfg Config) (*Service, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("jobs: Config.Dir is required")
+	}
+	if cfg.Model == nil || len(cfg.Model.Params()) == 0 {
+		return nil, core.ErrUntrained
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 2000
+	}
+	if cfg.HistoryDepth <= 0 {
+		cfg.HistoryDepth = 512
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.Default
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: create dir: %w", err)
+	}
+
+	s := &Service{
+		cfg:  cfg,
+		log:  cfg.Logger,
+		jobs: make(map[string]*Job),
+		stop: make(chan struct{}),
+		met:  newServiceMetrics(cfg.Metrics),
+	}
+
+	replay, err := s.replay()
+	if err != nil {
+		return nil, err
+	}
+	// The channel must hold the full replayed backlog plus a fresh window.
+	s.queue = make(chan *Job, cfg.QueueDepth+len(replay))
+	for _, j := range replay {
+		s.accepted++
+		s.met.queued.Add(1)
+		s.queue <- j
+	}
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// replay scans the journal directory and rebuilds the job table: terminal
+// jobs become read-only records, unfinished jobs are returned for
+// re-queueing in their original submission order.
+func (s *Service) replay() ([]*Job, error) {
+	entries, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: read dir: %w", err)
+	}
+	var resumable []*Job
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		dir := filepath.Join(s.cfg.Dir, ent.Name())
+		var spec specRecord
+		if err := readJSON(filepath.Join(dir, specFile), &spec); err != nil {
+			// A dir without an intact spec was never fully accepted (the
+			// crash hit before Submit returned) or is foreign; skip it.
+			s.log.Warn("jobs: skipping journal entry without valid spec", "dir", ent.Name(), "err", err.Error())
+			continue
+		}
+		j := &Job{
+			ID: spec.ID, Spec: spec.Spec, dir: dir, created: spec.Created,
+			state: StatePending, stage: core.StageLRSolve, histDepth: s.cfg.HistoryDepth,
+		}
+		var st statusRecord
+		if err := readJSON(filepath.Join(dir, statusFile), &st); err == nil {
+			j.state = st.State
+			if st.Stage != "" {
+				j.stage = st.Stage
+			}
+			j.errMsg = st.Error
+			j.resumes = st.Resumes
+			j.result = st.Summary
+		}
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		if !j.state.Terminal() {
+			if j.state == StateRunning {
+				// The previous process died (or was drained) mid-run.
+				j.resumes++
+				s.met.resumed.Inc()
+			}
+			j.state = StatePending
+			s.met.replayed.Inc()
+			resumable = append(resumable, j)
+			s.log.Info("jobs: replaying unfinished job", "job_id", j.ID, "stage", string(j.stage), "resumes", j.resumes)
+		}
+	}
+	sort.SliceStable(resumable, func(a, b int) bool {
+		return resumable[a].created.Before(resumable[b].created)
+	})
+	sort.SliceStable(s.order, func(a, b int) bool {
+		return s.jobs[s.order[a]].created.Before(s.jobs[s.order[b]].created)
+	})
+	return resumable, nil
+}
+
+// Submit validates and durably accepts a job. Once Submit returns, the job
+// survives any crash: it is either executed to a terminal state or resumed
+// by the next Open.
+func (s *Service) Submit(spec Spec) (View, error) {
+	if _, err := spec.BuildCase(); err != nil {
+		return View{}, err
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return View{}, ErrClosed
+	}
+	if s.accepted >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		return View{}, ErrQueueFull
+	}
+	id := "job-" + obs.NewRequestID()
+	if _, dup := s.jobs[id]; dup {
+		s.mu.Unlock()
+		return View{}, fmt.Errorf("jobs: id collision on %s", id)
+	}
+	j := &Job{
+		ID: id, Spec: spec, dir: filepath.Join(s.cfg.Dir, id),
+		created: time.Now(), state: StatePending, stage: core.StageLRSolve,
+		histDepth: s.cfg.HistoryDepth,
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.accepted++
+	s.mu.Unlock()
+
+	// Durability point: spec + initial status on disk before the caller
+	// learns the ID.
+	if err := os.MkdirAll(j.dir, 0o755); err != nil {
+		s.forget(j)
+		return View{}, fmt.Errorf("jobs: create job dir: %w", err)
+	}
+	if err := s.journalJSON(j, specFile, specRecord{ID: id, Spec: spec, Created: j.created}); err != nil {
+		s.forget(j)
+		return View{}, err
+	}
+	s.persistStatus(j)
+	s.met.submitted.Inc()
+
+	s.mu.Lock()
+	closed := s.closed
+	if !closed {
+		s.met.queued.Add(1)
+		s.queue <- j
+	}
+	s.mu.Unlock()
+	if closed {
+		// Lost the race with Close: the job is durable and will run on the
+		// next Open, but this process won't execute it.
+		return j.View(0), ErrClosed
+	}
+	return j.View(0), nil
+}
+
+// forget rolls back an admission that failed before becoming durable.
+func (s *Service) forget(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, j.ID)
+	for i, id := range s.order {
+		if id == j.ID {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.accepted--
+	os.RemoveAll(j.dir)
+}
+
+// Get returns a snapshot of the job.
+func (s *Service) Get(id string, historyTail int) (View, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return View{}, ErrNotFound
+	}
+	return j.View(historyTail), nil
+}
+
+// List snapshots every known job in submission order.
+func (s *Service) List() []View {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	views := make([]View, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.View(0)
+	}
+	return views
+}
+
+// Watch subscribes to a job's event stream. The first event is a synthetic
+// state snapshot so late subscribers see the current state immediately.
+func (s *Service) Watch(id string) (<-chan Event, func(), error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	ch, unsub := j.subscribe(64)
+	j.mu.Lock()
+	snap := Event{
+		Type: EventState, JobID: j.ID, State: j.state, Stage: j.stage,
+		Error: j.errMsg, Terminal: j.state.Terminal(),
+	}
+	j.mu.Unlock()
+	j.publish(snap)
+	return ch, unsub, nil
+}
+
+// Cancel requests cancellation: a pending job becomes canceled immediately,
+// a running one is interrupted through its context (terminal state is
+// persisted by the worker). Canceling a terminal job is a no-op reporting
+// false.
+func (s *Service) Cancel(id string) (bool, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return false, ErrNotFound
+	}
+	j.mu.Lock()
+	switch {
+	case j.state == StatePending:
+		j.state = StateCanceled
+		j.errMsg = errCanceled.Error()
+		j.finished = time.Now()
+		j.mu.Unlock()
+		s.persistStatus(j)
+		s.finishAccounting(j, StateCanceled)
+		j.publish(Event{Type: EventState, JobID: j.ID, State: StateCanceled, Error: errCanceled.Error(), Terminal: true})
+		return true, nil
+	case j.state == StateRunning && j.cancel != nil:
+		cancel := j.cancel
+		j.mu.Unlock()
+		cancel(errCanceled)
+		return true, nil
+	default:
+		j.mu.Unlock()
+		return false, nil
+	}
+}
+
+// Result loads a done job's converged flow and summary from the journal.
+func (s *Service) Result(id string) (*Summary, *grid.Flow, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	if state != StateDone {
+		return nil, nil, fmt.Errorf("%w (state %s)", ErrNotDone, state)
+	}
+	var rec resultRecord
+	if err := readFramedGob(filepath.Join(j.dir, resultFile), &rec); err != nil {
+		return nil, nil, err
+	}
+	return &rec.Summary, rec.Flow, nil
+}
+
+// Close drains the service: no new submissions, idle workers exit, and
+// running jobs get until ctx's deadline to finish. Past the deadline they
+// are interrupted — their journal state stays "running", so the next Open
+// resumes them from their last checkpoint with nothing lost.
+func (s *Service) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	close(s.stop)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.interruptRunning()
+		<-done
+		return nil
+	}
+}
+
+// interruptRunning cancels every running job with the shutdown cause.
+func (s *Service) interruptRunning() {
+	s.mu.Lock()
+	var cancels []func(error)
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.state == StateRunning && j.cancel != nil {
+			cancels = append(cancels, j.cancel)
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	for _, c := range cancels {
+		c(errShutdown)
+	}
+}
+
+// worker drains the queue until the service begins closing.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.queue:
+			s.met.queued.Add(-1)
+			s.run(j)
+		}
+	}
+}
+
+// run executes (or resumes) one job to a terminal state — or to an
+// interrupt, which leaves it durable-running for the next Open.
+func (s *Service) run(j *Job) {
+	// Claim: a Cancel may have landed while queued.
+	j.mu.Lock()
+	if j.state != StatePending {
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	j.state = StateRunning
+	if j.started.IsZero() {
+		j.started = time.Now()
+	}
+	j.cancel = cancel
+	resumes := j.resumes
+	j.mu.Unlock()
+
+	c, err := j.Spec.BuildCase()
+	if err != nil {
+		// The spec validated at Submit; only a corrupted journal gets here.
+		s.finish(j, nil, nil, err, nil)
+		return
+	}
+	maxLevel := j.Spec.MaxLevel
+	if maxLevel <= 0 {
+		maxLevel = patch.MaxLevel
+	}
+
+	st, solverCk, degraded := loadResume(j.dir)
+	for _, d := range degraded {
+		s.log.Warn("jobs: degraded checkpoint ignored", "job_id", j.ID, "detail", d)
+	}
+	fresh := st == nil
+	if st == nil {
+		// Pre-create the state so the summary can read stage accounting
+		// (infer wall, composite cells) that the result object only carries
+		// for stages executed in this process.
+		st = &core.E2EState{Next: core.StageLRSolve}
+	}
+	if !fresh {
+		j.mu.Lock()
+		j.stage = st.Next
+		j.mu.Unlock()
+	}
+	if resumes > 0 && (!fresh || solverCk != nil) {
+		from := "start"
+		if !fresh {
+			from = "stage " + string(st.Next)
+		}
+		if solverCk != nil {
+			from += fmt.Sprintf(" @ iteration %d", solverCk.Iteration)
+		}
+		s.log.Info("jobs: resuming from journal", "job_id", j.ID, "from", from)
+	}
+
+	s.met.running.Add(1)
+	defer s.met.running.Add(-1)
+	s.persistStatus(j)
+	j.publish(Event{Type: EventState, JobID: j.ID, State: StateRunning, Stage: j.currentStage()})
+
+	stageStart := time.Now()
+	hooks := &core.E2EHooks{
+		Monitor: func(stage core.E2EStage, iter int, res float64) {
+			j.addResidual(ResidualPoint{Stage: stage, Iter: iter, Residual: res})
+			s.met.stageResidual[stage].Set(res)
+			j.publish(Event{Type: EventProgress, JobID: j.ID, State: StateRunning, Stage: stage, Iter: iter, Residual: res})
+		},
+		OnStage: func(stage core.E2EStage, est *core.E2EState) error {
+			if h, ok := s.met.stageSeconds[stage]; ok {
+				h.ObserveSince(stageStart)
+			}
+			stageStart = time.Now()
+			// The final stage's state needs no checkpoint: the result record
+			// is about to be committed.
+			if est.Next != core.StageDone {
+				if err := s.journalGob(j, stageFileName(stage), est); err != nil {
+					return fmt.Errorf("jobs: persist %s checkpoint: %w", stage, err)
+				}
+				// The previous stage's mid-solve snapshot is now obsolete;
+				// a stale one must never shadow the fresh stage boundary.
+				os.Remove(filepath.Join(j.dir, solverFile))
+			}
+			j.mu.Lock()
+			j.stage = est.Next
+			j.mu.Unlock()
+			s.persistStatus(j)
+			j.publish(Event{Type: EventStage, JobID: j.ID, State: StateRunning, Stage: stage})
+			return nil
+		},
+		CheckpointEvery: s.cfg.CheckpointEvery,
+		CheckpointSink: func(stage core.E2EStage, ck *solver.Checkpoint) {
+			if err := s.journalGob(j, solverFile, &solverRecord{Stage: stage, Ck: *ck}); err != nil {
+				s.log.Warn("jobs: solver checkpoint write failed", "job_id", j.ID, "err", err.Error())
+			}
+		},
+		ResumeSolver: solverCk,
+	}
+
+	res, runErr := core.RunE2EStaged(ctx, s.cfg.Model, c, s.cfg.Solver, maxLevel, st, hooks)
+	s.finish(j, res, st, runErr, ctx)
+}
+
+// currentStage reads the stage under the job lock.
+func (j *Job) currentStage() core.E2EStage {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stage
+}
+
+// finish classifies a run's outcome and persists the terminal state — or,
+// for a shutdown interrupt, leaves the journal at "running" for resume.
+func (s *Service) finish(j *Job, res *core.E2EResult, st *core.E2EState, runErr error, ctx context.Context) {
+	if runErr != nil && ctx != nil {
+		cause := context.Cause(ctx)
+		if errors.Is(cause, errShutdown) && errors.Is(runErr, context.Canceled) {
+			// Interrupted by drain: NOT terminal. The durable status is
+			// already "running"; the next Open replays and resumes it.
+			j.mu.Lock()
+			j.state = StatePending
+			j.cancel = nil
+			j.mu.Unlock()
+			j.publish(Event{Type: EventState, JobID: j.ID, State: StatePending, Stage: j.currentStage()})
+			s.log.Info("jobs: interrupted for shutdown, will resume", "job_id", j.ID, "stage", string(j.currentStage()))
+			return
+		}
+		if errors.Is(cause, errCanceled) && errors.Is(runErr, context.Canceled) {
+			j.mu.Lock()
+			j.state = StateCanceled
+			j.errMsg = errCanceled.Error()
+			j.finished = time.Now()
+			j.cancel = nil
+			j.mu.Unlock()
+			s.persistStatus(j)
+			clearTransients(j.dir)
+			s.finishAccounting(j, StateCanceled)
+			j.publish(Event{Type: EventState, JobID: j.ID, State: StateCanceled, Error: errCanceled.Error(), Terminal: true})
+			return
+		}
+	}
+
+	if runErr != nil {
+		j.mu.Lock()
+		j.state = StateFailed
+		j.errMsg = runErr.Error()
+		j.finished = time.Now()
+		j.cancel = nil
+		j.mu.Unlock()
+		s.persistStatus(j)
+		s.finishAccounting(j, StateFailed)
+		s.log.Warn("jobs: job failed", "job_id", j.ID, "err", runErr.Error())
+		j.publish(Event{Type: EventState, JobID: j.ID, State: StateFailed, Error: runErr.Error(), Terminal: true})
+		return
+	}
+
+	sum := summarize(res, st)
+	if err := s.journalGob(j, resultFile, &resultRecord{Summary: *sum, Flow: res.Flow}); err != nil {
+		// The solve succeeded but the result cannot be committed; fail the
+		// job rather than report a done state the journal cannot back.
+		s.finish(j, nil, nil, err, nil)
+		return
+	}
+	j.mu.Lock()
+	j.state = StateDone
+	j.stage = core.StageDone
+	j.result = sum
+	j.finished = time.Now()
+	j.cancel = nil
+	created := j.created
+	j.mu.Unlock()
+	s.persistStatus(j)
+	clearTransients(j.dir)
+	s.finishAccounting(j, StateDone)
+	s.met.jobSeconds.ObserveDuration(time.Since(created))
+	j.publish(Event{Type: EventState, JobID: j.ID, State: StateDone, Stage: core.StageDone, Terminal: true})
+}
+
+// finishAccounting updates admission and outcome counters once per
+// terminal transition.
+func (s *Service) finishAccounting(j *Job, outcome State) {
+	s.mu.Lock()
+	s.accepted--
+	s.mu.Unlock()
+	switch outcome {
+	case StateDone:
+		s.met.completed.Inc()
+	case StateFailed:
+		s.met.failed.Inc()
+	case StateCanceled:
+		s.met.canceled.Inc()
+	}
+}
+
+// summarize flattens an E2EResult into the JSON summary. The staged result
+// carries no Inference object when the infer stage ran in an earlier
+// process; st supplies that accounting on resumed runs.
+func summarize(res *core.E2EResult, st *core.E2EState) *Summary {
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	sum := &Summary{
+		LRIterations: res.LRIterations,
+		LRWallMs:     ms(res.LRWall),
+		PSIterations: res.PSIterations,
+		PSResidual:   res.PSResult.Residual,
+		PSConverged:  res.PSResult.Converged,
+		PSWallMs:     ms(res.PSWall),
+		TotalWallMs:  ms(res.TotalWall),
+		TotalWork:    res.TotalWork,
+	}
+	switch {
+	case res.Inference != nil:
+		sum.InferMs = ms(res.Inference.Elapsed)
+		sum.CompositeCells = res.Inference.CompositeCells
+	case st != nil:
+		sum.InferMs = ms(st.InferElapsed)
+		sum.CompositeCells = st.CompositeCells
+	}
+	return sum
+}
+
+// persistStatus commits the job's current lifecycle record.
+func (s *Service) persistStatus(j *Job) {
+	j.mu.Lock()
+	rec := statusRecord{
+		State: j.state, Stage: j.stage, Error: j.errMsg,
+		Resumes: j.resumes, Summary: j.result, Updated: time.Now(),
+	}
+	j.mu.Unlock()
+	if err := s.journalJSON(j, statusFile, rec); err != nil {
+		s.log.Warn("jobs: status write failed", "job_id", j.ID, "err", err.Error())
+	}
+}
+
+// journalJSON commits a JSON record into the job dir, with metrics.
+func (s *Service) journalJSON(j *Job, name string, v any) error {
+	start := time.Now()
+	if err := writeJSON(filepath.Join(j.dir, name), v); err != nil {
+		return err
+	}
+	s.met.journalWrites.Inc()
+	s.met.journalSeconds.ObserveSince(start)
+	return nil
+}
+
+// journalGob commits a framed gob record into the job dir, with metrics.
+func (s *Service) journalGob(j *Job, name string, v any) error {
+	start := time.Now()
+	if err := writeFramedGob(filepath.Join(j.dir, name), v); err != nil {
+		return err
+	}
+	s.met.journalWrites.Inc()
+	s.met.journalSeconds.ObserveSince(start)
+	return nil
+}

@@ -64,6 +64,57 @@ type checkpointEntry struct {
 	Data  []float64
 }
 
+// WriteFramed writes payload to w inside an integrity frame: an 8-byte
+// magic, a format version, the payload length, and a CRC-32 of the payload
+// (all little-endian), followed by the payload itself. The frame is the
+// same self-describing header model checkpoints use; other on-disk records
+// (the job journal) reuse it with their own magic so a truncated or
+// bit-flipped file fails fast instead of decoding garbage.
+func WriteFramed(w io.Writer, magic string, version uint32, payload []byte) error {
+	if len(magic) != len(ckptMagic) {
+		return fmt.Errorf("nn: frame magic %q must be %d bytes", magic, len(ckptMagic))
+	}
+	hdr := make([]byte, ckptHeaderLen)
+	copy(hdr, magic)
+	binary.LittleEndian.PutUint32(hdr[8:12], version)
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[20:24], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("nn: write frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("nn: write frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFramed verifies a frame produced by WriteFramed with the same magic
+// and version, returning the payload. Integrity failures (wrong magic,
+// truncation, length or checksum mismatch) wrap ErrCheckpointCorrupt; a
+// version mismatch is reported as its own error so callers can distinguish
+// corruption from a format skew.
+func ReadFramed(raw []byte, magic string, version uint32) ([]byte, error) {
+	if len(raw) < len(magic) || string(raw[:len(magic)]) != magic {
+		return nil, fmt.Errorf("nn: frame magic missing (want %q): %w", magic, ErrCheckpointCorrupt)
+	}
+	if len(raw) < ckptHeaderLen {
+		return nil, fmt.Errorf("nn: frame header truncated at %d bytes: %w", len(raw), ErrCheckpointCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(raw[8:12]); v != version {
+		return nil, fmt.Errorf("nn: frame format v%d not supported (this build reads v%d)", v, version)
+	}
+	want := binary.LittleEndian.Uint64(raw[12:20])
+	sum := binary.LittleEndian.Uint32(raw[20:24])
+	payload := raw[ckptHeaderLen:]
+	if uint64(len(payload)) != want {
+		return nil, fmt.Errorf("nn: frame payload is %d bytes, header says %d: %w", len(payload), want, ErrCheckpointCorrupt)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("nn: frame checksum %08x, header says %08x: %w", got, sum, ErrCheckpointCorrupt)
+	}
+	return payload, nil
+}
+
 // SaveParams writes params to w in the v1 checkpoint format: integrity
 // header followed by the gob payload.
 func SaveParams(w io.Writer, params []*Param) error {
@@ -79,20 +130,7 @@ func SaveParams(w io.Writer, params []*Param) error {
 	if err := gob.NewEncoder(&buf).Encode(entries); err != nil {
 		return fmt.Errorf("nn: encode checkpoint: %w", err)
 	}
-	payload := buf.Bytes()
-
-	hdr := make([]byte, ckptHeaderLen)
-	copy(hdr, ckptMagic)
-	binary.LittleEndian.PutUint32(hdr[8:12], ckptVersion)
-	binary.LittleEndian.PutUint64(hdr[12:20], uint64(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[20:24], crc32.ChecksumIEEE(payload))
-	if _, err := w.Write(hdr); err != nil {
-		return fmt.Errorf("nn: write checkpoint header: %w", err)
-	}
-	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("nn: write checkpoint: %w", err)
-	}
-	return nil
+	return WriteFramed(w, ckptMagic, ckptVersion, buf.Bytes())
 }
 
 // LoadParams reads a checkpoint from r and copies matching entries (by name
@@ -148,16 +186,18 @@ func LoadParams(r io.Reader, params []*Param) (int, error) {
 	return restored, nil
 }
 
-// SaveFile checkpoints params to path atomically: temp file in path's
-// directory → fsync → rename. If any step fails, the destination is
-// untouched (the previous checkpoint, if any, stays loadable) and the temp
-// file is removed.
-func SaveFile(path string, params []*Param) error {
-	start := time.Now()
+// AtomicWriteFile commits a file to path crash-safely: write writes the
+// content to a temp file in path's directory, which is then fsynced and
+// atomically renamed over the destination (followed by a best-effort
+// directory sync). If any step fails, the destination is untouched — the
+// previous file, if any, stays readable — and the temp file is removed.
+// This is the commit discipline every durable record in the repository
+// uses: model checkpoints here, and the job journal in internal/jobs.
+func AtomicWriteFile(path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("nn: create checkpoint temp: %w", err)
+		return fmt.Errorf("nn: create temp for %s: %w", filepath.Base(path), err)
 	}
 	tmpName := tmp.Name()
 	committed := false
@@ -167,22 +207,22 @@ func SaveFile(path string, params []*Param) error {
 		}
 	}()
 
-	err = SaveParams(saveWriter(tmp), params)
+	err = write(tmp)
 	if err == nil {
 		if serr := tmp.Sync(); serr != nil {
-			err = fmt.Errorf("nn: sync checkpoint: %w", serr)
+			err = fmt.Errorf("nn: sync %s: %w", filepath.Base(path), serr)
 		}
 	}
 	// One Close, its error checked — not the deferred-Close-plus-Close
 	// pattern that swallows the first error.
 	if cerr := tmp.Close(); err == nil && cerr != nil {
-		err = fmt.Errorf("nn: close checkpoint: %w", cerr)
+		err = fmt.Errorf("nn: close %s: %w", filepath.Base(path), cerr)
 	}
 	if err != nil {
 		return err
 	}
 	if err := os.Rename(tmpName, path); err != nil {
-		return fmt.Errorf("nn: commit checkpoint: %w", err)
+		return fmt.Errorf("nn: commit %s: %w", filepath.Base(path), err)
 	}
 	committed = true
 	// Best-effort directory sync so the rename itself survives a crash;
@@ -190,6 +230,23 @@ func SaveFile(path string, params []*Param) error {
 	if d, derr := os.Open(dir); derr == nil {
 		d.Sync()
 		d.Close()
+	}
+	return nil
+}
+
+// SaveFile checkpoints params to path atomically via AtomicWriteFile. If
+// any step fails, the destination is untouched (the previous checkpoint, if
+// any, stays loadable).
+func SaveFile(path string, params []*Param) error {
+	start := time.Now()
+	if err := AtomicWriteFile(path, func(w io.Writer) error {
+		f, ok := w.(*os.File)
+		if !ok {
+			return SaveParams(w, params)
+		}
+		return SaveParams(saveWriter(f), params)
+	}); err != nil {
+		return err
 	}
 	ckptSaveSeconds.ObserveSince(start)
 	ckptSaves.Inc()

@@ -56,6 +56,81 @@ type Options struct {
 	AvgWindow int
 	// Monitor, when non-nil, receives (iter, residual) at every check.
 	Monitor func(iter int, res float64)
+	// CheckpointEvery is the iteration cadence of resumable snapshots
+	// (0 disables). Snapshots are taken at convergence-check boundaries, so
+	// the effective cadence is CheckpointEvery rounded up to a multiple of
+	// CheckEvery.
+	CheckpointEvery int
+	// CheckpointSink, when non-nil, receives each periodic snapshot. The
+	// snapshot owns its arrays (deep copies), so the sink may retain or
+	// serialize it without racing the solve.
+	CheckpointSink func(ck *Checkpoint)
+	// Resume, when non-nil, continues a previous solve of the same problem
+	// from the snapshot instead of initializing from f. The flow must be
+	// built from the same case at the same resolution (mask, BCs, and
+	// viscosity are taken from f; field state comes from the snapshot). A
+	// resumed solve is bit-identical to the uninterrupted one: the snapshot
+	// carries the staggered state, the warm-started pressure correction,
+	// and every loop counter the remaining iterations read.
+	Resume *Checkpoint
+}
+
+// Checkpoint is a lossless mid-solve snapshot: the staggered-grid state
+// (face velocities, cell pressure and ν̃, the warm-started pressure
+// correction φ) plus the convergence-loop counters. Unlike the collocated
+// grid.Flow written back by Solve — whose face→cell averaging does not
+// round-trip — resuming from a Checkpoint reproduces the remaining
+// iterations bit-for-bit.
+type Checkpoint struct {
+	H, W      int
+	Iteration int
+
+	// Convergence-loop counters as of Iteration.
+	Res, Res0, Best float64
+	Stalled         int
+	InletFlux       float64
+
+	// Staggered state: u is (H)×(W+1) x-face velocities, v is (H+1)×(W)
+	// y-face velocities, P/Nut/Phi are H×W cell fields.
+	U, V, P, Nut, Phi []float64
+}
+
+// snapshot deep-copies the live state into a Checkpoint.
+func (s *state) snapshot(iter int, res, res0, best float64, stalled int) *Checkpoint {
+	return &Checkpoint{
+		H: s.h, W: s.w, Iteration: iter,
+		Res: res, Res0: res0, Best: best, Stalled: stalled,
+		InletFlux: s.inletFlux,
+		U:         append([]float64(nil), s.u...),
+		V:         append([]float64(nil), s.v...),
+		P:         append([]float64(nil), s.p...),
+		Nut:       append([]float64(nil), s.nut...),
+		Phi:       append([]float64(nil), s.phi...),
+	}
+}
+
+// restore overlays a Checkpoint onto freshly initialized state. The
+// geometry-derived members (mask, stencil, wall distance) keep the values
+// newState computed from the flow; only the evolving fields and counters
+// come from the snapshot.
+func (s *state) restore(ck *Checkpoint) error {
+	if ck.H != s.h || ck.W != s.w {
+		return fmt.Errorf("solver: resume snapshot is %dx%d, flow is %dx%d", ck.H, ck.W, s.h, s.w)
+	}
+	for _, a := range []struct {
+		dst, src []float64
+		name     string
+	}{
+		{s.u, ck.U, "u"}, {s.v, ck.V, "v"},
+		{s.p, ck.P, "p"}, {s.nut, ck.Nut, "nut"}, {s.phi, ck.Phi, "phi"},
+	} {
+		if len(a.src) != len(a.dst) {
+			return fmt.Errorf("solver: resume snapshot %s has %d values, want %d", a.name, len(a.src), len(a.dst))
+		}
+		copy(a.dst, a.src)
+	}
+	s.inletFlux = ck.InletFlux
+	return nil
 }
 
 // DefaultOptions returns robust settings for the canonical cases.
@@ -164,8 +239,22 @@ func Solve(ctx context.Context, f *grid.Flow, opt Options) (Result, error) {
 	res := math.Inf(1)
 	best := math.Inf(1)
 	stalled := 0
-	limitCycle := false
 	iter := 0
+	if opt.Resume != nil {
+		if err := s.restore(opt.Resume); err != nil {
+			return Result{Cells: s.fluid}, err
+		}
+		iter = opt.Resume.Iteration
+		res, res0 = opt.Resume.Res, opt.Resume.Res0
+		best, stalled = opt.Resume.Best, opt.Resume.Stalled
+	}
+	// Snapshots land on convergence-check boundaries so the loop counters
+	// they carry are exactly what the uninterrupted run would hold there.
+	ckptEvery := 0
+	if opt.CheckpointEvery > 0 && opt.CheckpointSink != nil {
+		ckptEvery = (opt.CheckpointEvery + opt.CheckEvery - 1) / opt.CheckEvery * opt.CheckEvery
+	}
+	limitCycle := false
 	for ; iter < opt.MaxIter; iter++ {
 		if err := ctx.Err(); err != nil {
 			s.writeBack(f)
@@ -205,6 +294,9 @@ func Solve(ctx context.Context, f *grid.Flow, opt Options) (Result, error) {
 					iter++
 					break
 				}
+			}
+			if ckptEvery > 0 && (iter+1)%ckptEvery == 0 {
+				opt.CheckpointSink(s.snapshot(iter+1, res, res0, best, stalled))
 			}
 		}
 	}

@@ -255,3 +255,109 @@ func TestSolveDivergedSentinel(t *testing.T) {
 		t.Fatalf("err = %v, want ErrDiverged", err)
 	}
 }
+
+// TestCheckpointResumeBitIdentical is the resume contract: a solve
+// interrupted at a periodic checkpoint and resumed from that snapshot on a
+// freshly built flow produces bit-for-bit the same fields and the same
+// Result counters as the uninterrupted run.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	c := geometry.ChannelCase(2.5e3, 16, 48)
+	opt := DefaultOptions()
+	opt.MaxIter = 1200
+
+	// Uninterrupted reference, capturing the snapshot at iteration 500.
+	var ck *Checkpoint
+	ref := c.Build()
+	opt.CheckpointEvery = 500
+	opt.CheckpointSink = func(s *Checkpoint) {
+		if ck == nil {
+			ck = s
+		}
+	}
+	refRes, err := Solve(context.Background(), ref, opt)
+	if err != nil {
+		t.Fatalf("reference solve: %v", err)
+	}
+	if ck == nil {
+		t.Fatal("no checkpoint was taken")
+	}
+	if ck.Iteration != 500 {
+		t.Fatalf("checkpoint at iteration %d, want 500", ck.Iteration)
+	}
+
+	// Resume on a fresh flow built from the same case.
+	resumed := c.Build()
+	opt.CheckpointEvery = 0
+	opt.CheckpointSink = nil
+	opt.Resume = ck
+	gotRes, err := Solve(context.Background(), resumed, opt)
+	if err != nil {
+		t.Fatalf("resumed solve: %v", err)
+	}
+
+	if gotRes.Iterations != refRes.Iterations || gotRes.Residual != refRes.Residual ||
+		gotRes.Converged != refRes.Converged || gotRes.Work != refRes.Work {
+		t.Fatalf("resumed result %+v != reference %+v", gotRes, refRes)
+	}
+	for name, pair := range map[string][2][]float64{
+		"u":   {ref.U.Data, resumed.U.Data},
+		"v":   {ref.V.Data, resumed.V.Data},
+		"p":   {ref.P.Data, resumed.P.Data},
+		"nut": {ref.Nut.Data, resumed.Nut.Data},
+	} {
+		for i := range pair[0] {
+			if pair[0][i] != pair[1][i] {
+				t.Fatalf("%s[%d] = %v after resume, want %v (bit-identity broken)", name, i, pair[1][i], pair[0][i])
+			}
+		}
+	}
+}
+
+// TestCheckpointCadenceRoundsToCheckEvery: snapshots land on convergence
+// check boundaries, so a cadence that is not a multiple of CheckEvery is
+// rounded up rather than silently skipped.
+func TestCheckpointCadenceRoundsToCheckEvery(t *testing.T) {
+	c := geometry.ChannelCase(2.5e3, 8, 16)
+	f := c.Build()
+	opt := DefaultOptions()
+	opt.MaxIter = 400
+	opt.CheckEvery = 25
+	opt.CheckpointEvery = 60 // rounds up to 75
+	var iters []int
+	opt.CheckpointSink = func(s *Checkpoint) { iters = append(iters, s.Iteration) }
+	if _, err := Solve(context.Background(), f, opt); err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if len(iters) == 0 {
+		t.Fatal("no checkpoints taken")
+	}
+	for _, it := range iters {
+		if it%75 != 0 {
+			t.Fatalf("checkpoint at iteration %d, want multiples of 75", it)
+		}
+	}
+}
+
+// TestResumeRejectsMismatchedShape: a snapshot from a different resolution
+// must be refused, not silently overlaid.
+func TestResumeRejectsMismatchedShape(t *testing.T) {
+	small := geometry.ChannelCase(2.5e3, 8, 16).Build()
+	opt := DefaultOptions()
+	opt.MaxIter = 100
+	opt.CheckpointEvery = 50
+	var ck *Checkpoint
+	opt.CheckpointSink = func(s *Checkpoint) { ck = s }
+	if _, err := Solve(context.Background(), small, opt); err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if ck == nil {
+		t.Fatal("no checkpoint taken")
+	}
+	big := geometry.ChannelCase(2.5e3, 16, 48).Build()
+	opt.CheckpointEvery = 0
+	opt.CheckpointSink = nil
+	opt.Resume = ck
+	if _, err := Solve(context.Background(), big, opt); err == nil {
+		t.Fatal("resume with mismatched shape succeeded, want error")
+	}
+}
