@@ -18,7 +18,7 @@ vet:
 # deprecated non-Context wrappers stay only as compatibility shims for
 # external importers. Fails (with the offending lines) on any hit.
 vet-deprecated:
-	@out=$$(grep -rnE 'adarnet\.(RunE2E|Solve|RunAMR|GenerateDataset)\(' cmd examples internal/jobs 2>/dev/null); \
+	@out=$$(grep -rnE 'adarnet\.(RunE2E|Solve|RunAMR|GenerateDataset)\(' cmd examples internal/jobs internal/bench 2>/dev/null); \
 	if [ -n "$$out" ]; then echo "deprecated non-Context entry points in first-party code:"; echo "$$out"; exit 1; fi
 
 test:
@@ -37,10 +37,10 @@ bench:
 	$(GO) test ./internal/obs ./internal/tensor ./internal/nn ./internal/serve/... ./internal/core/... -run '^$$' -bench . -benchmem
 
 # Machine-readable benchmark snapshots (BENCH_serve.json, BENCH_infer32.json,
-# BENCH_cache.json, BENCH_cluster.json, BENCH_jobs.json) for regression
-# gating with benchdiff.
+# BENCH_cache.json, BENCH_cluster.json, BENCH_jobs.json, BENCH_trace.json)
+# for regression gating with benchdiff.
 bench-json:
-	$(GO) run ./cmd/adarnet-bench -exp micro,serve,infer32,cache,cluster,jobs -json-dir .
+	$(GO) run ./cmd/adarnet-bench -exp micro,serve,infer32,cache,cluster,jobs,trace -json-dir .
 
 # Compare two benchmark snapshots; gate on a metric with e.g.
 #   make benchdiff OLD=BENCH_infer32.old.json NEW=BENCH_infer32.json \
@@ -54,6 +54,9 @@ bench-json:
 # or gate the job service's submit-to-done and crash-resume overheads with
 #   make benchdiff OLD=BENCH_jobs.old.json NEW=BENCH_jobs.json \
 #     BENCHDIFF_FLAGS='-metric job.overhead_pct -lower-better -max-regress 10'
+# or gate the tracing-off hot path (span tracing must stay ≤2% overhead) with
+#   make benchdiff OLD=BENCH_trace.old.json NEW=BENCH_trace.json \
+#     BENCHDIFF_FLAGS='-metric off.ns_per_op -lower-better -max-regress 2'
 OLD ?= BENCH_infer32.old.json
 NEW ?= BENCH_infer32.json
 BENCHDIFF_FLAGS ?=

@@ -194,6 +194,30 @@ type MetricsRegistry = obs.Registry
 // engine's counters and stage histograms to it.
 var DefaultMetrics = obs.Default
 
+// Tracer assembles per-request span timelines with tail-based retention:
+// every error and slow trace is kept, plus a deterministic sample of the
+// rest (internal/obs, DESIGN.md §15). The serve engine, cluster router,
+// prediction cache, and async job service all emit spans into whatever
+// trace rides the request context, so a retained timeline names every
+// stage a request crossed — including a job's resumed runs in a later
+// process.
+type Tracer = obs.Tracer
+
+// TracerConfig tunes a Tracer's sampling and retention; the zero value
+// gets production defaults (keep 1-in-16, slow threshold 250ms, retain
+// 256 traces).
+type TracerConfig = obs.TracerConfig
+
+// Span is one timed operation in a trace. A nil *Span is a valid no-op,
+// so instrumented code paths never nil-check.
+type Span = obs.Span
+
+// NewTracer builds a span tracer. Start a root with Tracer.StartRequest
+// and pass the returned context into Predict/PredictFlow; the pipeline
+// emits its stage spans into that trace. adarnet-serve wires one behind
+// its -trace-sample flag and serves the timelines on /debug/traces.
+func NewTracer(cfg TracerConfig) *Tracer { return obs.NewTracer(cfg) }
+
 // Predictor is the inference contract shared by the direct path (*Model,
 // one request per forward pass) and the batched path (*Engine, requests
 // micro-batched across callers). Both produce bit-identical results.

@@ -22,7 +22,7 @@ import (
 
 // validExps lists every runnable experiment; unknown -exp names are rejected
 // with this list instead of silently running nothing.
-var validExps = []string{"micro", "serve", "infer32", "cache", "cluster", "jobs", "fig1", "fig9", "fig10", "fig11", "table1", "table2"}
+var validExps = []string{"micro", "serve", "infer32", "cache", "cluster", "jobs", "trace", "fig1", "fig9", "fig10", "fig11", "table1", "table2"}
 
 func isValidExp(name string) bool {
 	for _, v := range validExps {
@@ -121,6 +121,17 @@ func main() {
 		}
 		if _, err := bench.JobsJSON(os.Stdout, jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "jobs failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if want["trace"] {
+		jsonPath := ""
+		if *jsonDir != "" {
+			jsonPath = filepath.Join(*jsonDir, "BENCH_trace.json")
+		}
+		if _, err := bench.TraceJSON(os.Stdout, jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "trace failed: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println()

@@ -74,7 +74,7 @@ func registerJobRoutes(mux *http.ServeMux, svc *jobs.Service, cfg serverConfig, 
 			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 			return
 		}
-		v, err := svc.Submit(sp)
+		v, err := svc.Submit(r.Context(), sp)
 		switch {
 		case err == nil:
 		case errors.Is(err, jobs.ErrQueueFull):

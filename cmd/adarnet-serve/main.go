@@ -93,8 +93,11 @@ func main() {
 	jobQueue := flag.Int("job-queue-depth", 64, "accepted-but-unfinished job bound")
 	jobCkptEvery := flag.Int("job-checkpoint-every", 2000, "solver iterations between mid-solve job checkpoints")
 	logFormat := flag.String("log-format", "text", "structured log format: text | json")
-	debugAddr := flag.String("debug-addr", "", "diagnostics listen address (pprof, /debug/requests, /metrics); empty disables")
+	debugAddr := flag.String("debug-addr", "", "diagnostics listen address (pprof, /debug/requests, /debug/traces, /metrics); empty disables")
 	traceRequests := flag.Int("trace-requests", 128, "completed requests retained in the in-process trace ring")
+	traceSample := flag.Int("trace-sample", 16, "span tracing: keep 1 in N ordinary traces (every error and slow trace is always kept); 0 disables span tracing")
+	traceSlow := flag.Duration("trace-slow", 250*time.Millisecond, "span tracing: traces at least this long are always retained")
+	traceRetain := flag.Int("trace-retain", 256, "finished traces retained for /debug/traces")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat)
@@ -134,6 +137,20 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "adarnet-serve: unknown -precision %q (float64 | float32)\n", *precision)
 		os.Exit(2)
+	}
+
+	obs.RegisterBuildInfo(obs.Default, *precision)
+
+	// A nil tracer turns every span call into a no-op: -trace-sample 0 keeps
+	// the serving path free of tracing work entirely.
+	var tracer *obs.Tracer
+	if *traceSample > 0 {
+		tracer = obs.NewTracer(obs.TracerConfig{
+			Slow:        *traceSlow,
+			SampleEvery: *traceSample,
+			Retain:      *traceRetain,
+		})
+		tracer.RegisterMetrics(obs.Default)
 	}
 
 	sopt := solver.DefaultOptions()
@@ -178,6 +195,7 @@ func main() {
 			CheckpointEvery: *jobCkptEvery,
 			Logger:          logger,
 			Metrics:         obs.Default,
+			Tracer:          tracer,
 		})
 		if err != nil {
 			logger.Error("job service start failed", "err", err.Error())
@@ -194,6 +212,7 @@ func main() {
 		requestTimeout: *reqTimeout,
 		logger:         logger,
 		ring:           ring,
+		tracer:         tracer,
 		jobs:           jobSvc,
 	})
 	srv := &http.Server{
@@ -239,7 +258,7 @@ func main() {
 		// execution trace legitimately streams for that long.
 		dbg := &http.Server{
 			Addr:              *debugAddr,
-			Handler:           obs.DebugMux(obs.Default, ring),
+			Handler:           obs.DebugMux(obs.Default, ring, tracer),
 			ReadHeaderTimeout: 5 * time.Second,
 			ErrorLog:          slog.NewLogLogger(logger.Handler(), slog.LevelError),
 		}

@@ -53,7 +53,8 @@ type serverConfig struct {
 	maxBody        int64          // request-body byte cap
 	requestTimeout time.Duration  // per-request deadline (0 = client's only)
 	logger         *slog.Logger   // structured access + error log (nil: silent)
-	ring           *obs.TraceRing // last-N completed requests (nil: no tracing)
+	ring           *obs.TraceRing // last-N completed requests (nil: no request ring)
+	tracer         *obs.Tracer    // span tracer (nil: no span tracing)
 	jobs           *jobs.Service  // async E2E job service (nil: /jobs not served)
 }
 
@@ -178,8 +179,15 @@ func validRequestID(id string) bool {
 // records the HTTP latency histogram. A panic escaping a handler is logged
 // at ERROR with the request ID and a truncated stack, answered with a clean
 // 500, and does not take down the listener. /healthz and /metrics are
-// exempt from the access log and the ring (probe and scrape noise), but
-// panics there are still contained.
+// exempt from the access log, the ring, and span tracing (probe and scrape
+// noise), but panics there are still contained.
+//
+// With a tracer configured, each non-quiet request becomes the root span of
+// a trace: an incoming W3C traceparent header is adopted (malformed or
+// absent values silently start a fresh trace — trace context is telemetry,
+// never a reason to reject a request), the serving layers below hang their
+// stage spans off it via context, and the outgoing trace context is echoed
+// in the traceparent response header so the caller can correlate.
 func withObs(next http.Handler, cfg serverConfig) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-Id")
@@ -187,20 +195,31 @@ func withObs(next http.Handler, cfg serverConfig) http.Handler {
 			id = obs.NewRequestID()
 		}
 		ctx := obs.WithRequestID(r.Context(), id)
-		r = r.WithContext(ctx)
 		w.Header().Set("X-Request-Id", id)
 		sw := &statusWriter{ResponseWriter: w}
 
 		quiet := r.URL.Path == "/healthz" || r.URL.Path == "/metrics"
+		var span *obs.Span
+		var note *obs.RequestNote
+		if !quiet {
+			ctx, span = cfg.tracer.StartRequest(ctx, r.Method+" "+r.URL.Path, r.Header.Get("traceparent"))
+			if tp := span.Traceparent(); tp != "" {
+				w.Header().Set("traceparent", tp)
+			}
+			ctx, note = obs.WithRequestNote(ctx)
+		}
+		r = r.WithContext(ctx)
+
 		start := time.Now()
 		defer func() {
-			elapsed := time.Since(start)
+			end := time.Now()
+			elapsed := end.Sub(start)
 			if rec := recover(); rec != nil {
 				buf := make([]byte, 4<<10)
 				n := runtime.Stack(buf, false)
 				if cfg.logger != nil {
 					cfg.logger.Error("handler panic",
-						"request_id", id, "route", r.URL.Path,
+						"request_id", id, "trace_id", span.Trace().String(), "route", r.URL.Path,
 						"panic", fmt.Sprint(rec), "stack", string(buf[:n]))
 				}
 				if sw.status == 0 {
@@ -218,14 +237,23 @@ func withObs(next http.Handler, cfg serverConfig) http.Handler {
 			if quiet {
 				return
 			}
+			span.SetAttrs(obs.Int("status", int64(sw.status)))
+			if sw.status >= 500 {
+				span.SetError(fmt.Errorf("http status %d", sw.status))
+			}
+			// Same clock read as the root span's end: the trace duration and
+			// the ring entry's Elapsed describe the same interval.
+			span.EndAt(end)
 			if cfg.logger != nil {
 				cfg.logger.Info("request",
-					"request_id", id, "method", r.Method, "route", r.URL.Path,
+					"request_id", id, "trace_id", span.Trace().String(),
+					"method", r.Method, "route", r.URL.Path,
 					"status", sw.status, "elapsed_ms", float64(elapsed.Microseconds())/1000)
 			}
 			cfg.ring.Add(obs.TraceEntry{
-				ID: id, Route: r.URL.Path, Status: sw.status,
+				ID: id, TraceID: span.Trace().String(), Route: r.URL.Path, Status: sw.status,
 				Start: start, Elapsed: elapsed,
+				Replica: note.Replica(), CacheHit: note.CacheHit(),
 			})
 		}()
 		next.ServeHTTP(sw, r)
@@ -284,6 +312,7 @@ func newMux(p predictor, cfg serverConfig) http.Handler {
 	})
 	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
 		reqID := obs.RequestIDFrom(r.Context())
+		traceID := obs.SpanFromContext(r.Context()).Trace().String()
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
 			return
@@ -332,15 +361,15 @@ func newMux(p predictor, cfg serverConfig) http.Handler {
 			var pe *serve.PanicError
 			if errors.As(err, &pe) {
 				logger.Error("predict: contained panic",
-					"request_id", reqID, "case", c.Name,
+					"request_id", reqID, "trace_id", traceID, "case", c.Name,
 					"panic", fmt.Sprint(pe.Value), "stack", pe.Stack)
 			} else {
-				logger.Error("predict failed", "request_id", reqID, "case", c.Name, "err", err.Error())
+				logger.Error("predict failed", "request_id", reqID, "trace_id", traceID, "case", c.Name, "err", err.Error())
 			}
 			http.Error(w, "internal error", http.StatusInternalServerError)
 			return
 		default:
-			logger.Error("predict failed", "request_id", reqID, "case", c.Name, "err", err.Error())
+			logger.Error("predict failed", "request_id", reqID, "trace_id", traceID, "case", c.Name, "err", err.Error())
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
@@ -361,7 +390,7 @@ func newMux(p predictor, cfg serverConfig) http.Handler {
 			ElapsedMs:      float64(time.Since(start).Microseconds()) / 1000,
 		})
 		if err != nil {
-			logger.Warn("predict encode failed", "request_id", reqID, "case", c.Name, "err", err.Error())
+			logger.Warn("predict encode failed", "request_id", reqID, "trace_id", traceID, "case", c.Name, "err", err.Error())
 		}
 	})
 	return withObs(mux, cfg)

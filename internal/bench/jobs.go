@@ -185,7 +185,7 @@ func jobsBenchOnce(m *core.Model, spec jobs.Spec, interrupt bool) (*grid.Flow, f
 	}
 
 	start := time.Now()
-	v, err := svc.Submit(spec)
+	v, err := svc.Submit(context.Background(), spec)
 	if err != nil {
 		svc.Close(context.Background())
 		return nil, 0, 0, fmt.Errorf("bench: jobs submit: %w", err)

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"adarnet/internal/grid"
+	"adarnet/internal/obs"
+	"adarnet/internal/serve"
+)
+
+// Tracing-overhead benchmark: the span tracer must be effectively free when
+// it is off and cheap when it is on. The replay hammers the fastest
+// request path the engine has — a warmed prediction-cache hit — because
+// that is where a fixed per-request tracing cost is proportionally largest;
+// any overhead invisible here is invisible everywhere. Three modes run the
+// identical traffic: no tracer at all (the benchdiff-gated baseline,
+// off.ns_per_op), a keep-everything tracer (worst case: every request
+// builds and retains a full span timeline), and the production default
+// (head sampling 1-in-16, tail retention), where most requests carry only
+// a non-recording pass-through span.
+const (
+	traceRequests = 4096 // timed requests per mode
+	traceWarmup   = 128  // untimed requests to settle caches and pools
+	traceLRH      = 8    // LR grid height of the replayed field
+	traceLRW      = 16   // LR grid width
+)
+
+// TraceRun is one mode's measurement.
+type TraceRun struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	RPS     float64 `json:"rps"`
+	Started uint64  `json:"traces_started"`
+	Kept    uint64  `json:"traces_kept"`
+}
+
+// TraceResult is the machine-readable output of the tracing benchmark.
+// benchdiff gates on off.ns_per_op (tracing off must not regress) and the
+// overhead percentages report what turning tracing on costs.
+type TraceResult struct {
+	Requests           int      `json:"requests"`
+	Off                TraceRun `json:"off"`
+	On                 TraceRun `json:"on"`
+	Sampled            TraceRun `json:"sampled"`
+	OnOverheadPct      float64  `json:"on_overhead_pct"`
+	SampledOverheadPct float64  `json:"sampled_overhead_pct"`
+}
+
+// traceReplay drives traceRequests sequential cache-hit requests through a
+// fresh engine, each under its own root span when a tracer is given, and
+// reports the per-request cost. Sequential, single-flow traffic keeps the
+// measurement about per-request overhead, not batching or contention.
+func traceReplay(tracer *obs.Tracer) (TraceRun, error) {
+	rng := rand.New(rand.NewSource(17))
+	f := grid.NewFlow(traceLRH, traceLRW, 0.1, 0.1)
+	f.UIn, f.Nu, f.NutIn = 1, 1e-3, 3e-3
+	perturbFlow(f, rng)
+	m := serveBenchModel([]*grid.Flow{f})
+
+	e, err := serve.New(m,
+		serve.WithMaxBatch(8),
+		serve.WithMaxDelay(time.Millisecond),
+		serve.WithWorkers(2),
+		serve.WithCache(16<<20))
+	if err != nil {
+		return TraceRun{}, err
+	}
+	defer e.Close()
+
+	request := func() error {
+		ctx := context.Background()
+		var root *obs.Span
+		if tracer != nil {
+			ctx, root = tracer.StartRequest(ctx, "POST /predict", "")
+			ctx, _ = obs.WithRequestNote(ctx)
+		}
+		_, err := e.PredictFlow(ctx, f)
+		root.End()
+		return err
+	}
+	for i := 0; i < traceWarmup; i++ {
+		if err := request(); err != nil {
+			return TraceRun{}, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < traceRequests; i++ {
+		if err := request(); err != nil {
+			return TraceRun{}, err
+		}
+	}
+	elapsed := time.Since(start)
+
+	run := TraceRun{
+		NsPerOp: float64(elapsed.Nanoseconds()) / float64(traceRequests),
+		RPS:     float64(traceRequests) / elapsed.Seconds(),
+	}
+	if tracer != nil {
+		st := tracer.Stats()
+		run.Started, run.Kept = st.Started, st.Kept
+	}
+	return run, nil
+}
+
+// Trace runs the tracing-overhead benchmark and prints the report.
+func Trace(w io.Writer) error {
+	_, err := TraceJSON(w, "")
+	return err
+}
+
+// TraceJSON runs the tracing-overhead benchmark, prints the human-readable
+// report to w, and — when jsonPath is non-empty — writes the TraceResult as
+// JSON for regression gating with benchdiff (e.g. -metric off.ns_per_op).
+func TraceJSON(w io.Writer, jsonPath string) (*TraceResult, error) {
+	res := &TraceResult{Requests: traceRequests}
+	modes := []struct {
+		name   string
+		tracer *obs.Tracer
+		out    *TraceRun
+	}{
+		{"off", nil, &res.Off},
+		{"on", obs.NewTracer(obs.TracerConfig{SampleEvery: 1}), &res.On},
+		{"sampled", obs.NewTracer(obs.TracerConfig{HeadSample: 16}), &res.Sampled},
+	}
+
+	fmt.Fprintf(w, "## trace: span-tracing overhead on the cache-hit hot path, %d sequential requests per mode\n", traceRequests)
+	fmt.Fprintf(w, "%-10s %14s %12s %10s %10s\n", "mode", "ns/op", "req/s", "started", "kept")
+	for _, mode := range modes {
+		run, err := traceReplay(mode.tracer)
+		if err != nil {
+			return nil, fmt.Errorf("bench: trace %s: %w", mode.name, err)
+		}
+		*mode.out = run
+		fmt.Fprintf(w, "%-10s %14.0f %12.1f %10d %10d\n", mode.name, run.NsPerOp, run.RPS, run.Started, run.Kept)
+	}
+	overhead := func(mode TraceRun) float64 {
+		if res.Off.NsPerOp == 0 {
+			return 0
+		}
+		return 100 * (mode.NsPerOp - res.Off.NsPerOp) / res.Off.NsPerOp
+	}
+	res.OnOverheadPct = overhead(res.On)
+	res.SampledOverheadPct = overhead(res.Sampled)
+	fmt.Fprintf(w, "overhead: on %+.1f%%, sampled %+.1f%%\n", res.OnOverheadPct, res.SampledOverheadPct)
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("bench: trace json: %w", err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("bench: trace json: %w", err)
+		}
+	}
+	return res, nil
+}

@@ -161,6 +161,10 @@ type Job struct {
 	Spec    Spec
 	dir     string
 	created time.Time
+	// traceparent is the submitter's trace context (immutable after
+	// acceptance): every run of this job — including resumes in later
+	// processes — links its job.run span under the same trace.
+	traceparent string
 
 	mu        sync.Mutex
 	state     State

@@ -85,7 +85,7 @@ func TestSubmitRunsToCompletion(t *testing.T) {
 	}
 	defer s.Close(context.Background())
 
-	v, err := s.Submit(testSpec)
+	v, err := s.Submit(context.Background(), testSpec)
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
@@ -166,7 +166,7 @@ func TestSubmitValidatesSpec(t *testing.T) {
 		{Case: "channel", H: 2, W: 32},
 		{Case: "channel", Re: -5},
 	} {
-		if _, err := s.Submit(spec); err == nil {
+		if _, err := s.Submit(context.Background(), spec); err == nil {
 			t.Fatalf("spec %+v accepted", spec)
 		}
 	}
@@ -186,15 +186,15 @@ func TestQueueFullAndCancel(t *testing.T) {
 	}
 	defer s.Close(context.Background())
 
-	running, err := s.Submit(testSpec)
+	running, err := s.Submit(context.Background(), testSpec)
 	if err != nil {
 		t.Fatalf("submit 1: %v", err)
 	}
-	pending, err := s.Submit(testSpec)
+	pending, err := s.Submit(context.Background(), testSpec)
 	if err != nil {
 		t.Fatalf("submit 2: %v", err)
 	}
-	if _, err := s.Submit(testSpec); !errors.Is(err, ErrQueueFull) {
+	if _, err := s.Submit(context.Background(), testSpec); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("submit 3 err = %v, want ErrQueueFull", err)
 	}
 
@@ -205,7 +205,7 @@ func TestQueueFullAndCancel(t *testing.T) {
 	if v, _ := s.Get(pending.ID, 0); v.State != StateCanceled {
 		t.Fatalf("pending job state = %s, want canceled", v.State)
 	}
-	if _, err := s.Submit(testSpec); err != nil {
+	if _, err := s.Submit(context.Background(), testSpec); err != nil {
 		t.Fatalf("slot not freed after cancel: %v", err)
 	}
 
@@ -245,7 +245,7 @@ func TestCrashSurvivalMidCorrect(t *testing.T) {
 		t.Fatalf("open: %v", err)
 	}
 
-	v, err := s.Submit(testSpec)
+	v, err := s.Submit(context.Background(), testSpec)
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
@@ -421,7 +421,136 @@ func TestCloseRejectsNewWork(t *testing.T) {
 	if err := s.Close(context.Background()); err != nil {
 		t.Fatalf("close: %v", err)
 	}
-	if _, err := s.Submit(testSpec); !errors.Is(err, ErrClosed) {
+	if _, err := s.Submit(context.Background(), testSpec); !errors.Is(err, ErrClosed) {
 		t.Fatalf("submit after close err = %v, want ErrClosed", err)
+	}
+}
+
+// msOfJob converts a histogram-derived duration to SpanView milliseconds;
+// both sides divide the identical nanosecond total by 1e6, so comparisons
+// are exact.
+func msOfJob(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// TestResumedJobContinuesTrace is the ISSUE acceptance check for async
+// jobs: the trace context captured at Submit is journaled with the spec, so
+// a killed-then-restarted process links its resumed run onto the SAME trace
+// ID, and the resumed run's stage spans agree exactly with the stage
+// histograms (one clock read feeds both).
+func TestResumedJobContinuesTrace(t *testing.T) {
+	cfg := testConfig(t)
+	t1 := obs.NewTracer(obs.TracerConfig{SampleEvery: 1})
+	cfg.Tracer = t1
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+
+	ctx, root := t1.StartRequest(context.Background(), "POST /jobs", "")
+	v, err := s.Submit(ctx, testSpec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	root.End()
+	id, traceID := v.ID, root.Trace().String()
+
+	// The trace context is durable: spec.json carries the traceparent.
+	var sr specRecord
+	if err := readJSON(filepath.Join(cfg.Dir, id, specFile), &sr); err != nil {
+		t.Fatalf("read spec: %v", err)
+	}
+	jTrace, _, _, ok := obs.ParseTraceparent(sr.Traceparent)
+	if !ok || jTrace.String() != traceID {
+		t.Fatalf("journaled traceparent %q does not carry trace %s", sr.Traceparent, traceID)
+	}
+
+	// Interrupt mid-correct, exactly like TestCrashSurvivalMidCorrect.
+	ch, unsub, err := s.Watch(id)
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	correctProgress := 0
+	deadline := time.After(60 * time.Second)
+observe:
+	for {
+		select {
+		case e := <-ch:
+			if e.Terminal {
+				t.Fatalf("job finished before it could be interrupted (state %s)", e.State)
+			}
+			if e.Type == EventProgress && e.Stage == core.StageCorrect {
+				if correctProgress++; correctProgress >= 3 {
+					break observe
+				}
+			}
+		case <-deadline:
+			t.Fatal("correction stage never reported progress")
+		}
+	}
+	unsub()
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Close(expired); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// The killed process retained two records on the one trace: the submit
+	// request root and the interrupted first run.
+	recs := t1.Trace(traceID)
+	if len(recs) != 2 || recs[0].Root != "POST /jobs" || recs[1].Root != "job.run" {
+		t.Fatalf("first-process trace = %+v, want submit root then job.run", recs)
+	}
+	run0 := recs[1].Spans[0]
+	if run0.Attrs["job_id"] != id || run0.Attrs["resumes"] != int64(0) || run0.Attrs["interrupted"] != true {
+		t.Fatalf("interrupted run attrs = %+v", run0.Attrs)
+	}
+
+	// "Restart the process": a fresh tracer stands in for the new process's
+	// tracer, with no shared state beyond the journal on disk.
+	t2 := obs.NewTracer(obs.TracerConfig{SampleEvery: 1})
+	cfg.Tracer = t2
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close(context.Background())
+	v = waitTerminal(t, s2, id, 60*time.Second)
+	if v.State != StateDone || v.Resumes != 1 {
+		t.Fatalf("resumed job state = %s resumes = %d, want done/1", v.State, v.Resumes)
+	}
+
+	// The resumed run continued the ORIGINAL trace ID with resumes=1.
+	recs2 := t2.Trace(traceID)
+	if len(recs2) != 1 || recs2[0].Root != "job.run" {
+		t.Fatalf("second-process trace = %+v, want one job.run record", recs2)
+	}
+	run1 := recs2[0].Spans[0]
+	if run1.Attrs["resumes"] != int64(1) || run1.Attrs["job_id"] != id {
+		t.Fatalf("resumed run attrs = %+v", run1.Attrs)
+	}
+	if run1.Attrs["interrupted"] != nil {
+		t.Fatalf("completed run still marked interrupted: %+v", run1.Attrs)
+	}
+
+	// Every stage span in the resumed run matches its stage histogram
+	// exactly — the shared-clock-read invariant, cross-process edition.
+	stageSpans := 0
+	for _, sv := range recs2[0].Spans[1:] {
+		h, ok := s2.met.stageSeconds[core.E2EStage(sv.Name)]
+		if !ok {
+			t.Errorf("span %q has no matching stage histogram", sv.Name)
+			continue
+		}
+		snap := h.Snapshot()
+		if snap.Count != 1 {
+			t.Errorf("stage %s histogram count = %d, want 1", sv.Name, snap.Count)
+			continue
+		}
+		if sv.DurationMs != msOfJob(time.Duration(snap.Mean())) {
+			t.Errorf("stage %s span = %vms, histogram = %vms; must share clock reads", sv.Name, sv.DurationMs, msOfJob(time.Duration(snap.Mean())))
+		}
+		stageSpans++
+	}
+	if stageSpans == 0 {
+		t.Error("resumed run recorded no stage spans")
 	}
 }

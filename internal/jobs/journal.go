@@ -53,11 +53,14 @@ func stageFileName(stage core.E2EStage) string {
 	return "stage-" + string(stage) + ".ckpt"
 }
 
-// specRecord is the durable form of an accepted job.
+// specRecord is the durable form of an accepted job. Traceparent is the
+// submitter's W3C trace context, captured so a resumed run — possibly in a
+// different process, after a crash — continues the submission's trace.
 type specRecord struct {
-	ID      string    `json:"id"`
-	Spec    Spec      `json:"spec"`
-	Created time.Time `json:"created"`
+	ID          string    `json:"id"`
+	Spec        Spec      `json:"spec"`
+	Created     time.Time `json:"created"`
+	Traceparent string    `json:"traceparent,omitempty"`
 }
 
 // statusRecord is the durable lifecycle state. Stage is the *next* stage a

@@ -62,6 +62,9 @@ type Config struct {
 	Logger *slog.Logger
 	// Metrics is the registry job metrics register on (nil: obs.Default).
 	Metrics *obs.Registry
+	// Tracer records per-run job spans linked to the submitter's trace
+	// (nil: no tracing; job runs emit no spans).
+	Tracer *obs.Tracer
 }
 
 // Service is the persistent job runner. Open replays the journal and
@@ -207,7 +210,8 @@ func (s *Service) replay() ([]*Job, error) {
 		}
 		j := &Job{
 			ID: spec.ID, Spec: spec.Spec, dir: dir, created: spec.Created,
-			state: StatePending, stage: core.StageLRSolve, histDepth: s.cfg.HistoryDepth,
+			traceparent: spec.Traceparent,
+			state:       StatePending, stage: core.StageLRSolve, histDepth: s.cfg.HistoryDepth,
 		}
 		var st statusRecord
 		if err := readJSON(filepath.Join(dir, statusFile), &st); err == nil {
@@ -244,11 +248,14 @@ func (s *Service) replay() ([]*Job, error) {
 
 // Submit validates and durably accepts a job. Once Submit returns, the job
 // survives any crash: it is either executed to a terminal state or resumed
-// by the next Open.
-func (s *Service) Submit(spec Spec) (View, error) {
+// by the next Open. When ctx carries a recorded span, its traceparent is
+// journaled with the spec: every run of the job — including resumes after a
+// crash — links its spans under the submitter's trace.
+func (s *Service) Submit(ctx context.Context, spec Spec) (View, error) {
 	if _, err := spec.BuildCase(); err != nil {
 		return View{}, err
 	}
+	traceparent := obs.SpanFromContext(ctx).Traceparent()
 
 	s.mu.Lock()
 	if s.closed {
@@ -266,7 +273,8 @@ func (s *Service) Submit(spec Spec) (View, error) {
 	}
 	j := &Job{
 		ID: id, Spec: spec, dir: filepath.Join(s.cfg.Dir, id),
-		created: time.Now(), state: StatePending, stage: core.StageLRSolve,
+		created: time.Now(), traceparent: traceparent,
+		state: StatePending, stage: core.StageLRSolve,
 		histDepth: s.cfg.HistoryDepth,
 	}
 	s.jobs[id] = j
@@ -280,7 +288,7 @@ func (s *Service) Submit(spec Spec) (View, error) {
 		s.forget(j)
 		return View{}, fmt.Errorf("jobs: create job dir: %w", err)
 	}
-	if err := s.journalJSON(j, specFile, specRecord{ID: id, Spec: spec, Created: j.created}); err != nil {
+	if err := s.journalJSON(j, specFile, specRecord{ID: id, Spec: spec, Created: j.created, Traceparent: traceparent}); err != nil {
 		s.forget(j)
 		return View{}, err
 	}
@@ -498,10 +506,17 @@ func (s *Service) run(j *Job) {
 	resumes := j.resumes
 	j.mu.Unlock()
 
+	// Every run is a root span linked under the submitter's trace: a job
+	// killed and resumed N times shows N job.run records on one trace ID,
+	// distinguished by their resumes attribute.
+	jsp := s.cfg.Tracer.StartLinked("job.run", j.traceparent,
+		obs.String("job_id", j.ID),
+		obs.Int("resumes", int64(resumes)))
+
 	c, err := j.Spec.BuildCase()
 	if err != nil {
 		// The spec validated at Submit; only a corrupted journal gets here.
-		s.finish(j, nil, nil, err, nil)
+		s.finish(j, jsp, nil, nil, err, nil)
 		return
 	}
 	maxLevel := j.Spec.MaxLevel
@@ -549,10 +564,14 @@ func (s *Service) run(j *Job) {
 			j.publish(Event{Type: EventProgress, JobID: j.ID, State: StateRunning, Stage: stage, Iter: iter, Residual: res})
 		},
 		OnStage: func(stage core.E2EStage, est *core.E2EState) error {
+			// One clock read feeds both the stage histogram and the stage
+			// span, so their durations agree exactly.
+			now := time.Now()
 			if h, ok := s.met.stageSeconds[stage]; ok {
-				h.ObserveSince(stageStart)
+				h.ObserveDuration(now.Sub(stageStart))
 			}
-			stageStart = time.Now()
+			jsp.Child(string(stage), stageStart, now)
+			stageStart = now
 			// The final stage's state needs no checkpoint: the result record
 			// is about to be committed.
 			if est.Next != core.StageDone {
@@ -580,7 +599,7 @@ func (s *Service) run(j *Job) {
 	}
 
 	res, runErr := core.RunE2EStaged(ctx, s.cfg.Model, c, s.cfg.Solver, maxLevel, st, hooks)
-	s.finish(j, res, st, runErr, ctx)
+	s.finish(j, jsp, res, st, runErr, ctx)
 }
 
 // currentStage reads the stage under the job lock.
@@ -592,12 +611,16 @@ func (j *Job) currentStage() core.E2EStage {
 
 // finish classifies a run's outcome and persists the terminal state — or,
 // for a shutdown interrupt, leaves the journal at "running" for resume.
-func (s *Service) finish(j *Job, res *core.E2EResult, st *core.E2EState, runErr error, ctx context.Context) {
+// Whatever the outcome, this run's job.run span ends here (End is
+// idempotent, so the result-commit-failure recursion is safe).
+func (s *Service) finish(j *Job, jsp *obs.Span, res *core.E2EResult, st *core.E2EState, runErr error, ctx context.Context) {
 	if runErr != nil && ctx != nil {
 		cause := context.Cause(ctx)
 		if errors.Is(cause, errShutdown) && errors.Is(runErr, context.Canceled) {
 			// Interrupted by drain: NOT terminal. The durable status is
 			// already "running"; the next Open replays and resumes it.
+			jsp.SetAttrs(obs.Bool("interrupted", true))
+			jsp.End()
 			j.mu.Lock()
 			j.state = StatePending
 			j.cancel = nil
@@ -607,6 +630,8 @@ func (s *Service) finish(j *Job, res *core.E2EResult, st *core.E2EState, runErr 
 			return
 		}
 		if errors.Is(cause, errCanceled) && errors.Is(runErr, context.Canceled) {
+			jsp.SetError(errCanceled)
+			jsp.End()
 			j.mu.Lock()
 			j.state = StateCanceled
 			j.errMsg = errCanceled.Error()
@@ -622,6 +647,8 @@ func (s *Service) finish(j *Job, res *core.E2EResult, st *core.E2EState, runErr 
 	}
 
 	if runErr != nil {
+		jsp.SetError(runErr)
+		jsp.End()
 		j.mu.Lock()
 		j.state = StateFailed
 		j.errMsg = runErr.Error()
@@ -639,9 +666,10 @@ func (s *Service) finish(j *Job, res *core.E2EResult, st *core.E2EState, runErr 
 	if err := s.journalGob(j, resultFile, &resultRecord{Summary: *sum, Flow: res.Flow}); err != nil {
 		// The solve succeeded but the result cannot be committed; fail the
 		// job rather than report a done state the journal cannot back.
-		s.finish(j, nil, nil, err, nil)
+		s.finish(j, jsp, nil, nil, err, nil)
 		return
 	}
+	jsp.End()
 	j.mu.Lock()
 	j.state = StateDone
 	j.stage = core.StageDone

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterBuildInfo exposes an `adarnet_build_info` gauge with constant
+// value 1 whose labels carry the module version (from the embedded build
+// info, "dev" for non-module builds), the Go toolchain version, and the
+// binary's default inference precision — the standard fleet-inventory
+// pattern: `sum by (version) (adarnet_build_info)` maps a rollout.
+func RegisterBuildInfo(reg *Registry, precision string) {
+	if reg == nil {
+		return
+	}
+	version := "dev"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		version = bi.Main.Version
+	}
+	reg.GaugeFunc(
+		Labeled("adarnet_build_info",
+			"version", version,
+			"go_version", runtime.Version(),
+			"precision", precision),
+		"Build and runtime inventory; constant 1.",
+		func() float64 { return 1 },
+	)
+}

@@ -5,6 +5,7 @@ import (
 	crand "crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"os"
 	"sync/atomic"
 )
 
@@ -17,16 +18,20 @@ import (
 
 var (
 	reqSeq    atomic.Uint64
-	reqPrefix = func() string {
-		var b [4]byte
-		if _, err := crand.Read(b[:]); err != nil {
-			// A broken entropy source shouldn't stop the server; fall back to
-			// a fixed prefix — IDs stay unique within the process.
-			return "00000000"
-		}
-		return hex.EncodeToString(b[:])
-	}()
+	reqPrefix = newReqPrefix(crand.Read, os.Getpid())
 )
+
+// newReqPrefix derives the per-process ID prefix from the given entropy
+// reader. A broken entropy source shouldn't stop the server: the fallback
+// hashes the PID (Knuth multiplicative), so concurrent fallback processes
+// still get distinct prefixes in aggregated logs.
+func newReqPrefix(read func([]byte) (int, error), pid int) string {
+	var b [4]byte
+	if _, err := read(b[:]); err != nil {
+		return fmt.Sprintf("%08x", uint32(pid)*2654435761)
+	}
+	return hex.EncodeToString(b[:])
+}
 
 // NewRequestID returns a process-unique request ID.
 func NewRequestID() string {

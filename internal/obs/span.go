@@ -1,0 +1,846 @@
+package obs
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span tracing: per-request timelines across the serving stack. A Tracer
+// hands out context-propagated Spans (trace ID + span ID + parent), buffers
+// finished spans lock-free into a bounded per-trace assembly table, and at
+// root-span end applies tail-based retention: every error trace and every
+// slow trace is kept, plus a deterministic sample of the unremarkable rest.
+// Trace context crosses process boundaries as a W3C traceparent header and
+// survives job crashes by riding in the job journal's spec record.
+//
+// Start/end times are time.Time values from time.Now(), so durations come
+// from the monotonic clock; instrumentation sites reuse the *same* clock
+// reads that feed the stage histograms, which keeps span durations and
+// histogram tails in exact agreement.
+
+// TraceID is a 16-byte W3C trace ID. The zero value is invalid.
+type TraceID [16]byte
+
+// SpanID is an 8-byte W3C span (parent) ID. The zero value is invalid.
+type SpanID [8]byte
+
+// IsZero reports whether the trace ID is the invalid all-zero ID.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String returns the 32-char lowercase hex form, or "" for the zero ID.
+func (t TraceID) String() string {
+	if t.IsZero() {
+		return ""
+	}
+	var b [32]byte
+	hexEncode(b[:], t[:])
+	return string(b[:])
+}
+
+// IsZero reports whether the span ID is the invalid all-zero ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String returns the 16-char lowercase hex form, or "" for the zero ID.
+func (s SpanID) String() string {
+	if s.IsZero() {
+		return ""
+	}
+	var b [16]byte
+	hexEncode(b[:], s[:])
+	return string(b[:])
+}
+
+// ParseTraceID parses a 32-char lowercase hex trace ID.
+func ParseTraceID(s string) (TraceID, bool) {
+	var t TraceID
+	if len(s) != 32 || !hexDecode(t[:], s) || t.IsZero() {
+		return TraceID{}, false
+	}
+	return t, true
+}
+
+const hexDigits = "0123456789abcdef"
+
+func hexEncode(dst, src []byte) {
+	for i, b := range src {
+		dst[2*i] = hexDigits[b>>4]
+		dst[2*i+1] = hexDigits[b&0xf]
+	}
+}
+
+// hexDecode decodes lowercase hex only (the W3C wire form); uppercase is a
+// parse failure, per spec.
+func hexDecode(dst []byte, src string) bool {
+	if len(src) != 2*len(dst) {
+		return false
+	}
+	for i := range dst {
+		hi, ok1 := hexNibble(src[2*i])
+		lo, ok2 := hexNibble(src[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+// ID generation: a single atomic counter stepped by the splitmix64 gamma and
+// mixed through the splitmix64 finalizer. Seeded once from crypto/rand (with
+// a PID/time fallback), this gives unique, unpredictable-enough IDs at a few
+// nanoseconds each — no per-span syscall or crypto on the hot path.
+var idState atomic.Uint64
+
+func init() {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		idState.Store(uint64(os.Getpid())*0x9e3779b97f4a7c15 ^ uint64(time.Now().UnixNano()))
+		return
+	}
+	idState.Store(binary.LittleEndian.Uint64(b[:]))
+}
+
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func nextID() uint64 {
+	v := mix64(idState.Add(0x9e3779b97f4a7c15))
+	if v == 0 {
+		v = 1 // all-zero IDs are invalid on the wire
+	}
+	return v
+}
+
+// NewTraceID returns a fresh non-zero trace ID.
+func NewTraceID() TraceID {
+	var t TraceID
+	binary.BigEndian.PutUint64(t[:8], nextID())
+	binary.BigEndian.PutUint64(t[8:], nextID())
+	return t
+}
+
+// NewSpanID returns a fresh non-zero span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	binary.BigEndian.PutUint64(s[:], nextID())
+	return s
+}
+
+// W3C traceparent: "00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>".
+
+const traceparentLen = 55
+
+// ParseTraceparent parses a W3C traceparent header. Malformed input —
+// wrong length or delimiters, uppercase hex, all-zero IDs, version "ff" —
+// returns ok=false; callers fall back to a fresh root trace, never an
+// error response. Future versions (anything but "00") are accepted when
+// the first four fields parse, per spec.
+func ParseTraceparent(h string) (trace TraceID, parent SpanID, sampled, ok bool) {
+	if len(h) < traceparentLen {
+		return TraceID{}, SpanID{}, false, false
+	}
+	var ver [1]byte
+	if !hexDecode(ver[:], h[0:2]) || (ver[0] == 0xff) {
+		return TraceID{}, SpanID{}, false, false
+	}
+	if ver[0] == 0 && len(h) != traceparentLen {
+		return TraceID{}, SpanID{}, false, false
+	}
+	if len(h) > traceparentLen && h[traceparentLen] != '-' {
+		return TraceID{}, SpanID{}, false, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceID{}, SpanID{}, false, false
+	}
+	if !hexDecode(trace[:], h[3:35]) || trace.IsZero() {
+		return TraceID{}, SpanID{}, false, false
+	}
+	if !hexDecode(parent[:], h[36:52]) || parent.IsZero() {
+		return TraceID{}, SpanID{}, false, false
+	}
+	var flags [1]byte
+	if !hexDecode(flags[:], h[53:55]) {
+		return TraceID{}, SpanID{}, false, false
+	}
+	return trace, parent, flags[0]&1 == 1, true
+}
+
+// FormatTraceparent renders a version-00 traceparent header.
+func FormatTraceparent(trace TraceID, span SpanID, sampled bool) string {
+	b := make([]byte, traceparentLen)
+	b[0], b[1], b[2] = '0', '0', '-'
+	hexEncode(b[3:35], trace[:])
+	b[35] = '-'
+	hexEncode(b[36:52], span[:])
+	b[52] = '-'
+	b[53] = '0'
+	if sampled {
+		b[54] = '1'
+	} else {
+		b[54] = '0'
+	}
+	return string(b)
+}
+
+// Attr is one typed span attribute. Build with String, Int, Float, or Bool.
+type Attr struct {
+	Key  string
+	kind attrKind
+	str  string
+	num  uint64
+}
+
+type attrKind uint8
+
+const (
+	attrString attrKind = iota
+	attrInt
+	attrFloat
+	attrBool
+)
+
+// String returns a string-valued attribute.
+func String(key, v string) Attr { return Attr{Key: key, kind: attrString, str: v} }
+
+// Int returns an int64-valued attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, kind: attrInt, num: uint64(v)} }
+
+// Float returns a float64-valued attribute.
+func Float(key string, v float64) Attr {
+	return Attr{Key: key, kind: attrFloat, num: math.Float64bits(v)}
+}
+
+// Bool returns a bool-valued attribute.
+func Bool(key string, v bool) Attr {
+	var n uint64
+	if v {
+		n = 1
+	}
+	return Attr{Key: key, kind: attrBool, num: n}
+}
+
+// Value returns the attribute's value as its native Go type.
+func (a Attr) Value() any {
+	switch a.kind {
+	case attrInt:
+		return int64(a.num)
+	case attrFloat:
+		return math.Float64frombits(a.num)
+	case attrBool:
+		return a.num == 1
+	default:
+		return a.str
+	}
+}
+
+// Span is one timed operation inside a trace. A nil *Span is a valid no-op
+// receiver, so instrumentation sites never branch on whether tracing is on.
+// A Span is owned by one goroutine at a time: mutation (SetAttrs, SetError,
+// End) must not race, but child creation from concurrent goroutines is safe
+// — finished children push onto the trace's lock-free assembly list.
+type Span struct {
+	tracer *Tracer
+	entry  *traceEntry // nil for a non-recording (head-sampled-out) span
+	trace  TraceID
+	id     SpanID
+	parent SpanID
+	name   string
+	start  time.Time
+	end    time.Time
+	root   bool
+	remote bool // parented by an incoming traceparent
+	ended  bool
+	errMsg string
+	attrs  []Attr
+}
+
+// Recording reports whether the span is actually capturing data. False for
+// nil and for head-sampled-out pass-through spans; use it to guard
+// attribute computation that would otherwise cost allocations.
+func (s *Span) Recording() bool { return s != nil && s.entry != nil }
+
+// Trace returns the span's trace ID (zero for nil).
+func (s *Span) Trace() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.trace
+}
+
+// ID returns the span's own ID (zero for nil).
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.id
+}
+
+// Traceparent renders the outgoing W3C header for this span ("" for nil).
+// The sampled flag reflects whether the span is recording.
+func (s *Span) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	return FormatTraceparent(s.trace, s.id, s.entry != nil)
+}
+
+// SetAttrs appends attributes. No-op on nil or non-recording spans.
+func (s *Span) SetAttrs(attrs ...Attr) {
+	if !s.Recording() {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
+}
+
+// SetError marks the span failed. A trace containing any errored span is
+// always retained.
+func (s *Span) SetError(err error) {
+	if !s.Recording() || err == nil {
+		return
+	}
+	s.errMsg = err.Error()
+}
+
+// StartChild begins a child span now. Returns nil when the parent is not
+// recording, so the no-op path allocates nothing.
+func (s *Span) StartChild(name string, attrs ...Attr) *Span {
+	return s.StartChildAt(name, time.Now(), attrs...)
+}
+
+// StartChildAt begins a child span at an explicit start time — used when the
+// span must share a clock read with a histogram observation.
+func (s *Span) StartChildAt(name string, start time.Time, attrs ...Attr) *Span {
+	if !s.Recording() {
+		return nil
+	}
+	return &Span{
+		tracer: s.tracer,
+		entry:  s.entry,
+		trace:  s.trace,
+		id:     NewSpanID(),
+		parent: s.id,
+		name:   name,
+		start:  start,
+		attrs:  attrs,
+	}
+}
+
+// Child records an already-completed child span from explicit start/end
+// clock reads — the same reads that fed a histogram, so the span duration
+// and the histogram observation are identical by construction.
+func (s *Span) Child(name string, start, end time.Time, attrs ...Attr) {
+	if !s.Recording() {
+		return
+	}
+	c := &Span{
+		tracer: s.tracer,
+		entry:  s.entry,
+		trace:  s.trace,
+		id:     NewSpanID(),
+		parent: s.id,
+		name:   name,
+		start:  start,
+		end:    end,
+		ended:  true,
+		attrs:  attrs,
+	}
+	s.entry.push(c)
+}
+
+// End completes the span now.
+func (s *Span) End() { s.EndAt(time.Now()) }
+
+// EndAt completes the span at an explicit end time (shared clock read).
+// Ending a root span finalizes the trace: its buffered spans are assembled
+// and the tail-based retention decision is made. End is idempotent.
+func (s *Span) EndAt(end time.Time) {
+	if !s.Recording() || s.ended {
+		return
+	}
+	s.ended = true
+	s.end = end
+	if s.root {
+		s.tracer.finish(s)
+		return
+	}
+	s.entry.push(s)
+}
+
+// spanKey is the private context key for the active span.
+type spanKey struct{}
+
+// ContextWithSpan returns a context carrying s. A nil span returns ctx
+// unchanged, so a non-recording parent stays visible downstream.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// spanNode is one finished span on a trace's lock-free assembly list.
+type spanNode struct {
+	span *Span
+	next *spanNode
+}
+
+// traceEntry assembles the finished spans of one in-flight trace. Pushes
+// are a CAS loop on the list head — no lock on the span hot path.
+type traceEntry struct {
+	trace   TraceID
+	head    atomic.Pointer[spanNode]
+	count   atomic.Int32
+	dropped atomic.Int32
+	max     int32
+}
+
+func (e *traceEntry) push(s *Span) {
+	if e.count.Add(1) > e.max {
+		e.dropped.Add(1)
+		return
+	}
+	n := &spanNode{span: s}
+	for {
+		old := e.head.Load()
+		n.next = old
+		if e.head.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+// TracerConfig bounds and tunes a Tracer. Zero values take defaults.
+type TracerConfig struct {
+	// Slow is the root duration at/above which a trace is always kept.
+	// Default 250ms; negative disables the slow rule.
+	Slow time.Duration
+	// SampleEvery keeps 1 in N unremarkable (fast, error-free) traces,
+	// chosen deterministically by trace ID. 1 keeps all; default 16.
+	SampleEvery int
+	// HeadSample records only 1 in N fresh root traces (trace-ID hash),
+	// making the others cost-free pass-throughs that still propagate IDs.
+	// 0 or 1 records all. Remote-parented traces are always recorded: an
+	// upstream that forwarded context has already chosen to trace.
+	HeadSample int
+	// MaxActive bounds concurrently assembling traces (default 1024);
+	// beyond it new traces are pass-through.
+	MaxActive int
+	// MaxSpans bounds buffered spans per trace (default 256); excess
+	// spans are counted and dropped.
+	MaxSpans int
+	// Retain bounds the finished-trace ring (default 256).
+	Retain int
+}
+
+func (c TracerConfig) withDefaults() TracerConfig {
+	if c.Slow == 0 {
+		c.Slow = 250 * time.Millisecond
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 16
+	}
+	if c.MaxActive <= 0 {
+		c.MaxActive = 1024
+	}
+	if c.MaxSpans <= 0 {
+		c.MaxSpans = 256
+	}
+	if c.Retain <= 0 {
+		c.Retain = 256
+	}
+	return c
+}
+
+const traceShards = 16
+
+// Tracer assembles spans into traces and retains the interesting ones. All
+// methods are safe for concurrent use; a nil *Tracer is a valid no-op
+// receiver.
+type Tracer struct {
+	cfg    TracerConfig
+	shards [traceShards]traceShard
+	active atomic.Int64
+
+	mu       sync.Mutex
+	finished []TraceRecord // ring, next points at the oldest slot
+	next     int
+	full     bool
+
+	started    atomic.Uint64 // recording root spans begun
+	kept       atomic.Uint64 // traces retained after the tail decision
+	sampledOut atomic.Uint64 // unremarkable traces dropped by sampling
+	overflow   atomic.Uint64 // traces passed through: assembly table full
+	spansLost  atomic.Uint64 // spans dropped by the per-trace bound
+}
+
+type traceShard struct {
+	mu sync.Mutex
+	m  map[TraceID]*traceEntry
+}
+
+// NewTracer returns a Tracer with cfg (zero fields take defaults).
+func NewTracer(cfg TracerConfig) *Tracer {
+	t := &Tracer{cfg: cfg.withDefaults()}
+	for i := range t.shards {
+		t.shards[i].m = make(map[TraceID]*traceEntry)
+	}
+	t.finished = make([]TraceRecord, t.cfg.Retain)
+	return t
+}
+
+func (t *Tracer) shard(id TraceID) *traceShard {
+	return &t.shards[id[15]&(traceShards-1)]
+}
+
+// sampleKey hashes a trace ID for deterministic sampling decisions.
+func sampleKey(id TraceID) uint64 {
+	return mix64(binary.BigEndian.Uint64(id[8:]) ^ binary.BigEndian.Uint64(id[:8]))
+}
+
+// StartRequest begins the server root span for one inbound request,
+// continuing the trace in traceparent when it parses and starting a fresh
+// root otherwise (malformed context is dropped, never an error). The
+// returned context carries the span. A nil Tracer returns ctx, nil.
+func (t *Tracer) StartRequest(ctx context.Context, name, traceparent string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	trace, parent, _, ok := ParseTraceparent(traceparent)
+	s := t.startRoot(name, trace, parent, ok)
+	return ContextWithSpan(ctx, s), s
+}
+
+// StartLinked begins a root span continuing the trace in traceparent —
+// used by the job service, where the original submit request is long gone
+// but its journaled trace context lives on. An empty or malformed
+// traceparent starts a fresh trace. A nil Tracer returns nil.
+func (t *Tracer) StartLinked(name, traceparent string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	trace, parent, _, ok := ParseTraceparent(traceparent)
+	s := t.startRoot(name, trace, parent, ok)
+	s.SetAttrs(attrs...)
+	return s
+}
+
+func (t *Tracer) startRoot(name string, trace TraceID, parent SpanID, remote bool) *Span {
+	fresh := !remote
+	if fresh {
+		trace = NewTraceID()
+	}
+	s := &Span{
+		tracer: t,
+		trace:  trace,
+		id:     NewSpanID(),
+		parent: parent,
+		name:   name,
+		start:  time.Now(),
+		root:   true,
+		remote: remote,
+	}
+	// Head sampling applies only to fresh roots: a forwarded traceparent
+	// means an upstream already decided this trace is worth having.
+	if fresh && t.cfg.HeadSample > 1 && sampleKey(trace)%uint64(t.cfg.HeadSample) != 0 {
+		return s // non-recording pass-through: entry stays nil
+	}
+	if t.active.Load() >= int64(t.cfg.MaxActive) {
+		t.overflow.Add(1)
+		return s
+	}
+	e := &traceEntry{trace: trace, max: int32(t.cfg.MaxSpans)}
+	sh := t.shard(trace)
+	sh.mu.Lock()
+	if _, exists := sh.m[trace]; !exists {
+		sh.m[trace] = e
+	} else {
+		// Two concurrent roots on one trace ID (e.g. a job resumed while
+		// its predecessor drains): share the assembly entry.
+		e = sh.m[trace]
+	}
+	sh.mu.Unlock()
+	t.active.Add(1)
+	t.started.Add(1)
+	s.entry = e
+	return s
+}
+
+// finish assembles and scores a trace when its root span ends.
+func (t *Tracer) finish(root *Span) {
+	e := root.entry
+	sh := t.shard(root.trace)
+	sh.mu.Lock()
+	if sh.m[root.trace] == e {
+		delete(sh.m, root.trace)
+	}
+	sh.mu.Unlock()
+	t.active.Add(-1)
+	if d := e.dropped.Load(); d > 0 {
+		t.spansLost.Add(uint64(d))
+	}
+
+	dur := root.end.Sub(root.start)
+	anyErr := root.errMsg != ""
+	spans := make([]*Span, 0, 8)
+	for n := e.head.Load(); n != nil; n = n.next {
+		spans = append(spans, n.span)
+		if n.span.errMsg != "" {
+			anyErr = true
+		}
+	}
+
+	kept := ""
+	switch {
+	case anyErr:
+		kept = "error"
+	case t.cfg.Slow > 0 && dur >= t.cfg.Slow:
+		kept = "slow"
+	case t.cfg.SampleEvery == 1 || sampleKey(root.trace)%uint64(t.cfg.SampleEvery) == 0:
+		kept = "sample"
+	default:
+		t.sampledOut.Add(1)
+		return
+	}
+	t.kept.Add(1)
+
+	spans = append(spans, root)
+	sort.SliceStable(spans, func(i, j int) bool {
+		if !spans[i].start.Equal(spans[j].start) {
+			return spans[i].start.Before(spans[j].start)
+		}
+		// Roots sort before children on start-time ties.
+		return spans[i].parent.IsZero() && !spans[j].parent.IsZero()
+	})
+	rec := TraceRecord{
+		TraceID:    root.trace.String(),
+		Root:       root.name,
+		Start:      root.start,
+		DurationMs: durMs(dur),
+		Kept:       kept,
+		Dropped:    int(e.dropped.Load()),
+		Spans:      make([]SpanView, 0, len(spans)),
+	}
+	if root.errMsg != "" {
+		rec.Err = root.errMsg
+	} else if anyErr {
+		for _, s := range spans {
+			if s.errMsg != "" {
+				rec.Err = s.errMsg
+				break
+			}
+		}
+	}
+	for _, s := range spans {
+		v := SpanView{
+			SpanID:     s.id.String(),
+			Name:       s.name,
+			StartMs:    durMs(s.start.Sub(root.start)),
+			DurationMs: durMs(s.end.Sub(s.start)),
+			Err:        s.errMsg,
+		}
+		if !s.parent.IsZero() {
+			v.ParentID = s.parent.String()
+		}
+		if s.remote {
+			v.Remote = true
+		}
+		if len(s.attrs) > 0 {
+			v.Attrs = make(map[string]any, len(s.attrs))
+			for _, a := range s.attrs {
+				v.Attrs[a.Key] = a.Value()
+			}
+		}
+		rec.Spans = append(rec.Spans, v)
+	}
+
+	t.mu.Lock()
+	t.finished[t.next] = rec
+	t.next++
+	if t.next == len(t.finished) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+func durMs(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e6
+}
+
+// TraceRecord is one retained trace: the assembled, start-ordered span
+// timeline plus the retention verdict.
+type TraceRecord struct {
+	TraceID    string     `json:"trace_id"`
+	Root       string     `json:"root"`
+	Start      time.Time  `json:"start"`
+	DurationMs float64    `json:"duration_ms"`
+	Kept       string     `json:"kept"` // "error" | "slow" | "sample"
+	Err        string     `json:"err,omitempty"`
+	Dropped    int        `json:"dropped_spans,omitempty"`
+	Spans      []SpanView `json:"spans"`
+}
+
+// SpanView is one span in a TraceRecord timeline. StartMs is the offset
+// from the record's root start.
+type SpanView struct {
+	SpanID     string         `json:"span_id"`
+	ParentID   string         `json:"parent_id,omitempty"`
+	Name       string         `json:"name"`
+	StartMs    float64        `json:"start_ms"`
+	DurationMs float64        `json:"duration_ms"`
+	Err        string         `json:"err,omitempty"`
+	Remote     bool           `json:"remote,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// TraceSummary is the list-endpoint view of a retained trace.
+type TraceSummary struct {
+	TraceID    string    `json:"trace_id"`
+	Root       string    `json:"root"`
+	Start      time.Time `json:"start"`
+	DurationMs float64   `json:"duration_ms"`
+	Spans      int       `json:"spans"`
+	Kept       string    `json:"kept"`
+	Err        string    `json:"err,omitempty"`
+}
+
+// Traces returns summaries of retained traces, newest first, filtered to
+// those at/above minDur (0 = all) and — when errOnly — those with an
+// error. limit bounds the result (<= 0 means all retained).
+func (t *Tracer) Traces(minDur time.Duration, errOnly bool, limit int) []TraceSummary {
+	if t == nil {
+		return nil
+	}
+	recs := t.records()
+	out := make([]TraceSummary, 0, len(recs))
+	for _, r := range recs {
+		if time.Duration(r.DurationMs*1e6) < minDur {
+			continue
+		}
+		if errOnly && r.Err == "" {
+			continue
+		}
+		out = append(out, TraceSummary{
+			TraceID:    r.TraceID,
+			Root:       r.Root,
+			Start:      r.Start,
+			DurationMs: r.DurationMs,
+			Spans:      len(r.Spans),
+			Kept:       r.Kept,
+			Err:        r.Err,
+		})
+		if limit > 0 && len(out) == limit {
+			break
+		}
+	}
+	return out
+}
+
+// Trace returns every retained record carrying the given trace ID, oldest
+// first. A trace can span several records: the original request is one,
+// and each (re)run of a journaled job linked to it is another.
+func (t *Tracer) Trace(id string) []TraceRecord {
+	if t == nil {
+		return nil
+	}
+	recs := t.records() // newest first
+	var out []TraceRecord
+	for i := len(recs) - 1; i >= 0; i-- {
+		if recs[i].TraceID == id {
+			out = append(out, recs[i])
+		}
+	}
+	return out
+}
+
+// records snapshots the finished ring, newest first.
+func (t *Tracer) records() []TraceRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	if t.full {
+		n = len(t.finished)
+	}
+	out := make([]TraceRecord, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, t.finished[(t.next-i+len(t.finished))%len(t.finished)])
+	}
+	return out
+}
+
+// TracerStats is a point-in-time view of the tracer's own accounting.
+type TracerStats struct {
+	Active     int64  `json:"active"`
+	Started    uint64 `json:"started"`
+	Kept       uint64 `json:"kept"`
+	SampledOut uint64 `json:"sampled_out"`
+	Overflow   uint64 `json:"overflow"`
+	SpansLost  uint64 `json:"spans_lost"`
+}
+
+// Stats returns the tracer's own counters (zero value for a nil Tracer).
+func (t *Tracer) Stats() TracerStats {
+	if t == nil {
+		return TracerStats{}
+	}
+	return TracerStats{
+		Active:     t.active.Load(),
+		Started:    t.started.Load(),
+		Kept:       t.kept.Load(),
+		SampledOut: t.sampledOut.Load(),
+		Overflow:   t.overflow.Load(),
+		SpansLost:  t.spansLost.Load(),
+	}
+}
+
+// RegisterMetrics exposes the tracer's accounting as adarnet_trace_* series
+// on reg, so the fleet can see sampling pressure and assembly overflow.
+func (t *Tracer) RegisterMetrics(reg *Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	reg.GaugeFunc("adarnet_trace_active", "Traces currently assembling.",
+		func() float64 { return float64(t.active.Load()) })
+	reg.CounterFunc("adarnet_trace_started_total", "Recording root spans begun.",
+		func() float64 { return float64(t.started.Load()) })
+	reg.CounterFunc("adarnet_trace_kept_total", "Traces retained after the tail decision.",
+		func() float64 { return float64(t.kept.Load()) })
+	reg.CounterFunc("adarnet_trace_sampled_out_total", "Unremarkable traces dropped by tail sampling.",
+		func() float64 { return float64(t.sampledOut.Load()) })
+	reg.CounterFunc("adarnet_trace_overflow_total", "Traces passed through because the assembly table was full.",
+		func() float64 { return float64(t.overflow.Load()) })
+	reg.CounterFunc("adarnet_trace_spans_lost_total", "Spans dropped by the per-trace buffer bound.",
+		func() float64 { return float64(t.spansLost.Load()) })
+}

@@ -1,18 +1,81 @@
 package obs
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// TraceEntry is one completed request in the trace ring.
+// TraceEntry is one completed request in the trace ring. TraceID, Replica,
+// and CacheHit cross-link the flat ring into the span tracer: grep the ring
+// for a status, then pull the full timeline from /debug/traces/{trace_id}.
 type TraceEntry struct {
-	ID      string        `json:"id"`
-	Route   string        `json:"route"`
-	Status  int           `json:"status"`
-	Start   time.Time     `json:"start"`
-	Elapsed time.Duration `json:"elapsed_ns"`
-	Err     string        `json:"err,omitempty"`
+	ID       string        `json:"id"`
+	TraceID  string        `json:"trace_id,omitempty"`
+	Route    string        `json:"route"`
+	Status   int           `json:"status"`
+	Start    time.Time     `json:"start"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	Replica  int           `json:"replica"` // routed replica, -1 when none
+	CacheHit bool          `json:"cache_hit"`
+	Err      string        `json:"err,omitempty"`
+}
+
+// RequestNote is a per-request scratchpad the serving layers fill in as a
+// request descends — which replica served it, whether the cache answered —
+// and the HTTP boundary reads back when stamping the trace ring. Fields are
+// atomic because hedged attempts race; a nil *RequestNote is a valid no-op
+// receiver.
+type RequestNote struct {
+	replica  atomic.Int64 // stored +1 so the zero value means "none"
+	cacheHit atomic.Bool
+}
+
+// SetReplica records the replica that served the request (first writer wins
+// so a hedge loser can't overwrite the winner).
+func (n *RequestNote) SetReplica(i int) {
+	if n == nil {
+		return
+	}
+	n.replica.CompareAndSwap(0, int64(i)+1)
+}
+
+// Replica returns the recorded replica, or -1 when none.
+func (n *RequestNote) Replica() int {
+	if n == nil {
+		return -1
+	}
+	return int(n.replica.Load()) - 1
+}
+
+// SetCacheHit records that the prediction cache answered the request.
+func (n *RequestNote) SetCacheHit() {
+	if n == nil {
+		return
+	}
+	n.cacheHit.Store(true)
+}
+
+// CacheHit reports whether the cache answered.
+func (n *RequestNote) CacheHit() bool { return n != nil && n.cacheHit.Load() }
+
+// noteKey is the private context key for the request note.
+type noteKey struct{}
+
+// WithRequestNote attaches a fresh note to ctx and returns both.
+func WithRequestNote(ctx context.Context) (context.Context, *RequestNote) {
+	n := &RequestNote{}
+	return context.WithValue(ctx, noteKey{}, n), n
+}
+
+// RequestNoteFrom returns the note carried by ctx, or nil.
+func RequestNoteFrom(ctx context.Context) *RequestNote {
+	if ctx == nil {
+		return nil
+	}
+	n, _ := ctx.Value(noteKey{}).(*RequestNote)
+	return n
 }
 
 // TraceRing retains the last N completed requests in memory — enough to

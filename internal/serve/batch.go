@@ -109,6 +109,7 @@ coalesce:
 			if sameFields(uniq[i].flow, req.flow) {
 				members[i] = append(members[i], req)
 				e.stats.coalesced.Add(1)
+				req.span.SetAttrs(obs.Bool("coalesced", true))
 				continue coalesce
 			}
 		}
@@ -160,11 +161,33 @@ func (e *Engine) forwardGroup32(uniq []*request, start time.Time) []*core.Infere
 	forwardDone := time.Now()
 	e.stats.forward.ObserveDuration(forwardDone.Sub(start))
 	infs := batch.Finish(e.cfg.levelCap)
-	e.stats.assemble.ObserveDuration(time.Since(forwardDone))
+	assembleDone := time.Now()
+	e.stats.assemble.ObserveDuration(assembleDone.Sub(forwardDone))
+	e.recordStageSpans(uniq, start, forwardDone, assembleDone)
 	for _, inf := range infs {
 		inf.Elapsed = time.Since(start)
 	}
 	return infs
+}
+
+// recordStageSpans attaches forward/assemble child spans to every traced
+// request of a batch group, from the exact clock reads the stage histograms
+// observed — span durations and histogram samples are identical by
+// construction. The histograms record once per group; each traced request
+// in the group gets its own copy of the group's stage spans.
+func (e *Engine) recordStageSpans(uniq []*request, start, forwardDone, assembleDone time.Time) {
+	fwd := forwardDone.Sub(start).Nanoseconds()
+	asm := assembleDone.Sub(forwardDone).Nanoseconds()
+	group := int64(len(uniq))
+	for _, req := range uniq {
+		if req.span == nil {
+			continue
+		}
+		e.stats.forwardEx.Observe(fwd, req.span.Trace())
+		e.stats.assembleEx.Observe(asm, req.span.Trace())
+		req.span.Child("forward", start, forwardDone, obs.Int("group", group))
+		req.span.Child("assemble", forwardDone, assembleDone)
+	}
 }
 
 // forwardGroup64 is the default full-precision tape path.
@@ -208,21 +231,33 @@ func (e *Engine) forwardGroup64(uniq []*request, start time.Time) []*core.Infere
 		}
 	}
 	t.Free()
-	e.stats.assemble.ObserveDuration(time.Since(forwardDone))
+	assembleDone := time.Now()
+	e.stats.assemble.ObserveDuration(assembleDone.Sub(forwardDone))
+	e.recordStageSpans(uniq, start, forwardDone, assembleDone)
 	return infs
 }
 
 // reply delivers a result and fail delivers an error; both are no-ops for a
 // request that was already answered, so the post-panic retry path cannot
-// double-send on the buffered(1) done channel.
+// double-send on the buffered(1) done channel. The engine span ends before
+// the done send: once the caller unblocks it may end the trace's root span,
+// and every span of this request must already be buffered by then.
 func (e *Engine) reply(req *request, inf *core.Inference) {
 	if req.replied {
 		return
 	}
 	req.replied = true
-	req.done <- response{inf: inf}
 	e.stats.completed.Add(1)
-	e.stats.e2e.ObserveSince(req.enqueued)
+	end := time.Now()
+	d := end.Sub(req.enqueued)
+	e.stats.e2e.ObserveDuration(d)
+	if req.span != nil {
+		// Same clock reads as the e2e observation: the engine span's
+		// duration is the histogram's sample.
+		e.stats.e2eEx.Observe(d.Nanoseconds(), req.span.Trace())
+		req.span.EndAt(end)
+	}
+	req.done <- response{inf: inf}
 }
 
 func (e *Engine) fail(req *request, err error) {
@@ -230,6 +265,10 @@ func (e *Engine) fail(req *request, err error) {
 		return
 	}
 	req.replied = true
+	if req.span != nil {
+		req.span.SetError(err)
+		req.span.End()
+	}
 	req.done <- response{err: err}
 }
 

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"adarnet/internal/core"
 	"adarnet/internal/geometry"
@@ -225,17 +226,17 @@ func (c *Cluster) Predict(ctx context.Context, gc *geometry.Case) (*core.Inferen
 	lr := gc.Build()
 	home := c.homeEngine(flowKeySeeded(c.seed, lr))
 	if home == nil || home.cache == nil {
-		if _, err := solver.Solve(ctx, lr, c.cfg.solverOpt); err != nil {
+		if err := solveLR(ctx, lr, c.cfg.solverOpt); err != nil {
 			return nil, err
 		}
 		return c.PredictFlow(ctx, lr)
 	}
-	if inf, err, ok := home.cacheLookup(lr, false); ok {
+	if inf, err, ok := home.cacheLookup(ctx, lr, false); ok {
 		return inf, err
 	}
 	key := home.cacheKey(lr)
 	snap := snapFlow(lr) // the solve mutates lr in place
-	if _, err := solver.Solve(ctx, lr, c.cfg.solverOpt); err != nil {
+	if err := solveLR(ctx, lr, c.cfg.solverOpt); err != nil {
 		if errors.Is(err, solver.ErrDiverged) {
 			home.cache.putNegative(key, snap, err)
 		}
@@ -271,6 +272,7 @@ func (c *Cluster) PredictFlow(ctx context.Context, lr *grid.Flow) (*core.Inferen
 				return c.do(ctx, key, lr)
 			}
 			c.mu.Unlock()
+			waitStart := time.Now()
 			select {
 			case <-f.done:
 			case <-ctx.Done():
@@ -285,6 +287,11 @@ func (c *Cluster) PredictFlow(ctx context.Context, lr *grid.Flow) (*core.Inferen
 				return nil, f.err
 			}
 			c.coalesced.Add(1)
+			if sp := obs.SpanFromContext(ctx); sp.Recording() {
+				// The follower's whole wall time is waiting on the leader's
+				// in-flight result.
+				sp.Child("router_coalesced", waitStart, time.Now())
+			}
 			return copyInference(f.inf), nil
 		}
 		f := &flight{snap: snapFlow(lr), done: make(chan struct{})}

@@ -295,6 +295,13 @@ type request struct {
 	enqueued time.Time
 	done     chan response // buffered(1): workers never block on reply
 
+	// span is the per-request engine span (submit → reply), nil when the
+	// caller's context carries no recording trace. It starts at enqueued
+	// and ends — with the same clock read the e2e histogram observes — in
+	// reply/fail, strictly before the done send, so a trace can never
+	// finalize while its engine spans are still being written.
+	span *obs.Span
+
 	// replied flips when the response is delivered. One worker goroutine
 	// owns a batch end to end — including the individual retries after a
 	// batch-level panic — so the flag needs no synchronization; it exists
@@ -455,25 +462,40 @@ func (e *Engine) Close() error {
 func (e *Engine) Predict(ctx context.Context, c *geometry.Case) (*core.Inference, error) {
 	lr := c.Build()
 	if e.cache == nil {
-		if _, err := solver.Solve(ctx, lr, e.cfg.solverOpt); err != nil {
+		if err := solveLR(ctx, lr, e.cfg.solverOpt); err != nil {
 			return nil, err
 		}
 		return e.PredictFlow(ctx, lr)
 	}
 	// countMiss=false: this probe and the post-solve PredictFlow lookup are
 	// one logical request; only the latter counts toward the miss ratio.
-	if inf, err, ok := e.cacheLookup(lr, false); ok {
+	if inf, err, ok := e.cacheLookup(ctx, lr, false); ok {
 		return inf, err
 	}
 	key := e.cacheKey(lr)
 	snap := snapFlow(lr) // the solve mutates lr in place
-	if _, err := solver.Solve(ctx, lr, e.cfg.solverOpt); err != nil {
+	if err := solveLR(ctx, lr, e.cfg.solverOpt); err != nil {
 		if errors.Is(err, solver.ErrDiverged) {
 			e.cache.putNegative(key, snap, err)
 		}
 		return nil, err
 	}
 	return e.PredictFlow(ctx, lr)
+}
+
+// solveLR runs the physics solver that produces the model input, recording
+// an lr_solve span when the context carries a recording trace. Shared by
+// Engine.Predict and Cluster.Predict.
+func solveLR(ctx context.Context, lr *grid.Flow, opt solver.Options) error {
+	sp := obs.SpanFromContext(ctx)
+	start := time.Now()
+	_, err := solver.Solve(ctx, lr, opt)
+	if sp.Recording() {
+		c := sp.StartChildAt("lr_solve", start)
+		c.SetError(err)
+		c.End()
+	}
+	return err
 }
 
 // PredictFlow submits a solved LR flow field for batched inference and
@@ -489,18 +511,26 @@ func (e *Engine) PredictFlow(ctx context.Context, lr *grid.Flow) (*core.Inferenc
 		return nil, err
 	}
 	if e.cache != nil {
-		if inf, err, ok := e.cacheLookup(lr, true); ok {
+		if inf, err, ok := e.cacheLookup(ctx, lr, true); ok {
 			return inf, err
 		}
 	}
-	req := &request{ctx: ctx, flow: lr, enqueued: time.Now(), done: make(chan response, 1)}
+	enqueued := time.Now()
+	req := &request{ctx: ctx, flow: lr, enqueued: enqueued, done: make(chan response, 1)}
+	// The engine span starts at the same clock read as the e2e histogram's
+	// submit timestamp, so its duration and MeanE2E agree exactly.
+	if sp := obs.SpanFromContext(ctx); sp.Recording() {
+		req.span = sp.StartChildAt("engine", enqueued)
+	}
 
 	// The read lock pairs with Close's write lock so the queue cannot be
 	// closed between the flag check and the send.
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
-		return nil, fmt.Errorf("serve: submit: %w", ErrEngineClosed)
+		err := fmt.Errorf("serve: submit: %w", ErrEngineClosed)
+		e.endSpan(req, err)
+		return nil, err
 	}
 	select {
 	case e.queue <- req:
@@ -508,7 +538,9 @@ func (e *Engine) PredictFlow(ctx context.Context, lr *grid.Flow) (*core.Inferenc
 	default:
 		e.mu.RUnlock()
 		e.stats.rejected.Add(1)
-		return nil, fmt.Errorf("serve: submit (queue depth %d): %w", e.cfg.queueDepth, ErrQueueFull)
+		err := fmt.Errorf("serve: submit (queue depth %d): %w", e.cfg.queueDepth, ErrQueueFull)
+		e.endSpan(req, err)
+		return nil, err
 	}
 	e.stats.requests.Add(1)
 
@@ -526,6 +558,16 @@ func (e *Engine) PredictFlow(ctx context.Context, lr *grid.Flow) (*core.Inferenc
 // awaitDone exists so the select above reads naturally; done is buffered, so
 // the abandoned-request path leaks nothing.
 func (e *Engine) awaitDone(req *request) chan response { return req.done }
+
+// endSpan closes a request's engine span on a path that never entered the
+// pipeline (closed engine, full queue).
+func (e *Engine) endSpan(req *request, err error) {
+	if req.span == nil {
+		return
+	}
+	req.span.SetError(err)
+	req.span.End()
+}
 
 // cacheSeed folds the engine's refinement parameters into the hash seed for
 // cache keys: two engines differing in patch size, bin count, level cap, or
@@ -549,7 +591,10 @@ func (e *Engine) cacheKey(f *grid.Flow) uint64 { return flowKeySeeded(e.cacheSee
 // enabled). ok=true carries either a hit — a private copy of the memoized
 // inference, or the memoized divergence error — or ErrEngineClosed: a
 // closed engine must not serve from its cache any more than from its queue.
-func (e *Engine) cacheLookup(lr *grid.Flow, countMiss bool) (*core.Inference, error, bool) {
+// With a recording trace in ctx, the probe becomes a cache_probe or
+// cache_hit span from the same clock reads the cacheHit histogram observes,
+// and a hit marks the request note for the trace ring.
+func (e *Engine) cacheLookup(ctx context.Context, lr *grid.Flow, countMiss bool) (*core.Inference, error, bool) {
 	start := time.Now()
 	e.mu.RLock()
 	closed := e.closed
@@ -558,14 +603,28 @@ func (e *Engine) cacheLookup(lr *grid.Flow, countMiss bool) (*core.Inference, er
 		return nil, fmt.Errorf("serve: submit: %w", ErrEngineClosed), true
 	}
 	inf, cerr, ok := e.cache.get(e.cacheKey(lr), lr, countMiss)
+	sp := obs.SpanFromContext(ctx)
 	if !ok {
+		if sp.Recording() {
+			sp.Child("cache_probe", start, time.Now(), obs.Bool("hit", false))
+		}
 		return nil, nil, false
 	}
-	e.stats.cacheHit.ObserveDuration(time.Since(start))
+	end := time.Now()
+	d := end.Sub(start)
+	e.stats.cacheHit.ObserveDuration(d)
+	obs.RequestNoteFrom(ctx).SetCacheHit()
 	if cerr != nil {
+		if sp.Recording() {
+			sp.Child("cache_hit", start, end, obs.Bool("negative", true))
+		}
 		return nil, fmt.Errorf("serve: negative cache: %w", cerr), true
 	}
-	inf.Elapsed = time.Since(start)
+	if sp.Recording() {
+		e.stats.cacheHitEx.Observe(d.Nanoseconds(), sp.Trace())
+		sp.Child("cache_hit", start, end)
+	}
+	inf.Elapsed = d
 	return inf, nil, true
 }
 
@@ -644,7 +703,13 @@ func (e *Engine) processBatch(batch []*request) {
 	now := time.Now()
 	var live []*request
 	for _, req := range batch {
-		e.stats.queueWait.ObserveDuration(now.Sub(req.enqueued))
+		wait := now.Sub(req.enqueued)
+		e.stats.queueWait.ObserveDuration(wait)
+		if req.span != nil {
+			// Same clock reads as the histogram observation above.
+			e.stats.queueWaitEx.Observe(wait.Nanoseconds(), req.span.Trace())
+			req.span.Child("queue_wait", req.enqueued, now)
+		}
 		if err := req.ctx.Err(); err != nil {
 			e.fail(req, err)
 			continue

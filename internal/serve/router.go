@@ -129,8 +129,12 @@ func retriable(err error) bool {
 }
 
 // tryOrder submits lr to each slot in order until a success or a
-// non-retriable error.
-func (c *Cluster) tryOrder(ctx context.Context, order []int, lr *grid.Flow) (*core.Inference, error) {
+// non-retriable error. With a recording trace in ctx (the route span),
+// every submission becomes an attempt child span naming its replica — a
+// failed-then-rerouted request shows the whole walk — and the replica that
+// answered is stamped on the request note for the trace ring.
+func (c *Cluster) tryOrder(ctx context.Context, order []int, lr *grid.Flow, hedged bool) (*core.Inference, error) {
+	sp := obs.SpanFromContext(ctx)
 	var lastErr error
 	for i, idx := range order {
 		if err := ctx.Err(); err != nil {
@@ -140,10 +144,24 @@ func (c *Cluster) tryOrder(ctx context.Context, order []int, lr *grid.Flow) (*co
 		if e == nil {
 			continue
 		}
-		inf, err := e.PredictFlow(ctx, lr)
+		actx := ctx
+		var asp *obs.Span
+		if sp.Recording() {
+			attrs := []obs.Attr{obs.Int("replica", int64(idx))}
+			if hedged {
+				attrs = append(attrs, obs.Bool("hedge", true))
+			}
+			asp = sp.StartChild("attempt", attrs...)
+			actx = obs.ContextWithSpan(ctx, asp)
+		}
+		inf, err := e.PredictFlow(actx, lr)
 		if err == nil {
+			obs.RequestNoteFrom(ctx).SetReplica(idx)
+			asp.End()
 			return inf, nil
 		}
+		asp.SetError(err)
+		asp.End()
 		lastErr = err
 		if !retriable(err) {
 			return nil, err
@@ -189,18 +207,37 @@ type attemptResult struct {
 // order with retries; with hedging enabled, a second walk (rotated one
 // replica ahead) launches after hedgeDelay. The first success wins and the
 // loser's context is cancelled; both failing returns the primary's error.
+//
+// With a recording trace, the whole routed execution nests under a route
+// span recording the chosen home replica, whether load fallback moved the
+// request off its ring home, and the hedge outcome; the per-replica
+// attempts hang off it as children.
 func (c *Cluster) do(ctx context.Context, key uint64, lr *grid.Flow) (*core.Inference, error) {
 	order := c.routeOrder(key)
+	if sp := obs.SpanFromContext(ctx); sp.Recording() && len(order) > 0 {
+		rsp := sp.StartChild("route",
+			obs.Int("home", int64(order[0])),
+			obs.Int("candidates", int64(len(order))),
+			obs.Bool("off_home", order[0] != c.ring.order(key)[0]))
+		inf, err := c.doRouted(obs.ContextWithSpan(ctx, rsp), order, lr)
+		rsp.SetError(err)
+		rsp.End()
+		return inf, err
+	}
+	return c.doRouted(ctx, order, lr)
+}
+
+func (c *Cluster) doRouted(ctx context.Context, order []int, lr *grid.Flow) (*core.Inference, error) {
 	hedge := c.hedgeDelay()
 	if hedge <= 0 || len(order) < 2 {
-		return c.tryOrder(ctx, order, lr)
+		return c.tryOrder(ctx, order, lr, false)
 	}
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	results := make(chan attemptResult, 2)
 	launch := func(ord []int, hedged bool) {
 		go func() {
-			inf, err := c.tryOrder(actx, ord, lr)
+			inf, err := c.tryOrder(actx, ord, lr, hedged)
 			results <- attemptResult{inf: inf, err: err, hedged: hedged}
 		}()
 	}
@@ -214,6 +251,7 @@ func (c *Cluster) do(ctx context.Context, key uint64, lr *grid.Flow) (*core.Infe
 		select {
 		case <-timer.C:
 			c.hedges.Add(1)
+			obs.SpanFromContext(ctx).SetAttrs(obs.Bool("hedged", true))
 			rotated := append(append(make([]int, 0, len(order)), order[1:]...), order[0])
 			launch(rotated, true)
 			inflight++
@@ -222,6 +260,7 @@ func (c *Cluster) do(ctx context.Context, key uint64, lr *grid.Flow) (*core.Infe
 			if r.err == nil {
 				if r.hedged {
 					c.hedgeWins.Add(1)
+					obs.SpanFromContext(ctx).SetAttrs(obs.Bool("hedge_won", true))
 				}
 				cancel() // the losing attempt unblocks on its dead context
 				return r.inf, nil

@@ -29,6 +29,16 @@ type counters struct {
 	e2e       obs.Histogram // submit → reply delivered, ns, per completed request
 	occupancy obs.Histogram // requests per flushed batch
 	cacheHit  obs.Histogram // cache lookup → copied reply, ns, per cache hit
+
+	// Stage exemplars: per histogram bucket, the trace ID of the slowest
+	// observation — so an EngineStats tail can name the trace to pull from
+	// /debug/traces. Recorded from the same clock reads as the histograms;
+	// free when tracing is off (zero trace IDs are dropped on entry).
+	queueWaitEx obs.Exemplars
+	forwardEx   obs.Exemplars
+	assembleEx  obs.Exemplars
+	e2eEx       obs.Exemplars
+	cacheHitEx  obs.Exemplars
 }
 
 // EngineStats is a point-in-time snapshot of the engine's counters and
@@ -94,26 +104,34 @@ type EngineStats struct {
 }
 
 // Tail summarizes a latency distribution at the quantiles operators watch.
+// SlowestTrace, when tracing is on, is the trace ID of the slowest
+// observation the stage has seen — the exemplar to pull from /debug/traces
+// when the tail looks wrong.
 type Tail struct {
-	P50 time.Duration
-	P95 time.Duration
-	P99 time.Duration
+	P50          time.Duration
+	P95          time.Duration
+	P99          time.Duration
+	SlowestTrace string `json:",omitempty"`
 }
 
-func tailOf(s obs.Snapshot) Tail {
+func tailOf(s obs.Snapshot, ex obs.Exemplar) Tail {
 	return Tail{
-		P50: time.Duration(s.Quantile(0.50)),
-		P95: time.Duration(s.Quantile(0.95)),
-		P99: time.Duration(s.Quantile(0.99)),
+		P50:          time.Duration(s.Quantile(0.50)),
+		P95:          time.Duration(s.Quantile(0.95)),
+		P99:          time.Duration(s.Quantile(0.99)),
+		SlowestTrace: ex.Trace.String(),
 	}
 }
 
 // stageSnaps accumulates the stage-histogram snapshots an EngineStats
 // derives its timing fields from. Snapshots merge bucket-wise exactly, so a
 // cluster aggregate built from several replicas' counters is as faithful as
-// a single engine's.
+// a single engine's. The exemplar fields keep the max-valued exemplar seen
+// across the merged sets.
 type stageSnaps struct {
 	queueWait, forward, assemble, e2e, occupancy, cacheHit obs.Snapshot
+
+	queueWaitEx, forwardEx, assembleEx, e2eEx, cacheHitEx obs.Exemplar
 }
 
 // addTo accumulates this counter set into s (scalars sum) and snaps (stage
@@ -133,6 +151,11 @@ func (c *counters) addTo(s *EngineStats, snaps *stageSnaps) {
 	snaps.e2e.Merge(c.e2e.Snapshot())
 	snaps.occupancy.Merge(c.occupancy.Snapshot())
 	snaps.cacheHit.Merge(c.cacheHit.Snapshot())
+	snaps.queueWaitEx = obs.MaxExemplar(snaps.queueWaitEx, c.queueWaitEx.Slowest())
+	snaps.forwardEx = obs.MaxExemplar(snaps.forwardEx, c.forwardEx.Slowest())
+	snaps.assembleEx = obs.MaxExemplar(snaps.assembleEx, c.assembleEx.Slowest())
+	snaps.e2eEx = obs.MaxExemplar(snaps.e2eEx, c.e2eEx.Slowest())
+	snaps.cacheHitEx = obs.MaxExemplar(snaps.cacheHitEx, c.cacheHitEx.Slowest())
 }
 
 // addCacheTo accumulates a prediction cache's counters into s; nil-safe so
@@ -159,11 +182,11 @@ func finishStats(s *EngineStats, snaps *stageSnaps) {
 	s.MeanAssemble = time.Duration(snaps.assemble.Mean())
 	s.MeanE2E = time.Duration(snaps.e2e.Mean())
 	s.MeanCacheHit = time.Duration(snaps.cacheHit.Mean())
-	s.QueueWaitTail = tailOf(snaps.queueWait)
-	s.ForwardTail = tailOf(snaps.forward)
-	s.AssembleTail = tailOf(snaps.assemble)
-	s.E2ETail = tailOf(snaps.e2e)
-	s.CacheHitTail = tailOf(snaps.cacheHit)
+	s.QueueWaitTail = tailOf(snaps.queueWait, snaps.queueWaitEx)
+	s.ForwardTail = tailOf(snaps.forward, snaps.forwardEx)
+	s.AssembleTail = tailOf(snaps.assemble, snaps.assembleEx)
+	s.E2ETail = tailOf(snaps.e2e, snaps.e2eEx)
+	s.CacheHitTail = tailOf(snaps.cacheHit, snaps.cacheHitEx)
 }
 
 // Stats snapshots the engine counters. Safe to call concurrently with
