@@ -18,11 +18,13 @@ import (
 	"time"
 
 	"adarnet/internal/bench"
+	"adarnet/internal/tensor"
+	"adarnet/internal/tensor/cpu"
 )
 
 // validExps lists every runnable experiment; unknown -exp names are rejected
 // with this list instead of silently running nothing.
-var validExps = []string{"micro", "serve", "infer32", "cache", "cluster", "jobs", "trace", "fig1", "fig9", "fig10", "fig11", "table1", "table2"}
+var validExps = []string{"micro", "gemm", "serve", "infer32", "cache", "cluster", "jobs", "trace", "fig1", "fig9", "fig10", "fig11", "table1", "table2"}
 
 func isValidExp(name string) bool {
 	for _, v := range validExps {
@@ -37,7 +39,16 @@ func main() {
 	exp := flag.String("exp", "all", "experiments to run: all | "+strings.Join(validExps, ","))
 	scale := flag.String("scale", "quick", "experiment scale: tiny | quick | full")
 	jsonDir := flag.String("json-dir", "", "directory for machine-readable BENCH_<exp>.json outputs; empty disables")
+	gemmKernel := flag.String("gemm-kernel", "auto", "float32 GEMM micro-kernel: auto | avx2 | neon | generic")
 	flag.Parse()
+
+	// Select the kernel before anything packs weights; -exp gemm still
+	// iterates every compiled kernel regardless of this override.
+	kernel, err := tensor.SetGemm32Kernel(*gemmKernel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adarnet-bench:", err)
+		os.Exit(2)
+	}
 
 	sc, err := bench.ScaleByName(*scale)
 	if err != nil {
@@ -57,8 +68,8 @@ func main() {
 	all := want["all"]
 
 	start := time.Now()
-	fmt.Printf("# adarnet-bench scale=%s (LR %dx%d, patches %dx%d, max level %d)\n",
-		sc.Name, sc.LRH, sc.LRW, sc.PatchH, sc.PatchW, sc.MaxLevel)
+	fmt.Printf("# adarnet-bench scale=%s (LR %dx%d, patches %dx%d, max level %d) gemm-kernel=%s cpu=%s\n",
+		sc.Name, sc.LRH, sc.LRW, sc.PatchH, sc.PatchW, sc.MaxLevel, kernel, cpu.Summary())
 
 	// Kernel microbenchmarks need no corpus or training, so they run before
 	// the (expensive) environment setup. Not part of "all": they measure the
@@ -66,6 +77,17 @@ func main() {
 	if want["micro"] {
 		if err := bench.Micro(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "micro failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if want["gemm"] {
+		jsonPath := ""
+		if *jsonDir != "" {
+			jsonPath = filepath.Join(*jsonDir, "BENCH_gemm.json")
+		}
+		if _, err := bench.GemmJSON(os.Stdout, jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "gemm failed: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println()

@@ -62,6 +62,8 @@ import (
 	"adarnet/internal/obs"
 	"adarnet/internal/serve"
 	"adarnet/internal/solver"
+	"adarnet/internal/tensor"
+	"adarnet/internal/tensor/cpu"
 )
 
 func main() {
@@ -75,6 +77,7 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 64, "submission queue bound")
 	solverIter := flag.Int("solver-max-iter", 12000, "LR-solve iteration cap per request")
 	precision := flag.String("precision", "float64", "inference numeric path: float64 (bit-exact default) | float32 (fused fast path)")
+	gemmKernel := flag.String("gemm-kernel", "auto", "float32 GEMM micro-kernel: auto (best for this CPU) | avx2 | neon | generic (scalar fallback)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "content-addressed prediction-cache byte budget per replica; 0 disables the cache")
 	cacheNegTTL := flag.Duration("cache-negative-ttl", 10*time.Second, "lifetime of negative (diverged-solve) cache entries; 0 disables negative caching")
 	replicas := flag.Int("replicas", 1, "engine replicas behind the shard-aware router; 1 serves a single engine")
@@ -116,6 +119,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "adarnet-serve:", err)
 		os.Exit(2)
 	}
+	// Kernel selection must precede engine construction: the float32 fast
+	// path pre-packs frozen weights in the selected kernel's panel layout
+	// at model-freeze time, and a PackedMat32 keeps its packing kernel for
+	// life.
+	kernel, err := tensor.SetGemm32Kernel(*gemmKernel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adarnet-serve:", err)
+		os.Exit(2)
+	}
+
 	cfg := core.DefaultConfig(*patch, *patch)
 	cfg.Bins = *bins
 	m := core.New(cfg)
@@ -139,7 +152,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	obs.RegisterBuildInfo(obs.Default, *precision)
+	obs.RegisterBuildInfo(obs.Default, *precision, kernel, cpu.Summary())
 
 	// A nil tracer turns every span call into a no-op: -trace-sample 0 keeps
 	// the serving path free of tracing work entirely.
@@ -273,6 +286,7 @@ func main() {
 
 	logger.Info("listening", "addr", *addr, "params", m.ParamCount(),
 		"max_batch", *maxBatch, "workers", *workers, "precision", prec.String(),
+		"gemm_kernel", kernel, "cpu_features", cpu.Summary(),
 		"replicas", *replicas, "cache_bytes", *cacheBytes, "log_format", *logFormat)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("listener failed", "err", err.Error())

@@ -7,10 +7,13 @@ import (
 
 // RegisterBuildInfo exposes an `adarnet_build_info` gauge with constant
 // value 1 whose labels carry the module version (from the embedded build
-// info, "dev" for non-module builds), the Go toolchain version, and the
-// binary's default inference precision — the standard fleet-inventory
-// pattern: `sum by (version) (adarnet_build_info)` maps a rollout.
-func RegisterBuildInfo(reg *Registry, precision string) {
+// info, "dev" for non-module builds), the Go toolchain version, the
+// binary's default inference precision, and the selected float32 GEMM
+// micro-kernel with the CPU features behind it — the standard
+// fleet-inventory pattern: `sum by (version) (adarnet_build_info)` maps a
+// rollout, and `sum by (gemm_kernel) (adarnet_build_info)` spots boxes
+// silently running the scalar fallback.
+func RegisterBuildInfo(reg *Registry, precision, gemmKernel, cpuFeatures string) {
 	if reg == nil {
 		return
 	}
@@ -22,7 +25,9 @@ func RegisterBuildInfo(reg *Registry, precision string) {
 		Labeled("adarnet_build_info",
 			"version", version,
 			"go_version", runtime.Version(),
-			"precision", precision),
+			"precision", precision,
+			"gemm_kernel", gemmKernel,
+			"cpu_features", cpuFeatures),
 		"Build and runtime inventory; constant 1.",
 		func() float64 { return 1 },
 	)

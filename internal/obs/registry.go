@@ -124,7 +124,8 @@ func Labeled(base string, kv ...string) string {
 // splitLabels decomposes a registered name into its family and label pairs.
 // ok=false rejects malformed names: the base must satisfy validName and a
 // label suffix, when present, must be a brace-wrapped k="v" list with
-// valid-name keys and values free of quotes, backslashes, and newlines.
+// valid-name keys and values free of quotes, backslashes, and newlines
+// (commas inside quoted values are fine).
 func splitLabels(name string) (base, labels string, ok bool) {
 	i := strings.IndexByte(name, '{')
 	if i < 0 {
@@ -136,16 +137,28 @@ func splitLabels(name string) (base, labels string, ok bool) {
 		return "", "", false
 	}
 	labels = rest[1 : len(rest)-1]
-	for _, pair := range strings.Split(labels, ",") {
-		eq := strings.Index(pair, `="`)
-		if eq <= 0 || !validName(pair[:eq]) || len(pair) < eq+3 || pair[len(pair)-1] != '"' {
+	// Values may contain commas (e.g. cpu_features="avx2,fma"), so pairs
+	// can't be split on "," — scan key="value" units, each value ending at
+	// the next quote (quotes themselves are rejected inside values).
+	for s := labels; ; {
+		eq := strings.Index(s, `="`)
+		if eq <= 0 || !validName(s[:eq]) {
 			return "", "", false
 		}
-		if strings.ContainsAny(pair[eq+2:len(pair)-1], "\"\\\n") {
+		val := s[eq+2:]
+		q := strings.IndexByte(val, '"')
+		if q < 0 || strings.ContainsAny(val[:q], "\\\n") {
 			return "", "", false
 		}
+		s = val[q+1:]
+		if s == "" {
+			return base, labels, true
+		}
+		if s[0] != ',' || len(s) == 1 {
+			return "", "", false
+		}
+		s = s[1:]
 	}
-	return base, labels, true
 }
 
 // register get-or-creates an entry. make builds the entry only when needed.

@@ -227,7 +227,18 @@ func TestLabeledSeries(t *testing.T) {
 		t.Errorf("family header emitted more than once:\n%s", out)
 	}
 
-	for _, bad := range []string{`x{replica=}`, `x{replica="a`, `x{="v"}`, `x{a="b"c}`, `x{a="q"e"}`, `x{}`} {
+	// Commas inside quoted values are legal label content (build_info's
+	// cpu_features="avx2,fma") and must not be mistaken for pair breaks.
+	r.CounterFunc(Labeled("feat_total", "cpu_features", "avx2,fma", "k", "v"), "Comma value.", func() float64 { return 1 })
+	b.Reset()
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "feat_total{cpu_features=\"avx2,fma\",k=\"v\"} 1\n") {
+		t.Errorf("comma-valued label series missing:\n%s", b.String())
+	}
+
+	for _, bad := range []string{`x{replica=}`, `x{replica="a`, `x{="v"}`, `x{a="b"c}`, `x{a="q"e"}`, `x{}`, `x{a="b",}`, `x{a="b",,c="d"}`} {
 		func() {
 			defer func() {
 				if recover() == nil {

@@ -15,6 +15,8 @@ import (
 	"adarnet/internal/grid"
 	"adarnet/internal/obs"
 	"adarnet/internal/solver"
+	"adarnet/internal/tensor"
+	"adarnet/internal/tensor/cpu"
 )
 
 // Cluster fans requests across N in-process engine replicas behind the same
@@ -329,7 +331,11 @@ func copyInference(inf *core.Inference) *core.Inference {
 // tails are as faithful as a single engine's. Coalesced additionally counts
 // router-level flights.
 func (c *Cluster) Stats() EngineStats {
-	s := EngineStats{Precision: c.cfg.precision.String()}
+	s := EngineStats{
+		Precision:   c.cfg.precision.String(),
+		GemmKernel:  tensor.Gemm32KernelName(),
+		CPUFeatures: cpu.Summary(),
+	}
 	var snaps stageSnaps
 	for _, sl := range c.slots {
 		sl.stats.addTo(&s, &snaps)

@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"adarnet/internal/obs"
+	"adarnet/internal/tensor"
+	"adarnet/internal/tensor/cpu"
 )
 
 // counters are the engine's hot-path metrics; the scalar fields are atomics
@@ -47,6 +49,14 @@ type EngineStats struct {
 	// Precision names the engine's numeric path: "float64" (default,
 	// bit-identical to direct inference) or "float32" (fused fast path).
 	Precision string
+
+	// GemmKernel names the float32 GEMM micro-kernel active in this
+	// process ("avx2", "neon", or "generic") and CPUFeatures the detected
+	// vector features — surfaced here so a field perf regression can be
+	// triaged from /stats alone (a box silently falling back to the scalar
+	// kernel looks exactly like a 2–4× serve-path slowdown).
+	GemmKernel  string
+	CPUFeatures string
 
 	Requests  uint64 // submissions accepted into the queue
 	Completed uint64 // predictions delivered
@@ -194,7 +204,11 @@ func finishStats(s *EngineStats, snaps *stageSnaps) {
 // All timing fields — means and tails — derive from the stage histogram
 // snapshots, the same data /metrics exports.
 func (e *Engine) Stats() EngineStats {
-	s := EngineStats{Precision: e.Precision().String()}
+	s := EngineStats{
+		Precision:   e.Precision().String(),
+		GemmKernel:  tensor.Gemm32KernelName(),
+		CPUFeatures: cpu.Summary(),
+	}
 	var snaps stageSnaps
 	e.stats.addTo(&s, &snaps)
 	addCacheTo(&s, e.cache)

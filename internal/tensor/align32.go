@@ -1,0 +1,55 @@
+package tensor
+
+import "unsafe"
+
+// 64-byte alignment for float32 storage handed to the vector GEMM kernels.
+//
+// The kernels' B-panel loads are 32 bytes wide; a 32-byte load whose address
+// is 32-byte aligned can never straddle a cache line, and panel offsets
+// inside a packed block are multiples of the panel width, so aligning the
+// BASE of packed stores and pooled scratch to a cache line makes every
+// vector load in the hot loop non-straddling. Go's allocator only promises
+// element alignment (4 bytes for float32), so buffers are over-allocated by
+// one cache line and re-sliced to the first 64-byte boundary.
+
+const (
+	cacheLineBytes = 64
+	// align32Pad is the float32 headroom reserved by aligned allocations so
+	// a 64-byte-aligned sub-slice of the requested length always fits.
+	align32Pad = cacheLineBytes / bytesPerElem32
+)
+
+// align32 re-slices buf so element 0 sits on a 64-byte boundary, returning
+// a slice of length n (retaining the tail capacity, so the pool still files
+// it under the right size class). It returns nil when buf's capacity cannot
+// cover n past the alignment offset — the caller must then allocate fresh.
+func align32(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		return nil
+	}
+	buf = buf[:cap(buf)]
+	off := 0
+	if rem := uintptr(unsafe.Pointer(&buf[0])) & (cacheLineBytes - 1); rem != 0 {
+		off = int(cacheLineBytes-rem) / bytesPerElem32
+	}
+	if off+n > len(buf) {
+		return nil
+	}
+	return buf[off:][:n]
+}
+
+// alignedMake32 allocates a fresh zeroed float32 slice of length n whose
+// first element is 64-byte aligned.
+func alignedMake32(n int) []float32 {
+	return align32(make([]float32, n+align32Pad), n)
+}
+
+// aligned64 reports whether the slice's first element sits on a cache-line
+// boundary; empty slices count as aligned. Exposed to tests via
+// export_test-style use inside the package.
+func aligned64(buf []float32) bool {
+	if len(buf) == 0 {
+		return true
+	}
+	return uintptr(unsafe.Pointer(&buf[0]))&(cacheLineBytes-1) == 0
+}

@@ -1,0 +1,48 @@
+// Package cpu probes the CPU features the SIMD GEMM microkernels need.
+// It is deliberately tiny: one CPUID/XGETBV round on amd64 at package init,
+// a constant on arm64 (AdvSIMD is architecturally mandatory for AArch64),
+// and all-false under the `purego` build tag or on any other architecture —
+// the probe existing at all is what lets kernel selection be a plain data
+// lookup instead of scattered build-tag conditionals.
+package cpu
+
+// X86 reports the amd64 vector features relevant to the float32 GEMM
+// microkernels. Both fields are false unless the OS has enabled YMM state
+// (OSXSAVE + XCR0), so HasAVX2 && HasFMA implies the AVX2+FMA kernel is
+// actually runnable, not merely present in silicon.
+var X86 struct {
+	HasAVX2 bool
+	HasFMA  bool
+}
+
+// ARM64 reports the arm64 vector features. HasASIMD is true on every arm64
+// build except `purego` (AdvSIMD is baseline for AArch64).
+var ARM64 struct {
+	HasASIMD bool
+}
+
+// Summary returns a short human-readable feature list for logs and /stats,
+// e.g. "avx2,fma" or "asimd"; "none" when no vector features are usable
+// (other architectures, or the purego build).
+func Summary() string {
+	s := ""
+	add := func(name string) {
+		if s != "" {
+			s += ","
+		}
+		s += name
+	}
+	if X86.HasAVX2 {
+		add("avx2")
+	}
+	if X86.HasFMA {
+		add("fma")
+	}
+	if ARM64.HasASIMD {
+		add("asimd")
+	}
+	if s == "" {
+		return "none"
+	}
+	return s
+}

@@ -1,0 +1,10 @@
+//go:build arm64 && !purego
+
+package cpu
+
+// AdvSIMD (NEON) is architecturally mandatory for AArch64, so no runtime
+// probe is needed: any arm64 binary not built with `purego` can run the
+// NEON kernel.
+func init() {
+	ARM64.HasASIMD = true
+}

@@ -1,0 +1,8 @@
+//go:build purego || !(amd64 || arm64)
+
+package cpu
+
+// No probe: every feature flag stays false, which routes GEMM dispatch to
+// the pure-Go scalar kernel. The purego tag forces this on any architecture
+// so the fallback path is testable on developer machines and CI regardless
+// of the host CPU.

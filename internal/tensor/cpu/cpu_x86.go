@@ -1,0 +1,38 @@
+//go:build amd64 && !purego
+
+package cpu
+
+// cpuid executes CPUID with the given leaf/subleaf. Implemented in
+// cpu_x86.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (extended control register 0). Only valid when CPUID
+// reports OSXSAVE. Implemented in cpu_x86.s.
+func xgetbv() (eax, edx uint32)
+
+func init() {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 1 {
+		return
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		cpuidFMA     = 1 << 12
+		cpuidOSXSAVE = 1 << 27
+	)
+	// The OS must have enabled XMM+YMM state saving (XCR0 bits 1 and 2) or
+	// executing a VEX-256 instruction faults even on AVX2 silicon.
+	osYMM := false
+	if ecx1&cpuidOSXSAVE != 0 {
+		eax, _ := xgetbv()
+		osYMM = eax&0x6 == 0x6
+	}
+	if !osYMM {
+		return
+	}
+	X86.HasFMA = ecx1&cpuidFMA != 0
+	if maxID >= 7 {
+		_, ebx7, _, _ := cpuid(7, 0)
+		X86.HasAVX2 = ebx7&(1<<5) != 0
+	}
+}

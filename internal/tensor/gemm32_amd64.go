@@ -1,0 +1,47 @@
+//go:build amd64 && !purego
+
+package tensor
+
+import "adarnet/internal/tensor/cpu"
+
+// AVX2+FMA micro-kernel: an 8×8 tile with all 64 partial sums in eight YMM
+// accumulators (one per row). Per depth step the kernel loads the 8-wide B
+// panel row once and feeds eight broadcast-A FMAs — 128 flops per loop
+// iteration. FMA rounds once per multiply-add where the scalar reference
+// rounds twice, so results are audited against the 1-ulp-per-accumulation
+// bound rather than compared bitwise (see gemm32_kernel.go).
+//
+// Geometry: kc=256 keeps one 8×256×4B A panel and one 256×8×4B B panel
+// (8 KiB each) L1-resident; nc=512 keeps the packed 256×512×4B B block
+// (512 KiB) in L2.
+
+// gemm32kern8x8avx2 is implemented in gemm32_amd64.s. It requires kc ≥ 1,
+// ap/bp of at least kc*8 floats, and a full 8×8 C tile at ct with row
+// stride ldc.
+//
+//go:noescape
+func gemm32kern8x8avx2(ct *float32, ldc int, ap, bp *float32, kc int)
+
+func gemm32KernAVX2(ct []float32, ldc int, ap, bp []float32, kc int) {
+	if kc <= 0 {
+		return
+	}
+	// Bounds checks up front: the assembly below does raw stores.
+	_ = ct[7*ldc+7]
+	_ = ap[kc*8-1]
+	_ = bp[kc*8-1]
+	gemm32kern8x8avx2(&ct[0], ldc, &ap[0], &bp[0], kc)
+}
+
+func init() {
+	if cpu.X86.HasAVX2 && cpu.X86.HasFMA {
+		registerGemm32Kernel(&gemm32Kernel{
+			name: "avx2",
+			mr:   8,
+			nr:   8,
+			kc:   256,
+			nc:   512,
+			kern: gemm32KernAVX2,
+		})
+	}
+}

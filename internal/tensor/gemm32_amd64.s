@@ -1,0 +1,101 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func gemm32kern8x8avx2(ct *float32, ldc int, ap, bp *float32, kc int)
+//
+// Computes the full 8×8 tile ct[r*ldc+j] += Σ_p ap[p*8+r]·bp[p*8+j] for
+// p in [0,kc). Accumulators: Y0–Y7 hold row r of the tile (8 float32 each).
+// Per depth step: one 32-byte load of the B panel row, then for each of the
+// 8 rows a VBROADCASTSS of the A element and a VFMADD231PS into that row's
+// accumulator. Broadcast destinations alternate Y8/Y9 so consecutive FMAs
+// never wait on the same rename. B rows are 32-byte aligned (the packed
+// base is 64-byte aligned and panel strides are multiples of 8 floats), so
+// the VMOVUPS loads never straddle a cache line.
+TEXT ·gemm32kern8x8avx2(SB), NOSPLIT, $0-40
+	MOVQ ct+0(FP), DI
+	MOVQ ldc+8(FP), SI
+	MOVQ ap+16(FP), AX
+	MOVQ bp+24(FP), BX
+	MOVQ kc+32(FP), CX
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+
+	SHLQ $2, SI // row stride in bytes
+
+	TESTQ CX, CX
+	JLE   flush
+
+loop:
+	VMOVUPS      (BX), Y10
+	VBROADCASTSS (AX), Y8
+	VBROADCASTSS 4(AX), Y9
+	VFMADD231PS  Y10, Y8, Y0
+	VFMADD231PS  Y10, Y9, Y1
+	VBROADCASTSS 8(AX), Y8
+	VBROADCASTSS 12(AX), Y9
+	VFMADD231PS  Y10, Y8, Y2
+	VFMADD231PS  Y10, Y9, Y3
+	VBROADCASTSS 16(AX), Y8
+	VBROADCASTSS 20(AX), Y9
+	VFMADD231PS  Y10, Y8, Y4
+	VFMADD231PS  Y10, Y9, Y5
+	VBROADCASTSS 24(AX), Y8
+	VBROADCASTSS 28(AX), Y9
+	VFMADD231PS  Y10, Y8, Y6
+	VFMADD231PS  Y10, Y9, Y7
+	ADDQ         $32, AX
+	ADDQ         $32, BX
+	DECQ         CX
+	JNE          loop
+
+flush:
+	// C rows += accumulators, one 32-byte load/add/store per row.
+	VMOVUPS (DI), Y8
+	VADDPS  Y0, Y8, Y8
+	VMOVUPS Y8, (DI)
+	ADDQ    SI, DI
+
+	VMOVUPS (DI), Y9
+	VADDPS  Y1, Y9, Y9
+	VMOVUPS Y9, (DI)
+	ADDQ    SI, DI
+
+	VMOVUPS (DI), Y8
+	VADDPS  Y2, Y8, Y8
+	VMOVUPS Y8, (DI)
+	ADDQ    SI, DI
+
+	VMOVUPS (DI), Y9
+	VADDPS  Y3, Y9, Y9
+	VMOVUPS Y9, (DI)
+	ADDQ    SI, DI
+
+	VMOVUPS (DI), Y8
+	VADDPS  Y4, Y8, Y8
+	VMOVUPS Y8, (DI)
+	ADDQ    SI, DI
+
+	VMOVUPS (DI), Y9
+	VADDPS  Y5, Y9, Y9
+	VMOVUPS Y9, (DI)
+	ADDQ    SI, DI
+
+	VMOVUPS (DI), Y8
+	VADDPS  Y6, Y8, Y8
+	VMOVUPS Y8, (DI)
+	ADDQ    SI, DI
+
+	VMOVUPS (DI), Y9
+	VADDPS  Y7, Y9, Y9
+	VMOVUPS Y9, (DI)
+
+	VZEROUPPER
+	RET

@@ -1,0 +1,45 @@
+//go:build arm64 && !purego
+
+package tensor
+
+import "adarnet/internal/tensor/cpu"
+
+// AdvSIMD (NEON) micro-kernel: an 8×8 tile held in sixteen 128-bit vector
+// accumulators (two per row). Per depth step the kernel loads the 8-wide B
+// panel row and the 8-deep A column once, then runs eight lane-dup + two
+// FMLA pairs. FMLA fuses the multiply-add rounding like x86 FMA, so results
+// fall under the same audited-tolerance policy as the AVX2 kernel
+// (gemm32_kernel.go) rather than bitwise equality with the scalar
+// reference. Geometry matches the AVX2 kernel: 8×8 micro-tile, kc=256
+// (8 KiB panels), nc=512.
+
+// gemm32kern8x8neon is implemented in gemm32_arm64.s. It requires kc ≥ 1,
+// ap/bp of at least kc*8 floats, and a full 8×8 C tile at ct with row
+// stride ldc.
+//
+//go:noescape
+func gemm32kern8x8neon(ct *float32, ldc int, ap, bp *float32, kc int)
+
+func gemm32KernNEON(ct []float32, ldc int, ap, bp []float32, kc int) {
+	if kc <= 0 {
+		return
+	}
+	// Bounds checks up front: the assembly below does raw stores.
+	_ = ct[7*ldc+7]
+	_ = ap[kc*8-1]
+	_ = bp[kc*8-1]
+	gemm32kern8x8neon(&ct[0], ldc, &ap[0], &bp[0], kc)
+}
+
+func init() {
+	if cpu.ARM64.HasASIMD {
+		registerGemm32Kernel(&gemm32Kernel{
+			name: "neon",
+			mr:   8,
+			nr:   8,
+			kc:   256,
+			nc:   512,
+			kern: gemm32KernNEON,
+		})
+	}
+}

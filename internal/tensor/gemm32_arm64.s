@@ -1,0 +1,99 @@
+//go:build arm64 && !purego
+
+#include "textflag.h"
+
+// func gemm32kern8x8neon(ct *float32, ldc int, ap, bp *float32, kc int)
+//
+// Computes the full 8×8 tile ct[r*ldc+j] += Σ_p ap[p*8+r]·bp[p*8+j] for
+// p in [0,kc). Accumulators: V0–V15, two 4-lane vectors per tile row
+// (row r lives in V(2r) and V(2r+1)). The C tile is PRELOADED into the
+// accumulators and FMLA accumulates straight into it, so the epilogue is a
+// pure store walk (Go's arm64 assembler has no vector FADD mnemonic, and
+// preloading avoids needing one). Per depth step: post-indexed loads of the
+// 8-wide B row (V16,V17) and the 8-deep A column (V18,V19), then for each
+// row a lane VDUP of the A element and two VFMLAs. Dup targets alternate
+// V20/V21 so back-to-back FMLAs never wait on the same rename.
+TEXT ·gemm32kern8x8neon(SB), NOSPLIT, $0-40
+	MOVD ct+0(FP), R0
+	MOVD ldc+8(FP), R1
+	MOVD ap+16(FP), R2
+	MOVD bp+24(FP), R3
+	MOVD kc+32(FP), R4
+
+	LSL $2, R1, R1 // row stride in bytes
+
+	// Preload the 8×8 C tile into the accumulators.
+	MOVD R0, R5
+	VLD1 (R5), [V0.S4, V1.S4]
+	ADD  R1, R5, R5
+	VLD1 (R5), [V2.S4, V3.S4]
+	ADD  R1, R5, R5
+	VLD1 (R5), [V4.S4, V5.S4]
+	ADD  R1, R5, R5
+	VLD1 (R5), [V6.S4, V7.S4]
+	ADD  R1, R5, R5
+	VLD1 (R5), [V8.S4, V9.S4]
+	ADD  R1, R5, R5
+	VLD1 (R5), [V10.S4, V11.S4]
+	ADD  R1, R5, R5
+	VLD1 (R5), [V12.S4, V13.S4]
+	ADD  R1, R5, R5
+	VLD1 (R5), [V14.S4, V15.S4]
+
+	CBZ R4, flush
+
+loop:
+	VLD1.P 32(R3), [V16.S4, V17.S4] // B panel row: 8 floats
+	VLD1.P 32(R2), [V18.S4, V19.S4] // A panel column: 8 floats
+
+	VDUP  V18.S[0], V20.S4
+	VDUP  V18.S[1], V21.S4
+	VFMLA V16.S4, V20.S4, V0.S4
+	VFMLA V17.S4, V20.S4, V1.S4
+	VFMLA V16.S4, V21.S4, V2.S4
+	VFMLA V17.S4, V21.S4, V3.S4
+
+	VDUP  V18.S[2], V20.S4
+	VDUP  V18.S[3], V21.S4
+	VFMLA V16.S4, V20.S4, V4.S4
+	VFMLA V17.S4, V20.S4, V5.S4
+	VFMLA V16.S4, V21.S4, V6.S4
+	VFMLA V17.S4, V21.S4, V7.S4
+
+	VDUP  V19.S[0], V20.S4
+	VDUP  V19.S[1], V21.S4
+	VFMLA V16.S4, V20.S4, V8.S4
+	VFMLA V17.S4, V20.S4, V9.S4
+	VFMLA V16.S4, V21.S4, V10.S4
+	VFMLA V17.S4, V21.S4, V11.S4
+
+	VDUP  V19.S[2], V20.S4
+	VDUP  V19.S[3], V21.S4
+	VFMLA V16.S4, V20.S4, V12.S4
+	VFMLA V17.S4, V20.S4, V13.S4
+	VFMLA V16.S4, V21.S4, V14.S4
+	VFMLA V17.S4, V21.S4, V15.S4
+
+	SUB  $1, R4, R4
+	CBNZ R4, loop
+
+flush:
+	// Store the accumulated tile back over the C rows.
+	MOVD R0, R5
+	VST1 [V0.S4, V1.S4], (R5)
+	ADD  R1, R5, R5
+	VST1 [V2.S4, V3.S4], (R5)
+	ADD  R1, R5, R5
+	VST1 [V4.S4, V5.S4], (R5)
+	ADD  R1, R5, R5
+	VST1 [V6.S4, V7.S4], (R5)
+	ADD  R1, R5, R5
+	VST1 [V8.S4, V9.S4], (R5)
+	ADD  R1, R5, R5
+	VST1 [V10.S4, V11.S4], (R5)
+	ADD  R1, R5, R5
+	VST1 [V12.S4, V13.S4], (R5)
+	ADD  R1, R5, R5
+	VST1 [V14.S4, V15.S4], (R5)
+
+	RET

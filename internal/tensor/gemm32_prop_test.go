@@ -1,0 +1,243 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property tests for the GEMM micro-kernel dispatch: every kernel compiled
+// into this binary (scalar reference + whichever vector kernel the CPU
+// supports) must agree with a float64 reference within a
+// 1-ulp-per-accumulation bound, over a shape sweep that exercises every
+// ragged-edge combination of the 4×4 and 8×8 micro-tiles, both pack
+// orientations, and the parallel row-partitioned path (large m triggers
+// ParallelForCost fan-out, which is what `-race` is pointed at).
+
+// gemm32RefF64 computes the float64 reference C = A·B plus, per element,
+// the accumulated |a·b| magnitude that scales the rounding-error bound.
+func gemm32RefF64(a, b []float32, m, n, k int) (ref, scale []float64) {
+	ref = make([]float64, m*n)
+	scale = make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			av := float64(a[i*k+p])
+			if av == 0 {
+				continue
+			}
+			row := ref[i*n:]
+			srow := scale[i*n:]
+			brow := b[p*n:]
+			for j := 0; j < n; j++ {
+				prod := av * float64(brow[j])
+				row[j] += prod
+				srow[j] += math.Abs(prod)
+			}
+		}
+	}
+	return ref, scale
+}
+
+// gemm32CheckKernel runs Gemm32 with the named kernel over (m,n,k) in the
+// given orientation and compares against the shared float64 reference.
+// cInit seeds C with nonzero values so accumulate-into-C (not overwrite)
+// is part of the property.
+func gemm32CheckKernel(t *testing.T, kern string, a, b, cInit []float32, ref, scale []float64, m, n, k int, trans bool) {
+	t.Helper()
+	prev := Gemm32KernelName()
+	if _, err := SetGemm32Kernel(kern); err != nil {
+		t.Fatalf("SetGemm32Kernel(%q): %v", kern, err)
+	}
+	defer SetGemm32Kernel(prev)
+
+	var p *PackedMat32
+	if trans {
+		// Pack from the transposed layout: bT is n×k with bT[j][p] = b[p][j].
+		bT := make([]float32, n*k)
+		for pp := 0; pp < k; pp++ {
+			for j := 0; j < n; j++ {
+				bT[j*k+pp] = b[pp*n+j]
+			}
+		}
+		p = PackMat32(bT, k, n, k, true)
+	} else {
+		p = PackMat32(b, k, n, n, false)
+	}
+	if p.Kernel() != kern {
+		t.Fatalf("PackMat32 used kernel %q, want %q", p.Kernel(), kern)
+	}
+	c := make([]float32, m*n)
+	copy(c, cInit)
+	Gemm32(c, m, n, a, p, nil)
+
+	// Per-accumulation rounding bound: k products (one rounding each for
+	// FMA, two for the scalar mul+add — both within ulp/2 per step), the
+	// C-init add, and slack for the reference's own rounding.
+	const eps = 1.0 / (1 << 23)
+	for i := range c {
+		want := ref[i] + float64(cInit[i])
+		tol := (float64(k)+4)*eps*(scale[i]+math.Abs(float64(cInit[i]))) + 1e-30
+		if d := math.Abs(float64(c[i]) - want); d > tol {
+			t.Fatalf("kernel %q m=%d n=%d k=%d trans=%v: c[%d]=%g want %g (|err| %.3g > tol %.3g)",
+				kern, m, n, k, trans, i, c[i], want, d, tol)
+		}
+	}
+}
+
+func gemm32Case(t *testing.T, rng *rand.Rand, m, n, k int) {
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	cInit := make([]float32, m*n)
+	for i := range a {
+		a[i] = rng.Float32()*2 - 1
+	}
+	for i := range b {
+		b[i] = rng.Float32()*2 - 1
+	}
+	for i := range cInit {
+		cInit[i] = rng.Float32()*2 - 1
+	}
+	ref, scale := gemm32RefF64(a, b, m, n, k)
+	for _, kern := range Gemm32Kernels() {
+		for _, trans := range []bool{false, true} {
+			gemm32CheckKernel(t, kern, a, b, cInit, ref, scale, m, n, k, trans)
+		}
+	}
+}
+
+// TestGemm32KernelsEdgeShapes sweeps every m,n,k in 1..9 — which covers
+// MR±1 and NR±1 for both the 4×4 scalar and 8×8 vector micro-tiles — for
+// every compiled kernel in both pack orientations.
+func TestGemm32KernelsEdgeShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for m := 1; m <= 9; m++ {
+		for n := 1; n <= 9; n++ {
+			for k := 1; k <= 9; k++ {
+				gemm32Case(t, rng, m, n, k)
+			}
+		}
+	}
+}
+
+// TestGemm32KernelsLargeShapes crosses the depth/column cache tiles
+// (kc=256/512, nc=512): 511/512/513 sit on both kernels' tile boundaries,
+// and large m exercises the parallel row partitioning.
+func TestGemm32KernelsLargeShapes(t *testing.T) {
+	shapes := [][3]int{
+		{511, 9, 5},
+		{513, 4, 8},
+		{9, 511, 7},
+		{3, 513, 8},
+		{8, 5, 511},
+		{7, 9, 513},
+		{65, 33, 512},
+		{512, 512, 512},
+		{513, 33, 511},
+		{33, 513, 257},
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, s := range shapes {
+		s := s
+		t.Run(fmt.Sprintf("%dx%dx%d", s[0], s[1], s[2]), func(t *testing.T) {
+			gemm32Case(t, rng, s[0], s[1], s[2])
+		})
+	}
+}
+
+// FuzzGemm32Kernels fuzzes shape, seed, and orientation; every compiled
+// kernel must stay inside the accumulation-error bound of the float64
+// reference.
+func FuzzGemm32Kernels(f *testing.F) {
+	f.Add(uint8(3), uint8(5), uint8(7), int64(1))
+	f.Add(uint8(8), uint8(8), uint8(9), int64(2))
+	f.Add(uint8(9), uint8(1), uint8(64), int64(3))
+	f.Add(uint8(17), uint8(12), uint8(33), int64(4))
+	f.Fuzz(func(t *testing.T, m8, n8, k8 uint8, seed int64) {
+		m := int(m8)%64 + 1
+		n := int(n8)%64 + 1
+		k := int(k8)%96 + 1
+		gemm32Case(t, rand.New(rand.NewSource(seed)), m, n, k)
+	})
+}
+
+// TestGemm32KernelRegistry pins the dispatch contract: the scalar fallback
+// is always present, "auto" selects the vector kernel when one registered,
+// unknown names error listing the alternatives, and a PackedMat32 keeps the
+// kernel that packed it across a subsequent switch.
+func TestGemm32KernelRegistry(t *testing.T) {
+	prev := Gemm32KernelName()
+	defer SetGemm32Kernel(prev)
+
+	names := Gemm32Kernels()
+	hasGeneric := false
+	for _, n := range names {
+		hasGeneric = hasGeneric || n == "generic"
+	}
+	if !hasGeneric {
+		t.Fatalf("kernel registry %v lacks the scalar fallback", names)
+	}
+	if _, err := SetGemm32Kernel("no-such-kernel"); err == nil {
+		t.Fatal("SetGemm32Kernel accepted an unknown kernel name")
+	}
+	auto, err := SetGemm32Kernel("auto")
+	if err != nil {
+		t.Fatalf("SetGemm32Kernel(auto): %v", err)
+	}
+	if len(names) > 1 && auto == "generic" {
+		t.Fatalf("auto selected %q with vector kernels available (%v)", auto, names)
+	}
+
+	// A matrix packed under one kernel keeps it after the active switches.
+	b := []float32{1, 2, 3, 4}
+	p := PackMat32(b, 2, 2, 2, false)
+	packedFor := p.Kernel()
+	if _, err := SetGemm32Kernel("generic"); err != nil {
+		t.Fatalf("SetGemm32Kernel(generic): %v", err)
+	}
+	if p.Kernel() != packedFor {
+		t.Fatalf("PackedMat32 kernel changed from %q to %q after SetGemm32Kernel", packedFor, p.Kernel())
+	}
+	a := []float32{1, 0, 0, 1}
+	c := make([]float32, 4)
+	Gemm32(c, 2, 2, a, p, nil)
+	want := []float32{1, 2, 3, 4}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("identity·B with retained kernel: c=%v want %v", c, want)
+		}
+	}
+}
+
+// TestGemm32Alignment pins the storage alignment contract the vector
+// kernels rely on: pooled buffers (fresh and reused) and packed backing
+// stores start on a 64-byte boundary.
+func TestGemm32Alignment(t *testing.T) {
+	for _, n := range []int{1, 7, 128, 129, 1000, 4096, 65536} {
+		buf := getBuf32(n)
+		if !aligned64(buf) {
+			t.Fatalf("fresh getBuf32(%d) not 64-byte aligned", n)
+		}
+		putBuf32(buf)
+		reused := getBuf32(n)
+		if !aligned64(reused) {
+			t.Fatalf("reused getBuf32(%d) not 64-byte aligned", n)
+		}
+		putBuf32(reused)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, kn := range Gemm32Kernels() {
+		prev := Gemm32KernelName()
+		if _, err := SetGemm32Kernel(kn); err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float32, 37*41)
+		for i := range b {
+			b[i] = rng.Float32()
+		}
+		if p := PackMat32(b, 37, 41, 41, false); !aligned64(p.data) {
+			t.Fatalf("PackMat32 backing for kernel %q not 64-byte aligned", kn)
+		}
+		SetGemm32Kernel(prev)
+	}
+}

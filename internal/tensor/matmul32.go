@@ -4,8 +4,15 @@ import "fmt"
 
 // Float32 cache-blocked GEMM for the inference fast path, built on the same
 // BLIS-style tiling as the float64 kernel (matmul.go): a packed right-hand
-// side in (column-tile, depth-tile) blocks of gemmNR-wide panels, per-worker
-// A-row panels, and a register-blocked 4×4 micro-kernel.
+// side in (column-tile, depth-tile) blocks of nr-wide panels, per-worker
+// A-row panels, and a register-blocked micro-kernel.
+//
+// Unlike the float64 path, every geometric parameter of the tiling — the
+// micro-tile shape mr×nr, the depth tile kc, and the column tile nc — is
+// owned by the selected micro-kernel (gemm32_kernel.go): the scalar
+// reference runs 4×4/512/512, the AVX2 and NEON kernels 8×8/256/512. A
+// PackedMat32 records the kernel whose geometry shaped its panels, so a
+// packed matrix and the kernel that consumes it can never disagree.
 //
 // Two things differ from the float64 path, both in the fast path's favor:
 //
@@ -20,15 +27,10 @@ import "fmt"
 //     after a row's FULL depth reduction — the epilogue runs after the
 //     worker's last depth tile, never between tiles.
 //
-// The depth tile is twice the float64 kernel's (512 vs 256): panels are
-// half the bytes per element, so the same L1 budget holds twice the depth.
-
-const (
-	gemm32MR = 4   // micro-kernel rows (A panel width)
-	gemm32NR = 4   // micro-kernel cols (B panel width)
-	gemm32KC = 512 // depth tile: one A panel (4×512×4B) and one B panel stay L1-resident
-	gemm32NC = 512 // column tile: a packed B tile (512×512×4B = 1 MiB) stays in L2/L3
-)
+// Alignment contract: packed backing stores and pooled scratch buffers are
+// 64-byte aligned (alignedMake32 / getBuf32), and every panel offset within
+// them is a multiple of the panel width, so the vector kernels' 32-byte B
+// row loads never straddle a cache line.
 
 // PackedMat32 is a k×n right-hand side packed for Gemm32. It is immutable
 // after PackMat32 returns and safe for concurrent use by any number of
@@ -36,6 +38,7 @@ const (
 // weights live for the model's lifetime, not a forward pass.
 type PackedMat32 struct {
 	k, n int
+	kern *gemm32Kernel // the kernel whose geometry shaped data's panels
 	data []float32
 }
 
@@ -45,31 +48,37 @@ func (p *PackedMat32) K() int { return p.k }
 // N returns the packed matrix's column count.
 func (p *PackedMat32) N() int { return p.n }
 
-// PackMat32 packs op(B), a k×n matrix, into GEMM panel layout. With
-// trans=false, b is row-major k×n with leading dimension ldb (≥ n) and
-// op(B) = B; with trans=true, b is row-major n×k with leading dimension
-// ldb (≥ k) and op(B) = Bᵀ. The input is read once and not retained.
+// Kernel returns the name of the GEMM micro-kernel this matrix was packed
+// for; Gemm32 calls on it always run that kernel.
+func (p *PackedMat32) Kernel() string { return p.kern.name }
+
+// PackMat32 packs op(B), a k×n matrix, into the active kernel's GEMM panel
+// layout. With trans=false, b is row-major k×n with leading dimension ldb
+// (≥ n) and op(B) = B; with trans=true, b is row-major n×k with leading
+// dimension ldb (≥ k) and op(B) = Bᵀ. The input is read once and not
+// retained.
 func PackMat32(b []float32, k, n, ldb int, trans bool) *PackedMat32 {
 	if k <= 0 || n <= 0 {
 		panic(fmt.Sprintf("tensor: PackMat32 requires positive dims, got k=%d n=%d", k, n))
 	}
-	nJT := (n + gemm32NC - 1) / gemm32NC
-	nPT := (k + gemm32KC - 1) / gemm32KC
-	nR4 := roundUp(n, gemm32NR)
-	lastNcbR := nR4 - (nJT-1)*gemm32NC
-	packed := make([]float32, (nJT-1)*k*gemm32NC+k*lastNcbR)
+	kern := gemm32Active.Load()
+	nJT := (n + kern.nc - 1) / kern.nc
+	nPT := (k + kern.kc - 1) / kern.kc
+	nRUp := roundUp(n, kern.nr)
+	lastNcbR := nRUp - (nJT-1)*kern.nc
+	packed := alignedMake32((nJT-1)*k*kern.nc + k*lastNcbR)
 	for tj := 0; tj < nJT; tj++ {
-		j0 := tj * gemm32NC
-		ncb := minInt(gemm32NC, n-j0)
-		ncbR := roundUp(ncb, gemm32NR)
+		j0 := tj * kern.nc
+		ncb := minInt(kern.nc, n-j0)
+		ncbR := roundUp(ncb, kern.nr)
 		for tp := 0; tp < nPT; tp++ {
-			p0 := tp * gemm32KC
-			kcb := minInt(gemm32KC, k-p0)
-			off := tj*k*gemm32NC + p0*ncbR
-			packB32(packed[off:off+kcb*ncbR], b, ldb, p0, j0, kcb, ncb, trans)
+			p0 := tp * kern.kc
+			kcb := minInt(kern.kc, k-p0)
+			off := tj*k*kern.nc + p0*ncbR
+			packB32(packed[off:off+kcb*ncbR], b, ldb, p0, j0, kcb, ncb, kern.nr, trans)
 		}
 	}
-	return &PackedMat32{k: k, n: n, data: packed}
+	return &PackedMat32{k: k, n: n, kern: kern, data: packed}
 }
 
 // MatMul32 computes C = A·B for 2D float32 tensors A (m×k) and B (k×n),
@@ -92,12 +101,14 @@ func MatMul32(a, b *Tensor32) *Tensor32 {
 }
 
 // Gemm32 accumulates C += A·P for row-major A (m×k, leading dimension k)
-// and a prepacked P (k×n); C is row-major m×n. If epi is non-nil it is
-// invoked once per worker with that worker's completed half-open row range
-// [rs, re) — after the full depth reduction for those rows, while they are
-// cache-hot. Row ranges of distinct workers are disjoint and cover [0, m).
+// and a prepacked P (k×n); C is row-major m×n. The micro-kernel that runs
+// is the one P was packed for. If epi is non-nil it is invoked once per
+// worker with that worker's completed half-open row range [rs, re) — after
+// the full depth reduction for those rows, while they are cache-hot. Row
+// ranges of distinct workers are disjoint and cover [0, m).
 func Gemm32(c []float32, m, n int, a []float32, p *PackedMat32, epi func(rs, re int)) {
 	k := p.k
+	kern := p.kern
 	if n != p.n {
 		panic(fmt.Sprintf("tensor: Gemm32 n=%d does not match packed N=%d", n, p.n))
 	}
@@ -107,32 +118,32 @@ func Gemm32(c []float32, m, n int, a []float32, p *PackedMat32, epi func(rs, re 
 	if m == 0 || n == 0 || k == 0 {
 		return
 	}
-	nPT := (k + gemm32KC - 1) / gemm32KC
-	nJT := (n + gemm32NC - 1) / gemm32NC
+	nPT := (k + kern.kc - 1) / kern.kc
+	nJT := (n + kern.nc - 1) / kern.nc
 	ParallelForCost(m, 2*k*n, func(rs, re int) {
 		rows := re - rs
-		aBuf := getBuf32(roundUp(rows, gemm32MR) * gemm32KC)
+		aBuf := getBuf32(roundUp(rows, kern.mr) * kern.kc)
 		for tp := 0; tp < nPT; tp++ {
-			p0 := tp * gemm32KC
-			kcb := minInt(gemm32KC, k-p0)
-			packA32(aBuf, a, k, rs, p0, rows, kcb)
+			p0 := tp * kern.kc
+			kcb := minInt(kern.kc, k-p0)
+			packA32(aBuf, a, k, rs, p0, rows, kcb, kern.mr, kern.kc)
 			for tj := 0; tj < nJT; tj++ {
-				j0 := tj * gemm32NC
-				ncb := minInt(gemm32NC, n-j0)
-				ncbR := roundUp(ncb, gemm32NR)
-				blk := p.data[tj*k*gemm32NC+p0*ncbR:]
-				for ir := 0; ir < rows; ir += gemm32MR {
-					mr := minInt(gemm32MR, rows-ir)
-					ap := aBuf[(ir/gemm32MR)*gemm32KC*gemm32MR:]
-					ap = ap[:kcb*gemm32MR]
-					for jp := 0; jp < ncb; jp += gemm32NR {
-						nr := minInt(gemm32NR, ncb-jp)
-						bp := blk[(jp/gemm32NR)*kcb*gemm32NR:]
-						bp = bp[:kcb*gemm32NR]
-						if mr == gemm32MR && nr == gemm32NR {
-							gemm32Kernel4x4(c, n, rs+ir, j0+jp, ap, bp)
+				j0 := tj * kern.nc
+				ncb := minInt(kern.nc, n-j0)
+				ncbR := roundUp(ncb, kern.nr)
+				blk := p.data[tj*k*kern.nc+p0*ncbR:]
+				for ir := 0; ir < rows; ir += kern.mr {
+					mr := minInt(kern.mr, rows-ir)
+					ap := aBuf[(ir/kern.mr)*kern.kc*kern.mr:]
+					ap = ap[:kcb*kern.mr]
+					for jp := 0; jp < ncb; jp += kern.nr {
+						nr := minInt(kern.nr, ncb-jp)
+						bp := blk[(jp/kern.nr)*kcb*kern.nr:]
+						bp = bp[:kcb*kern.nr]
+						if mr == kern.mr && nr == kern.nr {
+							kern.kern(c[(rs+ir)*n+j0+jp:], n, ap, bp, kcb)
 						} else {
-							gemm32KernelEdge(c, n, rs+ir, j0+jp, mr, nr, ap, bp)
+							gemm32Edge(kern, c, n, rs+ir, j0+jp, mr, nr, ap, bp, kcb)
 						}
 					}
 				}
@@ -146,178 +157,60 @@ func Gemm32(c []float32, m, n int, a []float32, p *PackedMat32, epi func(rs, re 
 }
 
 // packA32 copies the (rows × kcb) block of row-major A starting at (i0, p0)
-// into gemm32MR-row panels, p-major, zero-filling rows past the edge.
-func packA32(dst, a []float32, lda, i0, p0, rows, kcb int) {
-	for ir := 0; ir < rows; ir += gemm32MR {
-		mr := minInt(gemm32MR, rows-ir)
-		panel := dst[(ir/gemm32MR)*gemm32KC*gemm32MR:]
-		r0 := a[(i0+ir)*lda+p0:]
-		var r1, r2, r3 []float32
-		if mr > 1 {
-			r1 = a[(i0+ir+1)*lda+p0:]
-		}
-		if mr > 2 {
-			r2 = a[(i0+ir+2)*lda+p0:]
-		}
-		if mr > 3 {
-			r3 = a[(i0+ir+3)*lda+p0:]
+// into mr-row panels, p-major, zero-filling rows past the edge. Panels are
+// kcTile*mr apart so partial depth tiles keep full-tile panel strides.
+func packA32(dst, a []float32, lda, i0, p0, rows, kcb, mr, kcTile int) {
+	var rowSrc [gemm32MaxMR][]float32
+	for ir := 0; ir < rows; ir += mr {
+		live := minInt(mr, rows-ir)
+		panel := dst[(ir/mr)*kcTile*mr:]
+		for r := 0; r < live; r++ {
+			rowSrc[r] = a[(i0+ir+r)*lda+p0:][:kcb]
 		}
 		for p := 0; p < kcb; p++ {
-			q := p * gemm32MR
-			panel[q] = r0[p]
-			if mr > 1 {
-				panel[q+1] = r1[p]
-			} else {
-				panel[q+1] = 0
+			q := p * mr
+			for r := 0; r < live; r++ {
+				panel[q+r] = rowSrc[r][p]
 			}
-			if mr > 2 {
-				panel[q+2] = r2[p]
-			} else {
-				panel[q+2] = 0
-			}
-			if mr > 3 {
-				panel[q+3] = r3[p]
-			} else {
-				panel[q+3] = 0
+			for r := live; r < mr; r++ {
+				panel[q+r] = 0
 			}
 		}
 	}
 }
 
-// packB32 copies the (kcb × ncb) block of op(B) at (p0, j0) into
-// gemm32NR-column panels, p-major, zero-filling columns past the edge.
-func packB32(dst, b []float32, ldb, p0, j0, kcb, ncb int, trans bool) {
-	for jp := 0; jp < ncb; jp += gemm32NR {
-		nr := minInt(gemm32NR, ncb-jp)
-		panel := dst[(jp/gemm32NR)*kcb*gemm32NR:]
+// packB32 copies the (kcb × ncb) block of op(B) at (p0, j0) into nr-column
+// panels, p-major, zero-filling columns past the edge.
+func packB32(dst, b []float32, ldb, p0, j0, kcb, ncb, nr int, trans bool) {
+	var colSrc [gemm32MaxNR][]float32
+	for jp := 0; jp < ncb; jp += nr {
+		live := minInt(nr, ncb-jp)
+		panel := dst[(jp/nr)*kcb*nr:]
 		if trans {
-			// op(B)[p][j] = b[j*ldb + p]
-			var c0, c1, c2, c3 []float32
-			c0 = b[(j0+jp)*ldb+p0:]
-			if nr > 1 {
-				c1 = b[(j0+jp+1)*ldb+p0:]
-			}
-			if nr > 2 {
-				c2 = b[(j0+jp+2)*ldb+p0:]
-			}
-			if nr > 3 {
-				c3 = b[(j0+jp+3)*ldb+p0:]
+			// op(B)[p][j] = b[j*ldb + p]: columns of op(B) are rows of b.
+			for j := 0; j < live; j++ {
+				colSrc[j] = b[(j0+jp+j)*ldb+p0:][:kcb]
 			}
 			for p := 0; p < kcb; p++ {
-				q := p * gemm32NR
-				panel[q] = c0[p]
-				if nr > 1 {
-					panel[q+1] = c1[p]
-				} else {
-					panel[q+1] = 0
+				q := p * nr
+				for j := 0; j < live; j++ {
+					panel[q+j] = colSrc[j][p]
 				}
-				if nr > 2 {
-					panel[q+2] = c2[p]
-				} else {
-					panel[q+2] = 0
-				}
-				if nr > 3 {
-					panel[q+3] = c3[p]
-				} else {
-					panel[q+3] = 0
+				for j := live; j < nr; j++ {
+					panel[q+j] = 0
 				}
 			}
 			continue
 		}
 		for p := 0; p < kcb; p++ {
 			src := b[(p0+p)*ldb+j0+jp:]
-			q := p * gemm32NR
-			for jj := 0; jj < nr; jj++ {
-				panel[q+jj] = src[jj]
+			q := p * nr
+			for j := 0; j < live; j++ {
+				panel[q+j] = src[j]
 			}
-			for jj := nr; jj < gemm32NR; jj++ {
-				panel[q+jj] = 0
+			for j := live; j < nr; j++ {
+				panel[q+j] = 0
 			}
-		}
-	}
-}
-
-// gemm32Kernel4x4 accumulates the full 4×4 tile C[i0:i0+4, j0:j0+4] += Ap·Bp
-// over one depth tile, with all 16 partial sums in registers.
-func gemm32Kernel4x4(c []float32, ldc, i0, j0 int, ap, bp []float32) {
-	var c00, c01, c02, c03 float32
-	var c10, c11, c12, c13 float32
-	var c20, c21, c22, c23 float32
-	var c30, c31, c32, c33 float32
-	if len(bp) < len(ap) {
-		panic("tensor: gemm32 panel length mismatch")
-	}
-	bp = bp[:len(ap)]
-	for o := 0; o+gemm32MR <= len(ap); o += gemm32MR {
-		a0, a1, a2, a3 := ap[o], ap[o+1], ap[o+2], ap[o+3]
-		b0, b1, b2, b3 := bp[o], bp[o+1], bp[o+2], bp[o+3]
-		c00 += a0 * b0
-		c01 += a0 * b1
-		c02 += a0 * b2
-		c03 += a0 * b3
-		c10 += a1 * b0
-		c11 += a1 * b1
-		c12 += a1 * b2
-		c13 += a1 * b3
-		c20 += a2 * b0
-		c21 += a2 * b1
-		c22 += a2 * b2
-		c23 += a2 * b3
-		c30 += a3 * b0
-		c31 += a3 * b1
-		c32 += a3 * b2
-		c33 += a3 * b3
-	}
-	r0 := c[i0*ldc+j0 : i0*ldc+j0+4]
-	r1 := c[(i0+1)*ldc+j0 : (i0+1)*ldc+j0+4]
-	r2 := c[(i0+2)*ldc+j0 : (i0+2)*ldc+j0+4]
-	r3 := c[(i0+3)*ldc+j0 : (i0+3)*ldc+j0+4]
-	r0[0] += c00
-	r0[1] += c01
-	r0[2] += c02
-	r0[3] += c03
-	r1[0] += c10
-	r1[1] += c11
-	r1[2] += c12
-	r1[3] += c13
-	r2[0] += c20
-	r2[1] += c21
-	r2[2] += c22
-	r2[3] += c23
-	r3[0] += c30
-	r3[1] += c31
-	r3[2] += c32
-	r3[3] += c33
-}
-
-// gemm32KernelEdge handles ragged tiles (mr < 4 rows and/or nr < 4 cols);
-// the packed panels are zero-padded so it still runs the full-width loop.
-func gemm32KernelEdge(c []float32, ldc, i0, j0, mr, nr int, ap, bp []float32) {
-	var acc [gemm32MR * gemm32NR]float32
-	for o := 0; o+gemm32MR <= len(ap) && o+gemm32NR <= len(bp); o += gemm32MR {
-		a0, a1, a2, a3 := ap[o], ap[o+1], ap[o+2], ap[o+3]
-		b0, b1, b2, b3 := bp[o], bp[o+1], bp[o+2], bp[o+3]
-		acc[0] += a0 * b0
-		acc[1] += a0 * b1
-		acc[2] += a0 * b2
-		acc[3] += a0 * b3
-		acc[4] += a1 * b0
-		acc[5] += a1 * b1
-		acc[6] += a1 * b2
-		acc[7] += a1 * b3
-		acc[8] += a2 * b0
-		acc[9] += a2 * b1
-		acc[10] += a2 * b2
-		acc[11] += a2 * b3
-		acc[12] += a3 * b0
-		acc[13] += a3 * b1
-		acc[14] += a3 * b2
-		acc[15] += a3 * b3
-	}
-	for ii := 0; ii < mr; ii++ {
-		row := c[(i0+ii)*ldc+j0:]
-		for jj := 0; jj < nr; jj++ {
-			row[jj] += acc[ii*gemm32NR+jj]
 		}
 	}
 }

@@ -114,40 +114,56 @@ func classFor32(n int) int {
 	return c
 }
 
-// getBuf32 returns a zeroed float32 buffer of length n, reusing pooled
-// storage when available. It does not touch the allocation accounting.
+// getBuf32 returns a zeroed, 64-byte-aligned float32 buffer of length n,
+// reusing pooled storage when available. It does not touch the allocation
+// accounting. Alignment is part of the contract: GEMM packing buffers come
+// from here and the vector kernels rely on non-straddling panel loads
+// (align32.go). A popped buffer that cannot be re-sliced to alignment (one
+// allocated before the alignment headroom existed, circulating at exactly
+// class capacity) is dropped for the GC rather than returned unaligned.
 func getBuf32(n int) []float32 {
 	c := classFor32(n)
 	if c < 0 {
 		poolMisses32.Inc()
-		return make([]float32, n)
+		return alignedMake32(n)
 	}
 	cl := &classes32[c]
 	cl.mu.Lock()
-	if last := len(cl.bufs) - 1; last >= 0 {
+	for last := len(cl.bufs) - 1; last >= 0; last-- {
 		buf := cl.bufs[last]
 		cl.bufs[last] = nil
 		cl.bufs = cl.bufs[:last]
+		a := align32(buf, n)
+		if a == nil {
+			continue // unalignable: drop it and keep popping
+		}
 		cl.mu.Unlock()
 		poolHits32.Inc()
-		buf = buf[:n]
-		for i := range buf {
-			buf[i] = 0
+		for i := range a {
+			a[i] = 0
 		}
-		return buf
+		return a
 	}
 	cl.mu.Unlock()
 	poolMisses32.Inc()
-	return make([]float32, n, (1<<uint(c))/bytesPerElem32)
+	// Fresh allocation: the full class capacity plus one cache line of
+	// alignment headroom, so the aligned sub-slice still covers the class
+	// and re-pools under the same class.
+	return align32(make([]float32, (1<<uint(c))/bytesPerElem32+align32Pad), n)
 }
 
-// putBuf32 files buf under the largest byte class its capacity covers.
+// putBuf32 files buf under the largest byte class its capacity covers. The
+// alignment headroom can leave capacity up to one cache line past a class
+// boundary; clamp rather than reject so top-class buffers keep re-pooling.
 func putBuf32(buf []float32) {
 	cpBytes := cap(buf) * bytesPerElem32
-	if cpBytes < 1<<minClassBytesBits || cpBytes > 1<<maxClassBytesBits {
+	if cpBytes < 1<<minClassBytesBits || cpBytes > 1<<maxClassBytesBits+cacheLineBytes {
 		return // outside the pooled range: let the GC take it
 	}
 	c := bits.Len(uint(cpBytes)) - 1 // floor(log2(capacity bytes))
+	if c > maxClassBytesBits {
+		c = maxClassBytesBits
+	}
 	cl := &classes32[c]
 	cl.mu.Lock()
 	if len(cl.bufs) < cl.max {
